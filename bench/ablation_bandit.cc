@@ -1,0 +1,177 @@
+// Ablation A3 — bandit exploration vs greedy feedback loops.
+//
+// Paper §5 "Bandits and Multiple Models": "a music recommendation
+// service that only plays the current Top40 songs will never receive
+// feedback from users indicating that other songs are preferable. To
+// escape these feedback loops we rely on a form of the contextual
+// bandits algorithm ... the algorithm recommends the item with the best
+// potential prediction score (i.e., the item with max sum of score and
+// uncertainty)" — and: "if Velox is unsure to what extent a user is a
+// DeadHead it will occasionally select songs such as 'New Potato
+// Caboose' to evaluate this hypothesis even if those songs do not have
+// the highest prediction score."
+//
+// Environment (the DeadHead setup): the topic space has mainstream
+// dimensions (0-2) and niche dimensions (3-5). 80% of the catalog is
+// mainstream (factors live only in dims 0-2), 20% niche (dims 3-5).
+// Every listener secretly loves the niche genre (true preference is
+// strong on dims 3-5), but the deployed model was trained on
+// mainstream history: user weights start biased toward dims 0-2 and
+// zero on 3-5. Greedy therefore keeps recommending mainstream songs,
+// whose feedback never touches the niche dimensions — the feedback
+// loop. LinUCB's uncertainty bonus is maximal exactly on the never-
+// observed niche directions, so it samples them, discovers the genre,
+// and converges.
+//
+// Reported: cumulative regret vs the slate oracle, mean regret over the
+// final 10% of rounds, and the fraction of recommendations that were
+// niche. Expected shape: greedy's regret grows linearly forever with
+// ~zero niche plays; LinUCB/Thompson/epsilon escape.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+constexpr int64_t kNumItems = 300;
+constexpr int64_t kNumUsers = 50;
+constexpr size_t kRank = 6;  // dims 0-2 mainstream, 3-5 niche
+constexpr int kRounds = 8000;
+constexpr int kCandidates = 20;
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+bool IsNiche(uint64_t item_id) { return item_id % 5 == 0; }  // 20% of catalog
+
+struct PolicyResult {
+  double cumulative_regret = 0.0;
+  double final_window_regret = 0.0;
+  double niche_play_fraction = 0.0;
+};
+
+PolicyResult RunPolicy(const std::string& policy_spec, uint64_t seed) {
+  Rng rng(seed);
+  // Catalog: mainstream items live in dims 0-2, niche in dims 3-5.
+  FactorMap item_factors;
+  for (int64_t i = 0; i < kNumItems; ++i) {
+    uint64_t id = static_cast<uint64_t>(i);
+    DenseVector f(kRank);
+    Rng item_rng(7000 + id);
+    if (IsNiche(id)) {
+      for (size_t k = 3; k < 6; ++k) f[k] = item_rng.UniformDouble(0.2, 0.8);
+    } else {
+      for (size_t k = 0; k < 3; ++k) f[k] = item_rng.UniformDouble(0.2, 0.8);
+    }
+    item_factors[id] = std::move(f);
+  }
+  // Every listener is a secret DeadHead: mild mainstream taste, strong
+  // niche taste.
+  FactorMap true_prefs;
+  for (int64_t u = 0; u < kNumUsers; ++u) {
+    DenseVector w(kRank);
+    Rng user_rng(9000 + static_cast<uint64_t>(u));
+    for (size_t k = 0; k < 3; ++k) w[k] = 0.4 + user_rng.Gaussian(0.0, 0.05);
+    for (size_t k = 3; k < 6; ++k) w[k] = 1.5 + user_rng.Gaussian(0.0, 0.1);
+    true_prefs[static_cast<uint64_t>(u)] = std::move(w);
+  }
+
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = kRank;
+  config.lambda = 0.5;
+  config.bandit_policy = policy_spec;
+  config.batch_workers = 1;
+  VeloxServer server(config, std::make_unique<MatrixFactorizationModel>(
+                                 "radio", AlsConfig{kRank, 0.5, 1, 1, 0.1, 2}));
+  RetrainOutput init;
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>(item_factors);
+  init.features = std::make_shared<MaterializedFeatureFunction>(
+      std::shared_ptr<const MaterializedFeatureFunction::FactorTable>(table), kRank);
+  // The deployed "Top-40" model: positive mainstream weights, zero on
+  // the niche dimensions the training data never covered.
+  for (int64_t u = 0; u < kNumUsers; ++u) {
+    DenseVector w0(kRank);
+    for (size_t k = 0; k < 3; ++k) w0[k] = 0.5;
+    init.user_weights[static_cast<uint64_t>(u)] = std::move(w0);
+  }
+  init.training_rmse = 1.0;
+  VELOX_CHECK_OK(server.InstallVersion(init).status());
+
+  PolicyResult result;
+  double tail_regret = 0.0;
+  int tail_rounds = 0;
+  int niche_plays = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    uint64_t uid = rng.UniformU64(kNumUsers);
+    std::vector<Item> slate;
+    std::unordered_set<uint64_t> chosen;
+    while (slate.size() < kCandidates) {
+      uint64_t id = rng.UniformU64(kNumItems);
+      if (chosen.insert(id).second) slate.push_back(MakeItem(id));
+    }
+    auto top = server.TopK(uid, slate, 1);
+    VELOX_CHECK_OK(top.status());
+    uint64_t picked = top->items[0].item_id;
+    if (IsNiche(picked)) ++niche_plays;
+
+    const DenseVector& pref = true_prefs[uid];
+    double best = -1e18;
+    for (const Item& item : slate) {
+      best = std::max(best, Dot(pref, item_factors[item.id]));
+    }
+    double true_value = Dot(pref, item_factors[picked]);
+    double reward = true_value + rng.Gaussian(0.0, 0.1);
+    double regret = best - true_value;
+    result.cumulative_regret += regret;
+    if (round >= kRounds * 9 / 10) {
+      tail_regret += regret;
+      ++tail_rounds;
+    }
+    VELOX_CHECK_OK(server.ObserveWithProvenance(uid, MakeItem(picked), reward,
+                                                top->top_is_exploratory));
+  }
+  result.final_window_regret = tail_rounds > 0 ? tail_regret / tail_rounds : 0.0;
+  result.niche_play_fraction = static_cast<double>(niche_plays) / kRounds;
+  return result;
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_bandit: escaping recommendation feedback loops (DeadHead setup)",
+      "Velox (CIDR'15) Section 5 'Bandits and Multiple Models'",
+      "All listeners secretly love a niche genre the deployed 'Top-40' model has\n"
+      "zero weight on; only recommended songs generate feedback. Oracle = best\n"
+      "song in each slate under the true taste (usually niche).");
+
+  bench::Table table({"policy", "cum_regret", "tail_regret", "niche_frac"}, 18);
+  for (const std::string& spec :
+       {std::string("greedy"), std::string("epsilon_greedy:0.1"),
+        std::string("linucb:1.0"), std::string("thompson")}) {
+    auto result = RunPolicy(spec, 99);
+    table.Row({spec, bench::Fmt("%.1f", result.cumulative_regret),
+               bench::Fmt("%.4f", result.final_window_regret),
+               bench::Fmt("%.3f", result.niche_play_fraction)});
+  }
+  std::printf(
+      "\nShape check (paper): greedy never plays the niche genre (feedback loop) —\n"
+      "its regret keeps accruing at a constant rate; LinUCB ('max sum of score\n"
+      "and uncertainty') and Thompson explore the uncertain niche dimensions,\n"
+      "discover the genre, and drive tail regret toward zero.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

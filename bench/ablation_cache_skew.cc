@@ -1,0 +1,120 @@
+// Ablation A1 — feature caching vs item-popularity skew.
+//
+// Paper §5: "item popularity often follows a Zipfian distribution ...
+// caching the hot items on each machine using a simple cache eviction
+// strategy like LRU will tend to have a high hit rate" and "because the
+// materialized features for each item are only updated during the
+// offline batch retraining, cached items are invalidated infrequently."
+//
+// We serve a predict-only workload against a 3-node cluster whose item
+// factors live in distributed storage, sweeping the Zipf exponent and
+// the per-node feature-cache capacity, and report the feature-cache hit
+// rate, the fraction of storage messages that crossed the network, and
+// the simulated time per request. Expected shape: hit rate (and with it
+// locality) climbs steeply with skew; even a cache holding 2% of the
+// catalog absorbs most traffic at exponent >= 1.
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+constexpr int64_t kNumItems = 20000;
+constexpr int64_t kNumUsers = 2000;
+constexpr int kRequests = 40000;
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+// A model whose θ covers the whole catalog (rank 8), installed directly
+// so we skip ALS training and isolate the caching behaviour.
+RetrainOutput FullCatalogModel(size_t rank, uint64_t seed) {
+  RetrainOutput out;
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  for (int64_t i = 0; i < kNumItems; ++i) {
+    (*table)[static_cast<uint64_t>(i)] =
+        InitFactor(rank, 0.3, seed, static_cast<uint64_t>(i));
+  }
+  out.features = std::make_shared<MaterializedFeatureFunction>(
+      std::shared_ptr<const MaterializedFeatureFunction::FactorTable>(table), rank);
+  for (int64_t u = 0; u < kNumUsers; ++u) {
+    out.user_weights[static_cast<uint64_t>(u)] =
+        InitFactor(rank, 0.3, seed ^ 1, static_cast<uint64_t>(u));
+  }
+  out.training_rmse = 0.5;
+  return out;
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_cache_skew: LRU feature-cache hit rate vs Zipfian popularity",
+      "Velox (CIDR'15) Section 5 'Caching' claims",
+      "3-node cluster, item factors in distributed storage; predict-only "
+      "workload.\ncache_pct = per-node feature-cache capacity as % of the "
+      "catalog.");
+
+  const size_t rank = 8;
+  const double exponents[] = {0.0, 0.5, 0.8, 1.0, 1.2};
+  const double cache_pcts[] = {0.5, 2.0, 10.0};
+
+  bench::Table table({"zipf", "cache_pct", "fc_hit_rate", "remote_per_req",
+                      "sim_us_per_req"}, 15);
+  for (double cache_pct : cache_pcts) {
+    for (double exponent : exponents) {
+      VeloxServerConfig config;
+      config.num_nodes = 3;
+      config.dim = rank;
+      config.bandit_policy = "";
+      config.distribute_item_features = true;
+      config.use_prediction_cache = false;  // isolate the feature cache
+      config.feature_cache_capacity = static_cast<size_t>(
+          std::max(1.0, kNumItems * cache_pct / 100.0));
+      config.batch_workers = 2;
+      VeloxServer server(config, std::make_unique<MatrixFactorizationModel>(
+                                     "catalog", AlsConfig{rank, 0.1, 1, 1, 0.1, 4}));
+      VELOX_CHECK_OK(server.InstallVersion(FullCatalogModel(rank, 77)).status());
+      server.ResetCacheStats();
+      server.ResetNetworkStats();
+
+      WorkloadConfig wconfig;
+      wconfig.num_users = kNumUsers;
+      wconfig.num_items = kNumItems;
+      wconfig.zipf_exponent = exponent;
+      wconfig.predict_fraction = 1.0;
+      wconfig.topk_fraction = 0.0;
+      wconfig.seed = 5;
+      auto gen = WorkloadGenerator::Make(wconfig);
+      VELOX_CHECK_OK(gen.status());
+      for (int i = 0; i < kRequests; ++i) {
+        Request req = gen->Next();
+        VELOX_CHECK_OK(server.Predict(req.uid, MakeItem(req.items[0])).status());
+      }
+
+      auto cache = server.AggregatedCacheStats();
+      auto net = server.NetworkStatistics();
+      table.Row({bench::Fmt("%.1f", exponent), bench::Fmt("%.1f", cache_pct),
+                 bench::Fmt("%.3f", cache.feature.HitRate()),
+                 bench::Fmt("%.3f", static_cast<double>(net.remote_messages) /
+                                        kRequests),
+                 bench::Fmt("%.2f", static_cast<double>(net.charged_nanos) / 1e3 /
+                                        kRequests)});
+    }
+  }
+  std::printf(
+      "\nShape check (paper): hit rate rises steeply with Zipf skew; at exponent\n"
+      ">= 1 even a small cache absorbs most item-feature traffic, collapsing\n"
+      "remote fetches per request and the per-request simulated latency.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Ablation A4 — staleness detection, automatic retraining, and warmed
+// version swaps.
+//
+// Paper §4.3/§6: "the loss is evaluated every time new data is observed
+// and if the loss starts to increase faster than a threshold value, the
+// model is detected as stale. Once a model has been detected as stale,
+// Velox retrains the model offline" — and §4.2: the batch job
+// precomputes "all predictions and feature transformations that were
+// cached at the time" to repopulate the caches at swap time.
+//
+// Scenario: after offline training on a modest history, user tastes
+// invert (concept drift) and a long stream of drifted feedback arrives.
+// Three deployments process the identical stream:
+//   frozen     — online user updates only, θ never retrained;
+//   auto+warm  — staleness-triggered retrains, swaps repopulate the
+//                prediction cache from the pre-swap warm set;
+//   auto+cold  — same retrains, but swaps leave the caches cold.
+// Reported: drifted observations before the first staleness trigger,
+// number of retrains over the stream, post-drift held-out RMSE, and the
+// prediction-cache hit rate over hot traffic replayed right after the
+// final swap. Expected shape: auto-retrain recovers accuracy the frozen
+// deployment cannot (its θ still encodes the old world); the warmed
+// swap resumes with a high immediate hit rate while the cold swap eats
+// a miss storm.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+struct DriftOutcome {
+  int detection_observations = -1;  // -1 = never fired
+  int retrains = 0;
+  double post_rmse = 0.0;
+  double post_swap_pc_hit_rate = 0.0;
+};
+
+double DriftedLabel(double label) { return 5.5 - label; }
+
+DriftOutcome RunScenario(bool auto_retrain, bool warm_caches) {
+  // Modest history so the drifted stream dominates the retraining log.
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 150;
+  data_config.num_items = 250;
+  data_config.latent_rank = 6;
+  data_config.min_ratings_per_user = 6;
+  data_config.max_ratings_per_user = 10;
+  data_config.seed = 404;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  VELOX_CHECK_OK(data.status());
+
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = 6;
+  config.lambda = 0.1;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 150;
+  config.evaluator.ewma_alpha = 0.05;
+  config.evaluator.staleness_threshold_ratio = 1.5;
+  config.updater.cross_validation_every = 1;
+  config.retrain.warm_caches = warm_caches;
+  // Warm enough prediction-cache entries to cover the hot set.
+  config.retrain.warm_hot_entries_per_shard = 512;
+  AlsConfig als;
+  als.rank = 6;
+  als.lambda = 0.1;
+  als.iterations = 8;
+  VeloxServer server(config,
+                     std::make_unique<MatrixFactorizationModel>("songs", als));
+  VELOX_CHECK_OK(server.Bootstrap(data->ratings));
+
+  // Pre-drift traffic warms the caches (the warm set captured at each
+  // retrain).
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Observation& obs = data->ratings[rng.UniformU64(data->ratings.size())];
+    VELOX_CHECK_OK(server.Predict(obs.uid, MakeItem(obs.item_id)).status());
+  }
+
+  // Concept drift: a long stream of inverted-taste observations; the
+  // same stream for every deployment.
+  DriftOutcome outcome;
+  const int drift_stream = 6000;
+  for (int i = 0; i < drift_stream; ++i) {
+    const Observation& obs = data->ratings[rng.UniformU64(data->ratings.size())];
+    VELOX_CHECK_OK(
+        server.Observe(obs.uid, MakeItem(obs.item_id), DriftedLabel(obs.label)));
+    if (auto_retrain) {
+      auto retrained = server.MaybeRetrain();
+      VELOX_CHECK_OK(retrained.status());
+      if (retrained.value()) {
+        ++outcome.retrains;
+        if (outcome.detection_observations < 0) {
+          outcome.detection_observations = i + 1;
+        }
+      }
+    }
+  }
+
+  // Scheduled refresh at the end of the drift window (still part of the
+  // auto deployment's policy), then measure the immediate post-swap
+  // prediction-cache behaviour over hot traffic.
+  if (auto_retrain) {
+    VELOX_CHECK_OK(server.RetrainNow().status());
+    ++outcome.retrains;
+  }
+  server.ResetCacheStats();
+  for (int i = 0; i < 1500; ++i) {
+    const Observation& obs = data->ratings[rng.UniformU64(data->ratings.size())];
+    VELOX_CHECK_OK(server.Predict(obs.uid, MakeItem(obs.item_id)).status());
+  }
+  outcome.post_swap_pc_hit_rate = server.AggregatedCacheStats().prediction.HitRate();
+
+  // Post-drift accuracy against the drifted world.
+  double sq = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < data->ratings.size(); i += 3) {
+    const Observation& obs = data->ratings[i];
+    auto pred = server.Predict(obs.uid, MakeItem(obs.item_id));
+    if (!pred.ok()) continue;
+    double e = pred->score - DriftedLabel(obs.label);
+    sq += e * e;
+    ++n;
+  }
+  outcome.post_rmse = n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+  return outcome;
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_retrain: staleness detection, auto-retrain, warmed swap",
+      "Velox (CIDR'15) Sections 4.2/4.3/6 lifecycle-management claims",
+      "Concept drift = all tastes invert after deployment; every deployment sees\n"
+      "the identical 6000-observation drifted stream. detect_obs = observations\n"
+      "before the first staleness trigger; pc_hit = prediction-cache hit rate on\n"
+      "hot traffic immediately after the final version swap.");
+
+  bench::Table table({"deployment", "detect_obs", "retrains", "post_rmse", "pc_hit"});
+  auto frozen = RunScenario(/*auto_retrain=*/false, /*warm_caches=*/true);
+  table.Row({"frozen", "never", "0", bench::Fmt("%.3f", frozen.post_rmse),
+             bench::Fmt("%.3f", frozen.post_swap_pc_hit_rate)});
+  auto warm = RunScenario(/*auto_retrain=*/true, /*warm_caches=*/true);
+  table.Row({"auto+warm", bench::FmtInt(warm.detection_observations),
+             bench::FmtInt(warm.retrains), bench::Fmt("%.3f", warm.post_rmse),
+             bench::Fmt("%.3f", warm.post_swap_pc_hit_rate)});
+  auto cold = RunScenario(/*auto_retrain=*/true, /*warm_caches=*/false);
+  table.Row({"auto+cold", bench::FmtInt(cold.detection_observations),
+             bench::FmtInt(cold.retrains), bench::Fmt("%.3f", cold.post_rmse),
+             bench::Fmt("%.3f", cold.post_swap_pc_hit_rate)});
+
+  std::printf(
+      "\nShape check (paper): staleness fires within a few hundred drifted\n"
+      "observations; retrained deployments fit the drifted world better than the\n"
+      "frozen one (whose θ still encodes the old tastes); the warmed swap resumes\n"
+      "with a much higher immediate prediction-cache hit rate than the cold swap.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Ablation A6 — efficient full-catalog top-K.
+//
+// Paper §8 (future work): "more efficient top-K support for our linear
+// modeling tasks." The baseline path materializes the full catalog as a
+// candidate list and runs the generic topK (score everything, rank
+// everything, cache every score). TopKAll scans the materialized θ once
+// with a bounded min-heap: O(|catalog|·d + |catalog|·log k) and O(k)
+// memory, no cache churn. Expected shape: both are linear in catalog
+// size, but the heap scan is several times faster and flat in k, with
+// identical results.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/prediction_service.h"
+
+namespace velox {
+namespace {
+
+struct Serving {
+  std::unique_ptr<ModelRegistry> registry;
+  std::unique_ptr<Bootstrapper> bootstrapper;
+  std::unique_ptr<UserWeightStore> weights;
+  std::unique_ptr<FeatureCache> feature_cache;
+  std::unique_ptr<PredictionCache> prediction_cache;
+  std::unique_ptr<PredictionService> service;
+};
+
+Serving MakeServing(size_t d, size_t catalog, uint64_t seed) {
+  Serving s;
+  s.registry = std::make_unique<ModelRegistry>("bench");
+  s.bootstrapper = std::make_unique<Bootstrapper>(d);
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  Rng rng(seed);
+  for (uint64_t i = 0; i < catalog; ++i) {
+    DenseVector f(d);
+    for (size_t k = 0; k < d; ++k) f[k] = rng.Gaussian(0.0, 0.3);
+    (*table)[i] = std::move(f);
+  }
+  s.registry->Register(
+      std::make_shared<MaterializedFeatureFunction>(
+          std::shared_ptr<const MaterializedFeatureFunction::FactorTable>(table), d),
+      nullptr, 0.0);
+  UserWeightStoreOptions wopts;
+  wopts.dim = d;
+  wopts.lambda = 0.1;
+  s.weights = std::make_unique<UserWeightStore>(wopts, s.bootstrapper.get());
+  DenseVector w(d);
+  for (size_t k = 0; k < d; ++k) w[k] = rng.Gaussian(0.0, 0.3);
+  s.weights->SeedUser(1, w, 1);
+  s.feature_cache = std::make_unique<FeatureCache>(catalog * 2);
+  s.prediction_cache = std::make_unique<PredictionCache>(catalog * 2);
+  s.service = std::make_unique<PredictionService>(
+      PredictionServiceOptions{}, s.registry.get(), s.weights.get(),
+      s.bootstrapper.get(), s.feature_cache.get(), s.prediction_cache.get(),
+      FeatureResolver());
+  return s;
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_topk_scan: full-catalog top-K, generic path vs heap scan",
+      "Velox (CIDR'15) Section 8 'more efficient top-K support' (future work)",
+      "d = 50. 'generic' materializes the catalog as a candidate list through\n"
+      "topK (prediction cache disabled for fairness); 'heap_scan' is TopKAll.");
+
+  const size_t d = 50;
+  const size_t k = 10;
+  bench::Table table({"catalog", "k", "path", "mean_ms", "ci95_ms"}, 15);
+  for (size_t catalog : {1000, 5000, 20000, 50000}) {
+    Serving generic = MakeServing(d, catalog, 5);
+    // Prediction caching would trivially win the repeat trials; turn it
+    // off to measure the scoring path itself.
+    PredictionServiceOptions no_cache;
+    no_cache.use_prediction_cache = false;
+    PredictionService uncached(no_cache, generic.registry.get(), generic.weights.get(),
+                               generic.bootstrapper.get(), generic.feature_cache.get(),
+                               generic.prediction_cache.get(), FeatureResolver());
+    std::vector<Item> all;
+    all.reserve(catalog);
+    for (uint64_t i = 0; i < catalog; ++i) {
+      Item item;
+      item.id = i;
+      all.push_back(item);
+    }
+
+    Histogram generic_lat;
+    Histogram heap_lat;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      Stopwatch watch;
+      auto a = uncached.TopK(1, all, k, nullptr, nullptr);
+      generic_lat.Record(watch.ElapsedMillis());
+      VELOX_CHECK_OK(a.status());
+
+      watch.Restart();
+      auto b = generic.service->TopKAll(1, k);
+      heap_lat.Record(watch.ElapsedMillis());
+      VELOX_CHECK_OK(b.status());
+      // Both paths must agree on the winners.
+      VELOX_CHECK_EQ(a->items.size(), b->items.size());
+      for (size_t i = 0; i < a->items.size(); ++i) {
+        VELOX_CHECK_EQ(a->items[i].item_id, b->items[i].item_id);
+      }
+    }
+    auto g = generic_lat.Snapshot();
+    auto h = heap_lat.Snapshot();
+    table.Row({bench::FmtInt(static_cast<long long>(catalog)),
+               bench::FmtInt(static_cast<long long>(k)), "generic",
+               bench::Fmt("%.3f", g.mean), bench::Fmt("%.3f", g.ci95_halfwidth)});
+    table.Row({bench::FmtInt(static_cast<long long>(catalog)),
+               bench::FmtInt(static_cast<long long>(k)), "heap_scan",
+               bench::Fmt("%.3f", h.mean), bench::Fmt("%.3f", h.ci95_halfwidth)});
+  }
+  std::printf(
+      "\nShape check: both paths are linear in catalog size; the heap scan avoids\n"
+      "candidate materialization, cache bookkeeping, and the full ranking sort,\n"
+      "so it runs several times faster at identical results.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

@@ -1,0 +1,171 @@
+// Ablation A7 — offline trainer choice: ALS (batch substrate) vs SGD.
+//
+// The paper trains its matrix-factorization models with the batch tier
+// and cites Li et al.'s Sparkler (§7) as the SGD alternative ("a
+// strategy for implementing a variant of SGD within the Spark cluster
+// compute framework that could be used by Velox to improve offline
+// training performance"). Both trainers are pluggable behind
+// MatrixFactorizationModel; this harness compares them end to end:
+// offline wall time, training fit, and held-out error on the same
+// MovieLens-shaped dataset. Expected shape: ALS converges in a handful
+// of sweeps to the better held-out fit; SGD needs many epochs but each
+// epoch is cheap.
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+// Mean NDCG@10 over users: rank the full catalog excluding the user's
+// training items (TopKAll's pre-filter), score against held-out items
+// the user rated >= 4 stars.
+double MeanNdcgAt10(VeloxServer* server, const std::vector<Observation>& train,
+                    const std::vector<Observation>& heldout) {
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> train_items;
+  for (const Observation& obs : train) train_items[obs.uid].insert(obs.item_id);
+  std::unordered_map<uint64_t, std::vector<uint64_t>> relevant;
+  for (const Observation& obs : heldout) {
+    if (obs.label >= 4.0) relevant[obs.uid].push_back(obs.item_id);
+  }
+  double sum = 0.0;
+  size_t users = 0;
+  for (const auto& [uid, rel] : relevant) {
+    const auto& seen = train_items[uid];
+    auto top = server->TopKAll(
+        uid, 10, [&seen](uint64_t item_id) { return seen.count(item_id) == 0; });
+    if (!top.ok()) continue;
+    std::vector<uint64_t> ranked;
+    ranked.reserve(top->items.size());
+    for (const ScoredItem& item : top->items) ranked.push_back(item.item_id);
+    sum += NdcgAtK(ranked, rel, 10);
+    ++users;
+  }
+  return users == 0 ? 0.0 : sum / static_cast<double>(users);
+}
+
+double HeldOutRmse(VeloxServer* server, const std::vector<Observation>& heldout) {
+  double sq = 0.0;
+  size_t n = 0;
+  for (const Observation& obs : heldout) {
+    auto pred = server->Predict(obs.uid, MakeItem(obs.item_id));
+    if (!pred.ok()) continue;
+    double e = pred->score - obs.label;
+    sq += e * e;
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_trainers: offline training — ALS (batch tier) vs SGD",
+      "Velox (CIDR'15) Section 7 related-work comparison (Sparkler-style SGD)",
+      "Same ML-shaped dataset, rank 10; held-out = last 20% of each user's "
+      "ratings.");
+
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 1200;
+  data_config.num_items = 500;
+  data_config.latent_rank = 10;
+  data_config.noise_stddev = 0.35;
+  data_config.min_ratings_per_user = 20;
+  data_config.max_ratings_per_user = 30;
+  data_config.seed = 404;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  VELOX_CHECK_OK(data.status());
+  std::vector<Observation> train;
+  std::vector<Observation> heldout;
+  SplitPerUserChronological(data->ratings, 0.8, &train, &heldout);
+  std::printf("dataset: %zu train / %zu held-out ratings\n\n", train.size(),
+              heldout.size());
+
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = 10;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1LL << 40;
+
+  bench::Table table({"trainer", "params", "train_ms", "train_rmse",
+                      "heldout_rmse", "ndcg@10"},
+                     15);
+
+  for (int iters : {2, 5, 10}) {
+    AlsConfig als;
+    als.rank = 10;
+    als.lambda = 0.1;
+    als.iterations = iters;
+    VeloxServer server(config,
+                       std::make_unique<MatrixFactorizationModel>("songs", als));
+    Stopwatch watch;
+    VELOX_CHECK_OK(server.Bootstrap(train));
+    double train_ms = watch.ElapsedMillis();
+    table.Row({"als", bench::FmtInt(iters) + " sweeps",
+               bench::Fmt("%.0f", train_ms),
+               bench::Fmt("%.4f", server.VersionHistory()[0].training_rmse),
+               bench::Fmt("%.4f", HeldOutRmse(&server, heldout)),
+               bench::Fmt("%.3f", MeanNdcgAt10(&server, train, heldout))});
+  }
+
+  for (int iters : {5, 10}) {
+    AlsConfig als;
+    als.rank = 10;
+    als.lambda = 0.05;
+    als.iterations = iters;
+    als.weighted_regularization = true;  // ALS-WR
+    VeloxServer server(config,
+                       std::make_unique<MatrixFactorizationModel>("songs", als));
+    Stopwatch watch;
+    VELOX_CHECK_OK(server.Bootstrap(train));
+    double train_ms = watch.ElapsedMillis();
+    table.Row({"als-wr", bench::FmtInt(iters) + " sweeps",
+               bench::Fmt("%.0f", train_ms),
+               bench::Fmt("%.4f", server.VersionHistory()[0].training_rmse),
+               bench::Fmt("%.4f", HeldOutRmse(&server, heldout)),
+               bench::Fmt("%.3f", MeanNdcgAt10(&server, train, heldout))});
+  }
+
+  for (int epochs : {5, 20, 60}) {
+    SgdConfig sgd;
+    sgd.rank = 10;
+    sgd.lambda = 0.05;
+    sgd.learning_rate = 0.02;
+    sgd.epochs = epochs;
+    VeloxServer server(config,
+                       std::make_unique<MatrixFactorizationModel>("songs", sgd));
+    Stopwatch watch;
+    VELOX_CHECK_OK(server.Bootstrap(train));
+    double train_ms = watch.ElapsedMillis();
+    table.Row({"sgd", bench::FmtInt(epochs) + " epochs",
+               bench::Fmt("%.0f", train_ms),
+               bench::Fmt("%.4f", server.VersionHistory()[0].training_rmse),
+               bench::Fmt("%.4f", HeldOutRmse(&server, heldout)),
+               bench::Fmt("%.3f", MeanNdcgAt10(&server, train, heldout))});
+  }
+
+  std::printf(
+      "\nShape check: plain ALS overfits at fixed lambda on sparse per-user data;\n"
+      "ALS-WR's weighted regularization (lambda*n) closes most of the held-out gap\n"
+      "within ~5 sweeps; SGD is competitive with enough cheap epochs. All three\n"
+      "plug into the same serving/online-update machinery unchanged.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

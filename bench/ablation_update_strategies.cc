@@ -1,0 +1,126 @@
+// Ablation A5 — Eq. 2 maintenance strategies vs per-user history size.
+//
+// Paper §4.2 on the online update: "While this step has cubic time
+// complexity in the feature dimension d and linear time complexity in
+// the number of examples n it can be maintained in time quadratic in d
+// using the Sherman-Morrison formula for rank-one updates."
+//
+// Three ways to produce w_u after the n-th observation, fixed d:
+//   recompute — re-featurize the user's full history every update:
+//               O(n d²) accumulate + O(d³) solve (the strawman the
+//               paper's "linear time complexity in n" refers to);
+//   naive     — maintain (FᵀF, FᵀY) incrementally, re-solve via
+//               Cholesky: O(d²) + O(d³), flat in n (Figure 3's series);
+//   sherman_morrison — maintain (FᵀF+λI)⁻¹ directly: O(d²), flat in n.
+// Expected shape: recompute grows linearly with n; the other two are
+// flat, separated by the d³-vs-d² solve gap.
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "linalg/ridge.h"
+#include "linalg/sherman_morrison.h"
+
+namespace velox {
+namespace {
+
+constexpr size_t kDim = 100;
+constexpr double kLambda = 0.1;
+
+DenseVector RandomFeatures(Rng* rng) {
+  DenseVector f(kDim);
+  for (size_t k = 0; k < kDim; ++k) f[k] = rng->Gaussian(0.0, 0.3);
+  return f;
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_update_strategies: per-update cost vs user history length n",
+      "Velox (CIDR'15) Section 4.2 Eq. 2 complexity discussion",
+      "d fixed at 100; each row times the update that brings the user's history\n"
+      "to n examples (mean of 20 users).");
+
+  const int history_points[] = {10, 50, 100, 250, 500, 1000, 2000};
+  const int users = 20;
+
+  bench::Table table({"n", "strategy", "mean_us", "ci95_us"}, 18);
+  for (int n : history_points) {
+    Histogram recompute_lat;
+    Histogram naive_lat;
+    Histogram sm_lat;
+    for (int u = 0; u < users; ++u) {
+      Rng rng(1000 + static_cast<uint64_t>(u));
+      // Shared history for all three strategies.
+      std::vector<std::pair<DenseVector, double>> history;
+      history.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        history.emplace_back(RandomFeatures(&rng), rng.UniformDouble(0.5, 5.0));
+      }
+
+      // recompute: rebuild the accumulator from scratch at update n.
+      {
+        Stopwatch watch;
+        RidgeAccumulator acc(kDim);
+        for (const auto& [f, y] : history) acc.AddExample(f, y);
+        auto w = acc.Solve(kLambda);
+        recompute_lat.Record(watch.ElapsedMicros());
+        VELOX_CHECK_OK(w.status());
+      }
+
+      // naive: accumulator already holds n-1 examples; time the n-th
+      // accumulate + solve.
+      {
+        RidgeAccumulator acc(kDim);
+        for (int i = 0; i < n - 1; ++i) {
+          acc.AddExample(history[static_cast<size_t>(i)].first,
+                         history[static_cast<size_t>(i)].second);
+        }
+        Stopwatch watch;
+        acc.AddExample(history.back().first, history.back().second);
+        auto w = acc.Solve(kLambda);
+        naive_lat.Record(watch.ElapsedMicros());
+        VELOX_CHECK_OK(w.status());
+      }
+
+      // sherman_morrison: inverse already maintained; time the n-th
+      // rank-one update + weight readout.
+      {
+        ShermanMorrisonSolver sm(kDim, kLambda);
+        for (int i = 0; i < n - 1; ++i) {
+          sm.AddExample(history[static_cast<size_t>(i)].first,
+                        history[static_cast<size_t>(i)].second);
+        }
+        Stopwatch watch;
+        sm.AddExample(history.back().first, history.back().second);
+        DenseVector w = sm.Weights();
+        sm_lat.Record(watch.ElapsedMicros());
+        VELOX_CHECK_GT(w.dim(), 0u);
+      }
+    }
+    auto rec = recompute_lat.Snapshot();
+    auto nai = naive_lat.Snapshot();
+    auto sms = sm_lat.Snapshot();
+    table.Row({bench::FmtInt(n), "recompute", bench::Fmt("%.1f", rec.mean),
+               bench::Fmt("%.1f", rec.ci95_halfwidth)});
+    table.Row({bench::FmtInt(n), "naive", bench::Fmt("%.1f", nai.mean),
+               bench::Fmt("%.1f", nai.ci95_halfwidth)});
+    table.Row({bench::FmtInt(n), "sherman_morrison", bench::Fmt("%.1f", sms.mean),
+               bench::Fmt("%.1f", sms.ci95_halfwidth)});
+  }
+  std::printf(
+      "\nShape check (paper): recompute grows linearly in n; naive (sufficient\n"
+      "statistics + Cholesky) is flat but pays the O(d^3) solve; Sherman-Morrison\n"
+      "is flat at O(d^2) — the strategy the paper prescribes for production.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

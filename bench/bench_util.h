@@ -1,0 +1,60 @@
+// Shared helpers for the benchmark harnesses: aligned table printing
+// in the style of the paper's figures, and standard banner output so
+// every bench identifies which paper artifact it regenerates.
+#ifndef VELOX_BENCH_BENCH_UTIL_H_
+#define VELOX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace velox::bench {
+
+inline void Banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& notes) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("==========================================================================\n");
+}
+
+// Fixed-width row printer: header once, then rows of equal arity.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& c : columns_) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    }
+    std::printf("\n");
+  }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (const auto& c : cells) std::printf("%*s", width_, c.c_str());
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(long long v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+}  // namespace velox::bench
+
+#endif  // VELOX_BENCH_BENCH_UTIL_H_

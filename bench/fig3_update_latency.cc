@@ -1,0 +1,97 @@
+// Figure 3: "Update latency vs model complexity" — average time to
+// perform an online update to a user model as a function of the model
+// dimension d, averaged over updates of randomly selected users and
+// items (MovieLens-10M-shaped workload), with 95% confidence intervals.
+//
+// The paper measured its *naive* Eq. 2 implementation (recompute w via
+// the normal equations: O(d²) accumulate + O(d³) Cholesky per update)
+// and reported ~1.5 s at d = 1000. We regenerate that series and add
+// the Sherman–Morrison O(d²) series the paper prescribes, which is the
+// ablation showing why production uses rank-one maintenance.
+//
+// Expected shape: naive grows cubically and dominates; Sherman–Morrison
+// grows quadratically and stays orders of magnitude below at large d.
+// Absolute numbers depend on hardware; the paper's 2014-era testbed hit
+// 1.5 s at d=1000 — a modern core is several times faster.
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "core/user_weights.h"
+
+namespace velox {
+namespace {
+
+// One measured series: mean/CI of per-update latency at dimension d.
+HistogramSnapshot MeasureUpdates(UpdateStrategy strategy, size_t d, int updates,
+                                 int num_users, uint64_t seed) {
+  UserWeightStoreOptions opts;
+  opts.dim = d;
+  opts.lambda = 0.1;
+  opts.strategy = strategy;
+  UserWeightStore store(opts, nullptr);
+
+  Rng rng(seed);
+  Histogram latency;
+  DenseVector features(d);
+  for (int i = 0; i < updates; ++i) {
+    uint64_t uid = rng.UniformU64(static_cast<uint64_t>(num_users));
+    // Random item latent factor — the f(x, θ) of a materialized model.
+    for (size_t k = 0; k < d; ++k) features[k] = rng.Gaussian(0.0, 0.3);
+    double label = rng.UniformDouble(0.5, 5.0);
+    Stopwatch watch;
+    auto result = store.ApplyObservation(uid, features, label);
+    latency.Record(watch.ElapsedMillis());
+    if (!result.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", result.status().ToString().c_str());
+      break;
+    }
+  }
+  return latency.Snapshot();
+}
+
+void Run() {
+  bench::Banner(
+      "fig3_update_latency: online user-weight update latency vs model dimension",
+      "Velox (CIDR'15) Figure 3",
+      "Series 'naive' = the paper's measured normal-equation implementation "
+      "(O(d^3));\nseries 'sherman_morrison' = the O(d^2) rank-one maintenance the "
+      "paper prescribes.");
+
+  const size_t dims[] = {10, 50, 100, 200, 400, 600, 800, 1000};
+  const int num_users = 500;
+
+  bench::Table table({"dim", "strategy", "updates", "mean_ms", "ci95_ms", "p99_ms"}, 18);
+  for (size_t d : dims) {
+    // Keep total naive time bounded: fewer trials at large d (the paper
+    // used 5000 trials on a cluster-scale budget).
+    int naive_updates = static_cast<int>(std::max<size_t>(4, 60000 / (d * d / 100 + 1)));
+    naive_updates = std::min(naive_updates, 2000);
+    auto naive = MeasureUpdates(UpdateStrategy::kNaiveNormalEquations, d,
+                                naive_updates, num_users, 42 + d);
+    table.Row({bench::FmtInt(static_cast<long long>(d)), "naive",
+               bench::FmtInt(naive.count), bench::Fmt("%.4f", naive.mean),
+               bench::Fmt("%.4f", naive.ci95_halfwidth), bench::Fmt("%.4f", naive.p99)});
+
+    int sm_updates = static_cast<int>(std::min<size_t>(2000, 2'000'000 / (d * d / 64 + 1)));
+    sm_updates = std::max(sm_updates, 8);
+    auto sm = MeasureUpdates(UpdateStrategy::kShermanMorrison, d, sm_updates,
+                             num_users, 43 + d);
+    table.Row({bench::FmtInt(static_cast<long long>(d)), "sherman_morrison",
+               bench::FmtInt(sm.count), bench::Fmt("%.4f", sm.mean),
+               bench::Fmt("%.4f", sm.ci95_halfwidth), bench::Fmt("%.4f", sm.p99)});
+  }
+  std::printf(
+      "\nShape check (paper): naive latency grows ~cubically with d and reaches\n"
+      "order-of-a-second at d=1000 on 2014 hardware; Sherman-Morrison stays ~d^2.\n");
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

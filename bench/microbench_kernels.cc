@@ -1,0 +1,146 @@
+// Google-benchmark microbenchmarks of the serving-path kernels: the
+// Eq. 1 dot product, feature-function evaluation, Eq. 2 solves (naive
+// Cholesky vs Sherman–Morrison), cache operations, and the storage
+// codec. These are the primitives whose costs compose into Figures 3
+// and 4; keeping them visible guards against performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "common/lru.h"
+#include "common/random.h"
+#include "core/prediction_cache.h"
+#include "core/prediction_service.h"
+#include "linalg/cholesky.h"
+#include "linalg/ridge.h"
+#include "linalg/sherman_morrison.h"
+#include "ml/feature_function.h"
+
+namespace velox {
+namespace {
+
+DenseVector RandomVector(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  DenseVector v(d);
+  for (size_t i = 0; i < d; ++i) v[i] = rng.Gaussian();
+  return v;
+}
+
+void BM_Dot(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  DenseVector a = RandomVector(d, 1);
+  DenseVector b = RandomVector(d, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Dot)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  RidgeAccumulator acc(d);
+  Rng rng(3);
+  for (size_t i = 0; i < 2 * d; ++i) {
+    acc.AddExample(RandomVector(d, rng.NextU64()), rng.Gaussian());
+  }
+  for (auto _ : state) {
+    auto w = acc.Solve(0.1);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(10)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ShermanMorrisonUpdate(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  ShermanMorrisonSolver sm(d, 0.1);
+  Rng rng(5);
+  DenseVector f = RandomVector(d, 7);
+  for (auto _ : state) {
+    sm.AddExample(f, rng.Gaussian());
+    benchmark::DoNotOptimize(sm);
+  }
+}
+BENCHMARK(BM_ShermanMorrisonUpdate)->Arg(10)->Arg(50)->Arg(100)->Arg(200)->Arg(500);
+
+void BM_RbfFeatures(benchmark::State& state) {
+  size_t centers = static_cast<size_t>(state.range(0));
+  RbfFeatureFunction f(16, centers, 0.5, 11);
+  Item item;
+  item.id = 1;
+  item.attributes = RandomVector(16, 13);
+  for (auto _ : state) {
+    auto features = f.Features(item);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_RbfFeatures)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SvmEnsembleFeatures(benchmark::State& state) {
+  size_t svms = static_cast<size_t>(state.range(0));
+  SvmEnsembleFeatureFunction f(16, svms, 17);
+  Item item;
+  item.id = 1;
+  item.attributes = RandomVector(16, 19);
+  for (auto _ : state) {
+    auto features = f.Features(item);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_SvmEnsembleFeatures)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LruGetHit(benchmark::State& state) {
+  LruCache<uint64_t, DenseVector> cache(4096, 8);
+  for (uint64_t i = 0; i < 2048; ++i) cache.Put(i, RandomVector(32, i));
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(rng.UniformU64(2048)));
+  }
+}
+BENCHMARK(BM_LruGetHit);
+
+void BM_LruPutEvict(benchmark::State& state) {
+  LruCache<uint64_t, DenseVector> cache(1024, 8);
+  Rng rng(29);
+  uint64_t key = 0;
+  DenseVector v = RandomVector(32, 31);
+  for (auto _ : state) {
+    cache.Put(key++, v);
+  }
+}
+BENCHMARK(BM_LruPutEvict);
+
+void BM_PredictionCacheLookup(benchmark::State& state) {
+  PredictionCache cache(1 << 16, 8);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    cache.Put(PredictionKey{i % 100, i / 100, 0, 1}, 1.0);
+  }
+  Rng rng(37);
+  for (auto _ : state) {
+    PredictionKey key{rng.UniformU64(100), rng.UniformU64(100), 0, 1};
+    benchmark::DoNotOptimize(cache.Get(key));
+  }
+}
+BENCHMARK(BM_PredictionCacheLookup);
+
+void BM_FactorCodecRoundTrip(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  DenseVector v = RandomVector(d, 41);
+  for (auto _ : state) {
+    auto decoded = DecodeFactor(EncodeFactor(v));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_FactorCodecRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(1'000'000, 1.0);
+  Rng rng(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace velox
+
+BENCHMARK_MAIN();

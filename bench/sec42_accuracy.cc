@@ -1,0 +1,148 @@
+// §4.2 accuracy experiment: "we were able to achieve 1.6% improvement
+// in prediction accuracy by applying the online strategy. This is
+// comparable to the 2.3% increase in accuracy achieved using full
+// offline retraining." (MovieLens 10M: features initialized with 10
+// ratings per user, 7 more applied online, evaluated on held-out
+// ratings; feature parameters θ initialized offline on half the data,
+// online updates trained on 70% of the remainder.)
+//
+// We mirror the protocol on a synthetic MovieLens-shaped dataset
+// (~17+ ratings per user, low-rank ground truth + noise; see DESIGN.md
+// §2 for the substitution) and report held-out RMSE of:
+//   (a) offline-init only (the stale baseline),
+//   (b) + online incremental user-weight updates (Velox's strategy),
+//   (c) full offline retraining over everything seen,
+// plus the relative error reductions that correspond to the paper's
+// percentages. Expected shape: (b) and (c) both improve on (a); (b)
+// recovers a large share of (c)'s gain.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+double HeldOutRmse(VeloxServer* server, const std::vector<Observation>& heldout) {
+  double sq = 0.0;
+  size_t n = 0;
+  for (const Observation& obs : heldout) {
+    auto pred = server->Predict(obs.uid, MakeItem(obs.item_id));
+    if (!pred.ok()) continue;  // item unseen at init time
+    double e = pred->score - obs.label;
+    sq += e * e;
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+}
+
+VeloxServerConfig MakeServerConfig(size_t rank) {
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = rank;
+  config.lambda = 0.1;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1LL << 40;  // manual retrains only
+  return config;
+}
+
+std::unique_ptr<VeloxModel> MakeModel(size_t rank) {
+  AlsConfig als;
+  als.rank = rank;
+  als.lambda = 0.1;
+  als.iterations = 10;
+  return std::make_unique<MatrixFactorizationModel>("movielens", als);
+}
+
+void Run() {
+  bench::Banner("sec42_accuracy: hybrid online+offline learning accuracy",
+                "Velox (CIDR'15) Section 4.2 in-text experiment",
+                "Paper: online-only recovered +1.6% accuracy vs +2.3% for full "
+                "offline retraining\n(MovieLens 10M; 'differences in accuracy on "
+                "the MovieLens dataset are typically\nmeasured in small "
+                "percentages').");
+
+  const size_t rank = 10;
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 2000;
+  data_config.num_items = 600;
+  data_config.latent_rank = rank;
+  data_config.noise_stddev = 0.35;
+  // ~ the paper's per-user counts: 10 init + 7 online + held-out.
+  data_config.min_ratings_per_user = 20;
+  data_config.max_ratings_per_user = 28;
+  data_config.zipf_exponent = 0.8;
+  data_config.seed = 2015;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  VELOX_CHECK_OK(data.status());
+  std::printf("dataset: %zu users, %zu items, %zu ratings (synthetic ML-shaped)\n\n",
+              data->true_user_factors.size(), data->true_item_factors.size(),
+              data->ratings.size());
+
+  // Protocol: offline init on the chronological head (~half of each
+  // user's ratings); of the remainder, 70%% streams through online
+  // updates and 30%% is held out for evaluation.
+  std::vector<Observation> init_head;
+  std::vector<Observation> tail;
+  SplitPerUserChronological(data->ratings, 0.5, &init_head, &tail);
+  std::vector<Observation> online_stream;
+  std::vector<Observation> heldout;
+  SplitPerUserChronological(tail, 0.7, &online_stream, &heldout);
+  std::printf("split: init=%zu online=%zu heldout=%zu\n\n", init_head.size(),
+              online_stream.size(), heldout.size());
+
+  // (a) offline-init baseline.
+  VeloxServer baseline(MakeServerConfig(rank), MakeModel(rank));
+  VELOX_CHECK_OK(baseline.Bootstrap(init_head));
+  double rmse_baseline = HeldOutRmse(&baseline, heldout);
+
+  // (b) + online incremental updates (Velox's hybrid strategy).
+  VeloxServer online(MakeServerConfig(rank), MakeModel(rank));
+  VELOX_CHECK_OK(online.Bootstrap(init_head));
+  size_t applied = 0;
+  for (const Observation& obs : online_stream) {
+    Status st = online.Observe(obs.uid, MakeItem(obs.item_id), obs.label);
+    if (st.ok()) ++applied;
+  }
+  double rmse_online = HeldOutRmse(&online, heldout);
+
+  // (c) full offline retraining over init + online data.
+  VELOX_CHECK_OK(online.RetrainNow().status());
+  double rmse_retrain = HeldOutRmse(&online, heldout);
+
+  bench::Table table({"strategy", "heldout_rmse", "improvement_%"});
+  table.Row({"offline-init", bench::Fmt("%.4f", rmse_baseline), bench::Fmt("%.2f", 0.0)});
+  table.Row({"+online", bench::Fmt("%.4f", rmse_online),
+             bench::Fmt("%.2f", RelativeErrorReductionPercent(rmse_baseline, rmse_online))});
+  table.Row({"full-retrain", bench::Fmt("%.4f", rmse_retrain),
+             bench::Fmt("%.2f",
+                        RelativeErrorReductionPercent(rmse_baseline, rmse_retrain))});
+
+  double online_share =
+      (rmse_baseline - rmse_retrain) > 1e-12
+          ? 100.0 * (rmse_baseline - rmse_online) / (rmse_baseline - rmse_retrain)
+          : 0.0;
+  std::printf(
+      "\nonline updates applied: %zu / %zu (items unseen at init are skipped)\n"
+      "online strategy recovered %.1f%% of full retraining's error reduction.\n"
+      "Shape check (paper): both improve on the stale baseline by small single-digit\n"
+      "percentages, online close behind full retraining (paper: 1.6%% vs 2.3%%).\n",
+      applied, online_stream.size(), online_share);
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

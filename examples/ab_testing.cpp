@@ -1,0 +1,121 @@
+// A/B testing with dynamic weighting — the abstract's "online model
+// maintenance and selection (i.e., dynamic weighting)" as a product
+// team would use it: two candidate recommenders (ALS-WR-trained "A" and
+// SGD-trained "B") serve live traffic behind a ModelSelector that
+// shifts requests toward whichever converts better, while both keep
+// learning online from the feedback they receive.
+//
+//   build/examples/ab_testing
+#include <cstdio>
+
+#include "core/velox.h"
+
+namespace {
+
+velox::Item MakeItem(uint64_t id) {
+  velox::Item item;
+  item.id = id;
+  return item;
+}
+
+}  // namespace
+
+int main() {
+  using namespace velox;
+
+  std::printf("== velox A/B test with dynamic traffic weighting ==\n");
+
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 600;
+  data_config.num_items = 500;
+  data_config.latent_rank = 10;
+  data_config.noise_stddev = 0.35;
+  data_config.min_ratings_per_user = 18;
+  data_config.max_ratings_per_user = 28;
+  data_config.seed = 77;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  VELOX_CHECK_OK(data.status());
+
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = 10;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1LL << 40;
+
+  // Variant A: ALS-WR. Variant B: SGD (fewer epochs — the challenger).
+  AlsConfig als;
+  als.rank = 10;
+  als.lambda = 0.05;
+  als.iterations = 8;
+  als.weighted_regularization = true;
+  VeloxServer variant_a(config,
+                        std::make_unique<MatrixFactorizationModel>("als_wr", als));
+  SgdConfig sgd;
+  sgd.rank = 10;
+  sgd.lambda = 0.05;
+  sgd.learning_rate = 0.02;
+  sgd.epochs = 10;
+  VeloxServer variant_b(config,
+                        std::make_unique<MatrixFactorizationModel>("sgd", sgd));
+  VELOX_CHECK_OK(variant_a.Bootstrap(data->ratings));
+  VELOX_CHECK_OK(variant_b.Bootstrap(data->ratings));
+  std::printf("variant A (ALS-WR) train rmse %.3f; variant B (SGD) train rmse %.3f\n",
+              variant_a.VersionHistory()[0].training_rmse,
+              variant_b.VersionHistory()[0].training_rmse);
+
+  ModelSelectorOptions sel_opts;
+  sel_opts.policy = SelectionPolicy::kExpWeights;
+  sel_opts.loss_cap = 4.0;
+  ModelSelector selector(sel_opts);
+  VELOX_CHECK_OK(selector.AddModel("A"));
+  VELOX_CHECK_OK(selector.AddModel("B"));
+
+  // Live traffic: each request is routed by the selector; the realized
+  // squared error (vs the user's true taste) is the reported loss; the
+  // serving variant also absorbs the feedback online.
+  Rng rng(5);
+  int served[2] = {0, 0};
+  double loss_sum[2] = {0.0, 0.0};
+  const int kRequests = 8000;
+  for (int i = 0; i < kRequests; ++i) {
+    const Observation& obs = data->ratings[rng.UniformU64(data->ratings.size())];
+    double truth =
+        std::clamp(data->TrueScore(obs.uid, obs.item_id) + rng.Gaussian(0.0, 0.2),
+                   0.5, 5.0);
+    auto pick = selector.SelectModel();
+    VELOX_CHECK_OK(pick.status());
+    VeloxServer* server = pick.value() == "A" ? &variant_a : &variant_b;
+    int index = pick.value() == "A" ? 0 : 1;
+    auto pred = server->Predict(obs.uid, MakeItem(obs.item_id));
+    double loss = 4.0;
+    if (pred.ok()) {
+      double e = pred->score - truth;
+      loss = 0.5 * e * e;
+      VELOX_CHECK_OK(server->Observe(obs.uid, MakeItem(obs.item_id), truth));
+    }
+    ++served[index];
+    loss_sum[index] += loss;
+    VELOX_CHECK_OK(selector.ReportLoss(pick.value(), loss));
+  }
+
+  std::printf("\nafter %d requests:\n", kRequests);
+  auto stats = selector.Stats();
+  for (const auto& arm : stats) {
+    const char* label = arm.name == "A" ? "A (ALS-WR)" : "B (SGD)   ";
+    std::printf("  %s  traffic %5.1f%%  current weight %.3f  mean loss %.4f\n",
+                label,
+                100.0 * static_cast<double>(arm.pulls) / kRequests, arm.weight,
+                arm.mean_loss);
+  }
+  int winner = loss_sum[0] / std::max(served[0], 1) <
+                       loss_sum[1] / std::max(served[1], 1)
+                   ? 0
+                   : 1;
+  std::printf(
+      "\nthe selector concentrated traffic on variant %s without any manual\n"
+      "experiment analysis — losing-variant exposure is bounded by the\n"
+      "exploration floor.\n",
+      winner == 0 ? "A" : "B");
+  return 0;
+}

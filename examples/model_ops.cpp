@@ -1,0 +1,158 @@
+// Model operations tour — the §2.1 "model lifecycle management"
+// challenges as a day in the life of a Velox operator:
+//
+//  1. a multi-model deployment (Listing 1's ModelSchema dimension),
+//  2. snapshotting a trained version to disk and restoring it into a
+//     fresh server (restart without retraining),
+//  3. automatic staleness-triggered retraining on an observe cadence,
+//  4. a node failure with replicated storage: serving continues and
+//     online-learned user weights are recovered,
+//  5. the metrics report an operator would scrape.
+//
+//   build/examples/model_ops
+#include <cstdio>
+
+#include "core/velox.h"
+
+namespace {
+
+velox::Item MakeItem(uint64_t id) {
+  velox::Item item;
+  item.id = id;
+  return item;
+}
+
+}  // namespace
+
+int main() {
+  using namespace velox;
+
+  std::printf("== velox model ops tour ==\n\n");
+
+  // -- 1. Deploy two models behind one dispatch surface. --------------
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 300;
+  data_config.num_items = 400;
+  data_config.latent_rank = 6;
+  data_config.seed = 11;
+  auto songs_data = GenerateSyntheticMovieLens(data_config);
+  data_config.seed = 22;
+  auto films_data = GenerateSyntheticMovieLens(data_config);
+  VELOX_CHECK_OK(songs_data.status());
+  VELOX_CHECK_OK(films_data.status());
+
+  AlsConfig als;
+  als.rank = 6;
+  als.iterations = 8;
+  auto make_config = [&als] {
+    VeloxServerConfig config;
+    config.num_nodes = 3;
+    config.dim = als.rank;
+    config.storage.replication_factor = 2;
+    config.auto_retrain_check_every = 50;
+    config.evaluator.min_observations = 200;
+    config.evaluator.baseline_from_heldout_samples = 200;
+    config.evaluator.staleness_threshold_ratio = 2.0;
+    config.updater.cross_validation_every = 1;
+    config.batch_workers = 2;
+    return config;
+  };
+
+  VeloxDeployment deployment;
+  auto songs = deployment.AddModel(
+      make_config(), std::make_unique<MatrixFactorizationModel>("songs", als));
+  auto films = deployment.AddModel(
+      make_config(), std::make_unique<MatrixFactorizationModel>("films", als));
+  VELOX_CHECK_OK(songs.status());
+  VELOX_CHECK_OK(films.status());
+  VELOX_CHECK_OK(songs.value()->Bootstrap(songs_data->ratings));
+  VELOX_CHECK_OK(films.value()->Bootstrap(films_data->ratings));
+  for (const auto& m : deployment.ListModels()) {
+    std::printf("deployed model '%s' v%d (%zu users)\n", m.name.c_str(),
+                m.current_version, m.users);
+  }
+
+  // Schema-qualified Listing 1 calls.
+  uint64_t uid = songs_data->ratings[0].uid;
+  uint64_t item = songs_data->ratings[0].item_id;
+  auto s = deployment.Predict("songs", uid, MakeItem(item));
+  auto f = deployment.Predict("films", uid, MakeItem(item));
+  if (s.ok() && f.ok()) {
+    std::printf("predict(songs, u%llu, i%llu)=%.2f   predict(films, ...)=%.2f\n\n",
+                static_cast<unsigned long long>(uid),
+                static_cast<unsigned long long>(item), s->score, f->score);
+  }
+
+  // -- 2. Snapshot the songs model; restore it into a fresh server. ---
+  auto version = songs.value()->registry()->Current();
+  VELOX_CHECK_OK(version.status());
+  RetrainOutput live;
+  live.features = version.value()->features;
+  live.user_weights = songs.value()->user_weights(0)->ExportWeights();
+  for (int n = 1; n < 3; ++n) {
+    for (auto& [id, w] : songs.value()->user_weights(n)->ExportWeights()) {
+      live.user_weights[id] = w;
+    }
+  }
+  live.training_rmse = version.value()->training_rmse;
+  std::string snapshot_path = "/tmp/velox_songs.vxms";
+  VELOX_CHECK_OK(
+      SaveModelSnapshot(ModelSnapshot::FromRetrainOutput("songs", live), snapshot_path));
+  std::printf("snapshotted 'songs' v%d -> %s\n", version.value()->version,
+              snapshot_path.c_str());
+
+  auto loaded = LoadModelSnapshot(snapshot_path);
+  VELOX_CHECK_OK(loaded.status());
+  auto restored_output = loaded->ToRetrainOutput();
+  VELOX_CHECK_OK(restored_output.status());
+  VeloxServer restored(make_config(),
+                       std::make_unique<MatrixFactorizationModel>("songs", als));
+  VELOX_CHECK_OK(restored.InstallVersion(restored_output.value()).status());
+  auto check = restored.Predict(uid, MakeItem(item));
+  std::printf("restored server predicts %.2f (original %.2f)\n\n",
+              check.ok() ? check->score : -1.0, s.ok() ? s->score : -1.0);
+
+  // -- 3. Automatic retraining: drift the films model; the observe
+  //       cadence triggers the retrain without any operator polling. --
+  Rng rng(7);
+  // Healthy traffic first: the self-calibrating staleness baseline
+  // (baseline_from_heldout_samples) must learn what fresh serving loss
+  // looks like before drift can register as drift.
+  for (int i = 0; i < 600; ++i) {
+    const Observation& obs =
+        films_data->ratings[rng.UniformU64(films_data->ratings.size())];
+    VELOX_CHECK_OK(
+        deployment.Observe("films", obs.uid, MakeItem(obs.item_id), obs.label));
+  }
+  int streamed = 0;
+  while (films.value()->current_version() == 1 && streamed < 4000) {
+    const Observation& obs =
+        films_data->ratings[rng.UniformU64(films_data->ratings.size())];
+    VELOX_CHECK_OK(deployment.Observe("films", obs.uid, MakeItem(obs.item_id),
+                                      5.5 - obs.label));
+    ++streamed;
+  }
+  std::printf("films drift: auto-retrained to v%d after %d drifted observations\n\n",
+              films.value()->current_version(), streamed);
+
+  // -- 4. Node failure: replicated storage keeps a learned preference. -
+  uint64_t fan = songs_data->ratings[10].uid;
+  uint64_t anthem = songs_data->ratings[10].item_id;
+  for (int i = 0; i < 12; ++i) {
+    VELOX_CHECK_OK(deployment.Observe("songs", fan, MakeItem(anthem), 5.0));
+  }
+  auto before = deployment.Predict("songs", fan, MakeItem(anthem));
+  NodeId home = songs.value()->storage()->OwnerOf(fan).value();
+  VELOX_CHECK_OK(songs.value()->FailNode(home));
+  auto after = deployment.Predict("songs", fan, MakeItem(anthem));
+  std::printf("node %d failed; fan's prediction %.2f -> %.2f (weights recovered "
+              "from replicas)\n\n",
+              home, before.ok() ? before->score : -1.0,
+              after.ok() ? after->score : -1.0);
+
+  // -- 5. Operator metrics. -------------------------------------------
+  std::printf("--- metrics (songs) ---\n%s",
+              songs.value()->MetricsReport().c_str());
+  std::remove(snapshot_path.c_str());
+  return 0;
+}

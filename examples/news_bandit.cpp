@@ -1,0 +1,133 @@
+// Personalized news with contextual bandits — the paper's §5 "Bandits
+// and Multiple Models" scenario (after Li et al., WWW'10). The editor's
+// deployed model was trained on mainstream-news history, but a cohort
+// of readers secretly loves long-form investigative pieces — a topic
+// the model has zero weight on. Since only *recommended* articles
+// generate engagement data, a greedy policy never learns this (the
+// paper's feedback loop); LinUCB's "max sum of score and uncertainty"
+// rule probes the unexplored topic dimensions and escapes. This example
+// runs four policies side by side and prints the engagement gap.
+//
+//   build/examples/news_bandit
+#include <cstdio>
+#include <unordered_set>
+
+#include "core/velox.h"
+
+namespace {
+
+constexpr uint64_t kNumArticles = 200;
+constexpr uint64_t kNumReaders = 60;
+constexpr size_t kTopics = 6;  // dims 0-2 mainstream, 3-5 investigative
+constexpr int kRounds = 6000;
+
+// Every 4th article is investigative long-form.
+bool IsInvestigative(uint64_t article) { return article % 4 == 0; }
+
+}  // namespace
+
+int main() {
+  using namespace velox;
+
+  std::printf("== velox news recommendation with contextual bandits ==\n");
+
+  Rng rng(314);
+  // Articles embedded in topic space: mainstream pieces span dims 0-2,
+  // investigative pieces dims 3-5.
+  FactorMap article_topics;
+  for (uint64_t a = 0; a < kNumArticles; ++a) {
+    DenseVector f(kTopics);
+    Rng article_rng(1000 + a);
+    if (IsInvestigative(a)) {
+      for (size_t k = 3; k < kTopics; ++k) f[k] = article_rng.UniformDouble(0.2, 0.8);
+    } else {
+      for (size_t k = 0; k < 3; ++k) f[k] = article_rng.UniformDouble(0.2, 0.8);
+    }
+    article_topics[a] = std::move(f);
+  }
+  // Readers: mild mainstream interest, strong appetite for long-form.
+  FactorMap reader_interests;
+  for (uint64_t r = 0; r < kNumReaders; ++r) {
+    DenseVector w(kTopics);
+    Rng reader_rng(2000 + r);
+    for (size_t k = 0; k < 3; ++k) w[k] = 0.4 + reader_rng.Gaussian(0.0, 0.05);
+    for (size_t k = 3; k < kTopics; ++k) w[k] = 1.4 + reader_rng.Gaussian(0.0, 0.1);
+    reader_interests[r] = std::move(w);
+  }
+
+  auto run_policy = [&](const std::string& policy) {
+    VeloxServerConfig config;
+    config.num_nodes = 1;
+    config.dim = kTopics;
+    config.lambda = 0.5;
+    config.bandit_policy = policy;
+    config.batch_workers = 1;
+    AlsConfig als;
+    als.rank = kTopics;
+    als.lambda = 0.5;
+    als.iterations = 1;
+    VeloxServer server(config,
+                       std::make_unique<MatrixFactorizationModel>("news", als));
+    RetrainOutput init;
+    auto table =
+        std::make_shared<MaterializedFeatureFunction::FactorTable>(article_topics);
+    init.features = std::make_shared<MaterializedFeatureFunction>(
+        std::shared_ptr<const MaterializedFeatureFunction::FactorTable>(table),
+        kTopics);
+    // The deployed model: trained on mainstream history only, so reader
+    // weights are positive on dims 0-2 and zero on the investigative
+    // dimensions.
+    for (uint64_t r = 0; r < kNumReaders; ++r) {
+      DenseVector w0(kTopics);
+      for (size_t k = 0; k < 3; ++k) w0[k] = 0.5;
+      init.user_weights[r] = std::move(w0);
+    }
+    init.training_rmse = 1.0;
+    VELOX_CHECK_OK(server.InstallVersion(init).status());
+
+    Rng local(271);
+    double total_engagement = 0.0;
+    int investigative_shown = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      uint64_t reader = local.UniformU64(kNumReaders);
+      // Today's front-page slate.
+      std::vector<Item> slate;
+      std::unordered_set<uint64_t> ids;
+      while (slate.size() < 15) {
+        uint64_t a = local.UniformU64(kNumArticles);
+        if (!ids.insert(a).second) continue;
+        Item item;
+        item.id = a;
+        slate.push_back(item);
+      }
+      auto top = server.TopK(reader, slate, 1);
+      VELOX_CHECK_OK(top.status());
+      uint64_t shown_article = top->items[0].item_id;
+      if (IsInvestigative(shown_article)) ++investigative_shown;
+      // Engagement signal: dwell-time proxy = interest dot topic + noise.
+      double engagement = Dot(reader_interests[reader], article_topics[shown_article]) +
+                          local.Gaussian(0.0, 0.1);
+      total_engagement += engagement;
+      Item item;
+      item.id = shown_article;
+      VELOX_CHECK_OK(server.ObserveWithProvenance(reader, item, engagement,
+                                                  top->top_is_exploratory));
+    }
+    std::printf("%-20s mean engagement %.4f, investigative picks %.1f%%\n",
+                policy.c_str(), total_engagement / kRounds,
+                100.0 * investigative_shown / kRounds);
+    return total_engagement / kRounds;
+  };
+
+  double greedy = run_policy("greedy");
+  run_policy("epsilon_greedy:0.1");
+  double linucb = run_policy("linucb:1.0");
+  run_policy("thompson");
+
+  std::printf(
+      "\nLinUCB beats greedy by %.0f%% mean engagement: exploration escapes the\n"
+      "feedback loop the paper warns about (\"a music recommendation service that\n"
+      "only plays the current Top40 songs will never receive feedback ...\").\n",
+      100.0 * (linucb - greedy) / std::abs(greedy));
+  return 0;
+}

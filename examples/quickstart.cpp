@@ -1,0 +1,92 @@
+// Quickstart: train a matrix-factorization model offline, serve
+// predictions, and apply online updates — the Listing 1 API end to end
+// in ~60 lines.
+//
+//   build/examples/quickstart
+#include <cstdio>
+
+#include "core/velox.h"
+
+int main() {
+  using namespace velox;
+
+  // 1. Data: a synthetic MovieLens-shaped ratings set (see
+  //    data/movielens.h; swap in LoadMovieLensRatings for the real
+  //    files).
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 500;
+  data_config.num_items = 800;
+  data_config.latent_rank = 8;
+  data_config.seed = 42;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu ratings\n", data->ratings.size());
+
+  // 2. Model + server: personalized linear model over latent item
+  //    factors (Eq. 1), trained with ALS on the batch substrate.
+  AlsConfig als;
+  als.rank = 8;
+  als.lambda = 0.1;
+  als.iterations = 10;
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = als.rank;
+  VeloxServer server(config,
+                     std::make_unique<MatrixFactorizationModel>("songs", als));
+
+  // 3. Bootstrap: offline training installs model version 1.
+  if (Status st = server.Bootstrap(data->ratings); !st.ok()) {
+    std::fprintf(stderr, "bootstrap failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("installed model version %d (training RMSE %.3f)\n",
+              server.current_version(), server.VersionHistory()[0].training_rmse);
+
+  // 4. Serve: point prediction and topK (Listing 1).
+  Item song;
+  song.id = data->ratings[0].item_id;
+  uint64_t uid = data->ratings[0].uid;
+  auto prediction = server.Predict(uid, song);
+  if (prediction.ok()) {
+    std::printf("predict(user=%llu, song=%llu) = %.2f\n",
+                static_cast<unsigned long long>(uid),
+                static_cast<unsigned long long>(song.id), prediction->score);
+  }
+
+  std::vector<Item> candidates;
+  for (uint64_t i = 0; i < 30; ++i) {
+    Item item;
+    item.id = data->ratings[i].item_id;
+    candidates.push_back(item);
+  }
+  auto top = server.TopK(uid, candidates, 5);
+  if (top.ok()) {
+    std::printf("top-5 for user %llu:", static_cast<unsigned long long>(uid));
+    for (const auto& item : top->items) {
+      std::printf(" %llu(%.2f)", static_cast<unsigned long long>(item.item_id),
+                  item.score);
+    }
+    std::printf("\n");
+  }
+
+  // 5. Learn online: the user loves this song; the next prediction
+  //    reflects it immediately (no batch retrain required).
+  for (int i = 0; i < 5; ++i) {
+    if (Status st = server.Observe(uid, song, 5.0); !st.ok()) {
+      std::fprintf(stderr, "observe failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  auto updated = server.Predict(uid, song);
+  if (updated.ok()) {
+    std::printf("after 5 five-star ratings: predict = %.2f\n", updated->score);
+  }
+
+  std::printf("quality: %s\n",
+              server.QualityReport().stale ? "model stale" : "model healthy");
+  return 0;
+}

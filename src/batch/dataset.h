@@ -1,0 +1,178 @@
+// Dataset<T>: a partitioned, in-memory collection with data-parallel
+// operators (map / filter / group-by / aggregate / collect), executed
+// stage-by-stage on a BatchExecutor. A deliberately small, deterministic
+// subset of the RDD model — exactly the surface the Velox offline
+// (re)training jobs need.
+//
+// Semantics notes:
+//  * Operators are eager (each call runs one stage); there is no DAG
+//    optimizer and no mid-query fault tolerance — the paper argues those
+//    are batch-tier concerns ("mid-query fault tolerance guarantees ...
+//    are overkill" for serving, §1), and our batch tier is a simulator.
+//  * GroupBy performs a hash shuffle: elements are re-partitioned by
+//    key hash so each output group is wholly contained in one partition.
+#ifndef VELOX_BATCH_DATASET_H_
+#define VELOX_BATCH_DATASET_H_
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "batch/executor.h"
+#include "cluster/router.h"
+#include "common/logging.h"
+
+namespace velox {
+
+template <typename T>
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(BatchExecutor* executor, std::vector<std::vector<T>> partitions)
+      : executor_(executor), partitions_(std::move(partitions)) {
+    VELOX_CHECK(executor_ != nullptr);
+  }
+
+  // Splits `data` round-robin into `num_partitions` partitions.
+  static Dataset<T> Parallelize(BatchExecutor* executor, std::vector<T> data,
+                                size_t num_partitions) {
+    VELOX_CHECK_GT(num_partitions, 0u);
+    std::vector<std::vector<T>> parts(num_partitions);
+    for (auto& p : parts) p.reserve(data.size() / num_partitions + 1);
+    for (size_t i = 0; i < data.size(); ++i) {
+      parts[i % num_partitions].push_back(std::move(data[i]));
+    }
+    return Dataset<T>(executor, std::move(parts));
+  }
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (const auto& p : partitions_) n += p.size();
+    return n;
+  }
+
+  const std::vector<T>& partition(size_t i) const { return partitions_[i]; }
+  BatchExecutor* executor() const { return executor_; }
+
+  // One output element per input element.
+  template <typename U>
+  Dataset<U> Map(const std::function<U(const T&)>& fn) const {
+    std::vector<std::vector<U>> out(partitions_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(partitions_.size());
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      tasks.push_back([this, &out, &fn, i] {
+        out[i].reserve(partitions_[i].size());
+        for (const T& item : partitions_[i]) out[i].push_back(fn(item));
+      });
+    }
+    executor_->RunStage("map", std::move(tasks));
+    return Dataset<U>(executor_, std::move(out));
+  }
+
+  Dataset<T> Filter(const std::function<bool(const T&)>& pred) const {
+    std::vector<std::vector<T>> out(partitions_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(partitions_.size());
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      tasks.push_back([this, &out, &pred, i] {
+        for (const T& item : partitions_[i]) {
+          if (pred(item)) out[i].push_back(item);
+        }
+      });
+    }
+    executor_->RunStage("filter", std::move(tasks));
+    return Dataset<T>(executor_, std::move(out));
+  }
+
+  // Hash-shuffles by key so each key's group lives in one partition,
+  // then materializes (key, values) pairs.
+  template <typename K>
+  Dataset<std::pair<K, std::vector<T>>> GroupBy(
+      const std::function<K(const T&)>& key_fn) const {
+    const size_t np = partitions_.size();
+    // Shuffle write: each input partition buckets its rows by target.
+    std::vector<std::vector<std::vector<T>>> buckets(
+        np, std::vector<std::vector<T>>(np));
+    std::vector<std::function<void()>> shuffle_tasks;
+    shuffle_tasks.reserve(np);
+    for (size_t i = 0; i < np; ++i) {
+      shuffle_tasks.push_back([this, &buckets, &key_fn, np, i] {
+        for (const T& item : partitions_[i]) {
+          size_t target =
+              HashPartitioner::MixHash(std::hash<K>{}(key_fn(item))) % np;
+          buckets[i][target].push_back(item);
+        }
+      });
+    }
+    executor_->RunStage("groupby-shuffle", std::move(shuffle_tasks));
+
+    // Shuffle read + group: each output partition merges its buckets.
+    using Group = std::pair<K, std::vector<T>>;
+    std::vector<std::vector<Group>> out(np);
+    std::vector<std::function<void()>> group_tasks;
+    group_tasks.reserve(np);
+    for (size_t target = 0; target < np; ++target) {
+      group_tasks.push_back([&buckets, &out, &key_fn, np, target] {
+        std::unordered_map<K, std::vector<T>> groups;
+        for (size_t source = 0; source < np; ++source) {
+          for (T& item : buckets[source][target]) {
+            groups[key_fn(item)].push_back(std::move(item));
+          }
+        }
+        out[target].reserve(groups.size());
+        for (auto& [k, vs] : groups) out[target].emplace_back(k, std::move(vs));
+      });
+    }
+    executor_->RunStage("groupby-merge", std::move(group_tasks));
+    return Dataset<Group>(executor_, std::move(out));
+  }
+
+  // Tree aggregation: per-partition fold with `seq`, then a sequential
+  // combine with `comb`. `A` must be copyable.
+  template <typename A>
+  A Aggregate(A zero, const std::function<void(A*, const T&)>& seq,
+              const std::function<void(A*, const A&)>& comb) const {
+    std::vector<A> partials(partitions_.size(), zero);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(partitions_.size());
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      tasks.push_back([this, &partials, &seq, i] {
+        for (const T& item : partitions_[i]) seq(&partials[i], item);
+      });
+    }
+    executor_->RunStage("aggregate", std::move(tasks));
+    A result = zero;
+    for (const A& p : partials) comb(&result, p);
+    return result;
+  }
+
+  // Gathers all elements to the driver (partition order preserved).
+  std::vector<T> Collect() const {
+    std::vector<T> out;
+    out.reserve(Count());
+    for (const auto& p : partitions_) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  // Runs fn once per partition (for side-effecting sinks).
+  void ForEachPartition(const std::function<void(size_t, const std::vector<T>&)>& fn) const {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(partitions_.size());
+    for (size_t i = 0; i < partitions_.size(); ++i) {
+      tasks.push_back([this, &fn, i] { fn(i, partitions_[i]); });
+    }
+    executor_->RunStage("foreach", std::move(tasks));
+  }
+
+ private:
+  BatchExecutor* executor_ = nullptr;
+  std::vector<std::vector<T>> partitions_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_BATCH_DATASET_H_

@@ -1,0 +1,31 @@
+#include "batch/executor.h"
+
+#include "common/clock.h"
+
+namespace velox {
+
+BatchExecutor::BatchExecutor(size_t num_workers) : pool_(num_workers) {}
+
+void BatchExecutor::RunStage(const std::string& name,
+                             std::vector<std::function<void()>> tasks) {
+  Stopwatch watch;
+  ParallelFor(&pool_, tasks.size(), [&tasks](size_t i) { tasks[i](); });
+  StageInfo info;
+  info.name = name;
+  info.num_tasks = tasks.size();
+  info.wall_millis = watch.ElapsedMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.push_back(std::move(info));
+}
+
+std::vector<StageInfo> BatchExecutor::stage_history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+uint64_t BatchExecutor::stages_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+}  // namespace velox

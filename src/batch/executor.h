@@ -1,0 +1,45 @@
+// Batch-compute executor: runs the tasks of a stage across a worker
+// pool and records per-stage metrics. This plus batch/dataset.h is our
+// from-scratch stand-in for the role Spark plays in the paper: an
+// "opaque batch UDF runner" for offline (re)training (DESIGN.md §2).
+#ifndef VELOX_BATCH_EXECUTOR_H_
+#define VELOX_BATCH_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace velox {
+
+struct StageInfo {
+  std::string name;
+  size_t num_tasks = 0;
+  double wall_millis = 0.0;
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(size_t num_workers);
+
+  // Runs all tasks of one stage to completion (barrier semantics, like
+  // a Spark stage boundary).
+  void RunStage(const std::string& name, std::vector<std::function<void()>> tasks);
+
+  size_t num_workers() const { return pool_.num_threads(); }
+  std::vector<StageInfo> stage_history() const;
+  uint64_t stages_run() const;
+
+ private:
+  ThreadPool pool_;
+  mutable std::mutex mu_;
+  std::vector<StageInfo> history_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_BATCH_EXECUTOR_H_

@@ -1,0 +1,40 @@
+#include "batch/job.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace velox {
+
+JobDriver::JobDriver(size_t num_workers) : executor_(num_workers) {}
+
+Status JobDriver::Submit(BatchJob* job) {
+  VELOX_CHECK(job != nullptr);
+  Stopwatch watch;
+  Status status = job->Run(&executor_);
+  JobRecord record;
+  record.name = job->name();
+  record.succeeded = status.ok();
+  record.error = status.ok() ? "" : status.ToString();
+  record.wall_millis = watch.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.push_back(std::move(record));
+  }
+  if (!status.ok()) {
+    VELOX_LOG(WARNING) << "batch job '" << job->name()
+                       << "' failed: " << status.ToString();
+  }
+  return status;
+}
+
+std::vector<JobRecord> JobDriver::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+uint64_t JobDriver::jobs_run() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+}  // namespace velox

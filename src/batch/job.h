@@ -1,0 +1,54 @@
+// Batch job abstraction + driver.
+//
+// The paper treats offline training as "an opaque Spark UDF" submitted
+// by the model manager when a model goes stale (§4.2, §6 retrain).
+// BatchJob is that UDF surface; JobDriver runs jobs sequentially (the
+// cluster is shared) and records a history the manager can inspect.
+#ifndef VELOX_BATCH_JOB_H_
+#define VELOX_BATCH_JOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "batch/executor.h"
+#include "common/result.h"
+
+namespace velox {
+
+class BatchJob {
+ public:
+  virtual ~BatchJob() = default;
+  virtual std::string name() const = 0;
+  virtual Status Run(BatchExecutor* executor) = 0;
+};
+
+struct JobRecord {
+  std::string name;
+  bool succeeded = false;
+  std::string error;
+  double wall_millis = 0.0;
+};
+
+class JobDriver {
+ public:
+  explicit JobDriver(size_t num_workers);
+
+  // Runs the job synchronously on this driver's executor.
+  Status Submit(BatchJob* job);
+
+  BatchExecutor* executor() { return &executor_; }
+  std::vector<JobRecord> history() const;
+  uint64_t jobs_run() const;
+
+ private:
+  BatchExecutor executor_;
+  mutable std::mutex mu_;
+  std::vector<JobRecord> history_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_BATCH_JOB_H_

@@ -1,0 +1,65 @@
+#include "cluster/cluster.h"
+
+#include "common/string_util.h"
+
+namespace velox {
+
+Status Cluster::AddNode(NodeId id, std::string address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& n : nodes_) {
+    if (n.id == id) return Status::AlreadyExists(StrFormat("node %d exists", id));
+  }
+  nodes_.push_back(NodeInfo{id, std::move(address), NodeState::kAlive});
+  ++generation_;
+  return Status::OK();
+}
+
+Status Cluster::MarkDead(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : nodes_) {
+    if (n.id == id) {
+      n.state = NodeState::kDead;
+      ++generation_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("node %d not found", id));
+}
+
+Status Cluster::MarkDraining(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : nodes_) {
+    if (n.id == id) {
+      n.state = NodeState::kDraining;
+      ++generation_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("node %d not found", id));
+}
+
+Result<NodeInfo> Cluster::GetNode(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& n : nodes_) {
+    if (n.id == id) return n;
+  }
+  return Status::NotFound(StrFormat("node %d not found", id));
+}
+
+std::vector<NodeInfo> Cluster::AliveNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<NodeInfo> out;
+  for (const auto& n : nodes_) {
+    if (n.state == NodeState::kAlive) out.push_back(n);
+  }
+  return out;
+}
+
+size_t Cluster::num_alive() const { return AliveNodes().size(); }
+
+uint64_t Cluster::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+}  // namespace velox

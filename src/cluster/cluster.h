@@ -1,0 +1,54 @@
+// Cluster membership: the set of simulated nodes a Velox deployment
+// runs on. The paper's architecture co-locates a model manager and
+// model predictor with each Tachyon worker; here each Node carries the
+// per-node serving state and the Cluster tracks membership changes with
+// a generation counter so routers and storage can detect topology
+// changes.
+#ifndef VELOX_CLUSTER_CLUSTER_H_
+#define VELOX_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/network.h"
+#include "common/result.h"
+
+namespace velox {
+
+enum class NodeState { kAlive, kDraining, kDead };
+
+struct NodeInfo {
+  NodeId id = -1;
+  std::string address;  // informational ("host:port"-style label)
+  NodeState state = NodeState::kAlive;
+};
+
+class Cluster {
+ public:
+  Cluster() = default;
+
+  // Adds a node; fails on duplicate id.
+  Status AddNode(NodeId id, std::string address);
+  // Marks a node dead; it stays in history but is excluded from
+  // AliveNodes().
+  Status MarkDead(NodeId id);
+  Status MarkDraining(NodeId id);
+
+  Result<NodeInfo> GetNode(NodeId id) const;
+  std::vector<NodeInfo> AliveNodes() const;
+  size_t num_alive() const;
+
+  // Monotonic counter bumped on every membership change.
+  uint64_t generation() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<NodeInfo> nodes_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CLUSTER_CLUSTER_H_

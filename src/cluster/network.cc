@@ -1,0 +1,45 @@
+#include "cluster/network.h"
+
+namespace velox {
+
+int64_t SimulatedNetwork::CostNanos(NodeId from, NodeId to, uint64_t bytes) const {
+  if (from == to) {
+    return options_.local_call_nanos;
+  }
+  return options_.remote_latency_nanos +
+         static_cast<int64_t>(options_.nanos_per_byte * static_cast<double>(bytes));
+}
+
+int64_t SimulatedNetwork::Charge(NodeId from, NodeId to, uint64_t bytes) {
+  int64_t cost = CostNanos(from, to, bytes);
+  if (from == to) {
+    local_messages_.fetch_add(1, std::memory_order_relaxed);
+    local_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    remote_messages_.fetch_add(1, std::memory_order_relaxed);
+    remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  charged_nanos_.fetch_add(cost, std::memory_order_relaxed);
+  if (clock_ != nullptr) clock_->AdvanceNanos(cost);
+  return cost;
+}
+
+NetworkStats SimulatedNetwork::stats() const {
+  NetworkStats s;
+  s.local_messages = local_messages_.load(std::memory_order_relaxed);
+  s.remote_messages = remote_messages_.load(std::memory_order_relaxed);
+  s.local_bytes = local_bytes_.load(std::memory_order_relaxed);
+  s.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
+  s.charged_nanos = charged_nanos_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void SimulatedNetwork::ResetStats() {
+  local_messages_.store(0, std::memory_order_relaxed);
+  remote_messages_.store(0, std::memory_order_relaxed);
+  local_bytes_.store(0, std::memory_order_relaxed);
+  remote_bytes_.store(0, std::memory_order_relaxed);
+  charged_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace velox

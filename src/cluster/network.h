@@ -1,0 +1,76 @@
+// Simulated cluster network.
+//
+// The paper's locality arguments (§5: partition W by uid so user-weight
+// reads/writes are always local; item-feature fetches may be remote but
+// are absorbed by an LRU cache because popularity is Zipfian) are about
+// *which* accesses cross the network. This model charges a configurable
+// latency + bandwidth cost per message to a logical clock and counts
+// local vs remote traffic, which is exactly what the routing/locality
+// ablation (bench/ablation_routing) reports.
+#ifndef VELOX_CLUSTER_NETWORK_H_
+#define VELOX_CLUSTER_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace velox {
+
+using NodeId = int32_t;
+
+struct NetworkOptions {
+  // Cost of a local (same-node) call, e.g. an in-memory table lookup.
+  int64_t local_call_nanos = 500;
+  // One-way network latency for a remote call (per message).
+  int64_t remote_latency_nanos = 150'000;  // 150us, intra-datacenter RPC
+  // Payload cost: nanoseconds per byte on the wire (10 GbE ~ 0.8 ns/B).
+  double nanos_per_byte = 0.8;
+};
+
+struct NetworkStats {
+  uint64_t local_messages = 0;
+  uint64_t remote_messages = 0;
+  uint64_t local_bytes = 0;
+  uint64_t remote_bytes = 0;
+  int64_t charged_nanos = 0;
+
+  double RemoteFraction() const {
+    uint64_t total = local_messages + remote_messages;
+    return total == 0 ? 0.0
+                      : static_cast<double>(remote_messages) / static_cast<double>(total);
+  }
+};
+
+class SimulatedNetwork {
+ public:
+  // `clock` may be null; when set, every charge advances it, so
+  // end-to-end simulated time is observable.
+  explicit SimulatedNetwork(NetworkOptions options = {}, SimulatedClock* clock = nullptr)
+      : options_(options), clock_(clock) {}
+
+  // Computes and records the cost of sending `bytes` from `from` to
+  // `to`; returns the charged nanoseconds.
+  int64_t Charge(NodeId from, NodeId to, uint64_t bytes);
+
+  // Cost without recording (for what-if analysis).
+  int64_t CostNanos(NodeId from, NodeId to, uint64_t bytes) const;
+
+  NetworkStats stats() const;
+  void ResetStats();
+
+  const NetworkOptions& options() const { return options_; }
+
+ private:
+  NetworkOptions options_;
+  SimulatedClock* clock_;
+  std::atomic<uint64_t> local_messages_{0};
+  std::atomic<uint64_t> remote_messages_{0};
+  std::atomic<uint64_t> local_bytes_{0};
+  std::atomic<uint64_t> remote_bytes_{0};
+  std::atomic<int64_t> charged_nanos_{0};
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CLUSTER_NETWORK_H_

@@ -1,0 +1,103 @@
+#include "cluster/router.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+HashPartitioner::HashPartitioner(int32_t num_partitions)
+    : num_partitions_(num_partitions) {
+  VELOX_CHECK_GT(num_partitions, 0);
+}
+
+uint64_t HashPartitioner::MixHash(uint64_t key) {
+  // SplitMix64 finalizer: full-avalanche 64-bit mix.
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key;
+}
+
+int32_t HashPartitioner::PartitionForKey(uint64_t key) const {
+  return static_cast<int32_t>(MixHash(key) % static_cast<uint64_t>(num_partitions_));
+}
+
+ConsistentHashRouter::ConsistentHashRouter(int32_t virtual_nodes_per_node)
+    : virtual_nodes_per_node_(virtual_nodes_per_node) {
+  VELOX_CHECK_GT(virtual_nodes_per_node, 0);
+}
+
+Status ConsistentHashRouter::AddNode(NodeId node) {
+  if (nodes_.count(node) > 0) {
+    return Status::AlreadyExists(StrFormat("node %d already in ring", node));
+  }
+  for (int32_t v = 0; v < virtual_nodes_per_node_; ++v) {
+    uint64_t pos = HashPartitioner::MixHash(
+        (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 32) |
+        static_cast<uint64_t>(static_cast<uint32_t>(v)));
+    // Collisions across (node, vnode) pairs are resolved by linear
+    // probing on the ring position; astronomically rare in practice.
+    while (ring_.count(pos) > 0) ++pos;
+    ring_[pos] = node;
+  }
+  nodes_[node] = virtual_nodes_per_node_;
+  return Status::OK();
+}
+
+Status ConsistentHashRouter::RemoveNode(NodeId node) {
+  if (nodes_.erase(node) == 0) {
+    return Status::NotFound(StrFormat("node %d not in ring", node));
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+Result<NodeId> ConsistentHashRouter::NodeForKey(uint64_t key) const {
+  if (ring_.empty()) return Status::FailedPrecondition("hash ring is empty");
+  uint64_t pos = HashPartitioner::MixHash(key);
+  auto it = ring_.lower_bound(pos);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+Result<std::vector<NodeId>> ConsistentHashRouter::NodesForKey(uint64_t key,
+                                                              int32_t replicas) const {
+  if (ring_.empty()) return Status::FailedPrecondition("hash ring is empty");
+  if (replicas <= 0) return Status::InvalidArgument("replicas must be positive");
+  std::vector<NodeId> out;
+  uint64_t pos = HashPartitioner::MixHash(key);
+  auto it = ring_.lower_bound(pos);
+  size_t visited = 0;
+  while (out.size() < static_cast<size_t>(replicas) && visited < ring_.size()) {
+    if (it == ring_.end()) it = ring_.begin();
+    NodeId candidate = it->second;
+    bool already = false;
+    for (NodeId n : out) {
+      if (n == candidate) {
+        already = true;
+        break;
+      }
+    }
+    if (!already) out.push_back(candidate);
+    ++it;
+    ++visited;
+  }
+  return out;
+}
+
+std::vector<NodeId> ConsistentHashRouter::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [node, vnodes] : nodes_) out.push_back(node);
+  return out;
+}
+
+}  // namespace velox

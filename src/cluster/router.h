@@ -1,0 +1,69 @@
+// Request routing and data partitioning.
+//
+// Paper §5: "we exploit the fact that every prediction is associated
+// with a specific user and partition W, the user weight vectors table,
+// by uid. We then deploy a routing protocol for incoming user requests
+// to ensure that they are served by the node containing that user's
+// model."
+//
+// HashPartitioner is the table-partitioning function (mod-hash over a
+// fixed partition count). ConsistentHashRouter maps keys to nodes via
+// a virtual-node hash ring, so node additions/removals only remap
+// O(1/num_nodes) of the key space — the membership-change path of the
+// model manager.
+#ifndef VELOX_CLUSTER_ROUTER_H_
+#define VELOX_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/network.h"
+#include "common/result.h"
+
+namespace velox {
+
+// Stateless mod-hash partitioner with avalanche mixing so sequential
+// uids spread evenly.
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(int32_t num_partitions);
+
+  int32_t PartitionForKey(uint64_t key) const;
+  int32_t num_partitions() const { return num_partitions_; }
+
+  // The 64-bit mix used throughout the routing tier.
+  static uint64_t MixHash(uint64_t key);
+
+ private:
+  int32_t num_partitions_;
+};
+
+// Consistent-hash ring with virtual nodes.
+class ConsistentHashRouter {
+ public:
+  explicit ConsistentHashRouter(int32_t virtual_nodes_per_node = 64);
+
+  Status AddNode(NodeId node);
+  Status RemoveNode(NodeId node);
+
+  // Node owning `key`. Fails if the ring is empty.
+  Result<NodeId> NodeForKey(uint64_t key) const;
+
+  // The first `replicas` distinct nodes clockwise from the key's
+  // position (primary first) — the replica placement list.
+  Result<std::vector<NodeId>> NodesForKey(uint64_t key, int32_t replicas) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  std::vector<NodeId> nodes() const;
+
+ private:
+  int32_t virtual_nodes_per_node_;
+  std::map<uint64_t, NodeId> ring_;  // position -> node
+  std::map<NodeId, int32_t> nodes_;  // node -> vnode count
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CLUSTER_ROUTER_H_

@@ -1,0 +1,26 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace velox {
+
+int64_t SteadyClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SteadyClock::AdvanceNanos(int64_t /*nanos*/) {}
+
+SteadyClock* SteadyClock::Default() {
+  static SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+void Stopwatch::Restart() { start_nanos_ = SteadyClock::Default()->NowNanos(); }
+
+int64_t Stopwatch::ElapsedNanos() const {
+  return SteadyClock::Default()->NowNanos() - start_nanos_;
+}
+
+}  // namespace velox

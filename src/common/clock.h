@@ -1,0 +1,71 @@
+// Clock abstraction: wall/steady time for real measurements, plus a
+// manually-advanced SimulatedClock used by the simulated cluster
+// (cluster/network.h) so the routing/locality experiments charge
+// network latency to a logical clock deterministically.
+#ifndef VELOX_COMMON_CLOCK_H_
+#define VELOX_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace velox {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Monotonic nanoseconds since an arbitrary epoch.
+  virtual int64_t NowNanos() const = 0;
+
+  // Advances the clock by `nanos` (no-op for real clocks, which advance
+  // on their own).
+  virtual void AdvanceNanos(int64_t nanos) = 0;
+};
+
+// Real monotonic clock backed by std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  int64_t NowNanos() const override;
+  void AdvanceNanos(int64_t nanos) override;  // no-op
+
+  // Process-wide instance.
+  static SteadyClock* Default();
+};
+
+// Logical clock advanced explicitly; thread-safe.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return now_nanos_.load(std::memory_order_relaxed);
+  }
+  void AdvanceNanos(int64_t nanos) override {
+    now_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void SetNanos(int64_t nanos) {
+    now_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_nanos_;
+};
+
+// RAII stopwatch measuring elapsed wall time on a SteadyClock.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+  int64_t ElapsedNanos() const;
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  int64_t start_nanos_ = 0;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_CLOCK_H_

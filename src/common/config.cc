@@ -1,0 +1,91 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace velox {
+
+Result<Config> Config::FromString(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("config line %d: missing '='", line_no));
+    }
+    std::string key(StripWhitespace(stripped.substr(0, eq)));
+    std::string value(StripWhitespace(stripped.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument(StrFormat("config line %d: empty key", line_no));
+    }
+    cfg.entries_[key] = value;
+  }
+  return cfg;
+}
+
+Result<Config> Config::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open config file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromString(buf.str());
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const { return entries_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  auto r = ParseInt64(it->second);
+  return r.ok() ? r.value() : fallback;
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  auto r = ParseDouble(it->second);
+  return r.ok() ? r.value() : fallback;
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return fallback;
+}
+
+Result<int64_t> Config::GetIntOrError(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("missing config key: " + key);
+  return ParseInt64(it->second);
+}
+
+Result<double> Config::GetDoubleOrError(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("missing config key: " + key);
+  return ParseDouble(it->second);
+}
+
+}  // namespace velox

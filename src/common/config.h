@@ -1,0 +1,45 @@
+// Simple "key = value" configuration with '#' comments, used to
+// parameterize examples and benchmark harnesses from files or strings.
+#ifndef VELOX_COMMON_CONFIG_H_
+#define VELOX_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace velox {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses "key = value" lines; '#' starts a comment; blank lines
+  // ignored. Later duplicate keys override earlier ones.
+  static Result<Config> FromString(const std::string& text);
+  static Result<Config> FromFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value);
+
+  bool Has(const std::string& key) const;
+  // Typed getters return `fallback` when the key is absent; a present
+  // but malformed value is an error surfaced via GetStatus-style
+  // Result getters below.
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  Result<int64_t> GetIntOrError(const std::string& key) const;
+  Result<double> GetDoubleOrError(const std::string& key) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_CONFIG_H_

@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace velox {
+
+namespace {
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double rank = p * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+std::string HistogramSnapshot::ToString() const {
+  std::ostringstream os;
+  os << "count=" << count << " mean=" << mean << " +/-" << ci95_halfwidth
+     << " p50=" << p50 << " p95=" << p95 << " p99=" << p99 << " min=" << min
+     << " max=" << max;
+  return os.str();
+}
+
+void Histogram::Record(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(value);
+}
+
+void Histogram::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = values_;
+  }
+  HistogramSnapshot snap;
+  snap.count = sorted.size();
+  if (sorted.empty()) return snap;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  snap.mean = sum / static_cast<double>(sorted.size());
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - snap.mean) * (v - snap.mean);
+  snap.stddev = sorted.size() > 1
+                    ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
+                    : 0.0;
+  snap.min = sorted.front();
+  snap.max = sorted.back();
+  snap.p50 = PercentileOfSorted(sorted, 0.50);
+  snap.p95 = PercentileOfSorted(sorted, 0.95);
+  snap.p99 = PercentileOfSorted(sorted, 0.99);
+  snap.ci95_halfwidth =
+      1.96 * snap.stddev / std::sqrt(static_cast<double>(sorted.size()));
+  return snap;
+}
+
+}  // namespace velox

@@ -1,0 +1,52 @@
+// Latency histogram with mean, percentiles, and 95% confidence
+// intervals — the statistics the paper's Figures 3 and 4 report
+// ("averaged over 5000 updates ... error bars represent 95% confidence
+// intervals").
+#ifndef VELOX_COMMON_HISTOGRAM_H_
+#define VELOX_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace velox {
+
+// Summary statistics of a recorded sample set.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  // Half-width of the 95% confidence interval of the mean
+  // (1.96 * stddev / sqrt(count)).
+  double ci95_halfwidth = 0.0;
+
+  std::string ToString() const;
+};
+
+// Records raw values (e.g., latencies in microseconds). Thread-safe.
+// Keeps every sample: the evaluation sample counts here (<= a few
+// hundred thousand) make exact percentiles affordable.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(double value);
+  void Clear();
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> values_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_HISTOGRAM_H_

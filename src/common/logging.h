@@ -1,0 +1,94 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// VELOX_LOG(INFO) << "loaded " << n << " ratings";
+// VELOX_CHECK(ptr != nullptr) << "null model";
+//
+// Log output goes to stderr. The minimum level is process-wide and can
+// be raised to silence benchmarks (SetMinLogLevel). CHECK failures
+// abort the process (there are no exceptions in this codebase).
+#ifndef VELOX_COMMON_LOGGING_H_
+#define VELOX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace velox {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+// Sets the process-wide minimum level; messages below it are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  // Flushes the message; aborts if level is kFatal.
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the log level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define VELOX_LOG_LEVEL_DEBUG ::velox::LogLevel::kDebug
+#define VELOX_LOG_LEVEL_INFO ::velox::LogLevel::kInfo
+#define VELOX_LOG_LEVEL_WARNING ::velox::LogLevel::kWarning
+#define VELOX_LOG_LEVEL_ERROR ::velox::LogLevel::kError
+#define VELOX_LOG_LEVEL_FATAL ::velox::LogLevel::kFatal
+
+#define VELOX_LOG(severity)                                          \
+  if (VELOX_LOG_LEVEL_##severity < ::velox::GetMinLogLevel())        \
+    ;                                                                \
+  else                                                               \
+    ::velox::internal::LogMessage(VELOX_LOG_LEVEL_##severity,        \
+                                  __FILE__, __LINE__)                \
+        .stream()
+
+// CHECK: always on, aborts on failure.
+#define VELOX_CHECK(condition)                                        \
+  if (condition)                                                      \
+    ;                                                                 \
+  else                                                                \
+    ::velox::internal::LogMessage(::velox::LogLevel::kFatal,          \
+                                  __FILE__, __LINE__)                 \
+            .stream()                                                 \
+        << "Check failed: " #condition " "
+
+#define VELOX_CHECK_EQ(a, b) VELOX_CHECK((a) == (b))
+#define VELOX_CHECK_NE(a, b) VELOX_CHECK((a) != (b))
+#define VELOX_CHECK_LT(a, b) VELOX_CHECK((a) < (b))
+#define VELOX_CHECK_LE(a, b) VELOX_CHECK((a) <= (b))
+#define VELOX_CHECK_GT(a, b) VELOX_CHECK((a) > (b))
+#define VELOX_CHECK_GE(a, b) VELOX_CHECK((a) >= (b))
+#define VELOX_CHECK_OK(expr)                        \
+  do {                                              \
+    ::velox::Status _st = (expr);                   \
+    VELOX_CHECK(_st.ok()) << _st.ToString();        \
+  } while (false)
+
+#define VELOX_DCHECK(condition) VELOX_CHECK(condition)
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_LOGGING_H_

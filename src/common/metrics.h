@@ -1,0 +1,65 @@
+// Lightweight metrics: named counters, gauges, and histograms grouped
+// in a registry. The model manager's Evaluator and the caches publish
+// their statistics here so operators (and the benchmark harnesses) can
+// inspect a consistent snapshot.
+#ifndef VELOX_COMMON_METRICS_H_
+#define VELOX_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace velox {
+
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Owns named metric instances; pointers returned remain valid for the
+// registry's lifetime. Thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Multi-line "name value" dump, sorted by name.
+  std::string Report() const;
+
+  // Process-wide default registry.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_METRICS_H_

@@ -1,0 +1,159 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace velox {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256++
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t n) {
+  VELOX_CHECK_GT(n, 0u);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < n) {
+    uint64_t threshold = (0 - n) % n;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  VELOX_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random bits scaled to [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0, 1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  VELOX_CHECK_GE(n, k);
+  VELOX_CHECK_GE(k, 0);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  if (k > n / 2) {
+    // Dense regime: partial Fisher-Yates over the full index range.
+    std::vector<int64_t> idx(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = UniformInt(i, n - 1);
+      std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+      out.push_back(idx[static_cast<size_t>(i)]);
+    }
+  } else {
+    // Sparse regime: rejection sampling into a hash set.
+    std::unordered_set<int64_t> seen;
+    seen.reserve(static_cast<size_t>(k) * 2);
+    while (static_cast<int64_t>(out.size()) < k) {
+      int64_t candidate = static_cast<int64_t>(UniformU64(static_cast<uint64_t>(n)));
+      if (seen.insert(candidate).second) out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfDistribution::ZipfDistribution(int64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  VELOX_CHECK_GT(n, 0);
+  VELOX_CHECK_GE(exponent, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -exponent_));
+}
+
+// H(x) = integral of 1/t^exponent, handled continuously across
+// exponent == 1 where the integral is log(x).
+double ZipfDistribution::H(double x) const {
+  if (std::abs(exponent_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - exponent_) - 1.0) / (1.0 - exponent_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (std::abs(exponent_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - exponent_), 1.0 / (1.0 - exponent_));
+}
+
+int64_t ZipfDistribution::Sample(Rng* rng) const {
+  if (exponent_ == 0.0) {
+    return static_cast<int64_t>(rng->UniformU64(static_cast<uint64_t>(n_)));
+  }
+  // Rejection-inversion: ranks are 1-based internally, returned 0-based.
+  while (true) {
+    double u = h_n_ + rng->UniformDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::pow(kd, -exponent_)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace velox

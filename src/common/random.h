@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in velox (synthetic data, workloads,
+// bandit policies, ALS initialization) takes an explicit seed so that
+// tests and benchmark tables are reproducible run-to-run.
+//
+// Rng is xoshiro256++ seeded via SplitMix64. ZipfDistribution samples a
+// power-law item-popularity distribution (paper §5: "item popularity
+// often follows a Zipfian distribution") using rejection-inversion
+// (Hörmann & Derflinger 1996), O(1) per sample for any exponent.
+#ifndef VELOX_COMMON_RANDOM_H_
+#define VELOX_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace velox {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 random bits.
+  uint64_t NextU64();
+
+  // Uniform integer in [0, n); n must be > 0.
+  uint64_t UniformU64(uint64_t n);
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Uniform double in [0, 1).
+  double UniformDouble();
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+  // Standard normal via Box-Muller (cached second deviate).
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+  // Bernoulli(p).
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k <= n), unsorted.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  // Derives an independent child generator (for per-partition streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Zipfian distribution over {0, 1, ..., n-1} with P(k) proportional to
+// 1 / (k+1)^exponent. exponent == 0 degenerates to uniform.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double exponent);
+
+  int64_t Sample(Rng* rng) const;
+
+  int64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  int64_t n_;
+  double exponent_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_RANDOM_H_

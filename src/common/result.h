@@ -1,0 +1,77 @@
+// Result<T>: a value or a non-OK Status (Arrow's arrow::Result idiom).
+//
+// Usage:
+//   Result<Model> LoadModel(...);
+//   auto r = LoadModel(...);
+//   if (!r.ok()) return r.status();
+//   Model m = std::move(r).value();
+#ifndef VELOX_COMMON_RESULT_H_
+#define VELOX_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace velox {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from T and Status make `return value;` and
+  // `return Status::NotFound(...);` both work, mirroring arrow::Result.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status)                         // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    // An OK status carries no value; normalize to an Internal error so
+    // the invariant "ok() implies value present" always holds.
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  // Requires ok(). The &&-qualified overload enables `std::move(r).value()`.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::move(std::get<T>(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+// Assigns the value of a Result expression to `lhs`, or returns its
+// error Status from the enclosing function.
+#define VELOX_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define VELOX_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define VELOX_ASSIGN_OR_RETURN_NAME(a, b) VELOX_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define VELOX_ASSIGN_OR_RETURN(lhs, expr) \
+  VELOX_ASSIGN_OR_RETURN_IMPL(            \
+      VELOX_ASSIGN_OR_RETURN_NAME(_velox_result_, __LINE__), lhs, expr)
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_RESULT_H_

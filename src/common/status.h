@@ -1,0 +1,121 @@
+// Status: error handling without exceptions (RocksDB/Arrow idiom).
+//
+// Every fallible operation in velox returns either a Status or a
+// Result<T> (see common/result.h). Status is cheap to copy in the OK
+// case (no allocation) and carries a code plus a human-readable message
+// otherwise.
+#ifndef VELOX_COMMON_STATUS_H_
+#define VELOX_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace velox {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnavailable = 6,
+  kAborted = 7,
+  kInternal = 8,
+  kUnimplemented = 9,
+  kIoError = 10,
+};
+
+// Returns a stable, human-readable name ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  // Message text; empty for OK.
+  std::string_view message() const {
+    return rep_ == nullptr ? std::string_view() : std::string_view(rep_->message);
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; this keeps the common path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+// Propagates a non-OK Status to the caller.
+#define VELOX_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::velox::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_STATUS_H_

@@ -1,0 +1,40 @@
+// Small string helpers used across modules (parsing the MovieLens file
+// format, config files, and formatting benchmark tables).
+#ifndef VELOX_COMMON_STRING_UTIL_H_
+#define VELOX_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace velox {
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char delim);
+
+// Splits on a multi-character separator (e.g., MovieLens "::").
+std::vector<std::string> StrSplit(std::string_view input, std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+Result<int64_t> ParseInt64(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+// Joins with `sep` between elements.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// Human-readable quantity, e.g. 1234567 -> "1.23M".
+std::string HumanCount(double v);
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_STRING_UTIL_H_

@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace velox {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VELOX_CHECK(!shutting_down_) << "Submit after Shutdown";
+    queue_.push_back(std::move(task));
+    ++tasks_submitted_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_workers_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+uint64_t ThreadPool::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_submitted_;
+}
+
+uint64_t ThreadPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_completed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutting_down_ and drained: exit.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_workers_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+      ++tasks_completed_;
+      if (queue_.empty() && active_workers_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> remaining{n};
+  std::mutex mu;
+  std::condition_variable done;
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&, i] {
+      fn(i);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+}  // namespace velox

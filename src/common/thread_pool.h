@@ -1,0 +1,60 @@
+// Fixed-size thread pool used by the serving frontend (core/frontend.h)
+// and the batch-compute executor (batch/executor.h).
+#ifndef VELOX_COMMON_THREAD_POOL_H_
+#define VELOX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace velox {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  // Drains pending work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Must not be called after Shutdown().
+  void Submit(std::function<void()> task);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  // Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  // Tasks submitted over the pool's lifetime.
+  uint64_t tasks_submitted() const;
+  uint64_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_workers_ = 0;
+  uint64_t tasks_submitted_ = 0;
+  uint64_t tasks_completed_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+// Falls back to inline execution when pool is nullptr.
+void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_THREAD_POOL_H_

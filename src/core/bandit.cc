@@ -1,0 +1,110 @@
+#include "core/bandit.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+namespace {
+
+// Indices sorted descending by key(candidate); stable on ties so the
+// ranking is deterministic given equal inputs.
+template <typename KeyFn>
+std::vector<size_t> RankByKey(const std::vector<BanditCandidate>& candidates,
+                              const KeyFn& key) {
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return key(candidates[a]) > key(candidates[b]);
+  });
+  return order;
+}
+
+}  // namespace
+
+size_t BanditPolicy::GreedyTop(const std::vector<BanditCandidate>& candidates) {
+  VELOX_CHECK(!candidates.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].score > candidates[best].score) best = i;
+  }
+  return best;
+}
+
+std::vector<size_t> GreedyPolicy::Rank(const std::vector<BanditCandidate>& candidates,
+                                       Rng* /*rng*/) const {
+  return RankByKey(candidates, [](const BanditCandidate& c) { return c.score; });
+}
+
+EpsilonGreedyPolicy::EpsilonGreedyPolicy(double epsilon) : epsilon_(epsilon) {
+  VELOX_CHECK_GE(epsilon, 0.0);
+  VELOX_CHECK_LE(epsilon, 1.0);
+}
+
+std::vector<size_t> EpsilonGreedyPolicy::Rank(
+    const std::vector<BanditCandidate>& candidates, Rng* rng) const {
+  auto order = RankByKey(candidates, [](const BanditCandidate& c) { return c.score; });
+  if (!order.empty() && rng != nullptr && rng->Bernoulli(epsilon_)) {
+    size_t pick = static_cast<size_t>(rng->UniformU64(order.size()));
+    std::swap(order[0], order[pick]);
+  }
+  return order;
+}
+
+LinUcbPolicy::LinUcbPolicy(double alpha) : alpha_(alpha) {
+  VELOX_CHECK_GE(alpha, 0.0);
+}
+
+std::vector<size_t> LinUcbPolicy::Rank(const std::vector<BanditCandidate>& candidates,
+                                       Rng* /*rng*/) const {
+  return RankByKey(candidates, [this](const BanditCandidate& c) {
+    return c.score + alpha_ * c.uncertainty;
+  });
+}
+
+std::vector<size_t> ThompsonSamplingPolicy::Rank(
+    const std::vector<BanditCandidate>& candidates, Rng* rng) const {
+  VELOX_CHECK(rng != nullptr);
+  std::vector<double> sampled(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    sampled[i] = candidates[i].score + rng->Gaussian() * candidates[i].uncertainty;
+  }
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return sampled[a] > sampled[b]; });
+  return order;
+}
+
+std::unique_ptr<BanditPolicy> MakeBanditPolicy(const std::string& spec) {
+  auto parts = StrSplit(std::string_view(spec), ':');
+  const std::string& kind = parts[0];
+  if (kind == "greedy") return std::make_unique<GreedyPolicy>();
+  if (kind == "thompson") return std::make_unique<ThompsonSamplingPolicy>();
+  if (kind == "epsilon_greedy") {
+    double eps = 0.1;
+    if (parts.size() > 1) {
+      auto parsed = ParseDouble(parts[1]);
+      if (!parsed.ok()) return nullptr;
+      eps = parsed.value();
+    }
+    if (eps < 0.0 || eps > 1.0) return nullptr;
+    return std::make_unique<EpsilonGreedyPolicy>(eps);
+  }
+  if (kind == "linucb") {
+    double alpha = 1.0;
+    if (parts.size() > 1) {
+      auto parsed = ParseDouble(parts[1]);
+      if (!parsed.ok()) return nullptr;
+      alpha = parsed.value();
+    }
+    if (alpha < 0.0) return nullptr;
+    return std::make_unique<LinUcbPolicy>(alpha);
+  }
+  return nullptr;
+}
+
+}  // namespace velox

@@ -1,0 +1,99 @@
+// Bandit policies for topK serving (paper §5 "Bandits and Multiple
+// Models"): "the algorithm recommends the item with the best potential
+// prediction score (i.e., the item with max sum of score and
+// uncertainty) as opposed to recommending the item with the absolute
+// best prediction score" — a contextual-bandit (LinUCB-style) rule
+// that escapes the feedback loops a purely greedy recommender falls
+// into.
+//
+// A policy ranks candidates given each item's predicted score and the
+// model's uncertainty about that prediction (sqrt(fᵀA⁻¹f) from the
+// user's Sherman–Morrison state).
+#ifndef VELOX_CORE_BANDIT_H_
+#define VELOX_CORE_BANDIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace velox {
+
+struct BanditCandidate {
+  uint64_t item_id = 0;
+  double score = 0.0;
+  double uncertainty = 0.0;
+};
+
+class BanditPolicy {
+ public:
+  virtual ~BanditPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Returns candidate indices ordered best-first. `rng` supplies any
+  // randomness (epsilon exploration, Thompson sampling).
+  virtual std::vector<size_t> Rank(const std::vector<BanditCandidate>& candidates,
+                                   Rng* rng) const = 0;
+
+  // True when the top-ranked item differed from the pure-greedy choice
+  // in the last Rank call semantics cannot be stored statelessly, so
+  // callers compare against GreedyTop instead; helper below.
+  static size_t GreedyTop(const std::vector<BanditCandidate>& candidates);
+};
+
+// Pure exploitation: rank by predicted score.
+class GreedyPolicy final : public BanditPolicy {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::vector<size_t> Rank(const std::vector<BanditCandidate>& candidates,
+                           Rng* rng) const override;
+};
+
+// With probability epsilon, promote a uniformly random candidate to the
+// top; otherwise greedy.
+class EpsilonGreedyPolicy final : public BanditPolicy {
+ public:
+  explicit EpsilonGreedyPolicy(double epsilon);
+  std::string name() const override { return "epsilon_greedy"; }
+  std::vector<size_t> Rank(const std::vector<BanditCandidate>& candidates,
+                           Rng* rng) const override;
+
+  double epsilon() const { return epsilon_; }
+
+ private:
+  double epsilon_;
+};
+
+// LinUCB: rank by score + alpha * uncertainty — the paper's "max sum of
+// score and uncertainty".
+class LinUcbPolicy final : public BanditPolicy {
+ public:
+  explicit LinUcbPolicy(double alpha);
+  std::string name() const override { return "linucb"; }
+  std::vector<size_t> Rank(const std::vector<BanditCandidate>& candidates,
+                           Rng* rng) const override;
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+// Thompson sampling: rank by score + N(0, 1) * uncertainty draws.
+class ThompsonSamplingPolicy final : public BanditPolicy {
+ public:
+  std::string name() const override { return "thompson"; }
+  std::vector<size_t> Rank(const std::vector<BanditCandidate>& candidates,
+                           Rng* rng) const override;
+};
+
+// Factory by name: "greedy", "epsilon_greedy:<eps>", "linucb:<alpha>",
+// "thompson". nullptr if unknown.
+std::unique_ptr<BanditPolicy> MakeBanditPolicy(const std::string& spec);
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_BANDIT_H_

@@ -1,0 +1,42 @@
+#include "core/bootstrap.h"
+
+#include "common/logging.h"
+
+namespace velox {
+
+Bootstrapper::Bootstrapper(size_t dim) : sum_(dim) {}
+
+void Bootstrapper::OnUserAdded(const DenseVector& w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VELOX_CHECK_EQ(w.dim(), sum_.dim());
+  sum_.Axpy(1.0, w);
+  ++count_;
+}
+
+void Bootstrapper::OnUserUpdated(const DenseVector& old_w, const DenseVector& new_w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VELOX_CHECK_EQ(old_w.dim(), sum_.dim());
+  VELOX_CHECK_EQ(new_w.dim(), sum_.dim());
+  sum_.Axpy(-1.0, old_w);
+  sum_.Axpy(1.0, new_w);
+}
+
+void Bootstrapper::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sum_.Fill(0.0);
+  count_ = 0;
+}
+
+DenseVector Bootstrapper::MeanWeights() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DenseVector mean = sum_;
+  if (count_ > 0) mean.Scale(1.0 / static_cast<double>(count_));
+  return mean;
+}
+
+int64_t Bootstrapper::num_users() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+}  // namespace velox

@@ -1,0 +1,43 @@
+// New-user bootstrapping (paper §5 "Bootstrapping"): "new users are
+// assigned a recent estimate of the average of the existing user
+// weight vectors", which "corresponds to predicting the average score
+// for all users".
+//
+// Bootstrapper maintains that running mean incrementally: the weight
+// store reports each user's old and new vector on every change, so the
+// mean stays exact without periodic O(|users| · d) rescans.
+#ifndef VELOX_CORE_BOOTSTRAP_H_
+#define VELOX_CORE_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "linalg/vector.h"
+
+namespace velox {
+
+class Bootstrapper {
+ public:
+  explicit Bootstrapper(size_t dim);
+
+  // A brand-new user entered with weights `w`.
+  void OnUserAdded(const DenseVector& w);
+  // An existing user's weights changed old -> current.
+  void OnUserUpdated(const DenseVector& old_w, const DenseVector& new_w);
+  // Drops all state (model-version swap re-seeds from the new W).
+  void Reset();
+
+  // Mean of current user weights; the zero vector when no users exist
+  // (predicting 0 — no information).
+  DenseVector MeanWeights() const;
+  int64_t num_users() const;
+
+ private:
+  mutable std::mutex mu_;
+  DenseVector sum_;
+  int64_t count_ = 0;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_BOOTSTRAP_H_

@@ -1,0 +1,93 @@
+#include "core/deployment.h"
+
+namespace velox {
+
+Result<VeloxServer*> VeloxDeployment::AddModel(VeloxServerConfig config,
+                                               std::unique_ptr<VeloxModel> model) {
+  if (model == nullptr) return Status::InvalidArgument("model is null");
+  std::string name = model->name();
+  if (name.empty()) return Status::InvalidArgument("model name must not be empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.count(name) > 0) {
+    return Status::AlreadyExists("model already deployed: " + name);
+  }
+  auto server = std::make_unique<VeloxServer>(config, std::move(model));
+  VeloxServer* ptr = server.get();
+  models_[name] = std::move(server);
+  return ptr;
+}
+
+Status VeloxDeployment::RemoveModel(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return Status::NotFound("no such model: " + name);
+  }
+  return Status::OK();
+}
+
+Result<VeloxServer*> VeloxDeployment::GetModel(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  if (it == models_.end()) return Status::NotFound("no such model: " + name);
+  return it->second.get();
+}
+
+std::vector<ModelSummary> VeloxDeployment::ListModels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelSummary> out;
+  out.reserve(models_.size());
+  for (const auto& [name, server] : models_) {
+    ModelSummary summary;
+    summary.name = name;
+    summary.current_version = server->current_version();
+    summary.users = server->TotalUsers();
+    summary.stale = server->QualityReport().stale;
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+size_t VeloxDeployment::num_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+Result<ScoredItem> VeloxDeployment::Predict(const std::string& model, uint64_t uid,
+                                            const Item& x) {
+  VELOX_ASSIGN_OR_RETURN(VeloxServer * server, GetModel(model));
+  return server->Predict(uid, x);
+}
+
+Result<TopKResult> VeloxDeployment::TopK(const std::string& model, uint64_t uid,
+                                         const std::vector<Item>& candidates,
+                                         size_t k) {
+  VELOX_ASSIGN_OR_RETURN(VeloxServer * server, GetModel(model));
+  return server->TopK(uid, candidates, k);
+}
+
+Status VeloxDeployment::Observe(const std::string& model, uint64_t uid, const Item& x,
+                                double y) {
+  VELOX_ASSIGN_OR_RETURN(VeloxServer * server, GetModel(model));
+  return server->Observe(uid, x, y);
+}
+
+Result<std::vector<std::string>> VeloxDeployment::MaybeRetrainAll() {
+  // Snapshot the server list, then retrain outside the map lock (batch
+  // jobs are slow; AddModel/RemoveModel must not block on them).
+  std::vector<std::pair<std::string, VeloxServer*>> servers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    servers.reserve(models_.size());
+    for (const auto& [name, server] : models_) {
+      servers.emplace_back(name, server.get());
+    }
+  }
+  std::vector<std::string> retrained;
+  for (const auto& [name, server] : servers) {
+    VELOX_ASSIGN_OR_RETURN(bool did, server->MaybeRetrain());
+    if (did) retrained.push_back(name);
+  }
+  return retrained;
+}
+
+}  // namespace velox

@@ -1,0 +1,65 @@
+// VeloxDeployment — multi-model serving, the full Listing 1 surface.
+//
+// The paper's front-end API takes a model schema as its first argument
+// (`predict(s: ModelSchema, uid: UUID, x: Data)`), and §2.1 motivates
+// it: "an advertising service may run a series of ad campaigns, each
+// with separate models over the same set of users". A deployment hosts
+// any number of named models — each an independently versioned,
+// independently monitored VeloxServer — behind one dispatch surface.
+#ifndef VELOX_CORE_DEPLOYMENT_H_
+#define VELOX_CORE_DEPLOYMENT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/velox_server.h"
+
+namespace velox {
+
+struct ModelSummary {
+  std::string name;
+  int32_t current_version = 0;
+  size_t users = 0;
+  bool stale = false;
+};
+
+class VeloxDeployment {
+ public:
+  VeloxDeployment() = default;
+  VeloxDeployment(const VeloxDeployment&) = delete;
+  VeloxDeployment& operator=(const VeloxDeployment&) = delete;
+
+  // Registers a model under `model->name()`; fails on duplicates. The
+  // returned server pointer stays valid for the deployment's lifetime
+  // and can be used for model-specific administration (Bootstrap,
+  // Rollback, ...).
+  Result<VeloxServer*> AddModel(VeloxServerConfig config,
+                                std::unique_ptr<VeloxModel> model);
+
+  // Removes a model from serving.
+  Status RemoveModel(const std::string& name);
+
+  Result<VeloxServer*> GetModel(const std::string& name) const;
+  std::vector<ModelSummary> ListModels() const;
+  size_t num_models() const;
+
+  // ---- Listing 1, schema-qualified ----
+  Result<ScoredItem> Predict(const std::string& model, uint64_t uid, const Item& x);
+  Result<TopKResult> TopK(const std::string& model, uint64_t uid,
+                          const std::vector<Item>& candidates, size_t k);
+  Status Observe(const std::string& model, uint64_t uid, const Item& x, double y);
+
+  // Runs MaybeRetrain on every model; returns the names that retrained.
+  Result<std::vector<std::string>> MaybeRetrainAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<VeloxServer>> models_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_DEPLOYMENT_H_

@@ -1,0 +1,102 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace velox {
+
+Evaluator::Evaluator(EvaluatorOptions options)
+    : options_(options), heldout_ewma_(options.ewma_alpha), rng_(options.seed) {
+  VELOX_CHECK_GT(options_.staleness_threshold_ratio, 1.0);
+  VELOX_CHECK_GE(options_.min_observations, 0);
+  validation_pool_.reserve(options_.validation_pool_capacity);
+}
+
+void Evaluator::RecordOnlineLoss(uint64_t uid, double loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_user_loss_[uid].Add(loss);
+  global_online_loss_.Add(loss);
+  ++observations_since_baseline_;
+}
+
+void Evaluator::RecordHeldOutLoss(uint64_t /*uid*/, double loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (baseline_set_ && calibration_count_ < options_.baseline_from_heldout_samples) {
+    calibration_sum_ += loss;
+    ++calibration_count_;
+  }
+  heldout_ewma_.Add(loss);
+}
+
+void Evaluator::RecordValidationExample(const ValidationExample& example) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++validation_seen_;
+  if (validation_pool_.size() < options_.validation_pool_capacity) {
+    validation_pool_.push_back(example);
+    return;
+  }
+  // Reservoir sampling: replace a random slot with probability
+  // capacity / seen.
+  uint64_t slot = rng_.UniformU64(validation_seen_);
+  if (slot < validation_pool_.size()) {
+    validation_pool_[static_cast<size_t>(slot)] = example;
+  }
+}
+
+std::vector<ValidationExample> Evaluator::ValidationPool() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return validation_pool_;
+}
+
+void Evaluator::ResetBaseline(double baseline_loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  baseline_loss_ = baseline_loss;
+  baseline_set_ = true;
+  observations_since_baseline_ = 0;
+  heldout_ewma_ = Ewma(options_.ewma_alpha);
+  calibration_count_ = 0;
+  calibration_sum_ = 0.0;
+}
+
+bool Evaluator::IsStale() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!baseline_set_) return false;
+  if (observations_since_baseline_ < options_.min_observations) return false;
+  if (!heldout_ewma_.initialized()) return false;
+  double effective_baseline = baseline_loss_;
+  if (options_.baseline_from_heldout_samples > 0) {
+    if (calibration_count_ < options_.baseline_from_heldout_samples) {
+      return false;  // still learning what "fresh" serving loss looks like
+    }
+    effective_baseline = std::max(
+        effective_baseline,
+        calibration_sum_ / static_cast<double>(calibration_count_));
+  }
+  if (effective_baseline <= 0.0) return false;
+  return heldout_ewma_.value() >
+         options_.staleness_threshold_ratio * effective_baseline;
+}
+
+EvaluatorReport Evaluator::Report() const {
+  EvaluatorReport report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.observations_since_baseline = observations_since_baseline_;
+    report.baseline_loss = baseline_loss_;
+    report.ewma_loss = heldout_ewma_.initialized() ? heldout_ewma_.value() : 0.0;
+    report.mean_online_loss = global_online_loss_.mean();
+    report.tracked_users = per_user_loss_.size();
+    report.validation_pool_size = validation_pool_.size();
+  }
+  report.stale = IsStale();
+  return report;
+}
+
+double Evaluator::UserMeanLoss(uint64_t uid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = per_user_loss_.find(uid);
+  return it == per_user_loss_.end() ? 0.0 : it->second.mean();
+}
+
+}  // namespace velox

@@ -1,0 +1,113 @@
+// Model quality evaluation and staleness detection (paper §4.3).
+//
+// Three signals, as in the paper:
+//  1. running per-user aggregates of online (prequential) loss —
+//     each observation is scored with the user's pre-update weights;
+//  2. a cross-validation stream: a configurable fraction of incoming
+//     observations is scored and recorded as held-out loss *before*
+//     the model absorbs it, estimating generalization;
+//  3. a bandit validation pool: observations whose recommendation was
+//     exploratory (not the greedy pick) are reservoir-sampled into a
+//     pool "not influenced by the model".
+//
+// Staleness rule (§6): "the loss is evaluated every time new data is
+// observed and if the loss starts to increase faster than a threshold
+// value, the model is detected as stale." Concretely: after a minimum
+// number of observations, the model is stale when the EWMA of held-out
+// loss exceeds threshold_ratio × the post-training baseline loss.
+#ifndef VELOX_CORE_EVALUATOR_H_
+#define VELOX_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/eval_metrics.h"
+
+namespace velox {
+
+struct EvaluatorOptions {
+  // EWMA smoothing for the drift signal.
+  double ewma_alpha = 0.02;
+  // Stale when ewma_loss > threshold_ratio * baseline_loss.
+  double staleness_threshold_ratio = 1.5;
+  // Observations required after a (re)train before staleness can fire.
+  int64_t min_observations = 200;
+  // When > 0, the first N held-out losses after each ResetBaseline
+  // recalibrate the baseline to max(configured, their mean). Training
+  // RMSE systematically understates serving loss (label noise,
+  // generalization gap); self-calibration anchors the staleness
+  // threshold to the freshly-trained model's *serving* quality instead.
+  // Staleness never fires while calibration is in progress.
+  int64_t baseline_from_heldout_samples = 0;
+  // Capacity of the bandit validation reservoir.
+  size_t validation_pool_capacity = 1024;
+  uint64_t seed = 99;
+};
+
+struct ValidationExample {
+  uint64_t uid = 0;
+  uint64_t item_id = 0;
+  double label = 0.0;
+};
+
+struct EvaluatorReport {
+  int64_t observations_since_baseline = 0;
+  double baseline_loss = 0.0;
+  double ewma_loss = 0.0;
+  double mean_online_loss = 0.0;
+  bool stale = false;
+  size_t tracked_users = 0;
+  size_t validation_pool_size = 0;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvaluatorOptions options);
+
+  // Prequential loss of one observation (scored before the update).
+  void RecordOnlineLoss(uint64_t uid, double loss);
+
+  // Held-out loss from the cross-validation stream.
+  void RecordHeldOutLoss(uint64_t uid, double loss);
+
+  // Adds an exploration-sourced observation to the validation pool
+  // (reservoir sampling keeps it unbiased).
+  void RecordValidationExample(const ValidationExample& example);
+  std::vector<ValidationExample> ValidationPool() const;
+
+  // Sets the quality baseline after (re)training and clears drift
+  // state. `baseline_loss` is typically the training/validation loss of
+  // the freshly trained version.
+  void ResetBaseline(double baseline_loss);
+
+  bool IsStale() const;
+  EvaluatorReport Report() const;
+
+  // Running per-user mean online loss (0 when untracked).
+  double UserMeanLoss(uint64_t uid) const;
+
+ private:
+  EvaluatorOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, RunningStat> per_user_loss_;
+  RunningStat global_online_loss_;
+  Ewma heldout_ewma_;
+  double baseline_loss_ = 0.0;
+  bool baseline_set_ = false;
+  int64_t observations_since_baseline_ = 0;
+  // Held-out baseline calibration state (see
+  // EvaluatorOptions::baseline_from_heldout_samples).
+  int64_t calibration_count_ = 0;
+  double calibration_sum_ = 0.0;
+  // Reservoir.
+  std::vector<ValidationExample> validation_pool_;
+  uint64_t validation_seen_ = 0;
+  Rng rng_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_EVALUATOR_H_

@@ -1,0 +1,24 @@
+#include "core/feature_cache.h"
+
+namespace velox {
+
+FeatureCache::FeatureCache(size_t capacity, size_t num_shards)
+    : cache_(capacity, num_shards) {}
+
+std::optional<DenseVector> FeatureCache::Get(uint64_t item_id) {
+  return cache_.Get(item_id);
+}
+
+void FeatureCache::Put(uint64_t item_id, DenseVector features) {
+  cache_.Put(item_id, std::move(features));
+}
+
+bool FeatureCache::Invalidate(uint64_t item_id) { return cache_.Erase(item_id); }
+
+void FeatureCache::Clear() { cache_.Clear(); }
+
+std::vector<uint64_t> FeatureCache::HotItems(size_t limit_per_shard) const {
+  return cache_.HotKeys(limit_per_shard);
+}
+
+}  // namespace velox

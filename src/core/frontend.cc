@@ -1,0 +1,95 @@
+#include "core/frontend.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace velox {
+
+VeloxFrontend::VeloxFrontend(FrontendOptions options, VeloxServer* server)
+    : options_(std::move(options)), server_(server), pool_(options_.num_threads) {
+  VELOX_CHECK(server_ != nullptr);
+  VELOX_CHECK_GT(options_.topk_k, 0u);
+}
+
+VeloxFrontend::~VeloxFrontend() { pool_.Shutdown(); }
+
+Item VeloxFrontend::BuildItem(uint64_t item_id) const {
+  if (options_.item_builder) return options_.item_builder(item_id);
+  Item item;
+  item.id = item_id;
+  return item;
+}
+
+FrontendResponse VeloxFrontend::Handle(const Request& request) {
+  FrontendResponse response;
+  Stopwatch watch;
+  switch (request.type) {
+    case RequestType::kPredict: {
+      if (request.items.empty()) {
+        response.status = Status::InvalidArgument("predict requires an item");
+        break;
+      }
+      auto r = server_->Predict(request.uid, BuildItem(request.items[0]));
+      response.status = r.status();
+      if (r.ok()) response.items.push_back(r.value());
+      break;
+    }
+    case RequestType::kTopK: {
+      std::vector<Item> candidates;
+      candidates.reserve(request.items.size());
+      for (uint64_t id : request.items) candidates.push_back(BuildItem(id));
+      auto r = server_->TopK(request.uid, candidates, options_.topk_k);
+      response.status = r.status();
+      if (r.ok()) {
+        response.items = r.value().items;
+        response.top_is_exploratory = r.value().top_is_exploratory;
+      }
+      break;
+    }
+    case RequestType::kObserve: {
+      if (request.items.empty()) {
+        response.status = Status::InvalidArgument("observe requires an item");
+        break;
+      }
+      response.status =
+          server_->Observe(request.uid, BuildItem(request.items[0]), request.label);
+      break;
+    }
+  }
+  response.latency_micros = watch.ElapsedMicros();
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  switch (request.type) {
+    case RequestType::kPredict:
+      predict_latency_.Record(response.latency_micros);
+      break;
+    case RequestType::kTopK:
+      topk_latency_.Record(response.latency_micros);
+      break;
+    case RequestType::kObserve:
+      observe_latency_.Record(response.latency_micros);
+      break;
+  }
+  return response;
+}
+
+void VeloxFrontend::SubmitAsync(Request request,
+                                std::function<void(FrontendResponse)> done) {
+  pool_.Submit([this, request = std::move(request), done = std::move(done)] {
+    FrontendResponse response = Handle(request);
+    if (done) done(std::move(response));
+  });
+}
+
+void VeloxFrontend::Drain() { pool_.WaitIdle(); }
+
+uint64_t VeloxFrontend::requests_served() const {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+uint64_t VeloxFrontend::errors() const {
+  return errors_.load(std::memory_order_relaxed);
+}
+
+}  // namespace velox

@@ -1,0 +1,76 @@
+// VeloxFrontend — the request-facing layer standing in for the
+// prototype's RESTful interface (§8): a thread pool executing Listing 1
+// requests against a VeloxServer, with per-request-type latency
+// histograms. Examples and closed-loop benchmarks drive the system
+// through this class.
+#ifndef VELOX_CORE_FRONTEND_H_
+#define VELOX_CORE_FRONTEND_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/velox_server.h"
+#include "data/workload.h"
+
+namespace velox {
+
+struct FrontendResponse {
+  Status status;
+  // Scored results: one entry for predict, up to k for topK, empty for
+  // observe.
+  std::vector<ScoredItem> items;
+  // Whether a topK response's head pick was exploratory (echoed back on
+  // the matching observe to feed the validation pool).
+  bool top_is_exploratory = false;
+  double latency_micros = 0.0;
+};
+
+struct FrontendOptions {
+  size_t num_threads = 4;
+  // k returned by topK requests.
+  size_t topk_k = 10;
+  // Builds Item.attributes for computational models; default leaves
+  // attributes empty (materialized models ignore them).
+  std::function<Item(uint64_t item_id)> item_builder;
+};
+
+class VeloxFrontend {
+ public:
+  VeloxFrontend(FrontendOptions options, VeloxServer* server);
+  ~VeloxFrontend();
+
+  // Executes one request synchronously on the calling thread.
+  FrontendResponse Handle(const Request& request);
+
+  // Enqueues a request on the pool; `done` runs on a worker thread.
+  void SubmitAsync(Request request, std::function<void(FrontendResponse)> done);
+
+  // Blocks until all queued requests finish.
+  void Drain();
+
+  HistogramSnapshot PredictLatency() const { return predict_latency_.Snapshot(); }
+  HistogramSnapshot TopKLatency() const { return topk_latency_.Snapshot(); }
+  HistogramSnapshot ObserveLatency() const { return observe_latency_.Snapshot(); }
+  uint64_t requests_served() const;
+  uint64_t errors() const;
+
+ private:
+  Item BuildItem(uint64_t item_id) const;
+
+  FrontendOptions options_;
+  VeloxServer* server_;
+  ThreadPool pool_;
+  Histogram predict_latency_;
+  Histogram topk_latency_;
+  Histogram observe_latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_FRONTEND_H_

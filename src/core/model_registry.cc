@@ -1,0 +1,70 @@
+#include "core/model_registry.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+ModelRegistry::ModelRegistry(std::string model_name)
+    : model_name_(std::move(model_name)) {}
+
+int32_t ModelRegistry::Register(std::shared_ptr<const FeatureFunction> features,
+                                std::shared_ptr<const FactorMap> trained_user_weights,
+                                double training_rmse) {
+  VELOX_CHECK(features != nullptr);
+  auto version = std::make_shared<ModelVersion>();
+  version->model_name = model_name_;
+  version->features = std::move(features);
+  version->trained_user_weights =
+      trained_user_weights != nullptr ? std::move(trained_user_weights)
+                                      : std::make_shared<const FactorMap>();
+  version->training_rmse = training_rmse;
+  version->created_at_nanos = SteadyClock::Default()->NowNanos();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  version->version = static_cast<int32_t>(versions_.size()) + 1;
+  versions_.push_back(version);
+  current_ = version;
+  return version->version;
+}
+
+Result<std::shared_ptr<const ModelVersion>> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) {
+    return Status::FailedPrecondition("no model version registered for " + model_name_);
+  }
+  return current_;
+}
+
+int32_t ModelRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+Status ModelRegistry::Rollback(int32_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (version < 1 || static_cast<size_t>(version) > versions_.size()) {
+    return Status::NotFound(StrFormat("no version %d for model %s", version,
+                                      model_name_.c_str()));
+  }
+  current_ = versions_[static_cast<size_t>(version) - 1];
+  return Status::OK();
+}
+
+std::vector<ModelVersionInfo> ModelRegistry::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelVersionInfo> out;
+  out.reserve(versions_.size());
+  for (const auto& v : versions_) {
+    ModelVersionInfo info;
+    info.version = v->version;
+    info.training_rmse = v->training_rmse;
+    info.created_at_nanos = v->created_at_nanos;
+    info.is_current = (current_ != nullptr && current_->version == v->version);
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace velox

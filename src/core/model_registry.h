@@ -1,0 +1,78 @@
+// Model version registry.
+//
+// Paper §2.1 ("Model lifecycle management"): "Velox maintains
+// statistics about model performance and version histories, enabling
+// easier diagnostics of model quality regression and simple rollbacks
+// to earlier model versions." And §6: after offline training "Velox
+// automatically instantiates a new VeloxModel and new W — incrementing
+// the version — and transparently upgrades incoming prediction
+// requests."
+//
+// A ModelVersion is an immutable snapshot: θ (as a FeatureFunction),
+// the user weights W produced by training, and quality stats. The
+// registry swaps an atomic current-version pointer; readers hold
+// shared_ptrs so in-flight requests finish against the version they
+// started with.
+#ifndef VELOX_CORE_MODEL_REGISTRY_H_
+#define VELOX_CORE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/als.h"
+#include "ml/feature_function.h"
+
+namespace velox {
+
+struct ModelVersion {
+  int32_t version = 0;
+  std::string model_name;
+  std::shared_ptr<const FeatureFunction> features;
+  // W as produced by the (re)training run; the live, online-updated
+  // weights live in UserWeightStore and are re-seeded from this on swap.
+  std::shared_ptr<const FactorMap> trained_user_weights;
+  double training_rmse = 0.0;
+  int64_t created_at_nanos = 0;
+};
+
+struct ModelVersionInfo {
+  int32_t version = 0;
+  double training_rmse = 0.0;
+  int64_t created_at_nanos = 0;
+  bool is_current = false;
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string model_name);
+
+  // Snapshots `features`/`weights` into a new version, makes it
+  // current, and returns the assigned version number (1-based).
+  int32_t Register(std::shared_ptr<const FeatureFunction> features,
+                   std::shared_ptr<const FactorMap> trained_user_weights,
+                   double training_rmse);
+
+  // Current version; FailedPrecondition before the first Register.
+  Result<std::shared_ptr<const ModelVersion>> Current() const;
+  int32_t current_version() const;
+
+  // Makes a historical version current again (rollback).
+  Status Rollback(int32_t version);
+
+  std::vector<ModelVersionInfo> History() const;
+  const std::string& model_name() const { return model_name_; }
+
+ private:
+  std::string model_name_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const ModelVersion>> versions_;
+  std::shared_ptr<const ModelVersion> current_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_MODEL_REGISTRY_H_

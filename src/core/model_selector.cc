@@ -1,0 +1,156 @@
+#include "core/model_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace velox {
+
+ModelSelector::ModelSelector(ModelSelectorOptions options)
+    : options_(options), rng_(options.seed) {
+  VELOX_CHECK_GT(options_.ucb_exploration, 0.0);
+  VELOX_CHECK_GT(options_.exp_learning_rate, 0.0);
+  VELOX_CHECK_GE(options_.exp_min_probability, 0.0);
+  VELOX_CHECK_LT(options_.exp_min_probability, 1.0);
+  VELOX_CHECK_GT(options_.loss_cap, 0.0);
+}
+
+Status ModelSelector::AddModel(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("model name must not be empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Arm& arm : arms_) {
+    if (arm.name == name) return Status::AlreadyExists("model already added: " + name);
+  }
+  Arm arm;
+  arm.name = name;
+  arms_.push_back(std::move(arm));
+  return Status::OK();
+}
+
+int ModelSelector::FindArm(const std::string& name) const {
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    if (arms_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<double> ModelSelector::ExpProbabilities() const {
+  // Softmax over log-weights with a probability floor.
+  double max_log = -1e300;
+  for (const Arm& arm : arms_) max_log = std::max(max_log, arm.log_weight);
+  std::vector<double> probs(arms_.size());
+  double norm = 0.0;
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    probs[i] = std::exp(arms_[i].log_weight - max_log);
+    norm += probs[i];
+  }
+  double floor = options_.exp_min_probability;
+  double scale = 1.0 - floor * static_cast<double>(arms_.size());
+  // With many arms the floor may not be feasible; fall back to uniform.
+  if (scale <= 0.0) {
+    std::fill(probs.begin(), probs.end(), 1.0 / static_cast<double>(arms_.size()));
+    return probs;
+  }
+  for (double& p : probs) p = floor + scale * (p / norm);
+  return probs;
+}
+
+Result<std::string> ModelSelector::SelectModel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (arms_.empty()) return Status::FailedPrecondition("no models registered");
+
+  if (options_.policy == SelectionPolicy::kUcb1) {
+    // Pull each arm once first, then optimism over mean reward.
+    for (const Arm& arm : arms_) {
+      if (arm.pulls == 0) return arm.name;
+    }
+    size_t best = 0;
+    double best_score = -1e300;
+    for (size_t i = 0; i < arms_.size(); ++i) {
+      const Arm& arm = arms_[i];
+      double mean_reward =
+          -(arm.loss_sum / static_cast<double>(arm.pulls)) / options_.loss_cap;
+      double bonus = std::sqrt(options_.ucb_exploration *
+                               std::log(static_cast<double>(total_pulls_ + 1)) /
+                               static_cast<double>(arm.pulls));
+      double score = mean_reward + bonus;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    return arms_[best].name;
+  }
+
+  // Exp-weights: sample from the floored softmax.
+  std::vector<double> probs = ExpProbabilities();
+  double roll = rng_.UniformDouble();
+  double cumulative = 0.0;
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    cumulative += probs[i];
+    if (roll < cumulative) return arms_[i].name;
+  }
+  return arms_.back().name;  // numerical tail
+}
+
+Status ModelSelector::ReportLoss(const std::string& name, double loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int index = FindArm(name);
+  if (index < 0) return Status::NotFound("unknown model: " + name);
+  Arm& arm = arms_[static_cast<size_t>(index)];
+  double clamped = std::clamp(loss, 0.0, options_.loss_cap);
+  // Importance-weighted update (EXP3): unbiased reward estimate is
+  // reward / P(chosen), so rarely-served arms are not starved by the
+  // positive feedback of naive multiplicative weights. Probability is
+  // taken at report time — equal to selection-time probability as long
+  // as reports follow their selections (the serving pattern).
+  double p_chosen = 1.0;
+  if (options_.policy == SelectionPolicy::kExpWeights && arms_.size() > 1) {
+    p_chosen = std::max(ExpProbabilities()[static_cast<size_t>(index)],
+                        options_.exp_min_probability > 0.0
+                            ? options_.exp_min_probability
+                            : 1e-3);
+  }
+  ++arm.pulls;
+  ++total_pulls_;
+  arm.loss_sum += clamped;
+  // Reward in [0, 1] is (cap - loss) / cap.
+  double reward = (options_.loss_cap - clamped) / options_.loss_cap;
+  arm.log_weight += options_.exp_learning_rate * reward / p_chosen;
+  // Re-center log-weights to keep them bounded over long streams.
+  double max_log = -1e300;
+  for (const Arm& a : arms_) max_log = std::max(max_log, a.log_weight);
+  if (max_log > 500.0) {
+    for (Arm& a : arms_) a.log_weight -= max_log;
+  }
+  return Status::OK();
+}
+
+std::vector<ModelArmStats> ModelSelector::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelArmStats> out;
+  out.reserve(arms_.size());
+  std::vector<double> probs;
+  if (!arms_.empty() && options_.policy == SelectionPolicy::kExpWeights) {
+    probs = ExpProbabilities();
+  }
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    const Arm& arm = arms_[i];
+    ModelArmStats stats;
+    stats.name = arm.name;
+    stats.pulls = arm.pulls;
+    stats.mean_loss =
+        arm.pulls == 0 ? 0.0 : arm.loss_sum / static_cast<double>(arm.pulls);
+    stats.weight = probs.empty() ? 0.0 : probs[i];
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+size_t ModelSelector::num_models() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arms_.size();
+}
+
+}  // namespace velox

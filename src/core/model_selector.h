@@ -1,0 +1,96 @@
+// Online model selection — the abstract's "lightweight online model
+// maintenance and selection (i.e., dynamic weighting)" and §8's
+// "multi-armed bandit (i.e., multiple model) techniques ... including
+// their dynamic updates".
+//
+// A ModelSelector treats a set of deployed models (e.g., the campaigns
+// of §2.1, or an old and a candidate version of the same model) as the
+// arms of a bandit: each served request is routed to one model, the
+// observed loss is reported back, and the selector concentrates traffic
+// on whichever model is currently best.
+//
+// Two policies:
+//  * kUcb1 — optimism in the face of uncertainty over mean reward
+//    (reward = -loss); right when model qualities are stationary.
+//  * kExpWeights — multiplicative-weights (Hedge/EXP3-style) over a
+//    sliding effective horizon; the "dynamic weighting" choice, able to
+//    shift traffic when a model's quality drifts mid-stream.
+#ifndef VELOX_CORE_MODEL_SELECTOR_H_
+#define VELOX_CORE_MODEL_SELECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace velox {
+
+enum class SelectionPolicy {
+  kUcb1,
+  kExpWeights,
+};
+
+struct ModelSelectorOptions {
+  SelectionPolicy policy = SelectionPolicy::kExpWeights;
+  // UCB1 exploration strength (the constant in sqrt(c ln N / n_i)).
+  double ucb_exploration = 2.0;
+  // Exp-weights learning rate and weight floor (forced exploration).
+  double exp_learning_rate = 0.2;
+  double exp_min_probability = 0.02;
+  // Losses are clamped to [0, loss_cap] before being turned into
+  // rewards, so one wild outlier cannot zero a model's weight.
+  double loss_cap = 10.0;
+  uint64_t seed = 17;
+};
+
+struct ModelArmStats {
+  std::string name;
+  int64_t pulls = 0;
+  double mean_loss = 0.0;
+  // Current selection probability (exp-weights) or 0/1 greedy share
+  // proxy (UCB1 reports the arm it would pick next with 1.0).
+  double weight = 0.0;
+};
+
+class ModelSelector {
+ public:
+  explicit ModelSelector(ModelSelectorOptions options);
+
+  // Registers an arm; fails on duplicates or empty names.
+  Status AddModel(const std::string& name);
+
+  // Picks the model to serve the next request. FailedPrecondition when
+  // no models are registered.
+  Result<std::string> SelectModel();
+
+  // Reports the realized loss of a request served by `name`.
+  Status ReportLoss(const std::string& name, double loss);
+
+  std::vector<ModelArmStats> Stats() const;
+  size_t num_models() const;
+
+ private:
+  struct Arm {
+    std::string name;
+    int64_t pulls = 0;
+    double loss_sum = 0.0;
+    double log_weight = 0.0;  // exp-weights state, log-domain
+  };
+
+  int FindArm(const std::string& name) const;
+  // Current exp-weights probabilities (normalized, floored).
+  std::vector<double> ExpProbabilities() const;
+
+  ModelSelectorOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Arm> arms_;
+  int64_t total_pulls_ = 0;
+  Rng rng_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_MODEL_SELECTOR_H_

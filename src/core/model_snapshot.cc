@@ -1,0 +1,157 @@
+#include "core/model_snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x56584d53;  // "VXMS"
+constexpr uint32_t kFormatVersion = 1;
+
+void PutFactorMap(ByteWriter* w, const FactorMap& map) {
+  w->PutU64(map.size());
+  for (const auto& [id, factor] : map) {
+    w->PutU64(id);
+    w->PutDoubleVector(factor.values());
+  }
+}
+
+Result<FactorMap> GetFactorMap(ByteReader* r, uint32_t expected_dim) {
+  VELOX_ASSIGN_OR_RETURN(uint64_t count, r->GetU64());
+  // Each entry consumes at least 8 (id) + 4 (vector length) bytes;
+  // reject corrupt counts before reserving memory for them.
+  if (count > r->remaining() / 12) {
+    return Status::OutOfRange("implausible factor map size");
+  }
+  FactorMap map;
+  map.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    VELOX_ASSIGN_OR_RETURN(uint64_t id, r->GetU64());
+    VELOX_ASSIGN_OR_RETURN(std::vector<double> values, r->GetDoubleVector());
+    if (values.size() != expected_dim) {
+      return Status::InvalidArgument(
+          StrFormat("factor dim %zu != snapshot dim %u", values.size(), expected_dim));
+    }
+    map[id] = DenseVector(std::move(values));
+  }
+  return map;
+}
+
+}  // namespace
+
+ModelSnapshot ModelSnapshot::FromRetrainOutput(const std::string& model_name,
+                                               const RetrainOutput& output) {
+  ModelSnapshot snapshot;
+  snapshot.model_name = model_name;
+  snapshot.training_rmse = output.training_rmse;
+  snapshot.user_weights = output.user_weights;
+  if (output.features != nullptr) {
+    snapshot.dim = static_cast<uint32_t>(output.features->dim());
+    const auto* materialized =
+        dynamic_cast<const MaterializedFeatureFunction*>(output.features.get());
+    if (materialized != nullptr) {
+      snapshot.item_factors = materialized->table();
+    }
+  }
+  return snapshot;
+}
+
+Result<RetrainOutput> ModelSnapshot::ToRetrainOutput() const {
+  if (item_factors.empty()) {
+    return Status::FailedPrecondition(
+        "snapshot has no materialized factors; supply the computational basis");
+  }
+  RetrainOutput out;
+  out.training_rmse = training_rmse;
+  out.user_weights = user_weights;
+  auto table = std::make_shared<FactorMap>(item_factors);
+  out.features = std::make_shared<MaterializedFeatureFunction>(
+      std::shared_ptr<const FactorMap>(table), dim);
+  return out;
+}
+
+Result<RetrainOutput> ModelSnapshot::ToRetrainOutput(
+    std::shared_ptr<const FeatureFunction> computational_basis) const {
+  if (computational_basis == nullptr) {
+    return Status::InvalidArgument("basis is null");
+  }
+  if (computational_basis->dim() != dim) {
+    return Status::InvalidArgument(
+        StrFormat("basis dim %zu != snapshot dim %u", computational_basis->dim(), dim));
+  }
+  RetrainOutput out;
+  out.training_rmse = training_rmse;
+  out.user_weights = user_weights;
+  out.features = std::move(computational_basis);
+  return out;
+}
+
+std::vector<uint8_t> SerializeModelSnapshot(const ModelSnapshot& snapshot) {
+  ByteWriter w;
+  w.PutU32(kMagic);
+  w.PutU32(kFormatVersion);
+  w.PutString(snapshot.model_name);
+  w.PutU32(snapshot.dim);
+  w.PutDouble(snapshot.training_rmse);
+  PutFactorMap(&w, snapshot.item_factors);
+  PutFactorMap(&w, snapshot.user_weights);
+  return w.Release();
+}
+
+Result<ModelSnapshot> DeserializeModelSnapshot(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  VELOX_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a velox model snapshot (bad magic)");
+  }
+  VELOX_ASSIGN_OR_RETURN(uint32_t format, r.GetU32());
+  if (format != kFormatVersion) {
+    return Status::Unimplemented(
+        StrFormat("unsupported snapshot format version %u", format));
+  }
+  ModelSnapshot snapshot;
+  VELOX_ASSIGN_OR_RETURN(snapshot.model_name, r.GetString());
+  VELOX_ASSIGN_OR_RETURN(snapshot.dim, r.GetU32());
+  VELOX_ASSIGN_OR_RETURN(snapshot.training_rmse, r.GetDouble());
+  VELOX_ASSIGN_OR_RETURN(snapshot.item_factors, GetFactorMap(&r, snapshot.dim));
+  VELOX_ASSIGN_OR_RETURN(snapshot.user_weights, GetFactorMap(&r, snapshot.dim));
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot payload");
+  }
+  return snapshot;
+}
+
+Status SaveModelSnapshot(const ModelSnapshot& snapshot, const std::string& path) {
+  std::vector<uint8_t> bytes = SerializeModelSnapshot(snapshot);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ModelSnapshot> LoadModelSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open snapshot: " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return Status::IoError("read failed: " + path);
+  }
+  return DeserializeModelSnapshot(bytes);
+}
+
+}  // namespace velox

@@ -1,0 +1,56 @@
+// Model snapshots: durable serialization of a trained model version.
+//
+// A snapshot captures everything needed to serve a materialized-feature
+// model — θ (the item-factor table), the trained user weights W, and
+// the training quality — so a Velox server can restart, ship a model to
+// another cluster, or archive versions, without re-running the batch
+// job. (Computational feature functions carry code, not data; their
+// snapshot holds only W and must be paired with the same basis at
+// load time.)
+//
+// Format: a versioned binary header followed by length-prefixed
+// sections, via common/bytes.h. Readers validate bounds and magic and
+// fail with Status on corruption.
+#ifndef VELOX_CORE_MODEL_SNAPSHOT_H_
+#define VELOX_CORE_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model.h"
+
+namespace velox {
+
+struct ModelSnapshot {
+  std::string model_name;
+  // Dimension of weights/factors.
+  uint32_t dim = 0;
+  double training_rmse = 0.0;
+  // θ as a materialized table; empty for computational models.
+  FactorMap item_factors;
+  // Trained user weights W.
+  FactorMap user_weights;
+
+  // Converts to/from the scheduler-facing RetrainOutput. Conversion to
+  // RetrainOutput wraps item_factors in a MaterializedFeatureFunction;
+  // for computational snapshots pass the basis explicitly.
+  static ModelSnapshot FromRetrainOutput(const std::string& model_name,
+                                         const RetrainOutput& output);
+  Result<RetrainOutput> ToRetrainOutput() const;
+  Result<RetrainOutput> ToRetrainOutput(
+      std::shared_ptr<const FeatureFunction> computational_basis) const;
+};
+
+// Binary codec.
+std::vector<uint8_t> SerializeModelSnapshot(const ModelSnapshot& snapshot);
+Result<ModelSnapshot> DeserializeModelSnapshot(const std::vector<uint8_t>& bytes);
+
+// File persistence (atomic-ish: write to <path>.tmp, then rename).
+Status SaveModelSnapshot(const ModelSnapshot& snapshot, const std::string& path);
+Result<ModelSnapshot> LoadModelSnapshot(const std::string& path);
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_MODEL_SNAPSHOT_H_

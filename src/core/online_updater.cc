@@ -1,0 +1,70 @@
+#include "core/online_updater.h"
+
+#include "common/logging.h"
+
+namespace velox {
+
+OnlineUpdater::OnlineUpdater(OnlineUpdaterOptions options, const VeloxModel* model,
+                             ModelRegistry* registry, UserWeightStore* weights,
+                             PredictionService* prediction_service,
+                             Evaluator* evaluator, StorageClient* client)
+    : options_(options),
+      model_(model),
+      registry_(registry),
+      weights_(weights),
+      prediction_service_(prediction_service),
+      evaluator_(evaluator),
+      client_(client) {
+  VELOX_CHECK(model_ != nullptr);
+  VELOX_CHECK(registry_ != nullptr);
+  VELOX_CHECK(weights_ != nullptr);
+  VELOX_CHECK(prediction_service_ != nullptr);
+  VELOX_CHECK(evaluator_ != nullptr);
+  VELOX_CHECK_GE(options_.cross_validation_every, 0);
+}
+
+Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
+                                             double label, bool exploration_sourced) {
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
+                         registry_->Current());
+  VELOX_ASSIGN_OR_RETURN(DenseVector features,
+                         prediction_service_->ResolveFeatures(*version, item));
+
+  VELOX_ASSIGN_OR_RETURN(UserWeightStore::UpdateResult update,
+                         weights_->ApplyObservation(uid, features, label));
+
+  ObserveResult result;
+  result.prediction_before = update.prediction_before;
+  result.loss = model_->Loss(label, update.prediction_before, item, uid);
+  result.user_observations = update.num_observations;
+
+  evaluator_->RecordOnlineLoss(uid, result.loss);
+  int64_t n = observation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.cross_validation_every > 0 &&
+      n % options_.cross_validation_every == 0) {
+    // The pre-update prediction never saw this observation, so its loss
+    // is a held-out generalization sample.
+    evaluator_->RecordHeldOutLoss(uid, result.loss);
+  }
+  if (exploration_sourced) {
+    evaluator_->RecordValidationExample(ValidationExample{uid, item.id, label});
+  }
+
+  if (client_ != nullptr) {
+    Observation obs;
+    obs.uid = uid;
+    obs.item_id = item.id;
+    obs.label = label;
+    // Cluster-wide logical timestamp: orders this observation against
+    // every other shard's (windowed retraining relies on it).
+    obs.timestamp = client_->NextTimestamp();
+    result.log_seq = client_->AppendObservation(obs);
+    if (options_.persist_weights) {
+      VELOX_RETURN_NOT_OK(
+          client_->Put(options_.weights_table, uid, EncodeFactor(update.new_weights)));
+    }
+  }
+  return result;
+}
+
+}  // namespace velox

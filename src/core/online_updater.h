@@ -1,0 +1,82 @@
+// OnlineUpdater — the Model Manager's observe() path (paper §4.1/§4.2).
+//
+// For each incoming observation (uid, item, label):
+//  1. resolve f(x, θ) (through the shared feature cache),
+//  2. score it with the user's *current* weights (prequential loss →
+//     the Evaluator's running per-user aggregates, §4.3),
+//  3. hold out every k-th observation's pre-update loss as the
+//     cross-validation stream (§4.3: "an additional cross-validation
+//     step during incremental user weight updates to assess
+//     generalization performance"),
+//  4. apply Eq. 2 under the configured strategy (naive normal
+//     equations or Sherman–Morrison),
+//  5. append the observation to the node-local shard of the
+//     observation log for offline retraining (§4.1) and persist the
+//     updated w_u to storage (a node-local write, §5).
+//
+// Observations flagged as exploration-sourced (the topK pick was not
+// the greedy argmax) additionally enter the Evaluator's bandit
+// validation pool.
+#ifndef VELOX_CORE_ONLINE_UPDATER_H_
+#define VELOX_CORE_ONLINE_UPDATER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/evaluator.h"
+#include "core/model.h"
+#include "core/model_registry.h"
+#include "core/prediction_service.h"
+#include "core/user_weights.h"
+#include "storage/storage_client.h"
+
+namespace velox {
+
+struct OnlineUpdaterOptions {
+  // Every k-th observation's prequential loss feeds the held-out
+  // stream; 0 disables cross-validation.
+  int64_t cross_validation_every = 10;
+  // Persist updated user weights to the storage tier.
+  bool persist_weights = true;
+  // Storage table for persisted weights.
+  std::string weights_table = "user_weights";
+};
+
+struct ObserveResult {
+  double prediction_before = 0.0;
+  double loss = 0.0;
+  int64_t user_observations = 0;
+  uint64_t log_seq = 0;
+};
+
+class OnlineUpdater {
+ public:
+  // Dependencies are borrowed. `model` provides the loss function;
+  // `prediction_service` shares its feature cache; `client` may be
+  // null (no persistence / no log, for pure-kernel benchmarks).
+  OnlineUpdater(OnlineUpdaterOptions options, const VeloxModel* model,
+                ModelRegistry* registry, UserWeightStore* weights,
+                PredictionService* prediction_service, Evaluator* evaluator,
+                StorageClient* client);
+
+  // Listing 1's observe(uid, x, y).
+  Result<ObserveResult> Observe(uint64_t uid, const Item& item, double label,
+                                bool exploration_sourced = false);
+
+  const OnlineUpdaterOptions& options() const { return options_; }
+
+ private:
+  OnlineUpdaterOptions options_;
+  const VeloxModel* model_;
+  ModelRegistry* registry_;
+  UserWeightStore* weights_;
+  PredictionService* prediction_service_;
+  Evaluator* evaluator_;
+  StorageClient* client_;
+  std::atomic<int64_t> observation_counter_{0};
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_ONLINE_UPDATER_H_

@@ -1,0 +1,18 @@
+#include "core/prediction_cache.h"
+
+namespace velox {
+
+PredictionCache::PredictionCache(size_t capacity, size_t num_shards)
+    : cache_(capacity, num_shards) {}
+
+std::optional<double> PredictionCache::Get(const PredictionKey& key) {
+  return cache_.Get(key);
+}
+
+void PredictionCache::Put(const PredictionKey& key, double score) {
+  cache_.Put(key, score);
+}
+
+void PredictionCache::Clear() { cache_.Clear(); }
+
+}  // namespace velox

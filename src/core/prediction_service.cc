@@ -1,0 +1,204 @@
+#include "core/prediction_service.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+FeatureResolver::FeatureResolver(StorageClient* client, std::string table_prefix)
+    : client_(client), table_prefix_(std::move(table_prefix)) {
+  VELOX_CHECK(client_ != nullptr);
+  VELOX_CHECK(!table_prefix_.empty());
+}
+
+std::string FeatureResolver::TableForVersion(int32_t version) const {
+  return StrFormat("%s_v%d", table_prefix_.c_str(), version);
+}
+
+Result<DenseVector> FeatureResolver::Resolve(const ModelVersion& version,
+                                             const Item& item) const {
+  if (client_ == nullptr) {
+    return version.features->Features(item);
+  }
+  VELOX_ASSIGN_OR_RETURN(Value bytes,
+                         client_->Get(TableForVersion(version.version), item.id));
+  return DecodeFactor(bytes);
+}
+
+Value EncodeFactor(const DenseVector& v) {
+  ByteWriter w;
+  w.PutDoubleVector(v.values());
+  return w.Release();
+}
+
+Result<DenseVector> DecodeFactor(const Value& bytes) {
+  ByteReader r(bytes);
+  VELOX_ASSIGN_OR_RETURN(std::vector<double> values, r.GetDoubleVector());
+  return DenseVector(std::move(values));
+}
+
+PredictionService::PredictionService(PredictionServiceOptions options,
+                                     ModelRegistry* registry, UserWeightStore* weights,
+                                     Bootstrapper* bootstrapper,
+                                     FeatureCache* feature_cache,
+                                     PredictionCache* prediction_cache,
+                                     FeatureResolver resolver)
+    : options_(options),
+      registry_(registry),
+      weights_(weights),
+      bootstrapper_(bootstrapper),
+      feature_cache_(feature_cache),
+      prediction_cache_(prediction_cache),
+      resolver_(std::move(resolver)) {
+  VELOX_CHECK(registry_ != nullptr);
+  VELOX_CHECK(weights_ != nullptr);
+  VELOX_CHECK(bootstrapper_ != nullptr);
+  VELOX_CHECK(feature_cache_ != nullptr);
+  VELOX_CHECK(prediction_cache_ != nullptr);
+}
+
+Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& version,
+                                                       const Item& item) {
+  if (options_.use_feature_cache) {
+    auto cached = feature_cache_->Get(item.id);
+    if (cached.has_value()) return std::move(*cached);
+  }
+  VELOX_ASSIGN_OR_RETURN(DenseVector features, resolver_.Resolve(version, item));
+  if (options_.use_feature_cache) {
+    feature_cache_->Put(item.id, features);
+  }
+  return features;
+}
+
+Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_t uid,
+                                            uint64_t user_epoch,
+                                            const DenseVector& weights,
+                                            const Item& item) {
+  PredictionKey key{uid, item.id, user_epoch, version.version};
+  if (options_.use_prediction_cache) {
+    auto cached = prediction_cache_->Get(key);
+    if (cached.has_value()) return *cached;
+  }
+  VELOX_ASSIGN_OR_RETURN(DenseVector features, ResolveFeatures(version, item));
+  if (features.dim() != weights.dim()) {
+    return Status::Internal(
+        StrFormat("feature dim %zu != weight dim %zu", features.dim(), weights.dim()));
+  }
+  double score = Dot(weights, features);
+  if (options_.use_prediction_cache) {
+    prediction_cache_->Put(key, score);
+  }
+  return score;
+}
+
+Result<ScoredItem> PredictionService::Predict(uint64_t uid, const Item& item) {
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
+                         registry_->Current());
+  DenseVector weights =
+      weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
+  uint64_t epoch = weights_->Epoch(uid);
+  VELOX_ASSIGN_OR_RETURN(double score, ScoreItem(*version, uid, epoch, weights, item));
+  ScoredItem out;
+  out.item_id = item.id;
+  out.score = score;
+  return out;
+}
+
+Result<TopKResult> PredictionService::TopK(uint64_t uid,
+                                           const std::vector<Item>& candidates,
+                                           size_t k, const BanditPolicy* policy,
+                                           Rng* rng) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("topK requires a non-empty candidate set");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
+                         registry_->Current());
+  DenseVector weights =
+      weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
+  uint64_t epoch = weights_->Epoch(uid);
+
+  const bool needs_uncertainty = policy != nullptr;
+  std::vector<BanditCandidate> scored(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    VELOX_ASSIGN_OR_RETURN(double score,
+                           ScoreItem(*version, uid, epoch, weights, candidates[i]));
+    scored[i].item_id = candidates[i].id;
+    scored[i].score = score;
+    if (needs_uncertainty) {
+      // Uncertainty needs the item's features; they are cache-hot after
+      // ScoreItem unless the prediction cache short-circuited. Either
+      // way this resolve is cache-served in the common case.
+      auto features = ResolveFeatures(*version, candidates[i]);
+      if (features.ok()) {
+        scored[i].uncertainty = weights_->Uncertainty(uid, features.value());
+      }
+    }
+  }
+
+  std::vector<size_t> order;
+  if (policy != nullptr) {
+    order = policy->Rank(scored, rng);
+  } else {
+    order = GreedyPolicy().Rank(scored, rng);
+  }
+
+  TopKResult result;
+  result.model_version = version->version;
+  size_t take = std::min(k, order.size());
+  result.items.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    const BanditCandidate& c = scored[order[i]];
+    result.items.push_back(ScoredItem{c.item_id, c.score, c.uncertainty});
+  }
+  result.top_is_exploratory =
+      !order.empty() && order[0] != BanditPolicy::GreedyTop(scored);
+  return result;
+}
+
+Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
+                                              const ItemFilter& filter) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
+                         registry_->Current());
+  const auto* materialized =
+      dynamic_cast<const MaterializedFeatureFunction*>(version->features.get());
+  if (materialized == nullptr) {
+    return Status::FailedPrecondition(
+        "TopKAll requires an in-process materialized feature table");
+  }
+  DenseVector weights =
+      weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
+
+  // Bounded min-heap over (score, item): the root is the worst of the
+  // current best k, so most items are rejected with one comparison
+  // after the dot product.
+  using Entry = std::pair<double, uint64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (const auto& [item_id, factor] : materialized->table()) {
+    if (filter && !filter(item_id)) continue;  // application policy
+    if (factor.dim() != weights.dim()) continue;  // defensive: skip bad rows
+    double score = Dot(weights, factor);
+    if (heap.size() < k) {
+      heap.emplace(score, item_id);
+    } else if (score > heap.top().first) {
+      heap.pop();
+      heap.emplace(score, item_id);
+    }
+  }
+
+  TopKResult result;
+  result.model_version = version->version;
+  result.items.resize(heap.size());
+  for (size_t i = heap.size(); i-- > 0;) {
+    result.items[i] = ScoredItem{heap.top().second, heap.top().first, 0.0};
+    heap.pop();
+  }
+  return result;
+}
+
+}  // namespace velox

@@ -1,0 +1,142 @@
+// The Velox Model Predictor (paper Figure 2, §5): low-latency point
+// predictions and topK over the current model version, through the
+// feature and prediction caches.
+//
+// Per-request flow (Predict):
+//   weights  = local user-weight lookup (bootstrapping new users from
+//              the mean weight vector),
+//   score    = prediction cache hit, or w_uᵀ f(x, θ) with f resolved
+//              through the feature cache (a miss either computes the
+//              basis or fetches the materialized factor — possibly from
+//              a remote node, charged to the simulated network).
+//
+// TopK scores a candidate set the same way, then lets a bandit policy
+// order it (§5: select "the item with max sum of score and
+// uncertainty"), reporting whether the top pick was exploratory so the
+// manager can route the eventual observation into the validation pool.
+#ifndef VELOX_CORE_PREDICTION_SERVICE_H_
+#define VELOX_CORE_PREDICTION_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "core/bandit.h"
+#include "core/bootstrap.h"
+#include "core/feature_cache.h"
+#include "core/model_registry.h"
+#include "core/prediction_cache.h"
+#include "core/user_weights.h"
+#include "ml/feature_function.h"
+#include "storage/storage_client.h"
+
+namespace velox {
+
+// How a node resolves f(x, θ) on a feature-cache miss.
+class FeatureResolver {
+ public:
+  // Local mode: evaluate the model version's feature function directly
+  // (computational basis, or a node-local materialized table).
+  FeatureResolver() = default;
+
+  // Distributed-materialized mode: factors live in a storage table
+  // partitioned across the cluster; misses fetch through `client`
+  // (charging the simulated network), using the table name recorded
+  // for the current model version ("<prefix>_v<version>").
+  FeatureResolver(StorageClient* client, std::string table_prefix);
+
+  // Resolves features for `item` under `version`.
+  Result<DenseVector> Resolve(const ModelVersion& version, const Item& item) const;
+
+  bool is_distributed() const { return client_ != nullptr; }
+  // Table name for a given version (distributed mode).
+  std::string TableForVersion(int32_t version) const;
+
+ private:
+  StorageClient* client_ = nullptr;
+  std::string table_prefix_;
+};
+
+// Encodes/decodes factor vectors for the distributed feature table.
+Value EncodeFactor(const DenseVector& v);
+Result<DenseVector> DecodeFactor(const Value& bytes);
+
+struct ScoredItem {
+  uint64_t item_id = 0;
+  double score = 0.0;
+  double uncertainty = 0.0;
+};
+
+struct TopKResult {
+  // Best-first, size min(k, candidates).
+  std::vector<ScoredItem> items;
+  // True when the policy's top pick differs from the greedy argmax —
+  // the signal that the eventual observation is exploration-sourced.
+  bool top_is_exploratory = false;
+  int32_t model_version = 0;
+};
+
+struct PredictionServiceOptions {
+  bool use_feature_cache = true;
+  bool use_prediction_cache = true;
+};
+
+class PredictionService {
+ public:
+  // All dependencies are borrowed and must outlive the service.
+  PredictionService(PredictionServiceOptions options, ModelRegistry* registry,
+                    UserWeightStore* weights, Bootstrapper* bootstrapper,
+                    FeatureCache* feature_cache, PredictionCache* prediction_cache,
+                    FeatureResolver resolver);
+
+  // Point prediction for (uid, item) — Listing 1's `predict`.
+  Result<ScoredItem> Predict(uint64_t uid, const Item& item);
+
+  // Scores `candidates` and returns the best k under `policy`
+  // (greedy when policy is null) — Listing 1's `topK`.
+  Result<TopKResult> TopK(uint64_t uid, const std::vector<Item>& candidates, size_t k,
+                          const BanditPolicy* policy, Rng* rng);
+
+  // Application-level admission policy for full-catalog topK (paper §5:
+  // topK "can be used to support pre-filtering items according to
+  // application level policies"). Returns true to keep the item.
+  using ItemFilter = std::function<bool(uint64_t item_id)>;
+
+  // Full-catalog greedy top-K over a materialized feature table — the
+  // paper's §8 "more efficient top-K support for our linear modeling
+  // tasks". Scans θ once with a bounded min-heap (O(|catalog| · d +
+  // |catalog| log k) time, O(k) extra space) instead of materializing
+  // and ranking a candidate list; bypasses the per-item caches (a
+  // whole-catalog scan would only thrash them). Requires the current
+  // version's features to be materialized and in-process. `filter`
+  // (optional) drops items before scoring.
+  Result<TopKResult> TopKAll(uint64_t uid, size_t k,
+                             const ItemFilter& filter = nullptr);
+
+  // Resolves features through the cache (shared with the observe path
+  // so updates reuse cached features).
+  Result<DenseVector> ResolveFeatures(const ModelVersion& version, const Item& item);
+
+  const PredictionServiceOptions& options() const { return options_; }
+
+ private:
+  // Score one item for a user; uses/fills both caches.
+  Result<double> ScoreItem(const ModelVersion& version, uint64_t uid,
+                           uint64_t user_epoch, const DenseVector& weights,
+                           const Item& item);
+
+  PredictionServiceOptions options_;
+  ModelRegistry* registry_;
+  UserWeightStore* weights_;
+  Bootstrapper* bootstrapper_;
+  FeatureCache* feature_cache_;
+  PredictionCache* prediction_cache_;
+  FeatureResolver resolver_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_PREDICTION_SERVICE_H_

@@ -1,0 +1,271 @@
+#include "core/retrain_scheduler.h"
+
+#include <algorithm>
+
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+namespace {
+
+// Wraps the model's retrain procedure as a batch job (the "opaque
+// Spark UDF" of §4.2).
+class RetrainJob final : public BatchJob {
+ public:
+  RetrainJob(const VeloxModel* model, const std::vector<Observation>* observations,
+             const FactorMap* warm_weights)
+      : model_(model), observations_(observations), warm_weights_(warm_weights) {}
+
+  std::string name() const override { return "retrain:" + model_->name(); }
+
+  Status Run(BatchExecutor* executor) override {
+    auto result = model_->Retrain(executor, *observations_, *warm_weights_);
+    VELOX_RETURN_NOT_OK(result.status());
+    output_ = std::move(result).value();
+    return Status::OK();
+  }
+
+  RetrainOutput& output() { return output_; }
+
+ private:
+  const VeloxModel* model_;
+  const std::vector<Observation>* observations_;
+  const FactorMap* warm_weights_;
+  RetrainOutput output_;
+};
+
+}  // namespace
+
+RetrainScheduler::RetrainScheduler(RetrainSchedulerOptions options,
+                                   const VeloxModel* model, ModelRegistry* registry,
+                                   Evaluator* evaluator, JobDriver* driver,
+                                   StorageCluster* storage,
+                                   std::vector<NodeComponents> nodes)
+    : options_(options),
+      model_(model),
+      registry_(registry),
+      evaluator_(evaluator),
+      driver_(driver),
+      storage_(storage),
+      nodes_(std::move(nodes)) {
+  VELOX_CHECK(model_ != nullptr);
+  VELOX_CHECK(registry_ != nullptr);
+  VELOX_CHECK(evaluator_ != nullptr);
+  VELOX_CHECK(driver_ != nullptr);
+  VELOX_CHECK(storage_ != nullptr);
+  VELOX_CHECK(!nodes_.empty());
+}
+
+Result<bool> RetrainScheduler::MaybeRetrain() {
+  if (!evaluator_->IsStale()) return false;
+  VELOX_RETURN_NOT_OK(RetrainNow().status());
+  return true;
+}
+
+Result<RetrainReport> RetrainScheduler::RetrainNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stopwatch watch;
+
+  std::vector<Observation> observations = storage_->AllObservations();
+  if (observations.empty()) {
+    return Status::FailedPrecondition("no observations to retrain on");
+  }
+  if (options_.max_observations > 0 &&
+      static_cast<int64_t>(observations.size()) > options_.max_observations) {
+    // Windowed retraining: keep the most recent observations by logical
+    // timestamp (shards interleave, so order globally first).
+    std::sort(observations.begin(), observations.end(),
+              [](const Observation& a, const Observation& b) {
+                return a.timestamp < b.timestamp;
+              });
+    observations.erase(observations.begin(),
+                       observations.end() - options_.max_observations);
+  }
+
+  // Warm-start from the live, online-updated weights across all nodes
+  // (§4.2: retraining "depends on the current user weights").
+  FactorMap current_weights;
+  for (const NodeComponents& node : nodes_) {
+    FactorMap shard = node.weights->ExportWeights();
+    for (auto& [uid, w] : shard) current_weights[uid] = std::move(w);
+  }
+
+  RetrainJob job(model_, &observations, &current_weights);
+  VELOX_RETURN_NOT_OK(driver_->Submit(&job));
+
+  VELOX_ASSIGN_OR_RETURN(RetrainReport report,
+                         InstallOutput(job.output(), observations.size(),
+                                       &observations));
+  report.wall_millis = watch.ElapsedMillis();
+  ++retrains_completed_;
+  return report;
+}
+
+Result<RetrainReport> RetrainScheduler::InstallOutput(
+    const RetrainOutput& output, size_t observations_used,
+    const std::vector<Observation>* observations) {
+  if (output.features == nullptr) {
+    return Status::InvalidArgument("retrain produced no feature function");
+  }
+  RetrainReport report;
+  report.observations_used = observations_used;
+  report.training_rmse = output.training_rmse;
+
+  // 1. Capture the warm set *before* the swap (§4.2).
+  std::vector<std::vector<uint64_t>> hot_items(nodes_.size());
+  std::vector<std::vector<PredictionKey>> hot_predictions(nodes_.size());
+  if (options_.warm_caches) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      hot_items[i] = nodes_[i].feature_cache->HotItems(options_.warm_hot_entries_per_shard);
+      hot_predictions[i] =
+          nodes_[i].prediction_cache->HotKeys(options_.warm_hot_entries_per_shard);
+    }
+  }
+
+  // 2. Register the new immutable version.
+  auto weights_snapshot = std::make_shared<FactorMap>(output.user_weights);
+  int32_t version = registry_->Register(
+      output.features, std::shared_ptr<const FactorMap>(weights_snapshot),
+      output.training_rmse);
+  report.new_version = version;
+
+  // 3. Publish the new materialized feature table into distributed
+  //    storage (batch output write; charged from the driver, node 0).
+  if (options_.distribute_item_features) {
+    const auto* materialized =
+        dynamic_cast<const MaterializedFeatureFunction*>(output.features.get());
+    if (materialized == nullptr) {
+      return Status::FailedPrecondition(
+          "distribute_item_features requires a materialized feature function");
+    }
+    std::string table = StrFormat("%s_v%d", options_.feature_table_prefix.c_str(),
+                                  version);
+    VELOX_RETURN_NOT_OK(storage_->CreateTable(table));
+    for (const auto& [item_id, factor] : materialized->table()) {
+      VELOX_ASSIGN_OR_RETURN(NodeId owner, storage_->OwnerOf(item_id));
+      Value encoded = EncodeFactor(factor);
+      storage_->network()->Charge(0, owner, encoded.size());
+      VELOX_ASSIGN_OR_RETURN(KvTable * t, storage_->store(owner)->GetTable(table));
+      t->Put(item_id, std::move(encoded));
+    }
+  }
+
+  // 4. Swap-time invalidation: the offline phase "invalidates both
+  //    prediction and feature caches" (§4.2).
+  for (const NodeComponents& node : nodes_) {
+    node.feature_cache->Clear();
+    node.prediction_cache->Clear();
+  }
+
+  // 5. Re-seed user weights from the new W, placing each user on its
+  //    owning node.
+  if (nodes_.size() == 1) {
+    nodes_[0].weights->ResetForNewVersion(output.user_weights, version);
+  } else {
+    std::vector<FactorMap> per_node(nodes_.size());
+    for (const auto& [uid, w] : output.user_weights) {
+      VELOX_ASSIGN_OR_RETURN(NodeId owner, storage_->OwnerOf(uid));
+      per_node[static_cast<size_t>(owner)][uid] = w;
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].weights->ResetForNewVersion(per_node[i], version);
+    }
+  }
+
+  // 5b. Replay the observation log into the online user state: each
+  //     w_u becomes the exact Eq. 2 solution over all of the user's
+  //     observations under the new θ, with the sufficient statistics
+  //     (FᵀF or its inverse) primed for subsequent online updates.
+  if (options_.replay_observations && observations != nullptr &&
+      output.features->is_materialized()) {
+    auto current = registry_->Current();
+    if (current.ok()) {
+      for (const Observation& obs : *observations) {
+        NodeComponents* node = &nodes_[0];
+        if (nodes_.size() > 1) {
+          VELOX_ASSIGN_OR_RETURN(NodeId owner, storage_->OwnerOf(obs.uid));
+          node = &nodes_[static_cast<size_t>(owner)];
+        }
+        Item item;
+        item.id = obs.item_id;
+        auto features =
+            node->prediction_service->ResolveFeatures(*current.value(), item);
+        if (!features.ok()) continue;  // item absent from the new θ
+        auto applied =
+            node->weights->ApplyObservation(obs.uid, features.value(), obs.label);
+        VELOX_RETURN_NOT_OK(applied.status());
+      }
+    }
+  }
+
+  // 6. Repopulate caches from the warm set against the new version
+  //    (materialized features only: computational features require the
+  //    item's raw attributes, which the cache keys do not carry).
+  if (options_.warm_caches &&
+      (output.features->is_materialized() || options_.distribute_item_features)) {
+    auto current = registry_->Current();
+    if (current.ok()) {
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        PredictionService* ps = nodes_[i].prediction_service;
+        if (ps == nullptr) continue;
+        for (uint64_t item_id : hot_items[i]) {
+          Item item;
+          item.id = item_id;
+          if (ps->ResolveFeatures(*current.value(), item).ok()) {
+            ++report.warmed_features;
+          }
+        }
+        std::unordered_set<uint64_t> warmed_pairs;
+        for (const PredictionKey& key : hot_predictions[i]) {
+          uint64_t pair_hash = key.uid * 0x9e3779b97f4a7c15ULL ^ key.item_id;
+          if (!warmed_pairs.insert(pair_hash).second) continue;
+          Item item;
+          item.id = key.item_id;
+          if (ps->Predict(key.uid, item).ok()) {
+            ++report.warmed_predictions;
+          }
+        }
+      }
+    }
+  }
+
+  // 7. New quality baseline: mean squared loss of the fresh model.
+  evaluator_->ResetBaseline(0.5 * output.training_rmse * output.training_rmse);
+  return report;
+}
+
+Status RetrainScheduler::Rollback(int32_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VELOX_RETURN_NOT_OK(registry_->Rollback(version));
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> current,
+                         registry_->Current());
+  for (const NodeComponents& node : nodes_) {
+    node.feature_cache->Clear();
+    node.prediction_cache->Clear();
+  }
+  if (nodes_.size() == 1) {
+    nodes_[0].weights->ResetForNewVersion(*current->trained_user_weights, version);
+  } else {
+    std::vector<FactorMap> per_node(nodes_.size());
+    for (const auto& [uid, w] : *current->trained_user_weights) {
+      VELOX_ASSIGN_OR_RETURN(NodeId owner, storage_->OwnerOf(uid));
+      per_node[static_cast<size_t>(owner)][uid] = w;
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].weights->ResetForNewVersion(per_node[i], version);
+    }
+  }
+  evaluator_->ResetBaseline(0.5 * current->training_rmse * current->training_rmse);
+  return Status::OK();
+}
+
+uint64_t RetrainScheduler::retrains_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retrains_completed_;
+}
+
+}  // namespace velox

@@ -1,0 +1,123 @@
+// RetrainScheduler — orchestrates the offline half of the paper's
+// hybrid learning loop (§4.2, §4.3, §6):
+//
+//  * watches the Evaluator's staleness signal and, when it fires (or on
+//    demand), submits the model's retrain UDF to the batch tier over a
+//    snapshot of the observation log, warm-started from the current
+//    online user weights;
+//  * while the batch job's output is in hand, captures the warm set —
+//    the hot entries of the feature and prediction caches — and
+//    precomputes them against the new model (§4.2: the batch system
+//    "computes all predictions and feature transformations that were
+//    cached at the time the batch computation was triggered ... used to
+//    repopulate the caches when switching to the newly trained model");
+//  * registers the new immutable version, re-seeds every node's user
+//    weights from the new W (placed by uid ownership), optionally
+//    writes the new materialized θ table into distributed storage,
+//    flushes + repopulates caches, and resets the quality baseline.
+#ifndef VELOX_CORE_RETRAIN_SCHEDULER_H_
+#define VELOX_CORE_RETRAIN_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "batch/job.h"
+#include "common/result.h"
+#include "core/evaluator.h"
+#include "core/feature_cache.h"
+#include "core/model.h"
+#include "core/model_registry.h"
+#include "core/prediction_cache.h"
+#include "core/prediction_service.h"
+#include "core/user_weights.h"
+#include "storage/storage_cluster.h"
+
+namespace velox {
+
+// The per-node serving components the scheduler must re-seed on swap.
+struct NodeComponents {
+  NodeId node = 0;
+  UserWeightStore* weights = nullptr;
+  FeatureCache* feature_cache = nullptr;
+  PredictionCache* prediction_cache = nullptr;
+  PredictionService* prediction_service = nullptr;
+  StorageClient* client = nullptr;
+};
+
+struct RetrainSchedulerOptions {
+  // Repopulate caches from the pre-swap warm set.
+  bool warm_caches = true;
+  size_t warm_hot_entries_per_shard = 64;
+  // Write the new materialized feature table into distributed storage
+  // (required when nodes use a distributed FeatureResolver).
+  bool distribute_item_features = false;
+  std::string feature_table_prefix = "item_features";
+  // After the swap, replay the observation log into the per-user online
+  // state so each w_u is the exact Eq. 2 ridge solution over *all* of
+  // the user's data under the new θ (sufficient statistics included),
+  // not just a prior mean. Skipped for computational feature functions
+  // (replay would need raw item attributes the log does not carry; the
+  // computational retrain already solves users from full data).
+  bool replay_observations = true;
+  // Windowed retraining: when > 0, train on only the most recent
+  // `max_observations` observations (by cluster-wide logical
+  // timestamp). Bounds batch-job cost and sharpens recovery from
+  // concept drift — old, contradicted observations age out of the
+  // window instead of being averaged in forever. 0 = use the full log.
+  int64_t max_observations = 0;
+};
+
+struct RetrainReport {
+  int32_t new_version = 0;
+  size_t observations_used = 0;
+  double training_rmse = 0.0;
+  size_t warmed_features = 0;
+  size_t warmed_predictions = 0;
+  double wall_millis = 0.0;
+};
+
+class RetrainScheduler {
+ public:
+  RetrainScheduler(RetrainSchedulerOptions options, const VeloxModel* model,
+                   ModelRegistry* registry, Evaluator* evaluator, JobDriver* driver,
+                   StorageCluster* storage, std::vector<NodeComponents> nodes);
+
+  // Retrains iff the evaluator reports staleness; returns whether a
+  // retrain ran.
+  Result<bool> MaybeRetrain();
+
+  // Unconditional retrain + swap.
+  Result<RetrainReport> RetrainNow();
+
+  // Rolls the registry back to `version`, flushing caches and
+  // re-seeding user weights from that version's trained W.
+  Status Rollback(int32_t version);
+
+  uint64_t retrains_completed() const;
+
+ private:
+  // Installs `output` as the new current version; shared by retrain
+  // and bootstrap installs (VeloxServer calls it via InstallVersion).
+  // `observations` (may be null) is the log snapshot used for the
+  // post-swap user-state replay.
+  Result<RetrainReport> InstallOutput(const RetrainOutput& output,
+                                      size_t observations_used,
+                                      const std::vector<Observation>* observations);
+  friend class VeloxServer;
+
+  RetrainSchedulerOptions options_;
+  const VeloxModel* model_;
+  ModelRegistry* registry_;
+  Evaluator* evaluator_;
+  JobDriver* driver_;
+  StorageCluster* storage_;
+  std::vector<NodeComponents> nodes_;
+  mutable std::mutex mu_;
+  uint64_t retrains_completed_ = 0;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_RETRAIN_SCHEDULER_H_

@@ -1,0 +1,226 @@
+#include "core/user_weights.h"
+
+#include <cmath>
+
+#include "cluster/router.h"
+#include "common/logging.h"
+
+namespace velox {
+
+const char* UpdateStrategyName(UpdateStrategy strategy) {
+  switch (strategy) {
+    case UpdateStrategy::kNaiveNormalEquations:
+      return "naive_normal_equations";
+    case UpdateStrategy::kShermanMorrison:
+      return "sherman_morrison";
+  }
+  return "unknown";
+}
+
+UserWeightStore::UserWeightStore(UserWeightStoreOptions options,
+                                 Bootstrapper* bootstrapper)
+    : options_(options), bootstrapper_(bootstrapper) {
+  VELOX_CHECK_GT(options_.dim, 0u);
+  VELOX_CHECK_GT(options_.lambda, 0.0);
+  if (options_.num_stripes == 0) options_.num_stripes = 1;
+  stripes_.reserve(options_.num_stripes);
+  for (size_t i = 0; i < options_.num_stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+UserWeightStore::Stripe& UserWeightStore::StripeFor(uint64_t uid) const {
+  return *stripes_[HashPartitioner::MixHash(uid) % stripes_.size()];
+}
+
+UserWeightStore::UserState UserWeightStore::MakeState(const DenseVector& weights,
+                                                      int32_t model_version) const {
+  UserState state;
+  state.weights = weights;
+  state.prior = weights;
+  state.model_version = model_version;
+  // Strategy state (O(d^2) per user) is allocated lazily on the first
+  // observation — serving-only users cost O(d), not O(d^2).
+  return state;
+}
+
+Result<DenseVector> UserWeightStore::GetWeights(uint64_t uid) const {
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  if (it == stripe.users.end()) {
+    return Status::NotFound("unknown user");
+  }
+  return it->second.weights;
+}
+
+std::optional<DenseVector> UserWeightStore::TryRecover(uint64_t uid) const {
+  if (!recovery_) return std::nullopt;
+  auto recovered = recovery_(uid);
+  if (recovered.has_value() && recovered->dim() != options_.dim) {
+    return std::nullopt;  // stale snapshot from an incompatible version
+  }
+  return recovered;
+}
+
+DenseVector UserWeightStore::GetOrBootstrapWeights(uint64_t uid,
+                                                   const DenseVector& bootstrap_weights) {
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  if (it != stripe.users.end()) return it->second.weights;
+  // Prefer the persisted snapshot (node-failure recovery) over the
+  // cold-start mean.
+  if (auto recovered = TryRecover(uid); recovered.has_value()) {
+    stripe.users[uid] = MakeState(*recovered, 0);
+    if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(*recovered);
+    return *recovered;
+  }
+  VELOX_CHECK_EQ(bootstrap_weights.dim(), options_.dim);
+  stripe.users[uid] = MakeState(bootstrap_weights, 0);
+  if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(bootstrap_weights);
+  return bootstrap_weights;
+}
+
+bool UserWeightStore::HasUser(uint64_t uid) const {
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.users.count(uid) > 0;
+}
+
+void UserWeightStore::SeedUser(uint64_t uid, const DenseVector& weights,
+                               int32_t model_version) {
+  VELOX_CHECK_EQ(weights.dim(), options_.dim);
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  if (it != stripe.users.end()) {
+    if (bootstrapper_ != nullptr) {
+      bootstrapper_->OnUserUpdated(it->second.weights, weights);
+    }
+    uint64_t old_epoch = it->second.epoch;
+    it->second = MakeState(weights, model_version);
+    it->second.epoch = old_epoch + 1;
+  } else {
+    stripe.users[uid] = MakeState(weights, model_version);
+    if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(weights);
+  }
+}
+
+Result<UserWeightStore::UpdateResult> UserWeightStore::ApplyObservation(
+    uint64_t uid, const DenseVector& features, double label) {
+  if (features.dim() != options_.dim) {
+    return Status::InvalidArgument("feature dimension mismatch");
+  }
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  if (it == stripe.users.end()) {
+    DenseVector initial(options_.dim);
+    if (auto recovered = TryRecover(uid); recovered.has_value()) {
+      initial = *recovered;
+    }
+    it = stripe.users.emplace(uid, MakeState(initial, 0)).first;
+    if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(it->second.weights);
+  }
+  UserState& state = it->second;
+
+  UpdateResult result;
+  result.prediction_before = Dot(state.weights, features);
+
+  DenseVector old_weights = state.weights;
+  if (options_.strategy == UpdateStrategy::kNaiveNormalEquations) {
+    if (state.acc == nullptr) {
+      state.acc = std::make_unique<RidgeAccumulator>(options_.dim);
+    }
+    state.acc->AddExample(features, label);
+    VELOX_ASSIGN_OR_RETURN(state.weights,
+                           state.acc->SolveWithPrior(options_.lambda, state.prior));
+  } else {
+    if (state.sm == nullptr) {
+      state.sm = std::make_unique<ShermanMorrisonSolver>(options_.dim, options_.lambda);
+      state.sm->SetPriorMean(state.prior);
+    }
+    state.sm->AddExample(features, label);
+    state.weights = state.sm->Weights();
+  }
+  ++state.num_observations;
+  ++state.epoch;
+  if (bootstrapper_ != nullptr) {
+    bootstrapper_->OnUserUpdated(old_weights, state.weights);
+  }
+
+  result.new_weights = state.weights;
+  result.new_epoch = state.epoch;
+  result.num_observations = state.num_observations;
+  return result;
+}
+
+double UserWeightStore::Uncertainty(uint64_t uid, const DenseVector& features) const {
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  if (it == stripe.users.end()) {
+    // Unknown user: maximal uncertainty under the count proxy.
+    return 1.0;
+  }
+  const UserState& state = it->second;
+  if (state.sm != nullptr) {
+    return state.sm->Uncertainty(features);
+  }
+  if (options_.strategy == UpdateStrategy::kShermanMorrison) {
+    // No observations yet: A^{-1} = (1/lambda) I, so the uncertainty is
+    // ||f|| / sqrt(lambda) — what a fresh solver would report.
+    return features.Norm2() / std::sqrt(options_.lambda);
+  }
+  return 1.0 / std::sqrt(1.0 + static_cast<double>(state.num_observations));
+}
+
+uint64_t UserWeightStore::Epoch(uint64_t uid) const {
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  return it == stripe.users.end() ? 0 : it->second.epoch;
+}
+
+int64_t UserWeightStore::NumObservations(uint64_t uid) const {
+  Stripe& stripe = StripeFor(uid);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.users.find(uid);
+  return it == stripe.users.end() ? 0 : it->second.num_observations;
+}
+
+void UserWeightStore::ResetForNewVersion(const FactorMap& trained_weights,
+                                         int32_t model_version) {
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->users.clear();
+  }
+  if (bootstrapper_ != nullptr) bootstrapper_->Reset();
+  for (const auto& [uid, w] : trained_weights) {
+    if (w.dim() != options_.dim) continue;  // incompatible snapshot entry
+    SeedUser(uid, w, model_version);
+  }
+}
+
+FactorMap UserWeightStore::ExportWeights() const {
+  FactorMap out;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (const auto& [uid, state] : stripe->users) {
+      out[uid] = state.weights;
+    }
+  }
+  return out;
+}
+
+size_t UserWeightStore::num_users() const {
+  size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    n += stripe->users.size();
+  }
+  return n;
+}
+
+}  // namespace velox

@@ -1,0 +1,39 @@
+// Umbrella header: the velox public API.
+//
+//   #include "core/velox.h"
+//
+//   velox::VeloxServerConfig config;
+//   auto model = std::make_unique<velox::MatrixFactorizationModel>(
+//       "songs", velox::AlsConfig{...});
+//   velox::VeloxServer server(config, std::move(model));
+//   server.Bootstrap(initial_ratings);
+//   auto score = server.Predict(uid, item);          // Listing 1
+//   auto top = server.TopK(uid, candidates, 10);
+//   server.Observe(uid, item, rating);
+//
+// See README.md for the architecture overview and examples/ for
+// complete programs.
+#ifndef VELOX_CORE_VELOX_H_
+#define VELOX_CORE_VELOX_H_
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/bandit.h"
+#include "core/deployment.h"
+#include "core/evaluator.h"
+#include "core/frontend.h"
+#include "core/model.h"
+#include "core/model_registry.h"
+#include "core/model_selector.h"
+#include "core/model_snapshot.h"
+#include "core/prediction_service.h"
+#include "core/velox_server.h"
+#include "data/movielens.h"
+#include "data/workload.h"
+#include "ml/als.h"
+#include "ml/feature_function.h"
+
+#endif  // VELOX_CORE_VELOX_H_

@@ -1,0 +1,277 @@
+#include "core/velox_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> model)
+    : config_(config), model_(std::move(model)) {
+  VELOX_CHECK(model_ != nullptr);
+  VELOX_CHECK_EQ(config_.dim, model_->dim());
+  VELOX_CHECK_GT(config_.num_nodes, 0);
+  config_.storage.num_nodes = config_.num_nodes;
+
+  storage_ = std::make_unique<StorageCluster>(config_.storage);
+  VELOX_CHECK_OK(storage_->CreateTable(config_.updater.weights_table));
+
+  registry_ = std::make_unique<ModelRegistry>(model_->name());
+  evaluator_ = std::make_unique<Evaluator>(config_.evaluator);
+  driver_ = std::make_unique<JobDriver>(config_.batch_workers);
+
+  if (!config_.bandit_policy.empty()) {
+    bandit_ = MakeBanditPolicy(config_.bandit_policy);
+    VELOX_CHECK(bandit_ != nullptr)
+        << "unknown bandit policy spec: " << config_.bandit_policy;
+  }
+
+  std::vector<NodeComponents> scheduler_nodes;
+  for (int32_t n = 0; n < config_.num_nodes; ++n) {
+    auto node = std::make_unique<PerNode>();
+    node->client = std::make_unique<StorageClient>(storage_.get(), n);
+    node->bootstrapper = std::make_unique<Bootstrapper>(config_.dim);
+    UserWeightStoreOptions wopts;
+    wopts.dim = config_.dim;
+    wopts.lambda = config_.lambda;
+    wopts.strategy = config_.update_strategy;
+    node->weights =
+        std::make_unique<UserWeightStore>(wopts, node->bootstrapper.get());
+    node->feature_cache = std::make_unique<FeatureCache>(config_.feature_cache_capacity);
+    node->prediction_cache =
+        std::make_unique<PredictionCache>(config_.prediction_cache_capacity);
+
+    PredictionServiceOptions popts;
+    popts.use_feature_cache = config_.use_feature_cache;
+    popts.use_prediction_cache = config_.use_prediction_cache;
+    FeatureResolver resolver =
+        config_.distribute_item_features
+            ? FeatureResolver(node->client.get(),
+                              config_.retrain.feature_table_prefix)
+            : FeatureResolver();
+    node->prediction_service = std::make_unique<PredictionService>(
+        popts, registry_.get(), node->weights.get(), node->bootstrapper.get(),
+        node->feature_cache.get(), node->prediction_cache.get(), std::move(resolver));
+
+    node->updater = std::make_unique<OnlineUpdater>(
+        config_.updater, model_.get(), registry_.get(), node->weights.get(),
+        node->prediction_service.get(), evaluator_.get(), node->client.get());
+
+    // Node-failure recovery: when a remapped user is absent from this
+    // node's memory, fetch their last persisted weights from the
+    // (replicated) storage tier.
+    StorageClient* client = node->client.get();
+    std::string weights_table = config_.updater.weights_table;
+    node->weights->SetRecoveryFunction(
+        [client, weights_table](uint64_t uid) -> std::optional<DenseVector> {
+          auto bytes = client->Get(weights_table, uid);
+          if (!bytes.ok()) return std::nullopt;
+          auto decoded = DecodeFactor(bytes.value());
+          if (!decoded.ok()) return std::nullopt;
+          return std::move(decoded).value();
+        });
+
+    NodeComponents sn;
+    sn.node = n;
+    sn.weights = node->weights.get();
+    sn.feature_cache = node->feature_cache.get();
+    sn.prediction_cache = node->prediction_cache.get();
+    sn.prediction_service = node->prediction_service.get();
+    sn.client = node->client.get();
+    scheduler_nodes.push_back(sn);
+
+    per_node_.push_back(std::move(node));
+
+    rngs_.push_back(std::make_unique<Rng>(config_.seed ^ (0x1000 + static_cast<uint64_t>(n))));
+    rng_mus_.push_back(std::make_unique<std::mutex>());
+  }
+
+  RetrainSchedulerOptions ropts = config_.retrain;
+  ropts.distribute_item_features = config_.distribute_item_features;
+  scheduler_ = std::make_unique<RetrainScheduler>(
+      ropts, model_.get(), registry_.get(), evaluator_.get(), driver_.get(),
+      storage_.get(), std::move(scheduler_nodes));
+}
+
+VeloxServer::~VeloxServer() = default;
+
+Status VeloxServer::Bootstrap(const std::vector<Observation>& initial_data) {
+  if (initial_data.empty()) {
+    return Status::InvalidArgument("bootstrap requires initial observations");
+  }
+  // Land the initial data in the observation log, placed by uid owner,
+  // so future retrains include it; later logical timestamps must come
+  // after the historical ones.
+  int64_t max_ts = 0;
+  for (const Observation& obs : initial_data) {
+    VELOX_ASSIGN_OR_RETURN(NodeId owner, storage_->OwnerOf(obs.uid));
+    storage_->observation_log(owner)->Append(obs);
+    max_ts = std::max(max_ts, obs.timestamp);
+  }
+  storage_->AdvanceTimestampTo(max_ts);
+  VELOX_RETURN_NOT_OK(scheduler_->RetrainNow().status());
+  return Status::OK();
+}
+
+Result<int32_t> VeloxServer::InstallVersion(const RetrainOutput& output) {
+  // Direct installs skip the log replay: callers provide fully-formed
+  // user weights (RetrainNow is the replaying path).
+  VELOX_ASSIGN_OR_RETURN(RetrainReport report,
+                         scheduler_->InstallOutput(output, 0, nullptr));
+  return report.new_version;
+}
+
+Result<NodeId> VeloxServer::HomeNode(uint64_t uid) const {
+  return storage_->OwnerOf(uid);
+}
+
+Result<NodeId> VeloxServer::ServingNode(uint64_t uid, uint64_t approx_payload_bytes) {
+  VELOX_ASSIGN_OR_RETURN(NodeId home, HomeNode(uid));
+  if (config_.route_by_uid || config_.num_nodes == 1) return home;
+  // Unrouted serving: an arbitrary node receives the request and
+  // proxies to the user's home node; charge the round trip.
+  uint64_t r = request_counter_.fetch_add(1, std::memory_order_relaxed);
+  NodeId serving = static_cast<NodeId>(HashPartitioner::MixHash(r) %
+                                       static_cast<uint64_t>(config_.num_nodes));
+  storage_->network()->Charge(serving, home, approx_payload_bytes);
+  storage_->network()->Charge(home, serving, approx_payload_bytes);
+  return home;  // execution still happens where the data lives
+}
+
+Result<ScoredItem> VeloxServer::Predict(uint64_t uid, const Item& item) {
+  VELOX_ASSIGN_OR_RETURN(NodeId node, ServingNode(uid, sizeof(uint64_t) * 2));
+  return per_node_[static_cast<size_t>(node)]->prediction_service->Predict(uid, item);
+}
+
+Result<TopKResult> VeloxServer::TopK(uint64_t uid, const std::vector<Item>& candidates,
+                                     size_t k) {
+  VELOX_ASSIGN_OR_RETURN(NodeId node,
+                         ServingNode(uid, sizeof(uint64_t) * (1 + candidates.size())));
+  Rng* rng = rngs_[static_cast<size_t>(node)].get();
+  std::lock_guard<std::mutex> lock(*rng_mus_[static_cast<size_t>(node)]);
+  return per_node_[static_cast<size_t>(node)]->prediction_service->TopK(
+      uid, candidates, k, bandit_.get(), rng);
+}
+
+Result<TopKResult> VeloxServer::TopKAll(uint64_t uid, size_t k,
+                                        const PredictionService::ItemFilter& filter) {
+  VELOX_ASSIGN_OR_RETURN(NodeId node, ServingNode(uid, sizeof(uint64_t) * 2));
+  return per_node_[static_cast<size_t>(node)]->prediction_service->TopKAll(uid, k,
+                                                                           filter);
+}
+
+Status VeloxServer::Observe(uint64_t uid, const Item& item, double label) {
+  return ObserveWithProvenance(uid, item, label, /*exploration_sourced=*/false);
+}
+
+Status VeloxServer::ObserveWithProvenance(uint64_t uid, const Item& item, double label,
+                                          bool exploration_sourced) {
+  VELOX_ASSIGN_OR_RETURN(NodeId node, ServingNode(uid, sizeof(uint64_t) * 3));
+  VELOX_RETURN_NOT_OK(per_node_[static_cast<size_t>(node)]
+                          ->updater->Observe(uid, item, label, exploration_sourced)
+                          .status());
+  if (config_.auto_retrain_check_every > 0) {
+    uint64_t n = observe_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % static_cast<uint64_t>(config_.auto_retrain_check_every) == 0) {
+      // The check is cheap; the retrain (if staleness fired) runs
+      // synchronously on this observer's thread — the batch tier is a
+      // shared resource and RetrainScheduler serializes runs anyway.
+      VELOX_RETURN_NOT_OK(scheduler_->MaybeRetrain().status());
+    }
+  }
+  return Status::OK();
+}
+
+Status VeloxServer::FailNode(NodeId node) {
+  if (node < 0 || node >= config_.num_nodes) {
+    return Status::InvalidArgument("no such node");
+  }
+  return storage_->FailNode(node);
+}
+
+Result<bool> VeloxServer::MaybeRetrain() { return scheduler_->MaybeRetrain(); }
+
+Result<RetrainReport> VeloxServer::RetrainNow() { return scheduler_->RetrainNow(); }
+
+Status VeloxServer::Rollback(int32_t version) { return scheduler_->Rollback(version); }
+
+std::vector<ModelVersionInfo> VeloxServer::VersionHistory() const {
+  return registry_->History();
+}
+
+EvaluatorReport VeloxServer::QualityReport() const { return evaluator_->Report(); }
+
+std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
+  MetricsRegistry scratch;
+  MetricsRegistry* target = registry != nullptr ? registry : &scratch;
+  std::string prefix = "velox." + model_->name() + ".";
+
+  ServerCacheStats caches = AggregatedCacheStats();
+  target->GetGauge(prefix + "feature_cache.hit_rate")->Set(caches.feature.HitRate());
+  target->GetCounter(prefix + "feature_cache.hits")->Reset();
+  target->GetCounter(prefix + "feature_cache.hits")->Increment(caches.feature.hits);
+  target->GetCounter(prefix + "feature_cache.misses")->Reset();
+  target->GetCounter(prefix + "feature_cache.misses")->Increment(caches.feature.misses);
+  target->GetGauge(prefix + "prediction_cache.hit_rate")
+      ->Set(caches.prediction.HitRate());
+  target->GetGauge(prefix + "prediction_cache.entries")
+      ->Set(static_cast<double>(caches.prediction.entries));
+
+  NetworkStats net = storage_->network()->stats();
+  target->GetGauge(prefix + "network.remote_fraction")->Set(net.RemoteFraction());
+  target->GetCounter(prefix + "network.remote_messages")->Reset();
+  target->GetCounter(prefix + "network.remote_messages")
+      ->Increment(net.remote_messages);
+  target->GetCounter(prefix + "network.local_messages")->Reset();
+  target->GetCounter(prefix + "network.local_messages")->Increment(net.local_messages);
+
+  EvaluatorReport quality = evaluator_->Report();
+  target->GetGauge(prefix + "quality.mean_online_loss")->Set(quality.mean_online_loss);
+  target->GetGauge(prefix + "quality.ewma_heldout_loss")->Set(quality.ewma_loss);
+  target->GetGauge(prefix + "quality.stale")->Set(quality.stale ? 1.0 : 0.0);
+  target->GetGauge(prefix + "quality.validation_pool")
+      ->Set(static_cast<double>(quality.validation_pool_size));
+
+  target->GetGauge(prefix + "model.version")
+      ->Set(static_cast<double>(registry_->current_version()));
+  target->GetGauge(prefix + "model.versions_total")
+      ->Set(static_cast<double>(registry_->History().size()));
+  target->GetGauge(prefix + "users.total")->Set(static_cast<double>(TotalUsers()));
+
+  return target->Report();
+}
+
+ServerCacheStats VeloxServer::AggregatedCacheStats() const {
+  ServerCacheStats agg;
+  for (const auto& node : per_node_) {
+    CacheStats f = node->feature_cache->stats();
+    agg.feature.hits += f.hits;
+    agg.feature.misses += f.misses;
+    agg.feature.evictions += f.evictions;
+    agg.feature.invalidations += f.invalidations;
+    agg.feature.entries += f.entries;
+    CacheStats p = node->prediction_cache->stats();
+    agg.prediction.hits += p.hits;
+    agg.prediction.misses += p.misses;
+    agg.prediction.evictions += p.evictions;
+    agg.prediction.invalidations += p.invalidations;
+    agg.prediction.entries += p.entries;
+  }
+  return agg;
+}
+
+void VeloxServer::ResetCacheStats() {
+  for (const auto& node : per_node_) {
+    node->feature_cache->ResetStats();
+    node->prediction_cache->ResetStats();
+  }
+}
+
+size_t VeloxServer::TotalUsers() const {
+  size_t total = 0;
+  for (const auto& node : per_node_) total += node->weights->num_users();
+  return total;
+}
+
+}  // namespace velox

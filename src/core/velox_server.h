@@ -1,0 +1,199 @@
+// VeloxServer — the whole system, wired per the paper's Figure 2.
+//
+// One VeloxServer simulates a Velox deployment: a storage cluster
+// (Tachyon stand-in) of N nodes, and on every node a co-located model
+// predictor (prediction service + feature/prediction caches) and model
+// manager shard (user-weight store + online updater). Cluster-wide
+// control plane: one model registry, evaluator, retrain scheduler and
+// batch job driver.
+//
+// Request routing (§5): by default requests are routed to the node
+// owning the user's weights, so all W reads/writes are local. The
+// `route_by_uid=false` ablation serves each request from an arbitrary
+// node and charges the proxy round-trip to the user's home node,
+// quantifying what the routing policy saves.
+#ifndef VELOX_CORE_VELOX_SERVER_H_
+#define VELOX_CORE_VELOX_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "batch/job.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "core/bandit.h"
+#include "core/bootstrap.h"
+#include "core/evaluator.h"
+#include "core/feature_cache.h"
+#include "core/model.h"
+#include "core/model_registry.h"
+#include "core/online_updater.h"
+#include "core/prediction_cache.h"
+#include "core/prediction_service.h"
+#include "core/retrain_scheduler.h"
+#include "core/user_weights.h"
+#include "storage/storage_client.h"
+#include "storage/storage_cluster.h"
+
+namespace velox {
+
+struct VeloxServerConfig {
+  int32_t num_nodes = 1;
+  // Feature/weight dimension d (must match the model's dim()).
+  size_t dim = 10;
+  double lambda = 0.1;
+  UpdateStrategy update_strategy = UpdateStrategy::kShermanMorrison;
+
+  size_t feature_cache_capacity = 1 << 16;
+  size_t prediction_cache_capacity = 1 << 18;
+  bool use_feature_cache = true;
+  bool use_prediction_cache = true;
+
+  // Serve item features from the distributed storage tier (remote
+  // fetches through the feature cache) instead of the in-process θ.
+  bool distribute_item_features = false;
+
+  // Route requests to the user's home node (§5). Ablation toggle.
+  bool route_by_uid = true;
+
+  // Bandit policy spec for topK ("greedy", "epsilon_greedy:0.1",
+  // "linucb:0.5", "thompson"); empty = greedy, no exploration marking.
+  std::string bandit_policy = "linucb:0.5";
+
+  // When > 0, every N-th observe() call checks the staleness signal and
+  // retrains synchronously if it fired — the paper's automatic
+  // "monitoring ... triggers offline retraining" loop without an
+  // operator polling MaybeRetrain(). 0 = manual only.
+  int64_t auto_retrain_check_every = 0;
+
+  OnlineUpdaterOptions updater;
+  EvaluatorOptions evaluator;
+  RetrainSchedulerOptions retrain;
+  StorageClusterOptions storage;
+  size_t batch_workers = 2;
+  uint64_t seed = 123;
+};
+
+// Aggregated cache statistics across nodes.
+struct ServerCacheStats {
+  CacheStats feature;
+  CacheStats prediction;
+};
+
+class VeloxServer {
+ public:
+  // Takes ownership of `model`. The server starts without a model
+  // version; call Bootstrap() (offline train on initial data) or
+  // InstallVersion() before serving predictions.
+  VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> model);
+  ~VeloxServer();
+
+  VeloxServer(const VeloxServer&) = delete;
+  VeloxServer& operator=(const VeloxServer&) = delete;
+
+  // Runs the model's offline training on `initial_data` via the batch
+  // tier and installs the result as version 1. Also appends
+  // `initial_data` to the observation log shards (by uid ownership) so
+  // future retrains see it.
+  Status Bootstrap(const std::vector<Observation>& initial_data);
+
+  // Installs a pre-trained output directly (no batch job).
+  Result<int32_t> InstallVersion(const RetrainOutput& output);
+
+  // ---- Listing 1: the prediction and observation API ----
+  Result<ScoredItem> Predict(uint64_t uid, const Item& item);
+  Result<TopKResult> TopK(uint64_t uid, const std::vector<Item>& candidates, size_t k);
+  // Greedy top-K over the whole catalog (heap scan of the materialized
+  // θ; see PredictionService::TopKAll). `filter` optionally drops items
+  // before scoring (application-level pre-filtering policies, §5).
+  Result<TopKResult> TopKAll(uint64_t uid, size_t k,
+                             const PredictionService::ItemFilter& filter = nullptr);
+  Status Observe(uint64_t uid, const Item& item, double label);
+  // Observe with provenance from a previous TopK (exploration-sourced
+  // observations feed the bandit validation pool).
+  Status ObserveWithProvenance(uint64_t uid, const Item& item, double label,
+                               bool exploration_sourced);
+
+  // ---- fault tolerance ----
+  // Simulates the crash of one serving/storage node. Ownership of its
+  // users and item shards remaps to the survivors (consistent-hash
+  // ring); user weights are recovered lazily from the replicated
+  // `user_weights` storage table on next access (online sufficient
+  // statistics restart from the recovered prior). Requires
+  // storage.replication_factor > 1 for lossless weight recovery.
+  Status FailNode(NodeId node);
+
+  // ---- lifecycle management ----
+  Result<bool> MaybeRetrain();
+  Result<RetrainReport> RetrainNow();
+  Status Rollback(int32_t version);
+  std::vector<ModelVersionInfo> VersionHistory() const;
+  EvaluatorReport QualityReport() const;
+
+  // ---- introspection ----
+  // Publishes a consistent snapshot of all server metrics (caches,
+  // network, evaluator, versions, users) into `registry` under the
+  // "velox.<model>." prefix and returns its textual report. Passing
+  // nullptr uses a private scratch registry (report-only).
+  std::string MetricsReport(MetricsRegistry* registry = nullptr) const;
+
+  ServerCacheStats AggregatedCacheStats() const;
+  void ResetCacheStats();
+  NetworkStats NetworkStatistics() const { return storage_->network()->stats(); }
+  void ResetNetworkStats() { storage_->network()->ResetStats(); }
+  size_t TotalUsers() const;
+  int32_t current_version() const { return registry_->current_version(); }
+  const VeloxServerConfig& config() const { return config_; }
+
+  StorageCluster* storage() { return storage_.get(); }
+  Evaluator* evaluator() { return evaluator_.get(); }
+  ModelRegistry* registry() { return registry_.get(); }
+  const VeloxModel* model() const { return model_.get(); }
+  // Direct access to a node's prediction service (benchmarks).
+  PredictionService* prediction_service(NodeId node) {
+    return per_node_[static_cast<size_t>(node)]->prediction_service.get();
+  }
+  UserWeightStore* user_weights(NodeId node) {
+    return per_node_[static_cast<size_t>(node)]->weights.get();
+  }
+
+ private:
+  struct PerNode {
+    std::unique_ptr<StorageClient> client;
+    std::unique_ptr<Bootstrapper> bootstrapper;
+    std::unique_ptr<UserWeightStore> weights;
+    std::unique_ptr<FeatureCache> feature_cache;
+    std::unique_ptr<PredictionCache> prediction_cache;
+    std::unique_ptr<PredictionService> prediction_service;
+    std::unique_ptr<OnlineUpdater> updater;
+  };
+
+  // Home node of a user (ring placement).
+  Result<NodeId> HomeNode(uint64_t uid) const;
+  // Node that serves this request; equals HomeNode under uid routing,
+  // pseudo-random otherwise (with the proxy hop charged).
+  Result<NodeId> ServingNode(uint64_t uid, uint64_t approx_payload_bytes);
+
+  VeloxServerConfig config_;
+  std::unique_ptr<VeloxModel> model_;
+  std::unique_ptr<StorageCluster> storage_;
+  std::unique_ptr<ModelRegistry> registry_;
+  std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<JobDriver> driver_;
+  std::vector<std::unique_ptr<PerNode>> per_node_;
+  std::unique_ptr<RetrainScheduler> scheduler_;
+  std::unique_ptr<BanditPolicy> bandit_;
+  // Per-call randomness for bandit policies; mutex-free via striping.
+  std::vector<std::unique_ptr<Rng>> rngs_;
+  std::vector<std::unique_ptr<std::mutex>> rng_mus_;
+  std::atomic<uint64_t> request_counter_{0};
+  std::atomic<uint64_t> observe_counter_{0};
+};
+
+}  // namespace velox
+
+#endif  // VELOX_CORE_VELOX_SERVER_H_

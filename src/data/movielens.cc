@@ -1,0 +1,173 @@
+#include "data/movielens.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+double SyntheticDataset::TrueScore(uint64_t uid, uint64_t item_id) const {
+  auto u = true_user_factors.find(uid);
+  auto i = true_item_factors.find(item_id);
+  if (u == true_user_factors.end() || i == true_item_factors.end()) {
+    return config.mean_rating;
+  }
+  return config.mean_rating + Dot(u->second, i->second);
+}
+
+Result<SyntheticDataset> GenerateSyntheticMovieLens(
+    const SyntheticMovieLensConfig& config) {
+  if (config.num_users <= 0 || config.num_items <= 0) {
+    return Status::InvalidArgument("num_users and num_items must be positive");
+  }
+  if (config.latent_rank == 0) {
+    return Status::InvalidArgument("latent_rank must be positive");
+  }
+  if (config.min_ratings_per_user <= 0 ||
+      config.max_ratings_per_user < config.min_ratings_per_user) {
+    return Status::InvalidArgument("invalid ratings_per_user range");
+  }
+  if (config.max_ratings_per_user > config.num_items) {
+    return Status::InvalidArgument("max_ratings_per_user exceeds catalog size");
+  }
+  if (config.rating_min >= config.rating_max) {
+    return Status::InvalidArgument("rating_min must be < rating_max");
+  }
+
+  SyntheticDataset ds;
+  ds.config = config;
+
+  // Factor scale: entries N(0, 1/sqrt(rank)) make w.x have unit-ish
+  // variance, spreading planted scores across the rating range.
+  double factor_stddev = 1.0 / std::sqrt(static_cast<double>(config.latent_rank));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    ds.true_user_factors[static_cast<uint64_t>(u)] = InitFactor(
+        config.latent_rank, factor_stddev, config.seed ^ 0x75736572ULL,  // "user"
+        static_cast<uint64_t>(u));
+  }
+  for (int64_t i = 0; i < config.num_items; ++i) {
+    ds.true_item_factors[static_cast<uint64_t>(i)] = InitFactor(
+        config.latent_rank, factor_stddev, config.seed ^ 0x6974656dULL,  // "item"
+        static_cast<uint64_t>(i));
+  }
+
+  Rng rng(config.seed);
+  ZipfDistribution item_pop(config.num_items, config.zipf_exponent);
+  int64_t timestamp = 0;
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    int64_t count =
+        rng.UniformInt(config.min_ratings_per_user, config.max_ratings_per_user);
+    std::unordered_set<uint64_t> rated;
+    rated.reserve(static_cast<size_t>(count) * 2);
+    int64_t attempts = 0;
+    // Zipf sampling with rejection of repeats; bail to uniform fill if
+    // the head is so hot that distinct draws stall.
+    const int64_t max_attempts = count * 50;
+    while (static_cast<int64_t>(rated.size()) < count && attempts < max_attempts) {
+      ++attempts;
+      uint64_t item = static_cast<uint64_t>(item_pop.Sample(&rng));
+      if (!rated.insert(item).second) continue;
+      Observation obs;
+      obs.uid = static_cast<uint64_t>(u);
+      obs.item_id = item;
+      double raw = ds.TrueScore(obs.uid, item) + rng.Gaussian(0.0, config.noise_stddev);
+      raw = std::clamp(raw, config.rating_min, config.rating_max);
+      if (config.half_star_rounding) raw = std::round(raw * 2.0) / 2.0;
+      obs.label = raw;
+      obs.timestamp = timestamp++;
+      ds.ratings.push_back(obs);
+    }
+  }
+  return ds;
+}
+
+Result<std::vector<Observation>> LoadMovieLensRatings(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open ratings file: " + path);
+  std::vector<Observation> out;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    auto fields = StrSplit(stripped, std::string_view("::"));
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected 4 '::'-separated fields", path.c_str(), line_no));
+    }
+    Observation obs;
+    VELOX_ASSIGN_OR_RETURN(int64_t uid, ParseInt64(fields[0]));
+    VELOX_ASSIGN_OR_RETURN(int64_t item, ParseInt64(fields[1]));
+    VELOX_ASSIGN_OR_RETURN(obs.label, ParseDouble(fields[2]));
+    VELOX_ASSIGN_OR_RETURN(obs.timestamp, ParseInt64(fields[3]));
+    obs.uid = static_cast<uint64_t>(uid);
+    obs.item_id = static_cast<uint64_t>(item);
+    out.push_back(obs);
+  }
+  return out;
+}
+
+Result<std::vector<Observation>> LoadMovieLensCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open ratings file: " + path);
+  std::vector<Observation> out;
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      if (StartsWith(stripped, "userId")) continue;  // header row
+      // Headerless files are accepted; fall through and parse the row.
+    }
+    auto fields = StrSplit(stripped, ',');
+    if (fields.size() != 4) {
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected 4 comma-separated fields", path.c_str(), line_no));
+    }
+    Observation obs;
+    VELOX_ASSIGN_OR_RETURN(int64_t uid, ParseInt64(fields[0]));
+    VELOX_ASSIGN_OR_RETURN(int64_t item, ParseInt64(fields[1]));
+    VELOX_ASSIGN_OR_RETURN(obs.label, ParseDouble(fields[2]));
+    VELOX_ASSIGN_OR_RETURN(obs.timestamp, ParseInt64(fields[3]));
+    obs.uid = static_cast<uint64_t>(uid);
+    obs.item_id = static_cast<uint64_t>(item);
+    out.push_back(obs);
+  }
+  return out;
+}
+
+void SplitPerUserChronological(const std::vector<Observation>& ratings,
+                               double head_fraction, std::vector<Observation>* head,
+                               std::vector<Observation>* tail) {
+  VELOX_CHECK(head != nullptr && tail != nullptr);
+  VELOX_CHECK_GE(head_fraction, 0.0);
+  VELOX_CHECK_LE(head_fraction, 1.0);
+  head->clear();
+  tail->clear();
+  std::unordered_map<uint64_t, std::vector<Observation>> per_user;
+  for (const Observation& obs : ratings) per_user[obs.uid].push_back(obs);
+  for (auto& [uid, list] : per_user) {
+    std::sort(list.begin(), list.end(),
+              [](const Observation& a, const Observation& b) {
+                return a.timestamp < b.timestamp;
+              });
+    size_t cut = static_cast<size_t>(
+        std::llround(head_fraction * static_cast<double>(list.size())));
+    for (size_t i = 0; i < list.size(); ++i) {
+      (i < cut ? head : tail)->push_back(list[i]);
+    }
+  }
+}
+
+}  // namespace velox

@@ -1,0 +1,78 @@
+// MovieLens-like data: a loader for the real MovieLens ratings format
+// and a synthetic generator with the statistical shape the paper's
+// experiments rely on.
+//
+// The paper evaluates on MovieLens 10M (69,878 users; 10,677 movies;
+// 10M ratings in {0.5, 1.0, ..., 5.0}). That file is not available
+// offline, so GenerateSyntheticMovieLens produces ratings from a
+// planted low-rank model: ground-truth user/item factors, Gaussian
+// noise, Zipfian item popularity (§5: "item popularity often follows a
+// Zipfian distribution"), and MovieLens-style half-star clipping. The
+// planted factors give every accuracy experiment a known ground truth
+// (DESIGN.md §2 documents this substitution).
+#ifndef VELOX_DATA_MOVIELENS_H_
+#define VELOX_DATA_MOVIELENS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/als.h"
+#include "storage/observation_log.h"
+
+namespace velox {
+
+struct SyntheticMovieLensConfig {
+  int64_t num_users = 1000;
+  int64_t num_items = 2000;
+  // Rank of the planted factor model.
+  size_t latent_rank = 10;
+  // Rating = clip(mean + w_uᵀx_i + N(0, noise)).
+  double mean_rating = 3.5;
+  double noise_stddev = 0.4;
+  // Popularity skew of item selection (0 = uniform).
+  double zipf_exponent = 1.0;
+  // Each user rates between min_ratings_per_user and
+  // max_ratings_per_user distinct items (uniform).
+  int64_t min_ratings_per_user = 10;
+  int64_t max_ratings_per_user = 30;
+  double rating_min = 0.5;
+  double rating_max = 5.0;
+  // Round ratings to half stars like MovieLens.
+  bool half_star_rounding = true;
+  uint64_t seed = 42;
+};
+
+struct SyntheticDataset {
+  SyntheticMovieLensConfig config;
+  // The planted ground truth.
+  FactorMap true_user_factors;
+  FactorMap true_item_factors;
+  // Observed (noisy, clipped) ratings, timestamp-ordered per user.
+  std::vector<Observation> ratings;
+
+  // Noise-free planted score for (uid, item).
+  double TrueScore(uint64_t uid, uint64_t item_id) const;
+};
+
+Result<SyntheticDataset> GenerateSyntheticMovieLens(const SyntheticMovieLensConfig& config);
+
+// Parses the MovieLens "uid::item::rating::timestamp" format (ML-1M /
+// ML-10M ratings.dat). Malformed lines fail the load.
+Result<std::vector<Observation>> LoadMovieLensRatings(const std::string& path);
+
+// Parses the newer ml-latest CSV format: a "userId,movieId,rating,
+// timestamp" header followed by comma-separated rows.
+Result<std::vector<Observation>> LoadMovieLensCsv(const std::string& path);
+
+// Chronological per-user split helper for the §4.2 protocol: for each
+// user, the first `head_fraction` of their ratings (by timestamp) go
+// to `head`, the rest to `tail`.
+void SplitPerUserChronological(const std::vector<Observation>& ratings,
+                               double head_fraction, std::vector<Observation>* head,
+                               std::vector<Observation>* tail);
+
+}  // namespace velox
+
+#endif  // VELOX_DATA_MOVIELENS_H_

@@ -1,0 +1,66 @@
+#include "data/workload.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace velox {
+
+Result<WorkloadGenerator> WorkloadGenerator::Make(const WorkloadConfig& config) {
+  if (config.num_users <= 0 || config.num_items <= 0) {
+    return Status::InvalidArgument("num_users and num_items must be positive");
+  }
+  if (config.predict_fraction < 0.0 || config.topk_fraction < 0.0 ||
+      config.predict_fraction + config.topk_fraction > 1.0) {
+    return Status::InvalidArgument("invalid request mix");
+  }
+  if (config.topk_set_size <= 0 || config.topk_set_size > config.num_items) {
+    return Status::InvalidArgument("invalid topk_set_size");
+  }
+  return WorkloadGenerator(config);
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      item_pop_(config.num_items, config.zipf_exponent) {}
+
+Request WorkloadGenerator::Next() {
+  Request req;
+  req.uid = rng_.UniformU64(static_cast<uint64_t>(config_.num_users));
+  double roll = rng_.UniformDouble();
+  if (roll < config_.predict_fraction) {
+    req.type = RequestType::kPredict;
+    req.items.push_back(static_cast<uint64_t>(item_pop_.Sample(&rng_)));
+  } else if (roll < config_.predict_fraction + config_.topk_fraction) {
+    req.type = RequestType::kTopK;
+    // Distinct Zipf-popular candidates.
+    std::unordered_set<uint64_t> chosen;
+    chosen.reserve(static_cast<size_t>(config_.topk_set_size) * 2);
+    int64_t attempts = 0;
+    const int64_t max_attempts = config_.topk_set_size * 50;
+    while (static_cast<int64_t>(chosen.size()) < config_.topk_set_size &&
+           attempts++ < max_attempts) {
+      chosen.insert(static_cast<uint64_t>(item_pop_.Sample(&rng_)));
+    }
+    // Fill any shortfall (pathologically hot heads) uniformly.
+    while (static_cast<int64_t>(chosen.size()) < config_.topk_set_size) {
+      chosen.insert(rng_.UniformU64(static_cast<uint64_t>(config_.num_items)));
+    }
+    req.items.assign(chosen.begin(), chosen.end());
+  } else {
+    req.type = RequestType::kObserve;
+    req.items.push_back(static_cast<uint64_t>(item_pop_.Sample(&rng_)));
+    req.label = rng_.UniformDouble(config_.label_min, config_.label_max);
+  }
+  return req;
+}
+
+std::vector<Request> WorkloadGenerator::NextBatch(size_t n) {
+  std::vector<Request> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace velox

@@ -1,0 +1,62 @@
+// Serving workload generator: a stream of predict / topK / observe
+// requests with Zipfian item popularity and uniform user arrivals,
+// used by the examples and the latency/caching benchmarks.
+#ifndef VELOX_DATA_WORKLOAD_H_
+#define VELOX_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace velox {
+
+enum class RequestType { kPredict, kTopK, kObserve };
+
+struct Request {
+  RequestType type = RequestType::kPredict;
+  uint64_t uid = 0;
+  // kPredict/kObserve use items[0]; kTopK uses the whole set.
+  std::vector<uint64_t> items;
+  // Label supplied with kObserve.
+  double label = 0.0;
+};
+
+struct WorkloadConfig {
+  int64_t num_users = 1000;
+  int64_t num_items = 2000;
+  double zipf_exponent = 1.0;
+  // Request mix; must sum to <= 1.0 (remainder = observe).
+  double predict_fraction = 0.6;
+  double topk_fraction = 0.3;
+  // Candidate-set size for topK requests.
+  int64_t topk_set_size = 20;
+  double label_min = 0.5;
+  double label_max = 5.0;
+  uint64_t seed = 7;
+};
+
+class WorkloadGenerator {
+ public:
+  // Fails on invalid mixes/sizes.
+  static Result<WorkloadGenerator> Make(const WorkloadConfig& config);
+
+  Request Next();
+
+  // Convenience: a batch of `n` requests.
+  std::vector<Request> NextBatch(size_t n);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  explicit WorkloadGenerator(const WorkloadConfig& config);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfDistribution item_pop_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_DATA_WORKLOAD_H_

@@ -1,0 +1,75 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace velox {
+
+Result<DenseMatrix> CholeskyFactor(const DenseMatrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  DenseMatrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      const double* li = l.RowPtr(i);
+      const double* lj = l.RowPtr(j);
+      for (size_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::InvalidArgument("matrix is not positive definite");
+        }
+        l.At(i, j) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<DenseVector> CholeskySolveWithFactor(const DenseMatrix& l, const DenseVector& b) {
+  const size_t n = l.rows();
+  if (l.cols() != n || b.dim() != n) {
+    return Status::InvalidArgument("factor/vector dimension mismatch");
+  }
+  // Forward substitution: L y = b.
+  DenseVector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* li = l.RowPtr(i);
+    for (size_t k = 0; k < i; ++k) sum -= li[k] * y[k];
+    y[i] = sum / li[i];
+  }
+  // Backward substitution: L^T x = y.
+  DenseVector x(n);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+Result<DenseVector> CholeskySolve(const DenseMatrix& a, const DenseVector& b) {
+  VELOX_ASSIGN_OR_RETURN(DenseMatrix l, CholeskyFactor(a));
+  return CholeskySolveWithFactor(l, b);
+}
+
+Result<DenseMatrix> SpdInverse(const DenseMatrix& a) {
+  VELOX_ASSIGN_OR_RETURN(DenseMatrix l, CholeskyFactor(a));
+  const size_t n = a.rows();
+  DenseMatrix inv(n, n);
+  // Solve A x = e_i column by column.
+  DenseVector e(n);
+  for (size_t i = 0; i < n; ++i) {
+    e.Fill(0.0);
+    e[i] = 1.0;
+    VELOX_ASSIGN_OR_RETURN(DenseVector x, CholeskySolveWithFactor(l, e));
+    for (size_t r = 0; r < n; ++r) inv.At(r, i) = x[r];
+  }
+  return inv;
+}
+
+}  // namespace velox

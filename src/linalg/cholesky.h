@@ -1,0 +1,29 @@
+// Cholesky factorization and SPD solves — the O(d^3) "naive
+// implementation" path of the paper's Eq. 2 normal-equation update
+// (and the per-step solver inside ALS).
+#ifndef VELOX_LINALG_CHOLESKY_H_
+#define VELOX_LINALG_CHOLESKY_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace velox {
+
+// Computes the lower-triangular L with A = L L^T. Fails with
+// InvalidArgument if A is not square or not (numerically) positive
+// definite.
+Result<DenseMatrix> CholeskyFactor(const DenseMatrix& a);
+
+// Solves A x = b for SPD A via Cholesky. O(n^3).
+Result<DenseVector> CholeskySolve(const DenseMatrix& a, const DenseVector& b);
+
+// Solves L y = b (forward) then L^T x = y (backward) given the factor.
+Result<DenseVector> CholeskySolveWithFactor(const DenseMatrix& l, const DenseVector& b);
+
+// Inverse of SPD A via Cholesky (used to seed Sherman-Morrison state).
+Result<DenseMatrix> SpdInverse(const DenseMatrix& a);
+
+}  // namespace velox
+
+#endif  // VELOX_LINALG_CHOLESKY_H_

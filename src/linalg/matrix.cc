@@ -1,0 +1,166 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace velox {
+
+DenseVector DenseMatrix::Row(size_t r) const {
+  VELOX_CHECK_LT(r, rows_);
+  DenseVector v(cols_);
+  std::copy(RowPtr(r), RowPtr(r) + cols_, v.data());
+  return v;
+}
+
+void DenseMatrix::SetRow(size_t r, const DenseVector& v) {
+  VELOX_CHECK_LT(r, rows_);
+  VELOX_CHECK_EQ(v.dim(), cols_);
+  std::copy(v.data(), v.data() + cols_, RowPtr(r));
+}
+
+void DenseMatrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void DenseMatrix::SetIdentity() {
+  VELOX_CHECK_EQ(rows_, cols_);
+  Fill(0.0);
+  for (size_t i = 0; i < rows_; ++i) At(i, i) = 1.0;
+}
+
+void DenseMatrix::AddDiagonal(double alpha) {
+  VELOX_CHECK_EQ(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) At(i, i) += alpha;
+}
+
+DenseVector DenseMatrix::Gemv(const DenseVector& x) const {
+  VELOX_CHECK_EQ(x.dim(), cols_);
+  DenseVector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double s = 0.0;
+    for (size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+DenseVector DenseMatrix::GemvTranspose(const DenseVector& x) const {
+  VELOX_CHECK_EQ(x.dim(), rows_);
+  DenseVector out(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
+  }
+  return out;
+}
+
+void DenseMatrix::Ger(double alpha, const DenseVector& x, const DenseVector& y) {
+  VELOX_CHECK_EQ(x.dim(), rows_);
+  VELOX_CHECK_EQ(y.dim(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    double ax = alpha * x[r];
+    if (ax == 0.0) continue;
+    double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) row[c] += ax * y[c];
+  }
+}
+
+void DenseMatrix::Add(const DenseMatrix& other) {
+  VELOX_CHECK_EQ(rows_, other.rows_);
+  VELOX_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void DenseMatrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+double DenseMatrix::FrobeniusNorm() const {
+  double sq = 0.0;
+  for (double v : data_) sq += v * v;
+  return std::sqrt(sq);
+}
+
+std::string DenseMatrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (size_t r = 0; r < rows_ && r < max_rows; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < cols_ && c < max_cols; ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    if (cols_ > max_cols) os << ", ...";
+    os << "]";
+  }
+  if (rows_ > max_rows) os << " ...";
+  os << "]";
+  return os.str();
+}
+
+DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {
+  VELOX_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.RowPtr(i);
+    const double* arow = a.RowPtr(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.RowPtr(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+DenseMatrix AtA(const DenseMatrix& a) {
+  DenseMatrix g(a.cols(), a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.RowPtr(r);
+    // Accumulate the upper triangle, then mirror.
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double ri = row[i];
+      if (ri == 0.0) continue;
+      double* grow = g.RowPtr(i);
+      for (size_t j = i; j < a.cols(); ++j) grow[j] += ri * row[j];
+    }
+  }
+  for (size_t i = 0; i < a.cols(); ++i) {
+    for (size_t j = 0; j < i; ++j) g.At(i, j) = g.At(j, i);
+  }
+  return g;
+}
+
+DenseVector Aty(const DenseMatrix& a, const DenseVector& y) {
+  return a.GemvTranspose(y);
+}
+
+double MaxAbsDiff(const DenseMatrix& a, const DenseMatrix& b) {
+  VELOX_CHECK_EQ(a.rows(), b.rows());
+  VELOX_CHECK_EQ(a.cols(), b.cols());
+  double m = 0.0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      m = std::max(m, std::abs(a.At(r, c) - b.At(r, c)));
+    }
+  }
+  return m;
+}
+
+}  // namespace velox

@@ -1,0 +1,58 @@
+#include "linalg/ridge.h"
+
+#include "common/logging.h"
+#include "linalg/cholesky.h"
+
+namespace velox {
+
+void RidgeAccumulator::AddExample(const DenseVector& features, double label) {
+  VELOX_CHECK_EQ(features.dim(), dim());
+  ftf_.Ger(1.0, features, features);
+  fty_.Axpy(label, features);
+  ++num_examples_;
+}
+
+void RidgeAccumulator::RemoveExample(const DenseVector& features, double label) {
+  VELOX_CHECK_EQ(features.dim(), dim());
+  VELOX_CHECK_GT(num_examples_, 0);
+  ftf_.Ger(-1.0, features, features);
+  fty_.Axpy(-label, features);
+  --num_examples_;
+}
+
+Result<DenseVector> RidgeAccumulator::Solve(double lambda) const {
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("ridge lambda must be positive");
+  }
+  DenseMatrix a = ftf_;
+  a.AddDiagonal(lambda);
+  return CholeskySolve(a, fty_);
+}
+
+Result<DenseVector> RidgeAccumulator::SolveWithPrior(
+    double lambda, const DenseVector& prior_mean) const {
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("ridge lambda must be positive");
+  }
+  if (prior_mean.dim() != dim()) {
+    return Status::InvalidArgument("prior mean dimension mismatch");
+  }
+  DenseMatrix a = ftf_;
+  a.AddDiagonal(lambda);
+  DenseVector rhs = fty_;
+  rhs.Axpy(lambda, prior_mean);
+  return CholeskySolve(a, rhs);
+}
+
+Result<DenseVector> RidgeSolve(const DenseMatrix& f, const DenseVector& y, double lambda) {
+  if (f.rows() != y.dim()) {
+    return Status::InvalidArgument("design matrix rows must match label count");
+  }
+  RidgeAccumulator acc(f.cols());
+  for (size_t r = 0; r < f.rows(); ++r) {
+    acc.AddExample(f.Row(r), y[r]);
+  }
+  return acc.Solve(lambda);
+}
+
+}  // namespace velox

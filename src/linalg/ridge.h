@@ -1,0 +1,64 @@
+// Ridge regression via the normal equations — exactly the paper's
+// Eq. 2:
+//
+//   w_u <- (F(X,θ)^T F(X,θ) + λ I)^{-1} F(X,θ)^T Y
+//
+// RidgeAccumulator maintains the sufficient statistics (Gram matrix
+// F^T F and moment vector F^T Y) incrementally so a user's weight
+// vector can be recomputed after each observation without retouching
+// historical examples. Solving from the accumulator is O(d^3)
+// (Cholesky): this is the "naive implementation" whose latency the
+// paper reports in Figure 3. The O(d^2) alternative lives in
+// linalg/sherman_morrison.h.
+#ifndef VELOX_LINALG_RIDGE_H_
+#define VELOX_LINALG_RIDGE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace velox {
+
+class RidgeAccumulator {
+ public:
+  RidgeAccumulator() = default;
+  explicit RidgeAccumulator(size_t dim) : ftf_(dim, dim), fty_(dim) {}
+
+  size_t dim() const { return fty_.dim(); }
+  int64_t num_examples() const { return num_examples_; }
+
+  // Adds one (features, label) example: FtF += f f^T, Fty += y f.
+  void AddExample(const DenseVector& features, double label);
+
+  // Removes an example previously added (used by cross-validation to
+  // score an observation before absorbing it).
+  void RemoveExample(const DenseVector& features, double label);
+
+  // Solves (FtF + lambda I) w = Fty from scratch. O(d^3).
+  Result<DenseVector> Solve(double lambda) const;
+
+  // Ridge with a non-zero prior mean w₀ (Gaussian prior centered at
+  // w₀): solves (FtF + lambda I) w = Fty + lambda w₀, so with no data
+  // the solution is w₀ itself. Used to continue online learning from
+  // offline-trained weights.
+  Result<DenseVector> SolveWithPrior(double lambda, const DenseVector& prior_mean) const;
+
+  const DenseMatrix& ftf() const { return ftf_; }
+  const DenseVector& fty() const { return fty_; }
+
+ private:
+  DenseMatrix ftf_;
+  DenseVector fty_;
+  int64_t num_examples_ = 0;
+};
+
+// One-shot ridge solve from a design matrix: rows of `f` are feature
+// vectors, `y` the labels. Equivalent to accumulating all rows and
+// calling Solve.
+Result<DenseVector> RidgeSolve(const DenseMatrix& f, const DenseVector& y, double lambda);
+
+}  // namespace velox
+
+#endif  // VELOX_LINALG_RIDGE_H_

@@ -1,0 +1,77 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace velox {
+
+void DenseVector::Axpy(double alpha, const DenseVector& other) {
+  VELOX_CHECK_EQ(dim(), other.dim());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void DenseVector::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+void DenseVector::Fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+double DenseVector::Norm2() const {
+  double sq = 0.0;
+  for (double v : data_) sq += v * v;
+  return std::sqrt(sq);
+}
+
+double DenseVector::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+std::string DenseVector::ToString(size_t max_entries) const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < data_.size() && i < max_entries; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  if (data_.size() > max_entries) os << ", ... (" << data_.size() << " entries)";
+  os << "]";
+  return os.str();
+}
+
+double Dot(const DenseVector& a, const DenseVector& b) {
+  VELOX_CHECK_EQ(a.dim(), b.dim());
+  double s = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a.dim(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+DenseVector Add(const DenseVector& a, const DenseVector& b) {
+  VELOX_CHECK_EQ(a.dim(), b.dim());
+  DenseVector out(a.dim());
+  for (size_t i = 0; i < a.dim(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+DenseVector Subtract(const DenseVector& a, const DenseVector& b) {
+  VELOX_CHECK_EQ(a.dim(), b.dim());
+  DenseVector out(a.dim());
+  for (size_t i = 0; i < a.dim(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double MaxAbsDiff(const DenseVector& a, const DenseVector& b) {
+  VELOX_CHECK_EQ(a.dim(), b.dim());
+  double m = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace velox

@@ -1,0 +1,64 @@
+// Dense double-precision vector with the handful of BLAS-1 operations
+// velox needs (dot products for Eq. 1 scoring, axpy/scale for updates).
+// Deliberately minimal: no expression templates, no allocator games —
+// predictable performance is what the latency experiments measure.
+#ifndef VELOX_LINALG_VECTOR_H_
+#define VELOX_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace velox {
+
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(size_t dim) : data_(dim, 0.0) {}
+  DenseVector(std::initializer_list<double> init) : data_(init) {}
+  explicit DenseVector(std::vector<double> data) : data_(std::move(data)) {}
+
+  size_t dim() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  const std::vector<double>& values() const { return data_; }
+
+  // this += alpha * other. Dimensions must match.
+  void Axpy(double alpha, const DenseVector& other);
+  // this *= alpha.
+  void Scale(double alpha);
+  // Sets all entries to value.
+  void Fill(double value);
+  // Euclidean norm.
+  double Norm2() const;
+  // Sum of entries.
+  double Sum() const;
+
+  std::string ToString(size_t max_entries = 8) const;
+
+  friend bool operator==(const DenseVector& a, const DenseVector& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<double> data_;
+};
+
+// a . b; dimensions must match.
+double Dot(const DenseVector& a, const DenseVector& b);
+
+// Element-wise a + b and a - b.
+DenseVector Add(const DenseVector& a, const DenseVector& b);
+DenseVector Subtract(const DenseVector& a, const DenseVector& b);
+
+// Max |a_i - b_i|; vectors must have equal dimension.
+double MaxAbsDiff(const DenseVector& a, const DenseVector& b);
+
+}  // namespace velox
+
+#endif  // VELOX_LINALG_VECTOR_H_

@@ -1,0 +1,164 @@
+#include "ml/als.h"
+
+#include <cmath>
+#include <mutex>
+
+#include "batch/dataset.h"
+#include "cluster/router.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "linalg/ridge.h"
+
+namespace velox {
+
+double MfModel::PredictOr(uint64_t uid, uint64_t item_id, double fallback) const {
+  auto u = user_factors.find(uid);
+  auto i = item_factors.find(item_id);
+  if (u == user_factors.end() || i == item_factors.end()) return fallback;
+  return Dot(u->second, i->second);
+}
+
+DenseVector MfModel::MeanUserFactor() const {
+  DenseVector mean(rank);
+  if (user_factors.empty()) return mean;
+  for (const auto& [uid, w] : user_factors) mean.Axpy(1.0, w);
+  mean.Scale(1.0 / static_cast<double>(user_factors.size()));
+  return mean;
+}
+
+DenseVector InitFactor(size_t rank, double stddev, uint64_t seed, uint64_t entity_id) {
+  Rng rng(seed ^ HashPartitioner::MixHash(entity_id));
+  DenseVector v(rank);
+  for (size_t k = 0; k < rank; ++k) v[k] = rng.Gaussian(0.0, stddev);
+  return v;
+}
+
+AlsTrainer::AlsTrainer(AlsConfig config) : config_(config) {
+  VELOX_CHECK_GT(config_.rank, 0u);
+  VELOX_CHECK_GT(config_.lambda, 0.0);
+  VELOX_CHECK_GT(config_.iterations, 0);
+  VELOX_CHECK_GT(config_.num_partitions, 0u);
+}
+
+namespace {
+
+// One ALS half-step: for every entity on the solving side, ridge-solve
+// its factor against the `fixed` opposite-side factors. Groups are
+// (entity_id, its ratings); `other_is_item` says which id of each
+// rating indexes the fixed side.
+void SolveSide(BatchExecutor* executor,
+               const Dataset<std::pair<uint64_t, std::vector<Observation>>>& groups,
+               const FactorMap& fixed, size_t rank, double lambda,
+               bool weighted_regularization, double init_stddev, uint64_t seed,
+               bool other_is_item, FactorMap* out) {
+  std::mutex out_mu;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(groups.num_partitions());
+  for (size_t p = 0; p < groups.num_partitions(); ++p) {
+    tasks.push_back([&, p] {
+      FactorMap local;
+      for (const auto& [entity_id, ratings] : groups.partition(p)) {
+        RidgeAccumulator acc(rank);
+        for (const Observation& obs : ratings) {
+          uint64_t other = other_is_item ? obs.item_id : obs.uid;
+          auto it = fixed.find(other);
+          if (it != fixed.end()) {
+            acc.AddExample(it->second, obs.label);
+          } else {
+            // The opposite side may be missing a factor in the first
+            // iteration of a warm start with new entities; seed it
+            // deterministically so both sides see the same value.
+            acc.AddExample(InitFactor(rank, init_stddev, seed, other), obs.label);
+          }
+        }
+        // ALS-WR: regularize proportionally to the entity's rating count.
+        double reg = weighted_regularization
+                         ? lambda * static_cast<double>(acc.num_examples())
+                         : lambda;
+        auto solved = acc.Solve(reg);
+        if (solved.ok()) {
+          local[entity_id] = std::move(solved).value();
+        } else {
+          // Singular system (shouldn't happen with lambda > 0): keep a
+          // deterministic fallback rather than dropping the entity.
+          local[entity_id] = InitFactor(rank, init_stddev, seed, entity_id);
+        }
+      }
+      std::lock_guard<std::mutex> lock(out_mu);
+      for (auto& [k, v] : local) (*out)[k] = std::move(v);
+    });
+  }
+  executor->RunStage(other_is_item ? "als-solve-users" : "als-solve-items",
+                     std::move(tasks));
+}
+
+}  // namespace
+
+Result<MfModel> AlsTrainer::Train(BatchExecutor* executor,
+                                  const std::vector<Observation>& ratings) const {
+  MfModel init;
+  init.rank = config_.rank;
+  init.lambda = config_.lambda;
+  return TrainWarmStart(executor, ratings, init);
+}
+
+Result<MfModel> AlsTrainer::TrainWarmStart(BatchExecutor* executor,
+                                           const std::vector<Observation>& ratings,
+                                           const MfModel& init) const {
+  if (executor == nullptr) return Status::InvalidArgument("executor is null");
+  if (ratings.empty()) return Status::InvalidArgument("no training ratings");
+  if (!init.user_factors.empty() && init.rank != config_.rank) {
+    return Status::InvalidArgument("warm-start rank mismatch");
+  }
+
+  MfModel model;
+  model.rank = config_.rank;
+  model.lambda = config_.lambda;
+  model.user_factors = init.user_factors;
+  model.item_factors = init.item_factors;
+
+  auto data = Dataset<Observation>::Parallelize(executor, ratings,
+                                                config_.num_partitions);
+  auto by_user = data.GroupBy<uint64_t>(
+      [](const Observation& o) { return o.uid; });
+  auto by_item = data.GroupBy<uint64_t>(
+      [](const Observation& o) { return o.item_id; });
+
+  // Ensure every item has an initial factor so the first user solve has
+  // a complete fixed side.
+  for (size_t p = 0; p < by_item.num_partitions(); ++p) {
+    for (const auto& [item_id, group] : by_item.partition(p)) {
+      if (model.item_factors.count(item_id) == 0) {
+        model.item_factors[item_id] =
+            InitFactor(config_.rank, config_.init_stddev, config_.seed, item_id);
+      }
+    }
+  }
+
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    FactorMap new_users;
+    SolveSide(executor, by_user, model.item_factors, config_.rank, config_.lambda,
+              config_.weighted_regularization, config_.init_stddev, config_.seed,
+              /*other_is_item=*/true, &new_users);
+    model.user_factors = std::move(new_users);
+
+    FactorMap new_items;
+    SolveSide(executor, by_item, model.user_factors, config_.rank, config_.lambda,
+              config_.weighted_regularization, config_.init_stddev, config_.seed,
+              /*other_is_item=*/false, &new_items);
+    model.item_factors = std::move(new_items);
+  }
+  return model;
+}
+
+double MfTrainRmse(const MfModel& model, const std::vector<Observation>& ratings) {
+  if (ratings.empty()) return 0.0;
+  double sq = 0.0;
+  for (const Observation& obs : ratings) {
+    double e = obs.label - model.PredictOr(obs.uid, obs.item_id, 0.0);
+    sq += e * e;
+  }
+  return std::sqrt(sq / static_cast<double>(ratings.size()));
+}
+
+}  // namespace velox

@@ -1,0 +1,90 @@
+// Alternating least squares matrix factorization, expressed as a job
+// on the batch-compute substrate — the offline training phase of the
+// paper's running example (§2: matrix-factorization recommender
+// trained periodically "using a large-scale cluster compute framework
+// like Spark").
+//
+// Solves  argmin_{W,X}  λ(||W||² + ||X||²) + Σ_{(u,i)∈Obs} (r_ui − w_uᵀx_i)²
+// by alternating ridge solves: fix X, solve every w_u; fix W, solve
+// every x_i. Each half-iteration is one batch stage (users/items are
+// independent given the other side).
+#ifndef VELOX_ML_ALS_H_
+#define VELOX_ML_ALS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/executor.h"
+#include "common/result.h"
+#include "linalg/vector.h"
+#include "storage/observation_log.h"
+
+namespace velox {
+
+using FactorMap = std::unordered_map<uint64_t, DenseVector>;
+
+// The output of offline training: user factors W and item factors X
+// (X doubles as the materialized feature table θ for serving).
+struct MfModel {
+  size_t rank = 0;
+  double lambda = 0.0;
+  FactorMap user_factors;
+  FactorMap item_factors;
+
+  // w_uᵀ x_i, or `fallback` when either side is unknown.
+  double PredictOr(uint64_t uid, uint64_t item_id, double fallback) const;
+
+  // Mean of all user factor vectors — the paper's new-user bootstrap
+  // (§5 "Bootstrapping"). Zero vector if no users.
+  DenseVector MeanUserFactor() const;
+};
+
+struct AlsConfig {
+  size_t rank = 10;
+  double lambda = 0.1;
+  int iterations = 10;
+  uint64_t seed = 42;
+  // Stddev of the Gaussian factor initialization.
+  double init_stddev = 0.1;
+  // Partitions for the group-by stages.
+  size_t num_partitions = 8;
+  // ALS-WR (Zhou et al. 2008): scale each entity's regularizer by its
+  // rating count (λ · n_u), so heavily-rated entities are not
+  // under-regularized relative to sparse ones. Markedly better
+  // held-out error on MovieLens-shaped data.
+  bool weighted_regularization = false;
+};
+
+class AlsTrainer {
+ public:
+  explicit AlsTrainer(AlsConfig config);
+
+  // Cold-start training: factors initialized from config.seed.
+  Result<MfModel> Train(BatchExecutor* executor,
+                        const std::vector<Observation>& ratings) const;
+
+  // Warm-start: begins from `init` (the paper's retrain path "depends
+  // on the current user weights", §4.2); entities absent from `init`
+  // get fresh random factors.
+  Result<MfModel> TrainWarmStart(BatchExecutor* executor,
+                                 const std::vector<Observation>& ratings,
+                                 const MfModel& init) const;
+
+  const AlsConfig& config() const { return config_; }
+
+ private:
+  AlsConfig config_;
+};
+
+// Training-set RMSE of `model` on `ratings` (unknown entities predicted
+// as 0).
+double MfTrainRmse(const MfModel& model, const std::vector<Observation>& ratings);
+
+// Deterministic per-entity factor init: depends only on (seed, id), not
+// on data order.
+DenseVector InitFactor(size_t rank, double stddev, uint64_t seed, uint64_t entity_id);
+
+}  // namespace velox
+
+#endif  // VELOX_ML_ALS_H_

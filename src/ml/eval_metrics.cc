@@ -1,0 +1,107 @@
+#include "ml/eval_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace velox {
+
+double Rmse(const std::vector<PredictionPair>& pairs) {
+  if (pairs.empty()) return 0.0;
+  double sq = 0.0;
+  for (const auto& p : pairs) {
+    double e = p.label - p.predicted;
+    sq += e * e;
+  }
+  return std::sqrt(sq / static_cast<double>(pairs.size()));
+}
+
+double Mae(const std::vector<PredictionPair>& pairs) {
+  if (pairs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : pairs) sum += std::abs(p.label - p.predicted);
+  return sum / static_cast<double>(pairs.size());
+}
+
+namespace {
+
+size_t HitsInTopK(const std::vector<uint64_t>& ranked,
+                  const std::vector<uint64_t>& relevant, size_t k) {
+  std::unordered_set<uint64_t> relevant_set(relevant.begin(), relevant.end());
+  size_t hits = 0;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    if (relevant_set.count(ranked[i]) > 0) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace
+
+double PrecisionAtK(const std::vector<uint64_t>& ranked,
+                    const std::vector<uint64_t>& relevant, size_t k) {
+  if (k == 0) return 0.0;
+  return static_cast<double>(HitsInTopK(ranked, relevant, k)) /
+         static_cast<double>(k);
+}
+
+double RecallAtK(const std::vector<uint64_t>& ranked,
+                 const std::vector<uint64_t>& relevant, size_t k) {
+  if (relevant.empty()) return 0.0;
+  return static_cast<double>(HitsInTopK(ranked, relevant, k)) /
+         static_cast<double>(relevant.size());
+}
+
+double NdcgAtK(const std::vector<uint64_t>& ranked,
+               const std::vector<uint64_t>& relevant, size_t k) {
+  if (relevant.empty() || k == 0) return 0.0;
+  std::unordered_set<uint64_t> relevant_set(relevant.begin(), relevant.end());
+  double dcg = 0.0;
+  for (size_t i = 0; i < ranked.size() && i < k; ++i) {
+    if (relevant_set.count(ranked[i]) > 0) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  size_t ideal_hits = std::min(relevant.size(), k);
+  for (size_t i = 0; i < ideal_hits; ++i) {
+    ideal += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return ideal == 0.0 ? 0.0 : dcg / ideal;
+}
+
+double RelativeErrorReductionPercent(double baseline_error, double candidate_error) {
+  if (baseline_error == 0.0) return 0.0;
+  return 100.0 * (baseline_error - candidate_error) / baseline_error;
+}
+
+void RunningStat::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  VELOX_CHECK_GT(alpha, 0.0);
+  VELOX_CHECK_LE(alpha, 1.0);
+}
+
+void Ewma::Add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+}  // namespace velox

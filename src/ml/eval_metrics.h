@@ -1,0 +1,76 @@
+// Prediction-quality metrics for the §4.2 accuracy experiment and the
+// Evaluator's model monitoring.
+#ifndef VELOX_ML_EVAL_METRICS_H_
+#define VELOX_ML_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace velox {
+
+struct PredictionPair {
+  double label = 0.0;
+  double predicted = 0.0;
+};
+
+double Rmse(const std::vector<PredictionPair>& pairs);
+double Mae(const std::vector<PredictionPair>& pairs);
+
+// ---- Ranking metrics (top-K recommendation quality) ----
+// `ranked` is the system's recommendation list, best first;
+// `relevant` the ground-truth relevant item set.
+
+// |top-k of ranked ∩ relevant| / k. 0 when k == 0.
+double PrecisionAtK(const std::vector<uint64_t>& ranked,
+                    const std::vector<uint64_t>& relevant, size_t k);
+
+// |top-k of ranked ∩ relevant| / |relevant|. 0 when relevant is empty.
+double RecallAtK(const std::vector<uint64_t>& ranked,
+                 const std::vector<uint64_t>& relevant, size_t k);
+
+// Binary-relevance NDCG@k: DCG with 1/log2(rank+1) gains, normalized by
+// the ideal ordering. 0 when relevant is empty or k == 0.
+double NdcgAtK(const std::vector<uint64_t>& ranked,
+               const std::vector<uint64_t>& relevant, size_t k);
+
+// Relative improvement of `candidate` over `baseline` in percent:
+// 100 * (baseline - candidate) / baseline. Positive = candidate better
+// (lower error). This is how we report the paper's "1.6% improvement
+// in prediction accuracy" (§4.2) — as error reduction.
+double RelativeErrorReductionPercent(double baseline_error, double candidate_error);
+
+// Streaming mean/variance (Welford) for running per-user error
+// aggregates (§4.3).
+class RunningStat {
+ public:
+  void Add(double x);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Exponentially weighted moving average — the drift-sensitive error
+// signal the staleness detector compares against its baseline.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+  void Add(double x);
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_ML_EVAL_METRICS_H_

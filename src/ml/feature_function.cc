@@ -1,0 +1,201 @@
+#include "ml/feature_function.h"
+
+#include <cmath>
+
+#include "cluster/router.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+MaterializedFeatureFunction::MaterializedFeatureFunction(
+    std::shared_ptr<const FactorTable> table, size_t dim)
+    : table_(std::move(table)), dim_(dim) {
+  VELOX_CHECK(table_ != nullptr);
+}
+
+Result<DenseVector> MaterializedFeatureFunction::Features(const Item& x) const {
+  auto it = table_->find(x.id);
+  if (it == table_->end()) {
+    return Status::NotFound(
+        StrFormat("no materialized features for item %llu",
+                  static_cast<unsigned long long>(x.id)));
+  }
+  return it->second;
+}
+
+IdentityFeatureFunction::IdentityFeatureFunction(size_t input_dim, bool add_bias)
+    : input_dim_(input_dim), add_bias_(add_bias) {}
+
+Result<DenseVector> IdentityFeatureFunction::Features(const Item& x) const {
+  if (x.attributes.dim() != input_dim_) {
+    return Status::InvalidArgument(
+        StrFormat("identity feature: expected %zu attributes, got %zu", input_dim_,
+                  x.attributes.dim()));
+  }
+  if (!add_bias_) return x.attributes;
+  DenseVector out(input_dim_ + 1);
+  for (size_t i = 0; i < input_dim_; ++i) out[i] = x.attributes[i];
+  out[input_dim_] = 1.0;
+  return out;
+}
+
+RbfFeatureFunction::RbfFeatureFunction(size_t input_dim, size_t num_centers,
+                                       double gamma, uint64_t seed)
+    : centers_(num_centers, input_dim), gamma_(gamma) {
+  VELOX_CHECK_GT(gamma, 0.0);
+  Rng rng(seed);
+  for (size_t r = 0; r < num_centers; ++r) {
+    for (size_t c = 0; c < input_dim; ++c) centers_.At(r, c) = rng.Gaussian();
+  }
+}
+
+Result<DenseVector> RbfFeatureFunction::Features(const Item& x) const {
+  if (x.attributes.dim() != centers_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("rbf feature: expected %zu attributes, got %zu", centers_.cols(),
+                  x.attributes.dim()));
+  }
+  DenseVector out(centers_.rows());
+  for (size_t k = 0; k < centers_.rows(); ++k) {
+    const double* center = centers_.RowPtr(k);
+    double sq = 0.0;
+    for (size_t c = 0; c < centers_.cols(); ++c) {
+      double diff = x.attributes[c] - center[c];
+      sq += diff * diff;
+    }
+    out[k] = std::exp(-gamma_ * sq);
+  }
+  return out;
+}
+
+RandomFourierFeatureFunction::RandomFourierFeatureFunction(size_t input_dim,
+                                                           size_t num_features,
+                                                           double bandwidth,
+                                                           uint64_t seed)
+    : weights_(num_features, input_dim), offsets_(num_features) {
+  VELOX_CHECK_GT(bandwidth, 0.0);
+  Rng rng(seed);
+  for (size_t r = 0; r < num_features; ++r) {
+    for (size_t c = 0; c < input_dim; ++c) {
+      weights_.At(r, c) = rng.Gaussian() / bandwidth;
+    }
+    offsets_[r] = rng.UniformDouble(0.0, 2.0 * M_PI);
+  }
+}
+
+Result<DenseVector> RandomFourierFeatureFunction::Features(const Item& x) const {
+  if (x.attributes.dim() != weights_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("random fourier feature: expected %zu attributes, got %zu",
+                  weights_.cols(), x.attributes.dim()));
+  }
+  DenseVector out(weights_.rows());
+  double scale = std::sqrt(2.0 / static_cast<double>(weights_.rows()));
+  for (size_t k = 0; k < weights_.rows(); ++k) {
+    const double* row = weights_.RowPtr(k);
+    double s = offsets_[k];
+    for (size_t c = 0; c < weights_.cols(); ++c) s += row[c] * x.attributes[c];
+    out[k] = scale * std::cos(s);
+  }
+  return out;
+}
+
+PolynomialFeatureFunction::PolynomialFeatureFunction(size_t input_dim, bool add_bias)
+    : input_dim_(input_dim), add_bias_(add_bias) {
+  VELOX_CHECK_GT(input_dim, 0u);
+}
+
+size_t PolynomialFeatureFunction::dim() const {
+  // x (n) + upper-triangular products (n(n+1)/2) + optional bias.
+  return input_dim_ + input_dim_ * (input_dim_ + 1) / 2 + (add_bias_ ? 1 : 0);
+}
+
+Result<DenseVector> PolynomialFeatureFunction::Features(const Item& x) const {
+  if (x.attributes.dim() != input_dim_) {
+    return Status::InvalidArgument(
+        StrFormat("polynomial feature: expected %zu attributes, got %zu", input_dim_,
+                  x.attributes.dim()));
+  }
+  DenseVector out(dim());
+  size_t k = 0;
+  for (size_t i = 0; i < input_dim_; ++i) out[k++] = x.attributes[i];
+  for (size_t i = 0; i < input_dim_; ++i) {
+    for (size_t j = i; j < input_dim_; ++j) {
+      out[k++] = x.attributes[i] * x.attributes[j];
+    }
+  }
+  if (add_bias_) out[k++] = 1.0;
+  return out;
+}
+
+NormalizingFeatureFunction::NormalizingFeatureFunction(
+    std::shared_ptr<const FeatureFunction> inner, DenseVector shift, DenseVector scale)
+    : inner_(std::move(inner)), shift_(std::move(shift)), scale_(std::move(scale)) {
+  VELOX_CHECK(inner_ != nullptr);
+  VELOX_CHECK_EQ(shift_.dim(), inner_->dim());
+  VELOX_CHECK_EQ(scale_.dim(), inner_->dim());
+  for (size_t i = 0; i < scale_.dim(); ++i) {
+    VELOX_CHECK(std::isfinite(scale_[i]) && scale_[i] != 0.0)
+        << "scale[" << i << "] must be finite and non-zero";
+  }
+}
+
+Result<DenseVector> NormalizingFeatureFunction::Features(const Item& x) const {
+  VELOX_ASSIGN_OR_RETURN(DenseVector f, inner_->Features(x));
+  for (size_t i = 0; i < f.dim(); ++i) f[i] = (f[i] - shift_[i]) * scale_[i];
+  return f;
+}
+
+HashingFeatureFunction::HashingFeatureFunction(size_t output_dim, uint64_t seed)
+    : output_dim_(output_dim), seed_(seed) {
+  VELOX_CHECK_GT(output_dim, 0u);
+}
+
+Result<DenseVector> HashingFeatureFunction::Features(const Item& x) const {
+  DenseVector out(output_dim_);
+  for (size_t i = 0; i < x.attributes.dim(); ++i) {
+    double v = x.attributes[i];
+    if (v == 0.0) continue;
+    // Two independent hashes of the input index: bucket and sign.
+    uint64_t h = HashPartitioner::MixHash(seed_ ^ (static_cast<uint64_t>(i) << 1));
+    uint64_t s = HashPartitioner::MixHash(seed_ ^ ((static_cast<uint64_t>(i) << 1) | 1));
+    size_t bucket = static_cast<size_t>(h % output_dim_);
+    out[bucket] += (s & 1) != 0 ? v : -v;
+  }
+  return out;
+}
+
+SvmEnsembleFeatureFunction::SvmEnsembleFeatureFunction(size_t input_dim,
+                                                       size_t num_svms, uint64_t seed)
+    : weights_(num_svms, input_dim), biases_(num_svms) {
+  Rng rng(seed);
+  for (size_t r = 0; r < num_svms; ++r) {
+    for (size_t c = 0; c < input_dim; ++c) weights_.At(r, c) = rng.Gaussian();
+    biases_[r] = rng.Gaussian();
+  }
+}
+
+SvmEnsembleFeatureFunction::SvmEnsembleFeatureFunction(DenseMatrix weights,
+                                                       DenseVector biases)
+    : weights_(std::move(weights)), biases_(std::move(biases)) {
+  VELOX_CHECK_EQ(weights_.rows(), biases_.dim());
+}
+
+Result<DenseVector> SvmEnsembleFeatureFunction::Features(const Item& x) const {
+  if (x.attributes.dim() != weights_.cols()) {
+    return Status::InvalidArgument(
+        StrFormat("svm ensemble feature: expected %zu attributes, got %zu",
+                  weights_.cols(), x.attributes.dim()));
+  }
+  DenseVector out(weights_.rows());
+  for (size_t k = 0; k < weights_.rows(); ++k) {
+    const double* row = weights_.RowPtr(k);
+    double margin = biases_[k];
+    for (size_t c = 0; c < weights_.cols(); ++c) margin += row[c] * x.attributes[c];
+    out[k] = std::tanh(margin);
+  }
+  return out;
+}
+
+}  // namespace velox

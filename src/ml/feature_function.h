@@ -1,0 +1,202 @@
+// Feature transformation functions f(x, θ) — the heart of the paper's
+// modeling framework (Eq. 1: prediction(u, x) = w_uᵀ f(x, θ)).
+//
+// The paper distinguishes two kinds of f (§5 "Caching", §6):
+//  * materialized — f is a lookup into a precomputed table (e.g., the
+//    item latent-factor matrix X of a matrix-factorization model);
+//  * computational — f evaluates basis functions on the raw input
+//    (e.g., an ensemble of SVMs, RBF/random-Fourier features standing
+//    in for a network's representation).
+//
+// This header provides the computational family plus a local
+// materialized-table variant. Distribution concerns (remote fetch of
+// materialized features, caching) live in core/prediction_service.h,
+// which wraps any FeatureFunction.
+#ifndef VELOX_ML_FEATURE_FUNCTION_H_
+#define VELOX_ML_FEATURE_FUNCTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace velox {
+
+// An input object ("Data" in the paper's Listing 1/2): an item id plus
+// optional raw content attributes used by computational features.
+struct Item {
+  uint64_t id = 0;
+  DenseVector attributes;
+};
+
+class FeatureFunction {
+ public:
+  virtual ~FeatureFunction() = default;
+
+  virtual std::string name() const = 0;
+  // Output dimension d of f (must equal the user-weight dimension).
+  virtual size_t dim() const = 0;
+  // True when f is a table lookup (invalidated only by offline
+  // retraining); false when f is computed from x.attributes.
+  virtual bool is_materialized() const = 0;
+  // Evaluates f(x, θ).
+  virtual Result<DenseVector> Features(const Item& x) const = 0;
+};
+
+// Materialized f: item id -> latent factor lookup. The table is
+// immutable once constructed; offline retraining builds a new one
+// (model versions are immutable snapshots, see core/model_registry.h).
+class MaterializedFeatureFunction final : public FeatureFunction {
+ public:
+  using FactorTable = std::unordered_map<uint64_t, DenseVector>;
+
+  MaterializedFeatureFunction(std::shared_ptr<const FactorTable> table, size_t dim);
+
+  std::string name() const override { return "materialized_lookup"; }
+  size_t dim() const override { return dim_; }
+  bool is_materialized() const override { return true; }
+  // NotFound for unknown items.
+  Result<DenseVector> Features(const Item& x) const override;
+
+  const FactorTable& table() const { return *table_; }
+
+ private:
+  std::shared_ptr<const FactorTable> table_;
+  size_t dim_;
+};
+
+// f(x) = x.attributes, optionally with a trailing bias term.
+class IdentityFeatureFunction final : public FeatureFunction {
+ public:
+  explicit IdentityFeatureFunction(size_t input_dim, bool add_bias = false);
+
+  std::string name() const override { return "identity"; }
+  size_t dim() const override { return input_dim_ + (add_bias_ ? 1 : 0); }
+  bool is_materialized() const override { return false; }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  size_t input_dim_;
+  bool add_bias_;
+};
+
+// Gaussian RBF basis: f_k(x) = exp(-gamma ||x - c_k||^2) over
+// `num_centers` random centers.
+class RbfFeatureFunction final : public FeatureFunction {
+ public:
+  RbfFeatureFunction(size_t input_dim, size_t num_centers, double gamma, uint64_t seed);
+
+  std::string name() const override { return "rbf_basis"; }
+  size_t dim() const override { return centers_.rows(); }
+  bool is_materialized() const override { return false; }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  DenseMatrix centers_;  // num_centers x input_dim
+  double gamma_;
+};
+
+// Random Fourier features: f_k(x) = sqrt(2/D) cos(w_kᵀx + b_k); a
+// standard stand-in for an expensive learned representation (the
+// paper's "deep neural network" computational-f case).
+class RandomFourierFeatureFunction final : public FeatureFunction {
+ public:
+  RandomFourierFeatureFunction(size_t input_dim, size_t num_features, double bandwidth,
+                               uint64_t seed);
+
+  std::string name() const override { return "random_fourier"; }
+  size_t dim() const override { return weights_.rows(); }
+  bool is_materialized() const override { return false; }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  DenseMatrix weights_;  // num_features x input_dim
+  DenseVector offsets_;  // num_features
+};
+
+// Degree-2 polynomial expansion: [x, x_i * x_j for i <= j] with an
+// optional bias — the classic low-cost interaction featurizer for
+// linear-in-the-weights personalization.
+class PolynomialFeatureFunction final : public FeatureFunction {
+ public:
+  explicit PolynomialFeatureFunction(size_t input_dim, bool add_bias = true);
+
+  std::string name() const override { return "polynomial2"; }
+  size_t dim() const override;
+  bool is_materialized() const override { return false; }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  size_t input_dim_;
+  bool add_bias_;
+};
+
+// Affine normalization wrapper: f'(x) = (f(x) - shift) * scale,
+// element-wise — applies the standardization parameters learned offline
+// (part of θ) so the online ridge problem stays well conditioned.
+class NormalizingFeatureFunction final : public FeatureFunction {
+ public:
+  // shift/scale dims must equal inner->dim(); every scale entry must be
+  // finite and non-zero.
+  NormalizingFeatureFunction(std::shared_ptr<const FeatureFunction> inner,
+                             DenseVector shift, DenseVector scale);
+
+  std::string name() const override { return "normalized:" + inner_->name(); }
+  size_t dim() const override { return inner_->dim(); }
+  bool is_materialized() const override { return inner_->is_materialized(); }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  std::shared_ptr<const FeatureFunction> inner_;
+  DenseVector shift_;
+  DenseVector scale_;
+};
+
+// Hashing-trick featurizer: projects arbitrary-dimension sparse-ish
+// attribute vectors into a fixed d-dimensional space by hashing each
+// input index to an output bucket with a ±1 sign (Weinberger et al.).
+// Unlike the other computational functions it accepts inputs of any
+// dimension, which models heterogeneous item metadata.
+class HashingFeatureFunction final : public FeatureFunction {
+ public:
+  HashingFeatureFunction(size_t output_dim, uint64_t seed);
+
+  std::string name() const override { return "hashing"; }
+  size_t dim() const override { return output_dim_; }
+  bool is_materialized() const override { return false; }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  size_t output_dim_;
+  uint64_t seed_;
+};
+
+// The paper's §6 running example: "an ensemble of SVMs learned offline
+// and used as the feature transformation function". Each output
+// coordinate is tanh(w_kᵀx + b_k) — the margin of one SVM squashed to
+// a bounded score.
+class SvmEnsembleFeatureFunction final : public FeatureFunction {
+ public:
+  // Builds `num_svms` random hyperplanes; real deployments would load
+  // offline-trained ones via the (weights, biases) constructor.
+  SvmEnsembleFeatureFunction(size_t input_dim, size_t num_svms, uint64_t seed);
+  SvmEnsembleFeatureFunction(DenseMatrix weights, DenseVector biases);
+
+  std::string name() const override { return "svm_ensemble"; }
+  size_t dim() const override { return weights_.rows(); }
+  bool is_materialized() const override { return false; }
+  Result<DenseVector> Features(const Item& x) const override;
+
+ private:
+  DenseMatrix weights_;  // num_svms x input_dim
+  DenseVector biases_;   // num_svms
+};
+
+}  // namespace velox
+
+#endif  // VELOX_ML_FEATURE_FUNCTION_H_

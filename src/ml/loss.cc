@@ -1,0 +1,50 @@
+#include "ml/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace velox {
+
+double SquaredLoss::Loss(double label, double predicted) const {
+  double e = label - predicted;
+  return 0.5 * e * e;
+}
+
+double SquaredLoss::Gradient(double label, double predicted) const {
+  return predicted - label;
+}
+
+double AbsoluteLoss::Loss(double label, double predicted) const {
+  return std::abs(label - predicted);
+}
+
+double AbsoluteLoss::Gradient(double label, double predicted) const {
+  if (predicted > label) return 1.0;
+  if (predicted < label) return -1.0;
+  return 0.0;
+}
+
+HuberLoss::HuberLoss(double delta) : delta_(delta) { VELOX_CHECK_GT(delta, 0.0); }
+
+double HuberLoss::Loss(double label, double predicted) const {
+  double e = std::abs(label - predicted);
+  if (e <= delta_) return 0.5 * e * e;
+  return delta_ * (e - 0.5 * delta_);
+}
+
+double HuberLoss::Gradient(double label, double predicted) const {
+  double e = predicted - label;
+  if (e > delta_) return delta_;
+  if (e < -delta_) return -delta_;
+  return e;
+}
+
+std::unique_ptr<LossFunction> MakeLoss(const std::string& name) {
+  if (name == "squared") return std::make_unique<SquaredLoss>();
+  if (name == "absolute") return std::make_unique<AbsoluteLoss>();
+  if (name == "huber") return std::make_unique<HuberLoss>(1.0);
+  return nullptr;
+}
+
+}  // namespace velox

@@ -1,0 +1,57 @@
+// Loss functions for model-quality evaluation and online updates.
+// The paper's prototype restricts online learning to squared error
+// with L2 regularization (§4.2); the loss is also the staleness signal
+// (§4.3, §6: "the loss is evaluated every time new data is observed").
+#ifndef VELOX_ML_LOSS_H_
+#define VELOX_ML_LOSS_H_
+
+#include <memory>
+#include <string>
+
+namespace velox {
+
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+  virtual std::string name() const = 0;
+  // Pointwise loss of predicting `predicted` when the truth is `label`.
+  virtual double Loss(double label, double predicted) const = 0;
+  // d loss / d predicted.
+  virtual double Gradient(double label, double predicted) const = 0;
+};
+
+// (y - yhat)^2 / 2.
+class SquaredLoss final : public LossFunction {
+ public:
+  std::string name() const override { return "squared"; }
+  double Loss(double label, double predicted) const override;
+  double Gradient(double label, double predicted) const override;
+};
+
+// |y - yhat|.
+class AbsoluteLoss final : public LossFunction {
+ public:
+  std::string name() const override { return "absolute"; }
+  double Loss(double label, double predicted) const override;
+  double Gradient(double label, double predicted) const override;
+};
+
+// Quadratic within `delta` of the label, linear beyond — robust to the
+// occasional wild rating.
+class HuberLoss final : public LossFunction {
+ public:
+  explicit HuberLoss(double delta);
+  std::string name() const override { return "huber"; }
+  double Loss(double label, double predicted) const override;
+  double Gradient(double label, double predicted) const override;
+
+ private:
+  double delta_;
+};
+
+// Factory by name ("squared", "absolute", "huber"); nullptr if unknown.
+std::unique_ptr<LossFunction> MakeLoss(const std::string& name);
+
+}  // namespace velox
+
+#endif  // VELOX_ML_LOSS_H_

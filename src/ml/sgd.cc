@@ -1,0 +1,70 @@
+#include "ml/sgd.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace velox {
+
+SgdTrainer::SgdTrainer(SgdConfig config) : config_(config) {
+  VELOX_CHECK_GT(config_.rank, 0u);
+  VELOX_CHECK_GT(config_.learning_rate, 0.0);
+  VELOX_CHECK_GT(config_.epochs, 0);
+}
+
+Result<MfModel> SgdTrainer::Train(const std::vector<Observation>& ratings) const {
+  MfModel cold;
+  cold.rank = config_.rank;
+  cold.lambda = config_.lambda;
+  return TrainWarmStart(ratings, cold);
+}
+
+Result<MfModel> SgdTrainer::TrainWarmStart(const std::vector<Observation>& ratings,
+                                           const MfModel& init) const {
+  if (ratings.empty()) return Status::InvalidArgument("no training ratings");
+  if (!init.user_factors.empty() && init.rank != config_.rank) {
+    return Status::InvalidArgument("warm-start rank mismatch");
+  }
+
+  MfModel model;
+  model.rank = config_.rank;
+  model.lambda = config_.lambda;
+  model.user_factors = init.user_factors;
+  model.item_factors = init.item_factors;
+  for (const Observation& obs : ratings) {
+    if (model.user_factors.count(obs.uid) == 0) {
+      model.user_factors[obs.uid] =
+          InitFactor(config_.rank, config_.init_stddev, config_.seed, obs.uid);
+    }
+    if (model.item_factors.count(obs.item_id) == 0) {
+      model.item_factors[obs.item_id] =
+          InitFactor(config_.rank, config_.init_stddev, config_.seed ^ 0xabcdULL,
+                     obs.item_id);
+    }
+  }
+
+  Rng rng(config_.seed);
+  std::vector<size_t> order(ratings.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double lr = config_.learning_rate;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const Observation& obs = ratings[idx];
+      DenseVector& w = model.user_factors[obs.uid];
+      DenseVector& x = model.item_factors[obs.item_id];
+      double err = obs.label - Dot(w, x);
+      // w += lr (err x − λ w); x += lr (err w − λ x), updated jointly.
+      for (size_t k = 0; k < config_.rank; ++k) {
+        double wk = w[k];
+        double xk = x[k];
+        w[k] += lr * (err * xk - config_.lambda * wk);
+        x[k] += lr * (err * wk - config_.lambda * xk);
+      }
+    }
+    lr *= config_.lr_decay;
+  }
+  return model;
+}
+
+}  // namespace velox

@@ -1,0 +1,49 @@
+// Stochastic gradient descent matrix factorization — the baseline
+// trainer the paper's related work points at (Li et al., "Sparkler:
+// supporting large-scale matrix factorization", §7). Included both as
+// a comparison trainer and to exercise a second offline-training path
+// through the batch substrate.
+#ifndef VELOX_ML_SGD_H_
+#define VELOX_ML_SGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/als.h"
+#include "storage/observation_log.h"
+
+namespace velox {
+
+struct SgdConfig {
+  size_t rank = 10;
+  double lambda = 0.05;
+  double learning_rate = 0.01;
+  // Multiplied into the learning rate after each epoch.
+  double lr_decay = 0.95;
+  int epochs = 20;
+  uint64_t seed = 42;
+  double init_stddev = 0.1;
+};
+
+class SgdTrainer {
+ public:
+  explicit SgdTrainer(SgdConfig config);
+
+  // Sequential SGD over shuffled ratings (deterministic given seed).
+  Result<MfModel> Train(const std::vector<Observation>& ratings) const;
+
+  // Warm start: factors present in `init` seed the optimization;
+  // entities absent from it get fresh random factors.
+  Result<MfModel> TrainWarmStart(const std::vector<Observation>& ratings,
+                                 const MfModel& init) const;
+
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_ML_SGD_H_

@@ -1,0 +1,73 @@
+#include "storage/storage_client.h"
+
+#include "common/logging.h"
+
+namespace velox {
+
+StorageClient::StorageClient(StorageCluster* cluster, NodeId origin_node)
+    : cluster_(cluster), origin_(origin_node) {
+  VELOX_CHECK_GE(origin_node, 0);
+  VELOX_CHECK_LT(origin_node, cluster->num_nodes());
+}
+
+Result<KvTable*> StorageClient::RouteToTable(const std::string& table, Key key,
+                                             uint64_t payload_bytes) {
+  VELOX_ASSIGN_OR_RETURN(NodeId owner, cluster_->OwnerOf(key));
+  cluster_->network()->Charge(origin_, owner, payload_bytes);
+  return cluster_->store(owner)->GetTable(table);
+}
+
+Result<Value> StorageClient::Get(const std::string& table, Key key) {
+  VELOX_ASSIGN_OR_RETURN(std::vector<NodeId> owners, cluster_->OwnersOf(key));
+  Status last = Status::NotFound("no replica produced the key");
+  for (NodeId owner : owners) {
+    // Request message, then the response payload on success.
+    cluster_->network()->Charge(origin_, owner, sizeof(Key));
+    auto t = cluster_->store(owner)->GetTable(table);
+    if (!t.ok()) {
+      last = t.status();
+      continue;
+    }
+    auto value = t.value()->Get(key);
+    if (value.ok()) {
+      cluster_->network()->Charge(owner, origin_, value.value().size());
+      return value;
+    }
+    last = value.status();
+  }
+  return last;
+}
+
+Status StorageClient::Put(const std::string& table, Key key, Value value) {
+  VELOX_ASSIGN_OR_RETURN(std::vector<NodeId> owners, cluster_->OwnersOf(key));
+  Status first_error;
+  for (NodeId owner : owners) {
+    cluster_->network()->Charge(origin_, owner, sizeof(Key) + value.size());
+    auto t = cluster_->store(owner)->GetTable(table);
+    if (!t.ok()) {
+      if (first_error.ok()) first_error = t.status();
+      continue;
+    }
+    t.value()->Put(key, value);
+  }
+  return first_error;
+}
+
+Status StorageClient::Delete(const std::string& table, Key key) {
+  VELOX_ASSIGN_OR_RETURN(std::vector<NodeId> owners, cluster_->OwnersOf(key));
+  Status result = Status::NotFound("key absent on all replicas");
+  for (NodeId owner : owners) {
+    cluster_->network()->Charge(origin_, owner, sizeof(Key));
+    auto t = cluster_->store(owner)->GetTable(table);
+    if (!t.ok()) continue;
+    if (t.value()->Delete(key).ok()) result = Status::OK();
+  }
+  return result;
+}
+
+uint64_t StorageClient::AppendObservation(const Observation& obs) {
+  cluster_->network()->Charge(origin_, origin_, obs.Serialize().size());
+  return cluster_->observation_log(origin_)->Append(obs);
+}
+
+}  // namespace velox

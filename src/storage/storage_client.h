@@ -1,0 +1,53 @@
+// StorageClient: node-bound access to the StorageCluster.
+//
+// A client is constructed with an origin node (the node the calling
+// Velox predictor/manager process runs on). Every operation resolves
+// the owning node via the ring and charges the simulated network — a
+// local call when owner == origin, a remote RPC otherwise. This makes
+// the paper's locality properties measurable: with uid-routing enabled
+// the user-weight table sees 100% local traffic; item-feature fetches
+// are remote unless cached.
+#ifndef VELOX_STORAGE_STORAGE_CLIENT_H_
+#define VELOX_STORAGE_STORAGE_CLIENT_H_
+
+#include <string>
+
+#include "storage/storage_cluster.h"
+
+namespace velox {
+
+class StorageClient {
+ public:
+  StorageClient(StorageCluster* cluster, NodeId origin_node);
+
+  NodeId origin() const { return origin_; }
+
+  // Reads `key` from its primary owner, falling back along the replica
+  // list (replication_factor > 1) when a replica misses or is gone.
+  Result<Value> Get(const std::string& table, Key key);
+  // Writes `key` to every replica owner.
+  Status Put(const std::string& table, Key key, Value value);
+  // Deletes from every replica; OK if any replica held the key.
+  Status Delete(const std::string& table, Key key);
+
+  // Appends to the *origin node's* observation-log shard (observation
+  // writes are always local, matching the paper: "all writes — online
+  // updates to user weight vectors — are local").
+  uint64_t AppendObservation(const Observation& obs);
+
+  // Cluster-wide monotone logical timestamp.
+  int64_t NextTimestamp() { return cluster_->NextTimestamp(); }
+
+ private:
+  // Resolves the owner and charges the network for a message carrying
+  // `payload_bytes`.
+  Result<KvTable*> RouteToTable(const std::string& table, Key key,
+                                uint64_t payload_bytes);
+
+  StorageCluster* cluster_;
+  NodeId origin_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_STORAGE_STORAGE_CLIENT_H_

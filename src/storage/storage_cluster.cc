@@ -1,0 +1,76 @@
+#include "storage/storage_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+StorageCluster::StorageCluster(StorageClusterOptions options)
+    : options_(options), network_(options.network) {
+  VELOX_CHECK_GT(options.num_nodes, 0);
+  replication_ = std::clamp(options.replication_factor, 1, options.num_nodes);
+  stores_.reserve(static_cast<size_t>(options.num_nodes));
+  logs_.reserve(static_cast<size_t>(options.num_nodes));
+  for (int32_t i = 0; i < options.num_nodes; ++i) {
+    VELOX_CHECK_OK(cluster_.AddNode(i, StrFormat("node-%d:7077", i)));
+    VELOX_CHECK_OK(router_.AddNode(i));
+    stores_.push_back(std::make_unique<KvStore>());
+    logs_.push_back(std::make_unique<ObservationLog>());
+  }
+}
+
+Result<NodeId> StorageCluster::OwnerOf(Key key) const {
+  std::lock_guard<std::mutex> lock(router_mu_);
+  return router_.NodeForKey(key);
+}
+
+Result<std::vector<NodeId>> StorageCluster::OwnersOf(Key key) const {
+  std::lock_guard<std::mutex> lock(router_mu_);
+  return router_.NodesForKey(key, replication_);
+}
+
+Status StorageCluster::FailNode(NodeId node) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::InvalidArgument(StrFormat("no such node %d", node));
+  }
+  VELOX_RETURN_NOT_OK(cluster_.MarkDead(node));
+  std::lock_guard<std::mutex> lock(router_mu_);
+  VELOX_RETURN_NOT_OK(router_.RemoveNode(node));
+  if (router_.num_nodes() == 0) {
+    return Status::FailedPrecondition("last node failed; cluster is down");
+  }
+  return Status::OK();
+}
+
+void StorageCluster::AdvanceTimestampTo(int64_t t) {
+  int64_t current = logical_time_.load();
+  while (current < t && !logical_time_.compare_exchange_weak(current, t)) {
+  }
+}
+
+bool StorageCluster::IsAlive(NodeId node) const {
+  auto info = cluster_.GetNode(node);
+  return info.ok() && info->state == NodeState::kAlive;
+}
+
+Status StorageCluster::CreateTable(const std::string& name) {
+  for (auto& store : stores_) {
+    auto r = store->CreateTable(name, options_.partitions_per_table);
+    VELOX_RETURN_NOT_OK(r.status());
+  }
+  return Status::OK();
+}
+
+std::vector<Observation> StorageCluster::AllObservations() const {
+  std::vector<Observation> out;
+  for (int32_t n = 0; n < num_nodes(); ++n) {
+    if (!IsAlive(n)) continue;
+    auto shard = logs_[static_cast<size_t>(n)]->ReadFrom(0);
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  return out;
+}
+
+}  // namespace velox

@@ -1,0 +1,127 @@
+#include "storage/wal.h"
+
+#include <sys/stat.h>
+
+#include "common/bytes.h"
+#include "common/string_util.h"
+
+namespace velox {
+
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+WriteAheadLog::~WriteAheadLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IoError("cannot open wal for append: " + path);
+  }
+  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
+}
+
+Status WriteAheadLog::Append(const Observation& obs) {
+  std::vector<uint8_t> payload = obs.Serialize();
+  ByteWriter header;
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  header.PutU32(Crc32(payload));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
+  if (std::fwrite(header.data().data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
+    return Status::IoError("wal append failed: " + path_);
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("wal flush failed: " + path_);
+  }
+  ++records_;
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+Result<WriteAheadLog::RecoveryResult> WriteAheadLog::Recover(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot open wal: " + path);
+
+  RecoveryResult result;
+  uint64_t offset = 0;
+  while (true) {
+    uint8_t header[8];
+    size_t got = std::fread(header, 1, sizeof(header), file);
+    if (got == 0) break;  // clean EOF
+    if (got < sizeof(header)) {
+      result.clean = false;  // torn header
+      break;
+    }
+    ByteReader hr(header, sizeof(header));
+    uint32_t len = hr.GetU32().value();
+    uint32_t crc = hr.GetU32().value();
+    // Reject absurd lengths (corrupt header) without huge allocation:
+    // an observation record is a few dozen bytes.
+    if (len > (1u << 20)) {
+      result.clean = false;
+      break;
+    }
+    std::vector<uint8_t> payload(len);
+    if (std::fread(payload.data(), 1, len, file) != len) {
+      result.clean = false;  // torn payload
+      break;
+    }
+    if (Crc32(payload) != crc) {
+      result.clean = false;  // corrupt record
+      break;
+    }
+    auto obs = Observation::Deserialize(payload);
+    if (!obs.ok()) {
+      result.clean = false;
+      break;
+    }
+    result.records.push_back(std::move(obs).value());
+    offset += sizeof(header) + len;
+    result.valid_bytes = offset;
+  }
+  std::fclose(file);
+  return result;
+}
+
+DurableObservationLog::DurableObservationLog(std::unique_ptr<WriteAheadLog> wal,
+                                             std::vector<Observation> recovered)
+    : wal_(std::move(wal)) {
+  for (const Observation& obs : recovered) log_.Append(obs);
+}
+
+Result<std::unique_ptr<DurableObservationLog>> DurableObservationLog::Open(
+    const std::string& path) {
+  std::vector<Observation> recovered;
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    VELOX_ASSIGN_OR_RETURN(WriteAheadLog::RecoveryResult recovery,
+                           WriteAheadLog::Recover(path));
+    // Truncate a torn tail so new appends start at a valid boundary.
+    if (!recovery.clean) {
+      if (::truncate(path.c_str(), static_cast<off_t>(recovery.valid_bytes)) != 0) {
+        return Status::IoError("cannot truncate torn wal tail: " + path);
+      }
+    }
+    recovered = std::move(recovery.records);
+  }
+  VELOX_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal, WriteAheadLog::Open(path));
+  return std::unique_ptr<DurableObservationLog>(
+      new DurableObservationLog(std::move(wal), std::move(recovered)));
+}
+
+Result<uint64_t> DurableObservationLog::Append(const Observation& obs) {
+  // WAL first: if the durable write fails, memory must not get ahead.
+  VELOX_RETURN_NOT_OK(wal_->Append(obs));
+  return log_.Append(obs);
+}
+
+}  // namespace velox

@@ -1,0 +1,88 @@
+// Write-ahead log for the observation stream.
+//
+// The paper's storage tier (Tachyon) is "fault-tolerant"; in this
+// implementation the in-memory observation-log shard on a crashed node
+// is lost (tests/core/failover_test.cc documents it). The WAL closes
+// that gap for deployments that want durable feedback: every
+// observation is appended to an append-only file as
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// and recovered on restart. Recovery tolerates a torn tail (a crash
+// mid-append) by truncating at the first invalid record; everything
+// before it is returned.
+#ifndef VELOX_STORAGE_WAL_H_
+#define VELOX_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/observation_log.h"
+
+namespace velox {
+
+class WriteAheadLog {
+ public:
+  // Opens for appending, creating the file if needed.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  // Appends one record and flushes it to the OS.
+  Status Append(const Observation& obs);
+
+  uint64_t records_appended() const;
+  const std::string& path() const { return path_; }
+
+  struct RecoveryResult {
+    std::vector<Observation> records;
+    // False when recovery stopped at a torn/corrupt record before the
+    // end of the file (records up to that point are still returned).
+    bool clean = true;
+    // Bytes of valid log; a writer reopening the file should truncate
+    // to this offset before appending.
+    uint64_t valid_bytes = 0;
+  };
+
+  // Reads every valid record from `path`. Missing file -> IoError.
+  static Result<RecoveryResult> Recover(const std::string& path);
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* file_;
+  uint64_t records_ = 0;
+};
+
+// An ObservationLog mirrored to a WriteAheadLog: appends go to memory
+// and disk; ReplayInto loads a WAL back into a fresh in-memory log.
+class DurableObservationLog {
+ public:
+  static Result<std::unique_ptr<DurableObservationLog>> Open(const std::string& path);
+
+  // Appends durably; returns the in-memory sequence number.
+  Result<uint64_t> Append(const Observation& obs);
+
+  ObservationLog* log() { return &log_; }
+  WriteAheadLog* wal() { return wal_.get(); }
+
+ private:
+  DurableObservationLog(std::unique_ptr<WriteAheadLog> wal,
+                        std::vector<Observation> recovered);
+
+  ObservationLog log_;
+  std::unique_ptr<WriteAheadLog> wal_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_STORAGE_WAL_H_

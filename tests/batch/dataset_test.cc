@@ -1,0 +1,151 @@
+#include "batch/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace velox {
+namespace {
+
+std::vector<int> Range(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  BatchExecutor executor_{2};
+};
+
+TEST_F(DatasetTest, ParallelizeSplitsAcrossPartitions) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(100), 8);
+  EXPECT_EQ(ds.num_partitions(), 8u);
+  EXPECT_EQ(ds.Count(), 100u);
+  for (size_t p = 0; p < 8; ++p) {
+    EXPECT_NEAR(static_cast<double>(ds.partition(p).size()), 12.5, 1.0);
+  }
+}
+
+TEST_F(DatasetTest, ParallelizeMorePartitionsThanElements) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(3), 10);
+  EXPECT_EQ(ds.Count(), 3u);
+  EXPECT_EQ(ds.num_partitions(), 10u);
+}
+
+TEST_F(DatasetTest, CollectReturnsAllElements) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(50), 4);
+  auto out = ds.Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, Range(50));
+}
+
+TEST_F(DatasetTest, MapTransformsEveryElement) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(20), 3);
+  auto doubled = ds.Map<int>([](const int& x) { return x * 2; });
+  auto out = doubled.Collect();
+  std::sort(out.begin(), out.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST_F(DatasetTest, MapChangesElementType) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(5), 2);
+  auto strings = ds.Map<std::string>([](const int& x) { return std::to_string(x); });
+  auto out = strings.Collect();
+  EXPECT_EQ(out.size(), 5u);
+  std::set<std::string> distinct(out.begin(), out.end());
+  EXPECT_TRUE(distinct.count("3"));
+}
+
+TEST_F(DatasetTest, FilterKeepsMatching) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(100), 4);
+  auto evens = ds.Filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.Count(), 50u);
+  for (int v : evens.Collect()) EXPECT_EQ(v % 2, 0);
+}
+
+TEST_F(DatasetTest, FilterCanEmptyDataset) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(10), 2);
+  auto none = ds.Filter([](const int&) { return false; });
+  EXPECT_EQ(none.Count(), 0u);
+  EXPECT_TRUE(none.Collect().empty());
+}
+
+TEST_F(DatasetTest, GroupByCollectsAllValuesPerKey) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(100), 5);
+  auto groups = ds.GroupBy<int>([](const int& x) { return x % 7; });
+  auto out = groups.Collect();
+  EXPECT_EQ(out.size(), 7u);
+  size_t total = 0;
+  for (const auto& [key, values] : out) {
+    for (int v : values) EXPECT_EQ(v % 7, key);
+    total += values.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(DatasetTest, GroupByPlacesWholeGroupInOnePartition) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(200), 8);
+  auto groups = ds.GroupBy<int>([](const int& x) { return x % 13; });
+  std::set<int> seen;
+  for (size_t p = 0; p < groups.num_partitions(); ++p) {
+    for (const auto& [key, values] : groups.partition(p)) {
+      // Each key must appear in exactly one partition.
+      EXPECT_TRUE(seen.insert(key).second) << "key " << key << " split";
+    }
+  }
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST_F(DatasetTest, AggregateSums) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(101), 4);
+  int64_t sum = ds.Aggregate<int64_t>(
+      0,
+      [](int64_t* acc, const int& x) { *acc += x; },
+      [](int64_t* acc, const int64_t& other) { *acc += other; });
+  EXPECT_EQ(sum, 100 * 101 / 2);
+}
+
+TEST_F(DatasetTest, AggregateOnEmptyDatasetReturnsZero) {
+  auto ds = Dataset<int>::Parallelize(&executor_, {}, 4);
+  int64_t sum = ds.Aggregate<int64_t>(
+      0,
+      [](int64_t* acc, const int& x) { *acc += x; },
+      [](int64_t* acc, const int64_t& other) { *acc += other; });
+  EXPECT_EQ(sum, 0);
+}
+
+TEST_F(DatasetTest, ForEachPartitionVisitsAll) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(30), 3);
+  std::atomic<size_t> visited{0};
+  std::atomic<size_t> elements{0};
+  ds.ForEachPartition([&](size_t, const std::vector<int>& part) {
+    visited.fetch_add(1);
+    elements.fetch_add(part.size());
+  });
+  EXPECT_EQ(visited.load(), 3u);
+  EXPECT_EQ(elements.load(), 30u);
+}
+
+TEST_F(DatasetTest, ChainedPipeline) {
+  // map -> filter -> groupby -> aggregate over groups.
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(1000), 8);
+  auto squared = ds.Map<int64_t>([](const int& x) { return static_cast<int64_t>(x) * x; });
+  auto big = squared.Filter([](const int64_t& x) { return x > 100; });
+  auto by_parity = big.GroupBy<int>([](const int64_t& x) { return static_cast<int>(x % 2); });
+  auto out = by_parity.Collect();
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(DatasetTest, StagesAreRecordedInExecutorHistory) {
+  auto ds = Dataset<int>::Parallelize(&executor_, Range(10), 2);
+  uint64_t before = executor_.stages_run();
+  ds.Map<int>([](const int& x) { return x; });
+  ds.GroupBy<int>([](const int& x) { return x; });
+  // map = 1 stage; groupby = 2 stages (shuffle + merge).
+  EXPECT_EQ(executor_.stages_run(), before + 3);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,93 @@
+#include "batch/job.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "batch/dataset.h"
+
+namespace velox {
+namespace {
+
+class CountingJob final : public BatchJob {
+ public:
+  explicit CountingJob(Status result = Status::OK()) : result_(std::move(result)) {}
+
+  std::string name() const override { return "counting"; }
+
+  Status Run(BatchExecutor* executor) override {
+    auto ds = Dataset<int>::Parallelize(executor, {1, 2, 3, 4, 5}, 2);
+    sum_ = ds.Aggregate<int>(
+        0,
+        [](int* acc, const int& x) { *acc += x; },
+        [](int* acc, const int& other) { *acc += other; });
+    ++runs_;
+    return result_;
+  }
+
+  int sum() const { return sum_; }
+  int runs() const { return runs_; }
+
+ private:
+  Status result_;
+  int sum_ = 0;
+  int runs_ = 0;
+};
+
+TEST(BatchExecutorTest, RunStageExecutesAllTasks) {
+  BatchExecutor executor(2);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  executor.RunStage("test", std::move(tasks));
+  EXPECT_EQ(count.load(), 16);
+  auto history = executor.stage_history();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].name, "test");
+  EXPECT_EQ(history[0].num_tasks, 16u);
+  EXPECT_GE(history[0].wall_millis, 0.0);
+}
+
+TEST(BatchExecutorTest, EmptyStageIsFine) {
+  BatchExecutor executor(1);
+  executor.RunStage("empty", {});
+  EXPECT_EQ(executor.stages_run(), 1u);
+}
+
+TEST(JobDriverTest, SubmitRunsJobAndRecordsSuccess) {
+  JobDriver driver(2);
+  CountingJob job;
+  ASSERT_TRUE(driver.Submit(&job).ok());
+  EXPECT_EQ(job.sum(), 15);
+  EXPECT_EQ(job.runs(), 1);
+  auto history = driver.history();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history[0].succeeded);
+  EXPECT_EQ(history[0].name, "counting");
+  EXPECT_EQ(driver.jobs_run(), 1u);
+}
+
+TEST(JobDriverTest, FailedJobRecordedWithError) {
+  JobDriver driver(1);
+  CountingJob job(Status::Internal("training diverged"));
+  Status s = driver.Submit(&job);
+  EXPECT_TRUE(s.IsInternal());
+  auto history = driver.history();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_FALSE(history[0].succeeded);
+  EXPECT_NE(history[0].error.find("training diverged"), std::string::npos);
+}
+
+TEST(JobDriverTest, JobsRunSequentially) {
+  JobDriver driver(2);
+  CountingJob a;
+  CountingJob b;
+  ASSERT_TRUE(driver.Submit(&a).ok());
+  ASSERT_TRUE(driver.Submit(&b).ok());
+  EXPECT_EQ(driver.jobs_run(), 2u);
+}
+
+}  // namespace
+}  // namespace velox

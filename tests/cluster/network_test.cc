@@ -1,0 +1,118 @@
+#include "cluster/network.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/cluster.h"
+
+namespace velox {
+namespace {
+
+NetworkOptions TestOptions() {
+  NetworkOptions opts;
+  opts.local_call_nanos = 100;
+  opts.remote_latency_nanos = 10000;
+  opts.nanos_per_byte = 1.0;
+  return opts;
+}
+
+TEST(SimulatedNetworkTest, LocalCallCostsLocalLatency) {
+  SimulatedNetwork net(TestOptions());
+  EXPECT_EQ(net.CostNanos(1, 1, 999999), 100);
+}
+
+TEST(SimulatedNetworkTest, RemoteCallCostsLatencyPlusBandwidth) {
+  SimulatedNetwork net(TestOptions());
+  EXPECT_EQ(net.CostNanos(0, 1, 500), 10000 + 500);
+}
+
+TEST(SimulatedNetworkTest, ChargeRecordsStats) {
+  SimulatedNetwork net(TestOptions());
+  net.Charge(0, 0, 64);
+  net.Charge(0, 1, 128);
+  net.Charge(1, 0, 32);
+  auto stats = net.stats();
+  EXPECT_EQ(stats.local_messages, 1u);
+  EXPECT_EQ(stats.remote_messages, 2u);
+  EXPECT_EQ(stats.local_bytes, 64u);
+  EXPECT_EQ(stats.remote_bytes, 160u);
+  EXPECT_EQ(stats.charged_nanos, 100 + (10000 + 128) + (10000 + 32));
+  EXPECT_NEAR(stats.RemoteFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(SimulatedNetworkTest, RemoteFractionZeroWhenIdle) {
+  SimulatedNetwork net(TestOptions());
+  EXPECT_DOUBLE_EQ(net.stats().RemoteFraction(), 0.0);
+}
+
+TEST(SimulatedNetworkTest, ResetClearsStats) {
+  SimulatedNetwork net(TestOptions());
+  net.Charge(0, 1, 10);
+  net.ResetStats();
+  auto stats = net.stats();
+  EXPECT_EQ(stats.remote_messages, 0u);
+  EXPECT_EQ(stats.charged_nanos, 0);
+}
+
+TEST(SimulatedNetworkTest, AdvancesAttachedClock) {
+  SimulatedClock clock;
+  SimulatedNetwork net(TestOptions(), &clock);
+  net.Charge(0, 1, 100);
+  EXPECT_EQ(clock.NowNanos(), 10000 + 100);
+  net.Charge(2, 2, 0);
+  EXPECT_EQ(clock.NowNanos(), 10000 + 100 + 100);
+}
+
+TEST(SimulatedNetworkTest, ConcurrentChargesAllAccounted) {
+  SimulatedNetwork net(TestOptions());
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&net] {
+      for (int i = 0; i < 10000; ++i) net.Charge(0, 1, 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(net.stats().remote_messages, 40000u);
+}
+
+TEST(ClusterTest, AddAndLookupNodes) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.AddNode(0, "a:1").ok());
+  ASSERT_TRUE(cluster.AddNode(1, "b:2").ok());
+  EXPECT_TRUE(cluster.AddNode(0, "dup").IsAlreadyExists());
+  auto node = cluster.GetNode(1);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(node->address, "b:2");
+  EXPECT_TRUE(cluster.GetNode(9).status().IsNotFound());
+}
+
+TEST(ClusterTest, MembershipStatesAndGeneration) {
+  Cluster cluster;
+  uint64_t g0 = cluster.generation();
+  ASSERT_TRUE(cluster.AddNode(0, "a").ok());
+  ASSERT_TRUE(cluster.AddNode(1, "b").ok());
+  EXPECT_EQ(cluster.num_alive(), 2u);
+  uint64_t g2 = cluster.generation();
+  EXPECT_GT(g2, g0);
+
+  ASSERT_TRUE(cluster.MarkDraining(0).ok());
+  EXPECT_EQ(cluster.num_alive(), 1u);
+  ASSERT_TRUE(cluster.MarkDead(1).ok());
+  EXPECT_EQ(cluster.num_alive(), 0u);
+  EXPECT_GT(cluster.generation(), g2);
+  EXPECT_TRUE(cluster.MarkDead(42).IsNotFound());
+}
+
+TEST(ClusterTest, AliveNodesFilters) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.AddNode(0, "a").ok());
+  ASSERT_TRUE(cluster.AddNode(1, "b").ok());
+  ASSERT_TRUE(cluster.MarkDead(0).ok());
+  auto alive = cluster.AliveNodes();
+  ASSERT_EQ(alive.size(), 1u);
+  EXPECT_EQ(alive[0].id, 1);
+}
+
+}  // namespace
+}  // namespace velox

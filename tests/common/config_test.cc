@@ -1,0 +1,86 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace velox {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValues) {
+  auto cfg = Config::FromString("a = 1\nb = hello\nc = 2.5\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", -1), 1);
+  EXPECT_EQ(cfg->GetString("b", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg->GetDouble("c", 0.0), 2.5);
+}
+
+TEST(ConfigTest, CommentsAndBlankLinesIgnored) {
+  auto cfg = Config::FromString("# header\n\n  a = 1  # trailing\n\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", -1), 1);
+  EXPECT_EQ(cfg->entries().size(), 1u);
+}
+
+TEST(ConfigTest, LaterDuplicateWins) {
+  auto cfg = Config::FromString("a = 1\na = 2\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("a", -1), 2);
+}
+
+TEST(ConfigTest, MissingEqualsIsError) {
+  auto cfg = Config::FromString("just a line\n");
+  EXPECT_FALSE(cfg.ok());
+  EXPECT_TRUE(cfg.status().IsInvalidArgument());
+}
+
+TEST(ConfigTest, EmptyKeyIsError) {
+  auto cfg = Config::FromString(" = value\n");
+  EXPECT_FALSE(cfg.ok());
+}
+
+TEST(ConfigTest, FallbacksForMissingKeys) {
+  auto cfg = Config::FromString("");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_EQ(cfg->GetInt("missing", 42), 42);
+  EXPECT_EQ(cfg->GetString("missing", "def"), "def");
+  EXPECT_TRUE(cfg->GetBool("missing", true));
+  EXPECT_FALSE(cfg->Has("missing"));
+}
+
+TEST(ConfigTest, BoolParsing) {
+  auto cfg = Config::FromString(
+      "t1 = true\nt2 = 1\nt3 = yes\nf1 = false\nf2 = 0\nf3 = no\nweird = maybe\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetBool("t1", false));
+  EXPECT_TRUE(cfg->GetBool("t2", false));
+  EXPECT_TRUE(cfg->GetBool("t3", false));
+  EXPECT_FALSE(cfg->GetBool("f1", true));
+  EXPECT_FALSE(cfg->GetBool("f2", true));
+  EXPECT_FALSE(cfg->GetBool("f3", true));
+  // Unparseable value falls back.
+  EXPECT_TRUE(cfg->GetBool("weird", true));
+}
+
+TEST(ConfigTest, StrictGettersReportErrors) {
+  auto cfg = Config::FromString("a = notanumber\n");
+  ASSERT_TRUE(cfg.ok());
+  EXPECT_TRUE(cfg->GetIntOrError("a").status().IsInvalidArgument());
+  EXPECT_TRUE(cfg->GetIntOrError("missing").status().IsNotFound());
+  EXPECT_TRUE(cfg->GetDoubleOrError("missing").status().IsNotFound());
+}
+
+TEST(ConfigTest, SetOverridesParsedValue) {
+  auto cfg = Config::FromString("a = 1\n");
+  ASSERT_TRUE(cfg.ok());
+  cfg->Set("a", "5");
+  cfg->Set("b", "new");
+  EXPECT_EQ(cfg->GetInt("a", -1), 5);
+  EXPECT_EQ(cfg->GetString("b", ""), "new");
+}
+
+TEST(ConfigTest, MissingFileIsIoError) {
+  auto cfg = Config::FromFile("/nonexistent/path/config.txt");
+  EXPECT_TRUE(cfg.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace velox

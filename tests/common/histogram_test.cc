@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace velox {
+namespace {
+
+TEST(HistogramTest, EmptySnapshotIsZeroed) {
+  Histogram h;
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.mean, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(5.0);
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.mean, 5.0);
+  EXPECT_DOUBLE_EQ(snap.min, 5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 5.0);
+  EXPECT_DOUBLE_EQ(snap.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(snap.ci95_halfwidth, 0.0);
+}
+
+TEST(HistogramTest, MeanAndBoundsOfKnownSet) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Record(v);
+  auto snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.mean, 3.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+  EXPECT_DOUBLE_EQ(snap.p50, 3.0);
+  // Sample stddev of {1..5} = sqrt(2.5).
+  EXPECT_NEAR(snap.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(HistogramTest, PercentilesOfUniformRamp) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  auto snap = h.Snapshot();
+  EXPECT_NEAR(snap.p50, 500.5, 1.0);
+  EXPECT_NEAR(snap.p95, 950.0, 2.0);
+  EXPECT_NEAR(snap.p99, 990.0, 2.0);
+}
+
+TEST(HistogramTest, Ci95ShrinksWithSampleCount) {
+  Histogram small;
+  Histogram large;
+  // Same alternating values, different counts.
+  for (int i = 0; i < 20; ++i) small.Record(i % 2 == 0 ? 1.0 : 3.0);
+  for (int i = 0; i < 2000; ++i) large.Record(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(small.Snapshot().ci95_halfwidth, large.Snapshot().ci95_halfwidth);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(1.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  Histogram h;
+  const int threads = 4;
+  const int per_thread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < per_thread; ++i) h.Record(1.0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(threads * per_thread));
+}
+
+TEST(HistogramTest, ToStringMentionsKeyFields) {
+  Histogram h;
+  h.Record(2.0);
+  std::string s = h.Snapshot().ToString();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("mean=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,146 @@
+// Tests for clock, metrics registry, and logging level control.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace velox {
+namespace {
+
+TEST(ClockTest, SteadyClockMonotone) {
+  SteadyClock* clock = SteadyClock::Default();
+  int64_t a = clock->NowNanos();
+  int64_t b = clock->NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, SteadyClockAdvanceIsNoOp) {
+  SteadyClock* clock = SteadyClock::Default();
+  int64_t before = clock->NowNanos();
+  clock->AdvanceNanos(1'000'000'000);
+  // Still within a sane window of real time (no 1s jump).
+  EXPECT_LT(clock->NowNanos() - before, 500'000'000);
+}
+
+TEST(ClockTest, SimulatedClockAdvances) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.NowNanos(), 100);
+  clock.AdvanceNanos(50);
+  EXPECT_EQ(clock.NowNanos(), 150);
+  clock.SetNanos(7);
+  EXPECT_EQ(clock.NowNanos(), 7);
+}
+
+TEST(ClockTest, SimulatedClockThreadSafeAccumulation) {
+  SimulatedClock clock;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&clock] {
+      for (int i = 0; i < 10000; ++i) clock.AdvanceNanos(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(clock.NowNanos(), 40000);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.ElapsedNanos(), 4'000'000);
+  EXPECT_GE(watch.ElapsedMillis(), 4.0);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 5.0);
+}
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests");
+  c->Increment();
+  c->Increment(5);
+  EXPECT_EQ(c->value(), 6u);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+TEST(MetricsTest, SameNameReturnsSameInstance) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("x"), registry.GetCounter("x"));
+  EXPECT_EQ(registry.GetGauge("g"), registry.GetGauge("g"));
+  EXPECT_EQ(registry.GetHistogram("h"), registry.GetHistogram("h"));
+}
+
+TEST(MetricsTest, GaugeSet) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("hit_rate");
+  g->Set(0.93);
+  EXPECT_DOUBLE_EQ(g->value(), 0.93);
+}
+
+TEST(MetricsTest, ReportListsAllMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("alpha")->Increment(3);
+  registry.GetGauge("beta")->Set(1.5);
+  registry.GetHistogram("gamma")->Record(2.0);
+  std::string report = registry.Report();
+  EXPECT_NE(report.find("alpha 3"), std::string::npos);
+  EXPECT_NE(report.find("beta 1.5"), std::string::npos);
+  EXPECT_NE(report.find("gamma"), std::string::npos);
+}
+
+TEST(MetricsTest, DefaultRegistryIsSingleton) {
+  EXPECT_EQ(MetricsRegistry::Default(), MetricsRegistry::Default());
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("concurrent");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([c] {
+      for (int i = 0; i < 25000; ++i) c->Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->value(), 100000u);
+}
+
+TEST(LoggingTest, MinLevelControlsEmission) {
+  LogLevel original = GetMinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetMinLogLevel(), LogLevel::kError);
+  // These must be no-ops (nothing to assert beyond not crashing, but
+  // the side-effect guard matters: the stream expression below must
+  // not be evaluated at all).
+  bool evaluated = false;
+  auto touch = [&evaluated]() {
+    evaluated = true;
+    return "x";
+  };
+  VELOX_LOG(INFO) << touch();
+  EXPECT_FALSE(evaluated);
+  VELOX_LOG(ERROR) << "error-level message is emitted (to stderr)";
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  VELOX_CHECK(1 + 1 == 2) << "never shown";
+  VELOX_CHECK_EQ(4, 4);
+  VELOX_CHECK_LT(1, 2);
+  VELOX_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, CheckAborts) {
+  EXPECT_DEATH({ VELOX_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ VELOX_CHECK_OK(Status::Internal("bad")); }, "Internal");
+}
+
+}  // namespace
+}  // namespace velox

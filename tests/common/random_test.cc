@@ -1,0 +1,230 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace velox {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformU64StaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformU64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformU64IsApproximatelyUniform) {
+  Rng rng(13);
+  const int buckets = 10;
+  const int n = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformU64(buckets)];
+  for (int c : counts) {
+    // Each bucket expects 10000; 5-sigma ~ +/-470.
+    EXPECT_NEAR(c, n / buckets, 500);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(21);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(22);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(31);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(51);
+  for (int64_t k : {0, 1, 5, 50, 99, 100}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(static_cast<int64_t>(sample.size()), k);
+    std::set<int64_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(static_cast<int64_t>(distinct.size()), k);
+    for (int64_t v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(61);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent's outputs.
+  Rng parent2(61);
+  parent2.Fork();
+  uint64_t p = parent.NextU64();
+  uint64_t c = child.NextU64();
+  EXPECT_NE(p, c);
+}
+
+// -------- Zipf distribution properties (parameterized over exponent) ----
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, SamplesStayInRange) {
+  double exponent = GetParam();
+  ZipfDistribution zipf(100, exponent);
+  Rng rng(71);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST_P(ZipfTest, RankFrequenciesAreMonotoneForPositiveExponent) {
+  double exponent = GetParam();
+  if (exponent == 0.0) GTEST_SKIP() << "uniform case covered separately";
+  ZipfDistribution zipf(50, exponent);
+  Rng rng(73);
+  std::vector<int> counts(50, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  // Head must dominate tail decisively.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49] * 2);
+  // Aggregate monotonicity: first decile >= last decile.
+  int head = 0;
+  int tail = 0;
+  for (int i = 0; i < 5; ++i) head += counts[i];
+  for (int i = 45; i < 50; ++i) tail += counts[i];
+  EXPECT_GT(head, tail);
+}
+
+TEST_P(ZipfTest, FrequenciesTrackTheoreticalMass) {
+  double exponent = GetParam();
+  const int64_t n_items = 20;
+  ZipfDistribution zipf(n_items, exponent);
+  Rng rng(79);
+  std::vector<double> counts(n_items, 0.0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(&rng)] += 1.0;
+  double norm = 0.0;
+  for (int64_t k = 1; k <= n_items; ++k) norm += std::pow(k, -exponent);
+  for (int64_t k = 1; k <= n_items; ++k) {
+    double expected = std::pow(k, -exponent) / norm;
+    double observed = counts[k - 1] / n;
+    EXPECT_NEAR(observed, expected, 0.01)
+        << "rank " << k << " exponent " << exponent;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  Rng rng(83);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, 500);
+}
+
+TEST(ZipfTest, SingleItemAlwaysZero) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(89);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(&rng), 0);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,90 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace velox {
+namespace {
+
+TEST(StrSplitTest, CharDelimiter) {
+  auto parts = StrSplit(std::string_view("a,b,c"), ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  auto parts = StrSplit(std::string_view(",a,,b,"), ',');
+  ASSERT_EQ(parts.size(), 5u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[4], "");
+}
+
+TEST(StrSplitTest, MultiCharSeparatorMovieLensStyle) {
+  auto parts = StrSplit(std::string_view("1::293::3.5::1112486027"),
+                        std::string_view("::"));
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "293");
+  EXPECT_EQ(parts[2], "3.5");
+  EXPECT_EQ(parts[3], "1112486027");
+}
+
+TEST(StrSplitTest, EmptySeparatorReturnsWhole) {
+  auto parts = StrSplit(std::string_view("abc"), std::string_view(""));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("item_features_v3", "item_features"));
+  EXPECT_FALSE(StartsWith("item", "item_features"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("d=%d s=%s f=%.2f", 3, "x", 1.5), "d=3 s=x f=1.50");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(ParseInt64Test, ValidAndInvalid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13 ").value(), 13);
+  EXPECT_TRUE(ParseInt64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("12x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("abc").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("999999999999999999999999").status().IsOutOfRange());
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_TRUE(ParseDouble("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseDouble("1.2.3").status().IsInvalidArgument());
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(HumanCountTest, ScalesUnits) {
+  EXPECT_EQ(HumanCount(512), "512.00");
+  EXPECT_EQ(HumanCount(1500), "1.50K");
+  EXPECT_EQ(HumanCount(2500000), "2.50M");
+  EXPECT_EQ(HumanCount(3e9), "3.00G");
+}
+
+}  // namespace
+}  // namespace velox

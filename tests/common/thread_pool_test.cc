@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace velox {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_submitted(), 100u);
+  EXPECT_EQ(pool.tasks_completed(), 100u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        count.fetch_add(1);
+      });
+    }
+    pool.Shutdown();
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::thread::id main_id = std::this_thread::get_id();
+  std::atomic<bool> same{false};
+  pool.Submit([&] {
+    if (std::this_thread::get_id() == main_id) same = true;
+  });
+  pool.WaitIdle();
+  EXPECT_FALSE(same.load());
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &count] {
+      for (int i = 0; i < 1000; ++i) {
+        pool.Submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 4000);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t n = 500;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelFor(&pool, n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 5, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,161 @@
+#include "core/bandit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace velox {
+namespace {
+
+std::vector<BanditCandidate> ThreeCandidates() {
+  // item 0: high score, low uncertainty; item 1: medium/medium;
+  // item 2: low score, high uncertainty.
+  return {{100, 5.0, 0.1}, {200, 3.0, 0.5}, {300, 1.0, 10.0}};
+}
+
+bool IsPermutation(const std::vector<size_t>& order, size_t n) {
+  if (order.size() != n) return false;
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < n; ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+TEST(GreedyPolicyTest, RanksByScoreDescending) {
+  GreedyPolicy policy;
+  auto order = policy.Rank(ThreeCandidates(), nullptr);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(GreedyPolicyTest, StableOnTies) {
+  GreedyPolicy policy;
+  std::vector<BanditCandidate> ties = {{1, 2.0, 0.0}, {2, 2.0, 0.0}, {3, 2.0, 0.0}};
+  auto order = policy.Rank(ties, nullptr);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(GreedyTopTest, FindsArgmax) {
+  EXPECT_EQ(BanditPolicy::GreedyTop(ThreeCandidates()), 0u);
+  std::vector<BanditCandidate> v = {{1, -1.0, 0.0}, {2, 7.0, 0.0}, {3, 2.0, 0.0}};
+  EXPECT_EQ(BanditPolicy::GreedyTop(v), 1u);
+}
+
+TEST(EpsilonGreedyTest, ZeroEpsilonIsGreedy) {
+  EpsilonGreedyPolicy policy(0.0);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    auto order = policy.Rank(ThreeCandidates(), &rng);
+    EXPECT_EQ(order[0], 0u);
+  }
+}
+
+TEST(EpsilonGreedyTest, OneEpsilonAlwaysExploresEventually) {
+  EpsilonGreedyPolicy policy(1.0);
+  Rng rng(2);
+  int non_greedy = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto order = policy.Rank(ThreeCandidates(), &rng);
+    EXPECT_TRUE(IsPermutation(order, 3));
+    if (order[0] != 0) ++non_greedy;
+  }
+  // Random promotion picks a non-greedy head 2/3 of the time.
+  EXPECT_GT(non_greedy, 120);
+}
+
+TEST(EpsilonGreedyTest, ExplorationRateMatchesEpsilon) {
+  EpsilonGreedyPolicy policy(0.2);
+  Rng rng(3);
+  int swapped = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto order = policy.Rank(ThreeCandidates(), &rng);
+    if (order[0] != 0) ++swapped;
+  }
+  // P(non-greedy head) = eps * 2/3.
+  EXPECT_NEAR(static_cast<double>(swapped) / n, 0.2 * 2.0 / 3.0, 0.02);
+}
+
+TEST(LinUcbTest, ZeroAlphaIsGreedy) {
+  LinUcbPolicy policy(0.0);
+  auto order = policy.Rank(ThreeCandidates(), nullptr);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(LinUcbTest, LargeAlphaPrefersUncertainty) {
+  // With alpha = 1: item 2 scores 1 + 10 = 11 > item 0's 5.1 — the
+  // paper's "max sum of score and uncertainty".
+  LinUcbPolicy policy(1.0);
+  auto order = policy.Rank(ThreeCandidates(), nullptr);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_TRUE(IsPermutation(order, 3));
+}
+
+TEST(LinUcbTest, AlphaInterpolates) {
+  // alpha = 0.2: item 0 -> 5.02, item 2 -> 3.0; greedy head survives.
+  LinUcbPolicy policy(0.2);
+  auto order = policy.Rank(ThreeCandidates(), nullptr);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(ThompsonTest, RanksAreValidPermutations) {
+  ThompsonSamplingPolicy policy;
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    auto order = policy.Rank(ThreeCandidates(), &rng);
+    EXPECT_TRUE(IsPermutation(order, 3));
+  }
+}
+
+TEST(ThompsonTest, ZeroUncertaintyIsDeterministicGreedy) {
+  ThompsonSamplingPolicy policy;
+  Rng rng(8);
+  std::vector<BanditCandidate> certain = {{1, 5.0, 0.0}, {2, 3.0, 0.0}};
+  for (int i = 0; i < 20; ++i) {
+    auto order = policy.Rank(certain, &rng);
+    EXPECT_EQ(order[0], 0u);
+  }
+}
+
+TEST(ThompsonTest, HighUncertaintyItemSometimesWins) {
+  ThompsonSamplingPolicy policy;
+  Rng rng(9);
+  int wins = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto order = policy.Rank(ThreeCandidates(), &rng);
+    if (order[0] == 2) ++wins;
+  }
+  EXPECT_GT(wins, 50);   // explores
+  EXPECT_LT(wins, 450);  // but not always
+}
+
+TEST(MakeBanditPolicyTest, ParsesSpecs) {
+  EXPECT_EQ(MakeBanditPolicy("greedy")->name(), "greedy");
+  EXPECT_EQ(MakeBanditPolicy("thompson")->name(), "thompson");
+  auto eps = MakeBanditPolicy("epsilon_greedy:0.25");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_DOUBLE_EQ(dynamic_cast<EpsilonGreedyPolicy*>(eps.get())->epsilon(), 0.25);
+  auto ucb = MakeBanditPolicy("linucb:2.5");
+  ASSERT_NE(ucb, nullptr);
+  EXPECT_DOUBLE_EQ(dynamic_cast<LinUcbPolicy*>(ucb.get())->alpha(), 2.5);
+  // Defaults when no parameter given.
+  EXPECT_NE(MakeBanditPolicy("epsilon_greedy"), nullptr);
+  EXPECT_NE(MakeBanditPolicy("linucb"), nullptr);
+}
+
+TEST(MakeBanditPolicyTest, RejectsInvalidSpecs) {
+  EXPECT_EQ(MakeBanditPolicy("bogus"), nullptr);
+  EXPECT_EQ(MakeBanditPolicy("epsilon_greedy:1.5"), nullptr);
+  EXPECT_EQ(MakeBanditPolicy("epsilon_greedy:abc"), nullptr);
+  EXPECT_EQ(MakeBanditPolicy("linucb:-1"), nullptr);
+}
+
+TEST(BanditPolicyDeathTest, ConstructorValidation) {
+  EXPECT_DEATH(EpsilonGreedyPolicy(-0.1), "Check failed");
+  EXPECT_DEATH(EpsilonGreedyPolicy(1.1), "Check failed");
+  EXPECT_DEATH(LinUcbPolicy(-0.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace velox

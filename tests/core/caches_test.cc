@@ -1,0 +1,127 @@
+// FeatureCache and PredictionCache semantics, including the epoch/
+// version keying that makes stale predictions unreachable.
+#include <gtest/gtest.h>
+
+#include "core/feature_cache.h"
+#include "core/prediction_cache.h"
+
+namespace velox {
+namespace {
+
+TEST(FeatureCacheTest, PutGetInvalidate) {
+  FeatureCache cache(16);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, DenseVector{1.0, 2.0});
+  auto v = cache.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (DenseVector{1.0, 2.0}));
+  EXPECT_TRUE(cache.Invalidate(1));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_FALSE(cache.Invalidate(1));
+}
+
+TEST(FeatureCacheTest, ClearFlushesAll) {
+  FeatureCache cache(64);
+  for (uint64_t i = 0; i < 32; ++i) cache.Put(i, DenseVector(2));
+  EXPECT_GT(cache.size(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FeatureCacheTest, StatsTrackHitsAndMisses) {
+  FeatureCache cache(8);
+  cache.Get(1);  // miss
+  cache.Put(1, DenseVector(1));
+  cache.Get(1);  // hit
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  cache.ResetStats();
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(FeatureCacheTest, HotItemsReturnsRecentlyUsed) {
+  FeatureCache cache(16, 1);
+  cache.Put(1, DenseVector(1));
+  cache.Put(2, DenseVector(1));
+  cache.Put(3, DenseVector(1));
+  auto hot = cache.HotItems(2);
+  ASSERT_GE(hot.size(), 2u);
+  EXPECT_EQ(hot[0], 3u);
+}
+
+TEST(PredictionKeyTest, EqualityIsFieldwise) {
+  PredictionKey a{1, 2, 3, 4};
+  PredictionKey b{1, 2, 3, 4};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE((a == PredictionKey{9, 2, 3, 4}));
+  EXPECT_FALSE((a == PredictionKey{1, 9, 3, 4}));
+  EXPECT_FALSE((a == PredictionKey{1, 2, 9, 4}));
+  EXPECT_FALSE((a == PredictionKey{1, 2, 3, 9}));
+}
+
+TEST(PredictionKeyTest, HashSeparatesNeighboringKeys) {
+  PredictionKeyHash hash;
+  // Adjacent uids/items/epochs should not collide systematically.
+  size_t h1 = hash(PredictionKey{1, 1, 1, 1});
+  size_t h2 = hash(PredictionKey{1, 1, 2, 1});
+  size_t h3 = hash(PredictionKey{1, 2, 1, 1});
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(PredictionCacheTest, PutGetRoundTrip) {
+  PredictionCache cache(16);
+  PredictionKey key{1, 2, 0, 1};
+  EXPECT_FALSE(cache.Get(key).has_value());
+  cache.Put(key, 4.5);
+  auto v = cache.Get(key);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 4.5);
+}
+
+TEST(PredictionCacheTest, EpochBumpMakesOldEntryUnreachable) {
+  // The observe() consistency mechanism: after a user update the epoch
+  // changes, so the stale score can never be served again.
+  PredictionCache cache(16);
+  cache.Put(PredictionKey{1, 2, /*epoch=*/0, 1}, 4.5);
+  EXPECT_FALSE(cache.Get(PredictionKey{1, 2, /*epoch=*/1, 1}).has_value());
+  // The old-epoch entry still exists physically but is never queried.
+  EXPECT_TRUE(cache.Get(PredictionKey{1, 2, 0, 1}).has_value());
+}
+
+TEST(PredictionCacheTest, ModelVersionBumpMakesOldEntryUnreachable) {
+  PredictionCache cache(16);
+  cache.Put(PredictionKey{1, 2, 0, /*version=*/1}, 4.5);
+  EXPECT_FALSE(cache.Get(PredictionKey{1, 2, 0, /*version=*/2}).has_value());
+}
+
+TEST(PredictionCacheTest, ClearFlushes) {
+  PredictionCache cache(16);
+  cache.Put(PredictionKey{1, 1, 0, 1}, 1.0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(PredictionKey{1, 1, 0, 1}).has_value());
+}
+
+TEST(PredictionCacheTest, HotKeysExposeWarmSet) {
+  PredictionCache cache(16, 1);
+  cache.Put(PredictionKey{1, 10, 0, 1}, 1.0);
+  cache.Put(PredictionKey{2, 20, 0, 1}, 2.0);
+  auto hot = cache.HotKeys(8);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].uid, 2u);
+  EXPECT_EQ(hot[0].item_id, 20u);
+}
+
+TEST(PredictionCacheTest, LruEvictionUnderPressure) {
+  PredictionCache cache(4, 1);
+  for (uint64_t i = 0; i < 100; ++i) {
+    cache.Put(PredictionKey{i, i, 0, 1}, static_cast<double>(i));
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,176 @@
+#include "core/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include "data/movielens.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+VeloxServerConfig SmallConfig() {
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = 4;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1LL << 40;
+  return config;
+}
+
+std::unique_ptr<VeloxModel> NamedModel(const std::string& name) {
+  AlsConfig als;
+  als.rank = 4;
+  als.iterations = 5;
+  return std::make_unique<MatrixFactorizationModel>(name, als);
+}
+
+SyntheticDataset SmallData(uint64_t seed) {
+  SyntheticMovieLensConfig config;
+  config.num_users = 40;
+  config.num_items = 50;
+  config.latent_rank = 4;
+  config.min_ratings_per_user = 6;
+  config.max_ratings_per_user = 10;
+  config.seed = seed;
+  auto ds = GenerateSyntheticMovieLens(config);
+  VELOX_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+TEST(DeploymentTest, AddAndListModels) {
+  VeloxDeployment deployment;
+  ASSERT_TRUE(deployment.AddModel(SmallConfig(), NamedModel("songs")).ok());
+  ASSERT_TRUE(deployment.AddModel(SmallConfig(), NamedModel("ads")).ok());
+  EXPECT_EQ(deployment.num_models(), 2u);
+  auto models = deployment.ListModels();
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_EQ(models[0].name, "ads");  // sorted map order
+  EXPECT_EQ(models[1].name, "songs");
+  EXPECT_EQ(models[0].current_version, 0);  // not yet bootstrapped
+}
+
+TEST(DeploymentTest, DuplicateAndInvalidModelsRejected) {
+  VeloxDeployment deployment;
+  ASSERT_TRUE(deployment.AddModel(SmallConfig(), NamedModel("songs")).ok());
+  EXPECT_TRUE(deployment.AddModel(SmallConfig(), NamedModel("songs"))
+                  .status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(deployment.AddModel(SmallConfig(), nullptr).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      deployment.AddModel(SmallConfig(), NamedModel("")).status().IsInvalidArgument());
+}
+
+TEST(DeploymentTest, RemoveModel) {
+  VeloxDeployment deployment;
+  ASSERT_TRUE(deployment.AddModel(SmallConfig(), NamedModel("songs")).ok());
+  ASSERT_TRUE(deployment.RemoveModel("songs").ok());
+  EXPECT_EQ(deployment.num_models(), 0u);
+  EXPECT_TRUE(deployment.RemoveModel("songs").IsNotFound());
+  EXPECT_TRUE(deployment.GetModel("songs").status().IsNotFound());
+}
+
+TEST(DeploymentTest, UnknownModelRequestsAreNotFound) {
+  VeloxDeployment deployment;
+  EXPECT_TRUE(deployment.Predict("nope", 1, MakeItem(1)).status().IsNotFound());
+  EXPECT_TRUE(deployment.TopK("nope", 1, {MakeItem(1)}, 1).status().IsNotFound());
+  EXPECT_TRUE(deployment.Observe("nope", 1, MakeItem(1), 1.0).IsNotFound());
+}
+
+TEST(DeploymentTest, ModelsServeIndependently) {
+  VeloxDeployment deployment;
+  auto songs = deployment.AddModel(SmallConfig(), NamedModel("songs"));
+  auto ads = deployment.AddModel(SmallConfig(), NamedModel("ads"));
+  ASSERT_TRUE(songs.ok());
+  ASSERT_TRUE(ads.ok());
+  auto songs_data = SmallData(1);
+  auto ads_data = SmallData(2);
+  ASSERT_TRUE(songs.value()->Bootstrap(songs_data.ratings).ok());
+  ASSERT_TRUE(ads.value()->Bootstrap(ads_data.ratings).ok());
+
+  // The same (uid, item) scores differently under the two models.
+  const Observation& obs = songs_data.ratings[0];
+  auto s = deployment.Predict("songs", obs.uid, MakeItem(obs.item_id));
+  auto a = deployment.Predict("ads", obs.uid, MakeItem(obs.item_id));
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(s->score, a->score);
+
+  // Observing through one model leaves the other untouched.
+  uint64_t uid = obs.uid;
+  uint64_t item = obs.item_id;
+  auto ads_before = deployment.Predict("ads", uid, MakeItem(item));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(deployment.Observe("songs", uid, MakeItem(item), 5.0).ok());
+  }
+  auto songs_after = deployment.Predict("songs", uid, MakeItem(item));
+  auto ads_after = deployment.Predict("ads", uid, MakeItem(item));
+  ASSERT_TRUE(songs_after.ok());
+  ASSERT_TRUE(ads_after.ok());
+  EXPECT_NEAR(songs_after->score, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(ads_after->score, ads_before->score);
+}
+
+TEST(DeploymentTest, TopKDispatchesToNamedModel) {
+  VeloxDeployment deployment;
+  auto songs = deployment.AddModel(SmallConfig(), NamedModel("songs"));
+  ASSERT_TRUE(songs.ok());
+  auto data = SmallData(3);
+  ASSERT_TRUE(songs.value()->Bootstrap(data.ratings).ok());
+  std::vector<Item> candidates;
+  for (size_t i = 0; i < 8; ++i) candidates.push_back(MakeItem(data.ratings[i].item_id));
+  auto top = deployment.TopK("songs", 1, candidates, 3);
+  ASSERT_TRUE(top.ok());
+  EXPECT_LE(top->items.size(), 3u);
+}
+
+TEST(DeploymentTest, MaybeRetrainAllReportsRetrainedModels) {
+  VeloxDeployment deployment;
+  auto config = SmallConfig();
+  config.evaluator.min_observations = 20;
+  config.evaluator.ewma_alpha = 0.3;
+  config.updater.cross_validation_every = 1;
+  auto drifting = deployment.AddModel(config, NamedModel("drifting"));
+  auto healthy = deployment.AddModel(SmallConfig(), NamedModel("healthy"));
+  ASSERT_TRUE(drifting.ok());
+  ASSERT_TRUE(healthy.ok());
+  auto data = SmallData(4);
+  ASSERT_TRUE(drifting.value()->Bootstrap(data.ratings).ok());
+  ASSERT_TRUE(healthy.value()->Bootstrap(data.ratings).ok());
+
+  // Drift only the first model.
+  for (int i = 0; i < 80; ++i) {
+    const Observation& obs = data.ratings[static_cast<size_t>(i) % data.ratings.size()];
+    ASSERT_TRUE(
+        deployment.Observe("drifting", obs.uid, MakeItem(obs.item_id), 5.5 - obs.label)
+            .ok());
+  }
+  auto retrained = deployment.MaybeRetrainAll();
+  ASSERT_TRUE(retrained.ok());
+  ASSERT_EQ(retrained->size(), 1u);
+  EXPECT_EQ((*retrained)[0], "drifting");
+  EXPECT_EQ(drifting.value()->current_version(), 2);
+  EXPECT_EQ(healthy.value()->current_version(), 1);
+}
+
+TEST(DeploymentTest, ListModelsReflectsLifecycle) {
+  VeloxDeployment deployment;
+  auto songs = deployment.AddModel(SmallConfig(), NamedModel("songs"));
+  ASSERT_TRUE(songs.ok());
+  auto data = SmallData(5);
+  ASSERT_TRUE(songs.value()->Bootstrap(data.ratings).ok());
+  ASSERT_TRUE(songs.value()->RetrainNow().ok());
+  auto models = deployment.ListModels();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].current_version, 2);
+  EXPECT_GT(models[0].users, 0u);
+  EXPECT_FALSE(models[0].stale);
+}
+
+}  // namespace
+}  // namespace velox

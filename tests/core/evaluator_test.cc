@@ -1,0 +1,206 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace velox {
+namespace {
+
+EvaluatorOptions FastOptions() {
+  EvaluatorOptions opts;
+  opts.ewma_alpha = 0.2;
+  opts.staleness_threshold_ratio = 1.5;
+  opts.min_observations = 10;
+  opts.validation_pool_capacity = 8;
+  return opts;
+}
+
+TEST(EvaluatorTest, FreshEvaluatorIsNotStale) {
+  Evaluator evaluator(FastOptions());
+  EXPECT_FALSE(evaluator.IsStale());
+  auto report = evaluator.Report();
+  EXPECT_EQ(report.observations_since_baseline, 0);
+  EXPECT_FALSE(report.stale);
+}
+
+TEST(EvaluatorTest, TracksPerUserAndGlobalLoss) {
+  Evaluator evaluator(FastOptions());
+  evaluator.RecordOnlineLoss(1, 2.0);
+  evaluator.RecordOnlineLoss(1, 4.0);
+  evaluator.RecordOnlineLoss(2, 10.0);
+  EXPECT_DOUBLE_EQ(evaluator.UserMeanLoss(1), 3.0);
+  EXPECT_DOUBLE_EQ(evaluator.UserMeanLoss(2), 10.0);
+  EXPECT_DOUBLE_EQ(evaluator.UserMeanLoss(99), 0.0);
+  auto report = evaluator.Report();
+  EXPECT_EQ(report.observations_since_baseline, 3);
+  EXPECT_NEAR(report.mean_online_loss, 16.0 / 3.0, 1e-12);
+  EXPECT_EQ(report.tracked_users, 2u);
+}
+
+TEST(EvaluatorTest, StaleRequiresBaselineMinObservationsAndDrift) {
+  Evaluator evaluator(FastOptions());
+  // No baseline: never stale, however bad the loss.
+  for (int i = 0; i < 50; ++i) {
+    evaluator.RecordOnlineLoss(1, 100.0);
+    evaluator.RecordHeldOutLoss(1, 100.0);
+  }
+  EXPECT_FALSE(evaluator.IsStale());
+
+  evaluator.ResetBaseline(1.0);
+  // Baseline set but too few post-baseline observations.
+  for (int i = 0; i < 5; ++i) {
+    evaluator.RecordOnlineLoss(1, 100.0);
+    evaluator.RecordHeldOutLoss(1, 100.0);
+  }
+  EXPECT_FALSE(evaluator.IsStale());
+
+  // Enough observations + drifted held-out loss -> stale.
+  for (int i = 0; i < 20; ++i) {
+    evaluator.RecordOnlineLoss(1, 100.0);
+    evaluator.RecordHeldOutLoss(1, 100.0);
+  }
+  EXPECT_TRUE(evaluator.IsStale());
+  EXPECT_TRUE(evaluator.Report().stale);
+}
+
+TEST(EvaluatorTest, HealthyLossStaysFresh) {
+  Evaluator evaluator(FastOptions());
+  evaluator.ResetBaseline(1.0);
+  for (int i = 0; i < 100; ++i) {
+    evaluator.RecordOnlineLoss(1, 1.0);
+    evaluator.RecordHeldOutLoss(1, 1.0);
+  }
+  EXPECT_FALSE(evaluator.IsStale());
+  // Slightly above baseline but under the 1.5x threshold.
+  for (int i = 0; i < 100; ++i) evaluator.RecordHeldOutLoss(1, 1.3);
+  EXPECT_FALSE(evaluator.IsStale());
+}
+
+TEST(EvaluatorTest, ResetBaselineClearsDriftState) {
+  Evaluator evaluator(FastOptions());
+  evaluator.ResetBaseline(1.0);
+  for (int i = 0; i < 50; ++i) {
+    evaluator.RecordOnlineLoss(1, 10.0);
+    evaluator.RecordHeldOutLoss(1, 10.0);
+  }
+  ASSERT_TRUE(evaluator.IsStale());
+  // Retrain happened: new baseline; old drift must not linger.
+  evaluator.ResetBaseline(1.0);
+  EXPECT_FALSE(evaluator.IsStale());
+  EXPECT_EQ(evaluator.Report().observations_since_baseline, 0);
+}
+
+TEST(EvaluatorTest, ZeroBaselineNeverFires) {
+  Evaluator evaluator(FastOptions());
+  evaluator.ResetBaseline(0.0);
+  for (int i = 0; i < 100; ++i) {
+    evaluator.RecordOnlineLoss(1, 5.0);
+    evaluator.RecordHeldOutLoss(1, 5.0);
+  }
+  EXPECT_FALSE(evaluator.IsStale());
+}
+
+TEST(EvaluatorTest, ValidationPoolFillsThenReservoirSamples) {
+  Evaluator evaluator(FastOptions());  // capacity 8
+  for (uint64_t i = 0; i < 8; ++i) {
+    evaluator.RecordValidationExample(ValidationExample{i, i, 1.0});
+  }
+  auto pool = evaluator.ValidationPool();
+  ASSERT_EQ(pool.size(), 8u);
+  // First 8 are kept verbatim.
+  std::set<uint64_t> uids;
+  for (const auto& ex : pool) uids.insert(ex.uid);
+  EXPECT_EQ(uids.size(), 8u);
+
+  // Stream 1000 more; pool stays at capacity and contains a mix of old
+  // and new examples.
+  for (uint64_t i = 100; i < 1100; ++i) {
+    evaluator.RecordValidationExample(ValidationExample{i, i, 1.0});
+  }
+  pool = evaluator.ValidationPool();
+  ASSERT_EQ(pool.size(), 8u);
+  int newer = 0;
+  for (const auto& ex : pool) {
+    if (ex.uid >= 100) ++newer;
+  }
+  // With 1000 replacements over capacity 8, nearly all slots turn over.
+  EXPECT_GE(newer, 6);
+}
+
+TEST(EvaluatorTest, ReportCountsValidationPool) {
+  Evaluator evaluator(FastOptions());
+  evaluator.RecordValidationExample(ValidationExample{1, 2, 3.0});
+  EXPECT_EQ(evaluator.Report().validation_pool_size, 1u);
+}
+
+TEST(EvaluatorTest, EwmaLossReportedAfterHeldOutSamples) {
+  Evaluator evaluator(FastOptions());
+  EXPECT_DOUBLE_EQ(evaluator.Report().ewma_loss, 0.0);
+  evaluator.RecordHeldOutLoss(1, 4.0);
+  EXPECT_DOUBLE_EQ(evaluator.Report().ewma_loss, 4.0);
+}
+
+TEST(EvaluatorTest, BaselineCalibrationAbsorbsServingNoise) {
+  // Training RMSE claims loss 0.01 but real serving loss is 0.5 (label
+  // noise). Without calibration the model is immediately "stale";
+  // with calibration the baseline self-adjusts and only genuine drift
+  // above the calibrated level fires.
+  EvaluatorOptions opts = FastOptions();
+  opts.baseline_from_heldout_samples = 20;
+  Evaluator evaluator(opts);
+  evaluator.ResetBaseline(0.01);
+  for (int i = 0; i < 50; ++i) {
+    evaluator.RecordOnlineLoss(1, 0.5);
+    evaluator.RecordHeldOutLoss(1, 0.5);
+  }
+  EXPECT_FALSE(evaluator.IsStale()) << "steady noise must not look like drift";
+  // Genuine drift: losses triple past the calibrated baseline.
+  for (int i = 0; i < 100; ++i) {
+    evaluator.RecordOnlineLoss(1, 1.5);
+    evaluator.RecordHeldOutLoss(1, 1.5);
+  }
+  EXPECT_TRUE(evaluator.IsStale());
+}
+
+TEST(EvaluatorTest, CalibrationBlocksStalenessUntilComplete) {
+  EvaluatorOptions opts = FastOptions();
+  opts.baseline_from_heldout_samples = 30;
+  opts.min_observations = 1;
+  Evaluator evaluator(opts);
+  evaluator.ResetBaseline(0.1);
+  // Huge losses, but only 10 calibration samples so far: not stale yet.
+  for (int i = 0; i < 10; ++i) {
+    evaluator.RecordOnlineLoss(1, 100.0);
+    evaluator.RecordHeldOutLoss(1, 100.0);
+  }
+  EXPECT_FALSE(evaluator.IsStale());
+}
+
+TEST(EvaluatorTest, CalibrationResetsWithBaseline) {
+  EvaluatorOptions opts = FastOptions();
+  opts.baseline_from_heldout_samples = 5;
+  opts.min_observations = 1;
+  Evaluator evaluator(opts);
+  evaluator.ResetBaseline(0.1);
+  for (int i = 0; i < 10; ++i) {
+    evaluator.RecordOnlineLoss(1, 1.0);
+    evaluator.RecordHeldOutLoss(1, 1.0);
+  }
+  // Retrain: calibration must restart, so immediate staleness is off.
+  evaluator.ResetBaseline(0.1);
+  for (int i = 0; i < 3; ++i) {
+    evaluator.RecordOnlineLoss(1, 50.0);
+    evaluator.RecordHeldOutLoss(1, 50.0);
+  }
+  EXPECT_FALSE(evaluator.IsStale());
+}
+
+TEST(EvaluatorDeathTest, ThresholdRatioMustExceedOne) {
+  EvaluatorOptions opts;
+  opts.staleness_threshold_ratio = 0.9;
+  EXPECT_DEATH(Evaluator{opts}, "Check failed");
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,212 @@
+// Fault tolerance: storage replication, ring remapping on node failure,
+// and lazy recovery of user weights from the replicated storage tier.
+#include <gtest/gtest.h>
+
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+StorageClusterOptions ReplicatedOptions(int32_t nodes, int32_t replicas) {
+  StorageClusterOptions opts;
+  opts.num_nodes = nodes;
+  opts.replication_factor = replicas;
+  return opts;
+}
+
+TEST(StorageReplicationTest, PutWritesToAllReplicas) {
+  StorageCluster cluster(ReplicatedOptions(4, 2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(client.Put("t", k, Value{1, 2, 3}).ok());
+    int copies = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+      if (cluster.store(n)->GetTable("t").value()->Contains(k)) ++copies;
+    }
+    EXPECT_EQ(copies, 2) << "key " << k;
+  }
+}
+
+TEST(StorageReplicationTest, ReplicationClampedToClusterSize) {
+  StorageCluster cluster(ReplicatedOptions(2, 5));
+  EXPECT_EQ(cluster.replication_factor(), 2);
+}
+
+TEST(StorageReplicationTest, OwnersAreDistinctAndLedByPrimary) {
+  StorageCluster cluster(ReplicatedOptions(5, 3));
+  for (Key k = 0; k < 50; ++k) {
+    auto owners = cluster.OwnersOf(k);
+    ASSERT_TRUE(owners.ok());
+    ASSERT_EQ(owners->size(), 3u);
+    EXPECT_EQ((*owners)[0], cluster.OwnerOf(k).value());
+  }
+}
+
+TEST(StorageReplicationTest, GetSurvivesPrimaryFailure) {
+  StorageCluster cluster(ReplicatedOptions(4, 2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient writer(&cluster, 0);
+  for (Key k = 0; k < 200; ++k) {
+    ASSERT_TRUE(writer.Put("t", k, Value{static_cast<uint8_t>(k)}).ok());
+  }
+  // Fail one node; every key must remain readable via its replica.
+  ASSERT_TRUE(cluster.FailNode(2).ok());
+  StorageClient reader(&cluster, 0);
+  for (Key k = 0; k < 200; ++k) {
+    auto v = reader.Get("t", k);
+    ASSERT_TRUE(v.ok()) << "key " << k << ": " << v.status().ToString();
+    EXPECT_EQ(v.value()[0], static_cast<uint8_t>(k));
+  }
+}
+
+TEST(StorageReplicationTest, UnreplicatedDataLostOnFailure) {
+  StorageCluster cluster(ReplicatedOptions(4, 1));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient writer(&cluster, 0);
+  std::vector<Key> on_node2;
+  for (Key k = 0; k < 200; ++k) {
+    if (cluster.OwnerOf(k).value() == 2) on_node2.push_back(k);
+    ASSERT_TRUE(writer.Put("t", k, Value{1}).ok());
+  }
+  ASSERT_FALSE(on_node2.empty());
+  ASSERT_TRUE(cluster.FailNode(2).ok());
+  StorageClient reader(&cluster, 0);
+  for (Key k : on_node2) {
+    EXPECT_TRUE(reader.Get("t", k).status().IsNotFound()) << "key " << k;
+  }
+}
+
+TEST(StorageFailureTest, FailNodeRemapsOwnership) {
+  StorageCluster cluster(ReplicatedOptions(4, 1));
+  ASSERT_TRUE(cluster.FailNode(1).ok());
+  EXPECT_FALSE(cluster.IsAlive(1));
+  for (Key k = 0; k < 500; ++k) {
+    EXPECT_NE(cluster.OwnerOf(k).value(), 1);
+  }
+}
+
+TEST(StorageFailureTest, FailUnknownOrLastNodeRejected) {
+  StorageCluster cluster(ReplicatedOptions(1, 1));
+  EXPECT_TRUE(cluster.FailNode(9).IsInvalidArgument());
+  EXPECT_TRUE(cluster.FailNode(0).IsFailedPrecondition());
+}
+
+TEST(StorageFailureTest, DeadNodeObservationsExcluded) {
+  StorageCluster cluster(ReplicatedOptions(3, 1));
+  cluster.observation_log(0)->Append(Observation{1, 1, 1.0, 0});
+  cluster.observation_log(1)->Append(Observation{2, 2, 2.0, 0});
+  cluster.observation_log(2)->Append(Observation{3, 3, 3.0, 0});
+  ASSERT_TRUE(cluster.FailNode(1).ok());
+  auto all = cluster.AllObservations();
+  ASSERT_EQ(all.size(), 2u);
+  for (const auto& obs : all) EXPECT_NE(obs.uid, 2u);
+}
+
+class ServerFailoverTest : public ::testing::Test {
+ protected:
+  ServerFailoverTest() {
+    SyntheticMovieLensConfig data_config;
+    data_config.num_users = 80;
+    data_config.num_items = 100;
+    data_config.latent_rank = 4;
+    data_config.min_ratings_per_user = 8;
+    data_config.max_ratings_per_user = 14;
+    data_config.seed = 77;
+    auto ds = GenerateSyntheticMovieLens(data_config);
+    VELOX_CHECK_OK(ds.status());
+    data_ = std::move(ds).value();
+
+    VeloxServerConfig config;
+    config.num_nodes = 4;
+    config.dim = 4;
+    config.bandit_policy = "";
+    config.batch_workers = 2;
+    config.evaluator.min_observations = 1LL << 40;
+    config.storage.replication_factor = 2;
+    AlsConfig als;
+    als.rank = 4;
+    als.iterations = 6;
+    server_ = std::make_unique<VeloxServer>(
+        config, std::make_unique<MatrixFactorizationModel>("songs", als));
+    VELOX_CHECK_OK(server_->Bootstrap(data_.ratings));
+  }
+
+  SyntheticDataset data_;
+  std::unique_ptr<VeloxServer> server_;
+};
+
+TEST_F(ServerFailoverTest, ServingContinuesAfterNodeFailure) {
+  ASSERT_TRUE(server_->FailNode(1).ok());
+  size_t ok = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    const Observation& obs = data_.ratings[i];
+    if (server_->Predict(obs.uid, MakeItem(obs.item_id)).ok()) ++ok;
+  }
+  // Item factors are in-process (not on the failed node); everything
+  // keeps serving.
+  EXPECT_EQ(ok, 200u);
+}
+
+TEST_F(ServerFailoverTest, OnlineLearnedWeightsSurviveFailover) {
+  // Teach a user a strong preference; their updated weights are
+  // persisted to the replicated user_weights table on every observe.
+  uint64_t uid = data_.ratings[0].uid;
+  uint64_t item = data_.ratings[0].item_id;
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(server_->Observe(uid, MakeItem(item), 5.0).ok());
+  }
+  auto before = server_->Predict(uid, MakeItem(item));
+  ASSERT_TRUE(before.ok());
+  EXPECT_NEAR(before->score, 5.0, 1.0);
+
+  // Kill the user's home node; the ring remaps them elsewhere and the
+  // new node recovers the persisted weights lazily.
+  NodeId home = server_->storage()->OwnerOf(uid).value();
+  ASSERT_TRUE(server_->FailNode(home).ok());
+  NodeId new_home = server_->storage()->OwnerOf(uid).value();
+  EXPECT_NE(new_home, home);
+
+  auto after = server_->Predict(uid, MakeItem(item));
+  ASSERT_TRUE(after.ok());
+  // Recovered weights reproduce the learned preference (not the
+  // cold-start mean).
+  EXPECT_NEAR(after->score, before->score, 0.25);
+}
+
+TEST_F(ServerFailoverTest, ObserveKeepsWorkingAfterFailover) {
+  uint64_t uid = data_.ratings[5].uid;
+  uint64_t item = data_.ratings[5].item_id;
+  NodeId home = server_->storage()->OwnerOf(uid).value();
+  ASSERT_TRUE(server_->FailNode(home).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server_->Observe(uid, MakeItem(item), 4.5).ok());
+  }
+  auto pred = server_->Predict(uid, MakeItem(item));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->score, 4.5, 1.0);
+}
+
+TEST_F(ServerFailoverTest, RetrainStillWorksAfterFailure) {
+  ASSERT_TRUE(server_->FailNode(3).ok());
+  auto report = server_->RetrainNow();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(server_->current_version(), 2);
+  // Serving against the new version on the surviving nodes.
+  const Observation& obs = data_.ratings[10];
+  EXPECT_TRUE(server_->Predict(obs.uid, MakeItem(obs.item_id)).ok());
+}
+
+TEST_F(ServerFailoverTest, InvalidNodeRejected) {
+  EXPECT_TRUE(server_->FailNode(-1).IsInvalidArgument());
+  EXPECT_TRUE(server_->FailNode(99).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace velox

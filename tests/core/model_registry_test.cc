@@ -1,0 +1,110 @@
+#include "core/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace velox {
+namespace {
+
+std::shared_ptr<const FeatureFunction> MakeFeatures(size_t dim) {
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  (*table)[1] = DenseVector(dim);
+  return std::make_shared<MaterializedFeatureFunction>(table, dim);
+}
+
+TEST(ModelRegistryTest, EmptyRegistryHasNoCurrent) {
+  ModelRegistry registry("m");
+  EXPECT_TRUE(registry.Current().status().IsFailedPrecondition());
+  EXPECT_EQ(registry.current_version(), 0);
+  EXPECT_TRUE(registry.History().empty());
+}
+
+TEST(ModelRegistryTest, RegisterAssignsIncreasingVersions) {
+  ModelRegistry registry("m");
+  EXPECT_EQ(registry.Register(MakeFeatures(2), nullptr, 1.0), 1);
+  EXPECT_EQ(registry.Register(MakeFeatures(2), nullptr, 0.9), 2);
+  EXPECT_EQ(registry.Register(MakeFeatures(2), nullptr, 0.8), 3);
+  EXPECT_EQ(registry.current_version(), 3);
+}
+
+TEST(ModelRegistryTest, CurrentReflectsLatestRegister) {
+  ModelRegistry registry("m");
+  registry.Register(MakeFeatures(2), nullptr, 1.0);
+  registry.Register(MakeFeatures(2), nullptr, 0.5);
+  auto current = registry.Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current.value()->version, 2);
+  EXPECT_DOUBLE_EQ(current.value()->training_rmse, 0.5);
+  EXPECT_EQ(current.value()->model_name, "m");
+}
+
+TEST(ModelRegistryTest, NullWeightsBecomeEmptyMap) {
+  ModelRegistry registry("m");
+  registry.Register(MakeFeatures(2), nullptr, 0.0);
+  auto current = registry.Current();
+  ASSERT_TRUE(current.ok());
+  ASSERT_NE(current.value()->trained_user_weights, nullptr);
+  EXPECT_TRUE(current.value()->trained_user_weights->empty());
+}
+
+TEST(ModelRegistryTest, RollbackSwitchesCurrent) {
+  ModelRegistry registry("m");
+  registry.Register(MakeFeatures(2), nullptr, 1.0);
+  registry.Register(MakeFeatures(2), nullptr, 0.5);
+  ASSERT_TRUE(registry.Rollback(1).ok());
+  EXPECT_EQ(registry.current_version(), 1);
+  // Registering after rollback continues the version sequence.
+  EXPECT_EQ(registry.Register(MakeFeatures(2), nullptr, 0.4), 3);
+}
+
+TEST(ModelRegistryTest, RollbackToUnknownVersionFails) {
+  ModelRegistry registry("m");
+  registry.Register(MakeFeatures(2), nullptr, 1.0);
+  EXPECT_TRUE(registry.Rollback(0).IsNotFound());
+  EXPECT_TRUE(registry.Rollback(2).IsNotFound());
+  EXPECT_TRUE(registry.Rollback(-1).IsNotFound());
+}
+
+TEST(ModelRegistryTest, HistoryMarksCurrent) {
+  ModelRegistry registry("m");
+  registry.Register(MakeFeatures(2), nullptr, 1.0);
+  registry.Register(MakeFeatures(2), nullptr, 0.5);
+  ASSERT_TRUE(registry.Rollback(1).ok());
+  auto history = registry.History();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_TRUE(history[0].is_current);
+  EXPECT_FALSE(history[1].is_current);
+  EXPECT_DOUBLE_EQ(history[1].training_rmse, 0.5);
+}
+
+TEST(ModelRegistryTest, InFlightReadersKeepTheirVersionAlive) {
+  ModelRegistry registry("m");
+  registry.Register(MakeFeatures(2), nullptr, 1.0);
+  auto v1 = registry.Current().value();
+  registry.Register(MakeFeatures(2), nullptr, 0.5);
+  // v1 snapshot is still fully usable despite the swap.
+  EXPECT_EQ(v1->version, 1);
+  EXPECT_NE(v1->features, nullptr);
+}
+
+TEST(ModelRegistryTest, ConcurrentRegistersGetDistinctVersions) {
+  ModelRegistry registry("m");
+  std::vector<std::thread> workers;
+  std::vector<std::vector<int32_t>> seen(4);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&registry, &seen, t] {
+      for (int i = 0; i < 50; ++i) {
+        seen[t].push_back(registry.Register(MakeFeatures(2), nullptr, 0.0));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  std::set<int32_t> all;
+  for (const auto& v : seen) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), 200u);
+  EXPECT_EQ(registry.current_version(), 200);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,178 @@
+#include "core/model_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/velox_server.h"
+#include "data/movielens.h"
+
+namespace velox {
+namespace {
+
+ModelSnapshot MakeSnapshot() {
+  ModelSnapshot snapshot;
+  snapshot.model_name = "songs";
+  snapshot.dim = 3;
+  snapshot.training_rmse = 0.42;
+  snapshot.item_factors[10] = DenseVector{1.0, 2.0, 3.0};
+  snapshot.item_factors[20] = DenseVector{-1.0, 0.5, 0.0};
+  snapshot.user_weights[1] = DenseVector{0.1, 0.2, 0.3};
+  return snapshot;
+}
+
+TEST(ModelSnapshotTest, SerializationRoundTrip) {
+  ModelSnapshot snapshot = MakeSnapshot();
+  auto bytes = SerializeModelSnapshot(snapshot);
+  auto back = DeserializeModelSnapshot(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->model_name, "songs");
+  EXPECT_EQ(back->dim, 3u);
+  EXPECT_DOUBLE_EQ(back->training_rmse, 0.42);
+  ASSERT_EQ(back->item_factors.size(), 2u);
+  EXPECT_EQ(back->item_factors.at(10), (DenseVector{1.0, 2.0, 3.0}));
+  ASSERT_EQ(back->user_weights.size(), 1u);
+  EXPECT_EQ(back->user_weights.at(1), (DenseVector{0.1, 0.2, 0.3}));
+}
+
+TEST(ModelSnapshotTest, EmptyMapsRoundTrip) {
+  ModelSnapshot snapshot;
+  snapshot.model_name = "empty";
+  snapshot.dim = 5;
+  auto back = DeserializeModelSnapshot(SerializeModelSnapshot(snapshot));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->item_factors.empty());
+  EXPECT_TRUE(back->user_weights.empty());
+}
+
+TEST(ModelSnapshotTest, BadMagicRejected) {
+  auto bytes = SerializeModelSnapshot(MakeSnapshot());
+  bytes[0] ^= 0xff;
+  EXPECT_TRUE(DeserializeModelSnapshot(bytes).status().IsInvalidArgument());
+}
+
+TEST(ModelSnapshotTest, UnknownFormatVersionRejected) {
+  auto bytes = SerializeModelSnapshot(MakeSnapshot());
+  bytes[4] = 0x7f;  // format version field
+  EXPECT_TRUE(DeserializeModelSnapshot(bytes).status().IsUnimplemented());
+}
+
+TEST(ModelSnapshotTest, TruncationRejectedEverywhere) {
+  auto bytes = SerializeModelSnapshot(MakeSnapshot());
+  // Any prefix must fail cleanly, never crash or succeed.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(DeserializeModelSnapshot(prefix).ok()) << "prefix " << len;
+  }
+}
+
+TEST(ModelSnapshotTest, TrailingGarbageRejected) {
+  auto bytes = SerializeModelSnapshot(MakeSnapshot());
+  bytes.push_back(0);
+  EXPECT_TRUE(DeserializeModelSnapshot(bytes).status().IsInvalidArgument());
+}
+
+TEST(ModelSnapshotTest, DimensionMismatchInsideMapRejected) {
+  ModelSnapshot snapshot = MakeSnapshot();
+  snapshot.user_weights[2] = DenseVector{1.0};  // wrong dim
+  auto bytes = SerializeModelSnapshot(snapshot);
+  EXPECT_TRUE(DeserializeModelSnapshot(bytes).status().IsInvalidArgument());
+}
+
+TEST(ModelSnapshotTest, FileSaveLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/snapshot_test.vxms";
+  ASSERT_TRUE(SaveModelSnapshot(MakeSnapshot(), path).ok());
+  auto loaded = LoadModelSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->model_name, "songs");
+  EXPECT_EQ(loaded->item_factors.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelSnapshotTest, LoadMissingFileIsIoError) {
+  EXPECT_TRUE(LoadModelSnapshot("/no/such/snapshot.vxms").status().IsIoError());
+}
+
+TEST(ModelSnapshotTest, ToRetrainOutputMaterialized) {
+  auto output = MakeSnapshot().ToRetrainOutput();
+  ASSERT_TRUE(output.ok());
+  EXPECT_TRUE(output->features->is_materialized());
+  EXPECT_EQ(output->features->dim(), 3u);
+  Item item;
+  item.id = 10;
+  EXPECT_EQ(output->features->Features(item).value(), (DenseVector{1.0, 2.0, 3.0}));
+}
+
+TEST(ModelSnapshotTest, ToRetrainOutputWithoutFactorsNeedsBasis) {
+  ModelSnapshot snapshot;
+  snapshot.dim = 4;
+  snapshot.user_weights[1] = DenseVector(4);
+  EXPECT_TRUE(snapshot.ToRetrainOutput().status().IsFailedPrecondition());
+  auto basis = std::make_shared<RbfFeatureFunction>(2, 4, 1.0, 7);
+  auto output = snapshot.ToRetrainOutput(basis);
+  ASSERT_TRUE(output.ok());
+  EXPECT_FALSE(output->features->is_materialized());
+  // Mismatched basis dim rejected.
+  auto wrong = std::make_shared<RbfFeatureFunction>(2, 5, 1.0, 7);
+  EXPECT_TRUE(snapshot.ToRetrainOutput(wrong).status().IsInvalidArgument());
+  EXPECT_TRUE(snapshot.ToRetrainOutput(nullptr).status().IsInvalidArgument());
+}
+
+TEST(ModelSnapshotTest, ServerRestartFromSnapshotServesSameScores) {
+  // Train a server, snapshot the current version, "restart" into a new
+  // server from the snapshot: predictions must match.
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 40;
+  data_config.num_items = 50;
+  data_config.latent_rank = 4;
+  data_config.seed = 9;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  ASSERT_TRUE(data.ok());
+
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = 4;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  AlsConfig als;
+  als.rank = 4;
+  als.iterations = 6;
+
+  VeloxServer original(config, std::make_unique<MatrixFactorizationModel>("songs", als));
+  ASSERT_TRUE(original.Bootstrap(data->ratings).ok());
+
+  // Snapshot the *live serving state*: the current version's θ plus the
+  // online-updated user weights (not the version's at-training W).
+  auto version = original.registry()->Current();
+  ASSERT_TRUE(version.ok());
+  RetrainOutput current;
+  current.features = version.value()->features;
+  current.user_weights = original.user_weights(0)->ExportWeights();
+  current.training_rmse = version.value()->training_rmse;
+  ModelSnapshot snapshot = ModelSnapshot::FromRetrainOutput("songs", current);
+  auto bytes = SerializeModelSnapshot(snapshot);
+
+  // Restart.
+  auto restored_snapshot = DeserializeModelSnapshot(bytes);
+  ASSERT_TRUE(restored_snapshot.ok());
+  auto restored_output = restored_snapshot->ToRetrainOutput();
+  ASSERT_TRUE(restored_output.ok());
+  VeloxServer restarted(config,
+                        std::make_unique<MatrixFactorizationModel>("songs", als));
+  ASSERT_TRUE(restarted.InstallVersion(restored_output.value()).ok());
+
+  for (size_t i = 0; i < 50; ++i) {
+    const Observation& obs = data->ratings[i];
+    Item item;
+    item.id = obs.item_id;
+    auto a = original.Predict(obs.uid, item);
+    auto b = restarted.Predict(obs.uid, item);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a->score, b->score, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace velox

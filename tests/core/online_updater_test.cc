@@ -1,0 +1,167 @@
+#include "core/online_updater.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+class OnlineUpdaterTest : public ::testing::Test {
+ protected:
+  OnlineUpdaterTest()
+      : model_("mf", MakeAlsConfig()),
+        registry_("mf"),
+        bootstrapper_(2),
+        weights_(MakeWeightOptions(), &bootstrapper_),
+        feature_cache_(64),
+        prediction_cache_(64),
+        evaluator_(MakeEvaluatorOptions()),
+        storage_(MakeStorageOptions()),
+        client_(&storage_, 0),
+        service_(PredictionServiceOptions{}, &registry_, &weights_, &bootstrapper_,
+                 &feature_cache_, &prediction_cache_, FeatureResolver()),
+        updater_(MakeUpdaterOptions(), &model_, &registry_, &weights_, &service_,
+                 &evaluator_, &client_) {
+    auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+    (*table)[10] = DenseVector{1.0, 0.0};
+    (*table)[20] = DenseVector{0.0, 1.0};
+    auto features = std::make_shared<MaterializedFeatureFunction>(table, 2);
+    registry_.Register(features, nullptr, 0.0);
+    VELOX_CHECK_OK(storage_.CreateTable("user_weights"));
+  }
+
+  static AlsConfig MakeAlsConfig() {
+    AlsConfig config;
+    config.rank = 2;
+    return config;
+  }
+  static UserWeightStoreOptions MakeWeightOptions() {
+    UserWeightStoreOptions opts;
+    opts.dim = 2;
+    opts.lambda = 0.1;
+    return opts;
+  }
+  static EvaluatorOptions MakeEvaluatorOptions() {
+    EvaluatorOptions opts;
+    opts.min_observations = 5;
+    return opts;
+  }
+  static StorageClusterOptions MakeStorageOptions() {
+    StorageClusterOptions opts;
+    opts.num_nodes = 1;
+    return opts;
+  }
+  static OnlineUpdaterOptions MakeUpdaterOptions() {
+    OnlineUpdaterOptions opts;
+    opts.cross_validation_every = 2;
+    return opts;
+  }
+
+  Item MakeItem(uint64_t id) {
+    Item item;
+    item.id = id;
+    return item;
+  }
+
+  MatrixFactorizationModel model_;
+  ModelRegistry registry_;
+  Bootstrapper bootstrapper_;
+  UserWeightStore weights_;
+  FeatureCache feature_cache_;
+  PredictionCache prediction_cache_;
+  Evaluator evaluator_;
+  StorageCluster storage_;
+  StorageClient client_;
+  PredictionService service_;
+  OnlineUpdater updater_;
+};
+
+TEST_F(OnlineUpdaterTest, ObserveUpdatesUserWeights) {
+  auto r = updater_.Observe(1, MakeItem(10), 4.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->prediction_before, 0.0);
+  EXPECT_EQ(r->user_observations, 1);
+  auto w = weights_.GetWeights(1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w.value()[0], 0.0);  // learned positive weight on dim 0
+}
+
+TEST_F(OnlineUpdaterTest, RepeatedObservationsConverge) {
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0).ok());
+  }
+  auto r = service_.Predict(1, MakeItem(10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->score, 4.0, 0.1);
+}
+
+TEST_F(OnlineUpdaterTest, LossReportedToEvaluator) {
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0).ok());
+  // Prequential loss of first observation: 0.5 * 4^2 = 8.
+  EXPECT_DOUBLE_EQ(evaluator_.UserMeanLoss(1), 8.0);
+  EXPECT_EQ(evaluator_.Report().observations_since_baseline, 1);
+}
+
+TEST_F(OnlineUpdaterTest, CrossValidationStreamSamplesEveryKth) {
+  // cross_validation_every = 2: observations 2, 4, 6... feed held-out.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0).ok());
+  }
+  EXPECT_GT(evaluator_.Report().ewma_loss, 0.0);
+}
+
+TEST_F(OnlineUpdaterTest, ObservationLandsInLog) {
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.5).ok());
+  auto observations = storage_.AllObservations();
+  ASSERT_EQ(observations.size(), 1u);
+  EXPECT_EQ(observations[0].uid, 1u);
+  EXPECT_EQ(observations[0].item_id, 10u);
+  EXPECT_DOUBLE_EQ(observations[0].label, 4.5);
+}
+
+TEST_F(OnlineUpdaterTest, WeightsPersistedToStorage) {
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0).ok());
+  auto table = storage_.store(0)->GetTable("user_weights");
+  ASSERT_TRUE(table.ok());
+  auto bytes = table.value()->Get(1);
+  ASSERT_TRUE(bytes.ok());
+  auto persisted = DecodeFactor(bytes.value());
+  ASSERT_TRUE(persisted.ok());
+  EXPECT_EQ(persisted.value(), weights_.GetWeights(1).value());
+}
+
+TEST_F(OnlineUpdaterTest, ExplorationSourcedObservationEntersValidationPool) {
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0, /*exploration_sourced=*/true).ok());
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(20), 2.0, /*exploration_sourced=*/false).ok());
+  auto pool = evaluator_.ValidationPool();
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool[0].item_id, 10u);
+}
+
+TEST_F(OnlineUpdaterTest, UnknownItemFails) {
+  EXPECT_TRUE(updater_.Observe(1, MakeItem(999), 1.0).status().IsNotFound());
+}
+
+TEST_F(OnlineUpdaterTest, ObserveSharesFeatureCacheWithPredictions) {
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0).ok());
+  auto stats_before = feature_cache_.stats();
+  ASSERT_TRUE(service_.Predict(2, MakeItem(10)).ok());
+  auto stats_after = feature_cache_.stats();
+  EXPECT_EQ(stats_after.hits, stats_before.hits + 1);
+}
+
+TEST_F(OnlineUpdaterTest, PredictAfterObserveSeesNewWeightsNotStaleCache) {
+  // Warm the prediction cache, then observe, then re-predict: the
+  // cached stale score must not resurface (epoch keying).
+  auto before = service_.Predict(1, MakeItem(10));
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before->score, 0.0);
+  ASSERT_TRUE(updater_.Observe(1, MakeItem(10), 4.0).ok());
+  auto after = service_.Predict(1, MakeItem(10));
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after->score, 1.0);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,270 @@
+// RetrainScheduler: staleness-triggered retraining, version swap with
+// cache invalidation + warming, and rollback — exercised through a
+// full single-node VeloxServer (the scheduler's natural habitat).
+#include "core/retrain_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+#include "core/velox_server.h"
+#include "data/movielens.h"
+
+namespace velox {
+namespace {
+
+VeloxServerConfig SmallServerConfig() {
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = 4;
+  config.lambda = 0.1;
+  config.bandit_policy = "";  // greedy, deterministic
+  config.evaluator.min_observations = 20;
+  config.evaluator.ewma_alpha = 0.3;
+  config.evaluator.staleness_threshold_ratio = 1.5;
+  config.updater.cross_validation_every = 1;
+  config.batch_workers = 2;
+  return config;
+}
+
+std::unique_ptr<VeloxModel> SmallModel() {
+  AlsConfig als;
+  als.rank = 4;
+  als.lambda = 0.1;
+  als.iterations = 8;
+  return std::make_unique<MatrixFactorizationModel>("songs", als);
+}
+
+SyntheticDataset SmallData(uint64_t seed = 11) {
+  SyntheticMovieLensConfig config;
+  config.num_users = 60;
+  config.num_items = 80;
+  config.latent_rank = 4;
+  config.min_ratings_per_user = 8;
+  config.max_ratings_per_user = 16;
+  config.seed = seed;
+  auto ds = GenerateSyntheticMovieLens(config);
+  VELOX_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+TEST(RetrainSchedulerTest, RetrainWithoutObservationsFails) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  EXPECT_TRUE(server.RetrainNow().status().IsFailedPrecondition());
+}
+
+TEST(RetrainSchedulerTest, BootstrapInstallsVersionOne) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  EXPECT_EQ(server.current_version(), 1);
+  EXPECT_GT(server.TotalUsers(), 0u);
+  auto history = server.VersionHistory();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history[0].is_current);
+  EXPECT_GT(history[0].training_rmse, 0.0);
+}
+
+TEST(RetrainSchedulerTest, RetrainNowBumpsVersionAndReport) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->new_version, 2);
+  EXPECT_EQ(report->observations_used, data.ratings.size());
+  EXPECT_GT(report->training_rmse, 0.0);
+  EXPECT_EQ(server.current_version(), 2);
+}
+
+TEST(RetrainSchedulerTest, MaybeRetrainIdleWhenFresh) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  auto retrained = server.MaybeRetrain();
+  ASSERT_TRUE(retrained.ok());
+  EXPECT_FALSE(retrained.value());
+  EXPECT_EQ(server.current_version(), 1);
+}
+
+TEST(RetrainSchedulerTest, DriftTriggersAutoRetrain) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+
+  // Feed adversarial observations: labels opposite to predictions keep
+  // held-out loss far above the baseline.
+  for (int i = 0; i < 120; ++i) {
+    uint64_t uid = static_cast<uint64_t>(i % 60);
+    uint64_t item = static_cast<uint64_t>(i % 80);
+    auto pred = server.Predict(uid, MakeItem(item));
+    ASSERT_TRUE(pred.ok());
+    double adversarial_label = pred->score > 2.75 ? 0.5 : 5.0;
+    ASSERT_TRUE(server.Observe(uid, MakeItem(item), adversarial_label).ok());
+  }
+  EXPECT_TRUE(server.QualityReport().stale);
+  auto retrained = server.MaybeRetrain();
+  ASSERT_TRUE(retrained.ok());
+  EXPECT_TRUE(retrained.value());
+  EXPECT_EQ(server.current_version(), 2);
+  // Baseline reset: no longer stale immediately after retrain.
+  EXPECT_FALSE(server.QualityReport().stale);
+}
+
+TEST(RetrainSchedulerTest, SwapInvalidatesCaches) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  // Warm caches with traffic.
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(server.Predict(i % 60, MakeItem(i % 80)).ok());
+  }
+  auto stats_before = server.AggregatedCacheStats();
+  EXPECT_GT(stats_before.feature.entries, 0u);
+  ASSERT_TRUE(server.RetrainNow().ok());
+  auto stats_after = server.AggregatedCacheStats();
+  EXPECT_GT(stats_after.feature.invalidations, 0u);
+}
+
+TEST(RetrainSchedulerTest, WarmingRepopulatesFeatureCache) {
+  auto config = SmallServerConfig();
+  config.retrain.warm_caches = true;
+  VeloxServer server(config, SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  for (uint64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(server.Predict(i % 60, MakeItem(i % 80)).ok());
+  }
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->warmed_features, 0u);
+  EXPECT_GT(report->warmed_predictions, 0u);
+  auto stats = server.AggregatedCacheStats();
+  EXPECT_GT(stats.feature.entries, 0u);
+}
+
+TEST(RetrainSchedulerTest, WarmingCanBeDisabled) {
+  auto config = SmallServerConfig();
+  config.retrain.warm_caches = false;
+  VeloxServer server(config, SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(server.Predict(i % 60, MakeItem(i % 80)).ok());
+  }
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->warmed_features, 0u);
+  EXPECT_EQ(report->warmed_predictions, 0u);
+}
+
+TEST(RetrainSchedulerTest, RetrainImprovesFitOverDriftedData) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+
+  // A "new catalog trend": every user now loves item 0.
+  for (uint64_t u = 0; u < 60; ++u) {
+    ASSERT_TRUE(server.Observe(u, MakeItem(0), 5.0).ok());
+  }
+  ASSERT_TRUE(server.RetrainNow().ok());
+  double total = 0.0;
+  for (uint64_t u = 0; u < 60; ++u) {
+    auto pred = server.Predict(u, MakeItem(0));
+    ASSERT_TRUE(pred.ok());
+    total += pred->score;
+  }
+  EXPECT_GT(total / 60.0, 3.5);
+}
+
+TEST(RetrainSchedulerTest, RollbackRestoresOldVersion) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  ASSERT_TRUE(server.RetrainNow().ok());
+  ASSERT_EQ(server.current_version(), 2);
+  ASSERT_TRUE(server.Rollback(1).ok());
+  EXPECT_EQ(server.current_version(), 1);
+  // Serving still works after rollback.
+  EXPECT_TRUE(server.Predict(1, MakeItem(1)).ok());
+  // Unknown version rejected.
+  EXPECT_TRUE(server.Rollback(99).IsNotFound());
+}
+
+TEST(RetrainSchedulerTest, WindowedRetrainForgetsContradictedHistory) {
+  // Concept drift with conflicting labels for the same (user, item)
+  // pairs: full-log retraining averages old and new labels; a windowed
+  // retrain sees only the recent (drifted) window and fits it cleanly.
+  auto run = [](int64_t window) {
+    auto config = SmallServerConfig();
+    config.retrain.max_observations = window;
+    VeloxServer server(config, SmallModel());
+    auto data = SmallData(/*seed=*/91);
+    VELOX_CHECK_OK(server.Bootstrap(data.ratings));
+    // Drifted stream: same pairs, inverted labels, larger than history.
+    Rng rng(3);
+    for (size_t i = 0; i < 2 * data.ratings.size(); ++i) {
+      const Observation& obs = data.ratings[rng.UniformU64(data.ratings.size())];
+      VELOX_CHECK_OK(
+          server.Observe(obs.uid, MakeItem(obs.item_id), 5.5 - obs.label));
+    }
+    VELOX_CHECK_OK(server.RetrainNow().status());
+    // Held-out fit against the *drifted* labels.
+    double sq = 0.0;
+    size_t n = 0;
+    for (size_t i = 0; i < data.ratings.size(); i += 4) {
+      const Observation& obs = data.ratings[i];
+      auto pred = server.Predict(obs.uid, MakeItem(obs.item_id));
+      if (!pred.ok()) continue;
+      double e = pred->score - (5.5 - obs.label);
+      sq += e * e;
+      ++n;
+    }
+    return std::sqrt(sq / static_cast<double>(n));
+  };
+  double full_log_rmse = run(/*window=*/0);
+  double windowed_rmse = run(/*window=*/800);
+  EXPECT_LT(windowed_rmse, full_log_rmse);
+}
+
+TEST(RetrainSchedulerTest, WindowLargerThanLogIsFullLog) {
+  auto config = SmallServerConfig();
+  config.retrain.max_observations = 1'000'000;
+  VeloxServer server(config, SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->observations_used, data.ratings.size());
+}
+
+TEST(RetrainSchedulerTest, WindowBoundsObservationsUsed) {
+  auto config = SmallServerConfig();
+  config.retrain.max_observations = 100;
+  VeloxServer server(config, SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->observations_used, 100u);
+}
+
+TEST(RetrainSchedulerTest, RetrainCountTracked) {
+  VeloxServer server(SmallServerConfig(), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  ASSERT_TRUE(server.RetrainNow().ok());
+  ASSERT_TRUE(server.RetrainNow().ok());
+  EXPECT_EQ(server.VersionHistory().size(), 3u);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,144 @@
+#include "core/shell.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/movielens.h"
+
+namespace velox {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest() {
+    SyntheticMovieLensConfig data_config;
+    data_config.num_users = 40;
+    data_config.num_items = 50;
+    data_config.latent_rank = 4;
+    data_config.seed = 13;
+    auto data = GenerateSyntheticMovieLens(data_config);
+    VELOX_CHECK_OK(data.status());
+    first_uid_ = data->ratings[0].uid;
+    first_item_ = data->ratings[0].item_id;
+
+    AlsConfig als;
+    als.rank = 4;
+    als.iterations = 5;
+    VeloxServerConfig config;
+    config.num_nodes = 1;
+    config.dim = 4;
+    config.bandit_policy = "";
+    config.batch_workers = 2;
+    server_ = std::make_unique<VeloxServer>(
+        config, std::make_unique<MatrixFactorizationModel>("shell", als));
+    shell_ = std::make_unique<VeloxShell>(server_.get(), data->ratings);
+  }
+
+  std::string MustExecute(const std::string& line) {
+    auto result = shell_->Execute(line);
+    EXPECT_TRUE(result.ok()) << line << ": " << result.status().ToString();
+    return result.ok() ? result.value() : "";
+  }
+
+  uint64_t first_uid_ = 0;
+  uint64_t first_item_ = 0;
+  std::unique_ptr<VeloxServer> server_;
+  std::unique_ptr<VeloxShell> shell_;
+};
+
+TEST_F(ShellTest, EmptyLineIsNoOp) {
+  EXPECT_EQ(MustExecute(""), "");
+  EXPECT_EQ(MustExecute("   "), "");
+}
+
+TEST_F(ShellTest, HelpListsCommands) {
+  std::string help = MustExecute("help");
+  EXPECT_NE(help.find("predict"), std::string::npos);
+  EXPECT_NE(help.find("rollback"), std::string::npos);
+}
+
+TEST_F(ShellTest, UnknownCommandIsError) {
+  auto result = shell_->Execute("frobnicate 1 2");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("help"), std::string_view::npos);
+}
+
+TEST_F(ShellTest, TrainPredictObserveFlow) {
+  std::string trained = MustExecute("train");
+  EXPECT_NE(trained.find("version 1"), std::string::npos);
+
+  std::string prediction = MustExecute(
+      "predict " + std::to_string(first_uid_) + " " + std::to_string(first_item_));
+  EXPECT_NE(prediction.find("predict(u"), std::string::npos);
+
+  MustExecute("observe " + std::to_string(first_uid_) + " " +
+              std::to_string(first_item_) + " 5.0");
+  std::string report = MustExecute("report");
+  EXPECT_NE(report.find("healthy"), std::string::npos);
+}
+
+TEST_F(ShellTest, PredictBeforeTrainFails) {
+  auto result = shell_->Execute("predict 1 2");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST_F(ShellTest, TopKCatalogAndCandidateForms) {
+  MustExecute("train");
+  std::string scan = MustExecute("topk " + std::to_string(first_uid_) + " 3");
+  EXPECT_NE(scan.find("top-3"), std::string::npos);
+  std::string candidates =
+      MustExecute("topk " + std::to_string(first_uid_) + " 2 " +
+                  std::to_string(first_item_));
+  EXPECT_NE(candidates.find("top-1"), std::string::npos);
+}
+
+TEST_F(ShellTest, RetrainVersionsRollback) {
+  MustExecute("train");
+  std::string retrained = MustExecute("retrain");
+  EXPECT_NE(retrained.find("version 2"), std::string::npos);
+  std::string versions = MustExecute("versions");
+  EXPECT_NE(versions.find("v1"), std::string::npos);
+  EXPECT_NE(versions.find("v2  "), std::string::npos);
+  EXPECT_NE(versions.find("*current*"), std::string::npos);
+  MustExecute("rollback 1");
+  versions = MustExecute("versions");
+  EXPECT_NE(versions.find("v1  "), std::string::npos);
+  // v1 must now carry the current marker.
+  EXPECT_LT(versions.find("*current*"), versions.find("v2"));
+}
+
+TEST_F(ShellTest, MaybeRetrainWhenHealthy) {
+  MustExecute("train");
+  EXPECT_NE(MustExecute("maybe-retrain").find("healthy"), std::string::npos);
+}
+
+TEST_F(ShellTest, SaveAndLoadSnapshot) {
+  MustExecute("train");
+  std::string path = ::testing::TempDir() + "/shell_snapshot.vxms";
+  std::string saved = MustExecute("save " + path);
+  EXPECT_NE(saved.find("item factors"), std::string::npos);
+  std::string loaded = MustExecute("load " + path);
+  EXPECT_NE(loaded.find("installed snapshot"), std::string::npos);
+  EXPECT_EQ(server_->current_version(), 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(ShellTest, MalformedArgumentsRejected) {
+  MustExecute("train");
+  EXPECT_FALSE(shell_->Execute("predict").ok());
+  EXPECT_FALSE(shell_->Execute("predict abc 2").ok());
+  EXPECT_FALSE(shell_->Execute("predict 1 -3").ok());
+  EXPECT_FALSE(shell_->Execute("observe 1 2").ok());
+  EXPECT_FALSE(shell_->Execute("observe 1 2 notanumber").ok());
+  EXPECT_FALSE(shell_->Execute("topk 1").ok());
+  EXPECT_FALSE(shell_->Execute("rollback").ok());
+  EXPECT_FALSE(shell_->Execute("rollback 99").ok());
+  EXPECT_FALSE(shell_->Execute("save").ok());
+  EXPECT_FALSE(shell_->Execute("load /no/such/file.vxms").ok());
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,227 @@
+#include "core/user_weights.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+UserWeightStoreOptions Opts(UpdateStrategy strategy, size_t dim = 3,
+                            double lambda = 0.5) {
+  UserWeightStoreOptions opts;
+  opts.dim = dim;
+  opts.lambda = lambda;
+  opts.strategy = strategy;
+  opts.num_stripes = 8;
+  return opts;
+}
+
+TEST(UserWeightStoreTest, UnknownUserIsNotFound) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  EXPECT_TRUE(store.GetWeights(1).status().IsNotFound());
+  EXPECT_FALSE(store.HasUser(1));
+  EXPECT_EQ(store.Epoch(1), 0u);
+  EXPECT_EQ(store.NumObservations(1), 0);
+  EXPECT_EQ(store.num_users(), 0u);
+}
+
+TEST(UserWeightStoreTest, BootstrapCreatesUserWithGivenWeights) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  DenseVector boot = {1.0, 2.0, 3.0};
+  DenseVector w = store.GetOrBootstrapWeights(42, boot);
+  EXPECT_EQ(w, boot);
+  EXPECT_TRUE(store.HasUser(42));
+  // Second call returns the stored weights, not the new bootstrap.
+  DenseVector other = {9.0, 9.0, 9.0};
+  EXPECT_EQ(store.GetOrBootstrapWeights(42, other), boot);
+}
+
+TEST(UserWeightStoreTest, SeedUserInstallsWeightsAndBumpsEpochOnReplace) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  store.SeedUser(1, DenseVector{1.0, 0.0, 0.0}, 1);
+  uint64_t e1 = store.Epoch(1);
+  store.SeedUser(1, DenseVector{0.0, 1.0, 0.0}, 2);
+  EXPECT_GT(store.Epoch(1), e1);
+  EXPECT_EQ(store.GetWeights(1).value(), (DenseVector{0.0, 1.0, 0.0}));
+}
+
+TEST(UserWeightStoreTest, ApplyObservationUpdatesWeightsAndCounters) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  DenseVector f = {1.0, 0.0, 0.0};
+  auto r1 = store.ApplyObservation(7, f, 2.0);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_DOUBLE_EQ(r1->prediction_before, 0.0);  // fresh user predicts 0
+  EXPECT_EQ(r1->num_observations, 1);
+  EXPECT_GT(r1->new_weights.Norm2(), 0.0);
+  EXPECT_EQ(store.NumObservations(7), 1);
+  uint64_t e1 = store.Epoch(7);
+  auto r2 = store.ApplyObservation(7, f, 2.0);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(store.Epoch(7), e1);
+  // Second prediction uses post-first-update weights.
+  EXPECT_GT(r2->prediction_before, 0.0);
+}
+
+TEST(UserWeightStoreTest, DimensionMismatchRejected) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  EXPECT_TRUE(
+      store.ApplyObservation(1, DenseVector(4), 1.0).status().IsInvalidArgument());
+}
+
+// Property: both strategies implement the same Eq. 2 — their weights
+// must agree on any observation stream.
+class StrategyEquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StrategyEquivalenceTest, NaiveAndShermanMorrisonAgree) {
+  const size_t d = GetParam();
+  UserWeightStore naive(Opts(UpdateStrategy::kNaiveNormalEquations, d), nullptr);
+  UserWeightStore sm(Opts(UpdateStrategy::kShermanMorrison, d), nullptr);
+  Rng rng(900 + d);
+  for (int n = 0; n < 40; ++n) {
+    DenseVector f(d);
+    for (size_t i = 0; i < d; ++i) f[i] = rng.Gaussian();
+    double y = rng.Gaussian();
+    auto rn = naive.ApplyObservation(5, f, y);
+    auto rs = sm.ApplyObservation(5, f, y);
+    ASSERT_TRUE(rn.ok());
+    ASSERT_TRUE(rs.ok());
+    EXPECT_LT(MaxAbsDiff(rn->new_weights, rs->new_weights), 1e-7)
+        << "dim " << d << " step " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, StrategyEquivalenceTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(UserWeightStoreTest, OnlineLearningConvergesToTrueWeights) {
+  const size_t d = 4;
+  auto opts = Opts(UpdateStrategy::kShermanMorrison, d, 1e-4);
+  UserWeightStore store(opts, nullptr);
+  DenseVector truth = {2.0, -1.0, 0.5, 1.5};
+  Rng rng(33);
+  for (int n = 0; n < 300; ++n) {
+    DenseVector f(d);
+    for (size_t i = 0; i < d; ++i) f[i] = rng.Gaussian();
+    ASSERT_TRUE(store.ApplyObservation(1, f, Dot(truth, f)).ok());
+  }
+  EXPECT_LT(MaxAbsDiff(store.GetWeights(1).value(), truth), 1e-2);
+}
+
+TEST(UserWeightStoreTest, UncertaintyDecreasesWithObservations) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  DenseVector f = {1.0, 1.0, 1.0};
+  store.GetOrBootstrapWeights(1, DenseVector(3));
+  double before = store.Uncertainty(1, f);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(store.ApplyObservation(1, f, 1.0).ok());
+  }
+  EXPECT_LT(store.Uncertainty(1, f), before / 2.0);
+}
+
+TEST(UserWeightStoreTest, NaiveStrategyUsesCountProxyUncertainty) {
+  UserWeightStore store(Opts(UpdateStrategy::kNaiveNormalEquations), nullptr);
+  DenseVector f = {1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(store.Uncertainty(99, f), 1.0);  // unknown user
+  ASSERT_TRUE(store.ApplyObservation(1, f, 1.0).ok());
+  ASSERT_TRUE(store.ApplyObservation(1, f, 1.0).ok());
+  ASSERT_TRUE(store.ApplyObservation(1, f, 1.0).ok());
+  EXPECT_NEAR(store.Uncertainty(1, f), 0.5, 1e-12);  // 1/sqrt(1+3)
+}
+
+TEST(UserWeightStoreTest, BootstrapperTracksMeanAcrossUpdates) {
+  Bootstrapper bootstrapper(2);
+  UserWeightStoreOptions opts;
+  opts.dim = 2;
+  opts.lambda = 0.5;
+  UserWeightStore store(opts, &bootstrapper);
+  store.SeedUser(1, DenseVector{2.0, 0.0}, 1);
+  store.SeedUser(2, DenseVector{0.0, 4.0}, 1);
+  DenseVector mean = bootstrapper.MeanWeights();
+  EXPECT_DOUBLE_EQ(mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(mean[1], 2.0);
+  // An update keeps the running mean exact.
+  ASSERT_TRUE(store.ApplyObservation(1, DenseVector{1.0, 0.0}, 10.0).ok());
+  DenseVector expected = store.GetWeights(1).value();
+  expected.Axpy(1.0, store.GetWeights(2).value());
+  expected.Scale(0.5);
+  EXPECT_LT(MaxAbsDiff(bootstrapper.MeanWeights(), expected), 1e-10);
+}
+
+TEST(UserWeightStoreTest, ResetForNewVersionReplacesPopulation) {
+  Bootstrapper bootstrapper(2);
+  UserWeightStoreOptions opts;
+  opts.dim = 2;
+  opts.lambda = 0.5;
+  UserWeightStore store(opts, &bootstrapper);
+  store.SeedUser(1, DenseVector{1.0, 1.0}, 1);
+  ASSERT_TRUE(store.ApplyObservation(1, DenseVector{1.0, 0.0}, 3.0).ok());
+
+  FactorMap trained;
+  trained[2] = DenseVector{5.0, 5.0};
+  trained[3] = DenseVector{7.0, 7.0};
+  store.ResetForNewVersion(trained, 2);
+  EXPECT_FALSE(store.HasUser(1));
+  EXPECT_TRUE(store.HasUser(2));
+  EXPECT_TRUE(store.HasUser(3));
+  EXPECT_EQ(store.num_users(), 2u);
+  // Online statistics were reset.
+  EXPECT_EQ(store.NumObservations(2), 0);
+  // Bootstrapper mean reflects the new population.
+  EXPECT_DOUBLE_EQ(bootstrapper.MeanWeights()[0], 6.0);
+}
+
+TEST(UserWeightStoreTest, ResetSkipsIncompatibleDimensions) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison, 3), nullptr);
+  FactorMap trained;
+  trained[1] = DenseVector(3);
+  trained[2] = DenseVector(5);  // wrong dim — must be skipped, not crash
+  store.ResetForNewVersion(trained, 1);
+  EXPECT_TRUE(store.HasUser(1));
+  EXPECT_FALSE(store.HasUser(2));
+}
+
+TEST(UserWeightStoreTest, ExportWeightsRoundTrips) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison, 2), nullptr);
+  store.SeedUser(10, DenseVector{1.0, 2.0}, 1);
+  store.SeedUser(20, DenseVector{3.0, 4.0}, 1);
+  FactorMap exported = store.ExportWeights();
+  ASSERT_EQ(exported.size(), 2u);
+  EXPECT_EQ(exported.at(10), (DenseVector{1.0, 2.0}));
+  EXPECT_EQ(exported.at(20), (DenseVector{3.0, 4.0}));
+}
+
+TEST(UserWeightStoreTest, ConcurrentUpdatesToDistinctUsersAreConflictFree) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison, 2), nullptr);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&store, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < 500; ++i) {
+        uint64_t uid = static_cast<uint64_t>(t) * 1000 + (i % 50);
+        DenseVector f = {rng.Gaussian(), rng.Gaussian()};
+        ASSERT_TRUE(store.ApplyObservation(uid, f, rng.Gaussian()).ok());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(store.num_users(), 200u);
+  // Every user saw exactly 10 observations (500 / 50).
+  for (uint64_t t = 0; t < 4; ++t) {
+    for (uint64_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(store.NumObservations(t * 1000 + i), 10);
+    }
+  }
+}
+
+TEST(UpdateStrategyNameTest, Names) {
+  EXPECT_STREQ(UpdateStrategyName(UpdateStrategy::kNaiveNormalEquations),
+               "naive_normal_equations");
+  EXPECT_STREQ(UpdateStrategyName(UpdateStrategy::kShermanMorrison),
+               "sherman_morrison");
+}
+
+}  // namespace
+}  // namespace velox

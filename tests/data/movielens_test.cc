@@ -1,0 +1,259 @@
+#include "data/movielens.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace velox {
+namespace {
+
+SyntheticMovieLensConfig SmallConfig() {
+  SyntheticMovieLensConfig config;
+  config.num_users = 100;
+  config.num_items = 200;
+  config.latent_rank = 4;
+  config.min_ratings_per_user = 5;
+  config.max_ratings_per_user = 15;
+  config.seed = 7;
+  return config;
+}
+
+TEST(SyntheticMovieLensTest, ValidationRejectsBadConfigs) {
+  auto bad = SmallConfig();
+  bad.num_users = 0;
+  EXPECT_FALSE(GenerateSyntheticMovieLens(bad).ok());
+  bad = SmallConfig();
+  bad.latent_rank = 0;
+  EXPECT_FALSE(GenerateSyntheticMovieLens(bad).ok());
+  bad = SmallConfig();
+  bad.min_ratings_per_user = 10;
+  bad.max_ratings_per_user = 5;
+  EXPECT_FALSE(GenerateSyntheticMovieLens(bad).ok());
+  bad = SmallConfig();
+  bad.max_ratings_per_user = 10000;
+  EXPECT_FALSE(GenerateSyntheticMovieLens(bad).ok());
+  bad = SmallConfig();
+  bad.rating_min = 5.0;
+  bad.rating_max = 0.5;
+  EXPECT_FALSE(GenerateSyntheticMovieLens(bad).ok());
+}
+
+TEST(SyntheticMovieLensTest, GeneratesWithinConfiguredShape) {
+  auto ds = GenerateSyntheticMovieLens(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->true_user_factors.size(), 100u);
+  EXPECT_EQ(ds->true_item_factors.size(), 200u);
+
+  std::map<uint64_t, int> per_user;
+  for (const Observation& obs : ds->ratings) {
+    EXPECT_LT(obs.uid, 100u);
+    EXPECT_LT(obs.item_id, 200u);
+    EXPECT_GE(obs.label, 0.5);
+    EXPECT_LE(obs.label, 5.0);
+    ++per_user[obs.uid];
+  }
+  EXPECT_EQ(per_user.size(), 100u);
+  for (const auto& [uid, count] : per_user) {
+    EXPECT_GE(count, 5);
+    EXPECT_LE(count, 15);
+  }
+}
+
+TEST(SyntheticMovieLensTest, HalfStarRoundingProducesHalfStars) {
+  auto config = SmallConfig();
+  config.half_star_rounding = true;
+  auto ds = GenerateSyntheticMovieLens(config);
+  ASSERT_TRUE(ds.ok());
+  for (const Observation& obs : ds->ratings) {
+    double doubled = obs.label * 2.0;
+    EXPECT_NEAR(doubled, std::round(doubled), 1e-9);
+  }
+}
+
+TEST(SyntheticMovieLensTest, NoDuplicateUserItemPairs) {
+  auto ds = GenerateSyntheticMovieLens(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  std::set<std::pair<uint64_t, uint64_t>> pairs;
+  for (const Observation& obs : ds->ratings) {
+    EXPECT_TRUE(pairs.insert({obs.uid, obs.item_id}).second)
+        << "duplicate " << obs.uid << "," << obs.item_id;
+  }
+}
+
+TEST(SyntheticMovieLensTest, DeterministicGivenSeed) {
+  auto a = GenerateSyntheticMovieLens(SmallConfig());
+  auto b = GenerateSyntheticMovieLens(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->ratings.size(), b->ratings.size());
+  for (size_t i = 0; i < a->ratings.size(); ++i) {
+    EXPECT_EQ(a->ratings[i], b->ratings[i]);
+  }
+}
+
+TEST(SyntheticMovieLensTest, ZipfSkewsItemPopularity) {
+  auto config = SmallConfig();
+  config.zipf_exponent = 1.2;
+  config.num_users = 500;
+  auto ds = GenerateSyntheticMovieLens(config);
+  ASSERT_TRUE(ds.ok());
+  std::map<uint64_t, int> per_item;
+  for (const Observation& obs : ds->ratings) ++per_item[obs.item_id];
+  // Item 0 (hottest rank) must beat the median item decisively.
+  int item0 = per_item.count(0) ? per_item[0] : 0;
+  int item100 = per_item.count(100) ? per_item[100] : 0;
+  EXPECT_GT(item0, item100 * 3);
+}
+
+TEST(SyntheticMovieLensTest, UniformWhenExponentZero) {
+  auto config = SmallConfig();
+  config.zipf_exponent = 0.0;
+  config.num_users = 500;
+  auto ds = GenerateSyntheticMovieLens(config);
+  ASSERT_TRUE(ds.ok());
+  std::map<uint64_t, int> per_item;
+  for (const Observation& obs : ds->ratings) ++per_item[obs.item_id];
+  // Most of the catalog gets rated.
+  EXPECT_GT(per_item.size(), 180u);
+}
+
+TEST(SyntheticMovieLensTest, RatingsCorrelateWithPlantedScores) {
+  auto config = SmallConfig();
+  config.noise_stddev = 0.1;
+  config.half_star_rounding = false;
+  auto ds = GenerateSyntheticMovieLens(config);
+  ASSERT_TRUE(ds.ok());
+  double err = 0.0;
+  for (const Observation& obs : ds->ratings) {
+    double diff = obs.label - ds->TrueScore(obs.uid, obs.item_id);
+    err += diff * diff;
+  }
+  double rmse = std::sqrt(err / static_cast<double>(ds->ratings.size()));
+  // Clipping adds some error beyond the 0.1 noise.
+  EXPECT_LT(rmse, 0.3);
+}
+
+TEST(SyntheticMovieLensTest, TrueScoreUnknownEntityFallsBackToMean) {
+  auto ds = GenerateSyntheticMovieLens(SmallConfig());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(ds->TrueScore(999999, 0), ds->config.mean_rating);
+}
+
+TEST(LoadMovieLensTest, ParsesCanonicalFormat) {
+  std::string path = ::testing::TempDir() + "/ratings_test.dat";
+  {
+    std::ofstream out(path);
+    out << "1::122::5::838985046\n";
+    out << "1::185::3.5::838983525\n";
+    out << "2::231::4::838983392\n";
+  }
+  auto ratings = LoadMovieLensRatings(path);
+  ASSERT_TRUE(ratings.ok());
+  ASSERT_EQ(ratings->size(), 3u);
+  EXPECT_EQ((*ratings)[0].uid, 1u);
+  EXPECT_EQ((*ratings)[0].item_id, 122u);
+  EXPECT_DOUBLE_EQ((*ratings)[1].label, 3.5);
+  EXPECT_EQ((*ratings)[2].timestamp, 838983392);
+  std::remove(path.c_str());
+}
+
+TEST(LoadMovieLensTest, MalformedLineFails) {
+  std::string path = ::testing::TempDir() + "/ratings_bad.dat";
+  {
+    std::ofstream out(path);
+    out << "1::2::3\n";  // missing timestamp
+  }
+  EXPECT_TRUE(LoadMovieLensRatings(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(LoadMovieLensTest, MissingFileIsIoError) {
+  EXPECT_TRUE(LoadMovieLensRatings("/no/such/ratings.dat").status().IsIoError());
+}
+
+TEST(LoadMovieLensCsvTest, ParsesHeaderedCsv) {
+  std::string path = ::testing::TempDir() + "/ratings_test.csv";
+  {
+    std::ofstream out(path);
+    out << "userId,movieId,rating,timestamp\n";
+    out << "1,296,5.0,1147880044\n";
+    out << "1,306,3.5,1147868817\n";
+    out << "3,31,0.5,1306463578\n";
+  }
+  auto ratings = LoadMovieLensCsv(path);
+  ASSERT_TRUE(ratings.ok()) << ratings.status().ToString();
+  ASSERT_EQ(ratings->size(), 3u);
+  EXPECT_EQ((*ratings)[0].uid, 1u);
+  EXPECT_EQ((*ratings)[0].item_id, 296u);
+  EXPECT_DOUBLE_EQ((*ratings)[0].label, 5.0);
+  EXPECT_EQ((*ratings)[2].uid, 3u);
+  EXPECT_DOUBLE_EQ((*ratings)[2].label, 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(LoadMovieLensCsvTest, HeaderlessCsvAccepted) {
+  std::string path = ::testing::TempDir() + "/ratings_noheader.csv";
+  {
+    std::ofstream out(path);
+    out << "7,10,4.0,100\n";
+  }
+  auto ratings = LoadMovieLensCsv(path);
+  ASSERT_TRUE(ratings.ok());
+  ASSERT_EQ(ratings->size(), 1u);
+  EXPECT_EQ((*ratings)[0].uid, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(LoadMovieLensCsvTest, MalformedRowFails) {
+  std::string path = ::testing::TempDir() + "/ratings_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "userId,movieId,rating,timestamp\n";
+    out << "1,2,3.0\n";  // missing timestamp
+  }
+  EXPECT_TRUE(LoadMovieLensCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(LoadMovieLensCsvTest, MissingFileIsIoError) {
+  EXPECT_TRUE(LoadMovieLensCsv("/no/such/ratings.csv").status().IsIoError());
+}
+
+TEST(SplitPerUserTest, ChronologicalHeadTail) {
+  std::vector<Observation> ratings;
+  // User 1: timestamps 0..9. User 2: timestamps 100..103.
+  for (int t = 9; t >= 0; --t) ratings.push_back(Observation{1, 0, 1.0, t});
+  for (int t = 0; t < 4; ++t) ratings.push_back(Observation{2, 0, 1.0, 100 + t});
+  std::vector<Observation> head;
+  std::vector<Observation> tail;
+  SplitPerUserChronological(ratings, 0.5, &head, &tail);
+  int head_u1 = 0;
+  for (const auto& o : head) {
+    if (o.uid == 1) {
+      ++head_u1;
+      EXPECT_LT(o.timestamp, 5);
+    }
+  }
+  EXPECT_EQ(head_u1, 5);
+  EXPECT_EQ(head.size() + tail.size(), ratings.size());
+}
+
+TEST(SplitPerUserTest, FractionZeroAndOne) {
+  std::vector<Observation> ratings = {{1, 0, 1.0, 0}, {1, 1, 2.0, 1}};
+  std::vector<Observation> head;
+  std::vector<Observation> tail;
+  SplitPerUserChronological(ratings, 0.0, &head, &tail);
+  EXPECT_TRUE(head.empty());
+  EXPECT_EQ(tail.size(), 2u);
+  SplitPerUserChronological(ratings, 1.0, &head, &tail);
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_TRUE(tail.empty());
+}
+
+}  // namespace
+}  // namespace velox

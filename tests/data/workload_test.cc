@@ -1,0 +1,124 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace velox {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.num_users = 50;
+  config.num_items = 100;
+  config.predict_fraction = 0.5;
+  config.topk_fraction = 0.3;
+  config.topk_set_size = 10;
+  config.seed = 3;
+  return config;
+}
+
+TEST(WorkloadTest, RejectsInvalidConfigs) {
+  auto bad = SmallConfig();
+  bad.num_users = 0;
+  EXPECT_FALSE(WorkloadGenerator::Make(bad).ok());
+  bad = SmallConfig();
+  bad.predict_fraction = 0.8;
+  bad.topk_fraction = 0.5;
+  EXPECT_FALSE(WorkloadGenerator::Make(bad).ok());
+  bad = SmallConfig();
+  bad.predict_fraction = -0.1;
+  EXPECT_FALSE(WorkloadGenerator::Make(bad).ok());
+  bad = SmallConfig();
+  bad.topk_set_size = 0;
+  EXPECT_FALSE(WorkloadGenerator::Make(bad).ok());
+  bad = SmallConfig();
+  bad.topk_set_size = 1000;  // > num_items
+  EXPECT_FALSE(WorkloadGenerator::Make(bad).ok());
+}
+
+TEST(WorkloadTest, RequestFieldsValid) {
+  auto gen = WorkloadGenerator::Make(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  for (int i = 0; i < 2000; ++i) {
+    Request req = gen->Next();
+    EXPECT_LT(req.uid, 50u);
+    switch (req.type) {
+      case RequestType::kPredict:
+        ASSERT_EQ(req.items.size(), 1u);
+        EXPECT_LT(req.items[0], 100u);
+        break;
+      case RequestType::kTopK: {
+        ASSERT_EQ(req.items.size(), 10u);
+        std::set<uint64_t> distinct(req.items.begin(), req.items.end());
+        EXPECT_EQ(distinct.size(), 10u);
+        for (uint64_t id : req.items) EXPECT_LT(id, 100u);
+        break;
+      }
+      case RequestType::kObserve:
+        ASSERT_EQ(req.items.size(), 1u);
+        EXPECT_GE(req.label, 0.5);
+        EXPECT_LE(req.label, 5.0);
+        break;
+    }
+  }
+}
+
+TEST(WorkloadTest, MixFractionsRespected) {
+  auto gen = WorkloadGenerator::Make(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  std::map<RequestType, int> counts;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[gen->Next().type];
+  EXPECT_NEAR(counts[RequestType::kPredict], n * 0.5, n * 0.03);
+  EXPECT_NEAR(counts[RequestType::kTopK], n * 0.3, n * 0.03);
+  EXPECT_NEAR(counts[RequestType::kObserve], n * 0.2, n * 0.03);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  auto a = WorkloadGenerator::Make(SmallConfig());
+  auto b = WorkloadGenerator::Make(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 100; ++i) {
+    Request ra = a->Next();
+    Request rb = b->Next();
+    EXPECT_EQ(ra.type, rb.type);
+    EXPECT_EQ(ra.uid, rb.uid);
+    EXPECT_EQ(ra.items, rb.items);
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewMakesHeadItemsHot) {
+  auto config = SmallConfig();
+  config.zipf_exponent = 1.2;
+  config.predict_fraction = 1.0;
+  config.topk_fraction = 0.0;
+  auto gen = WorkloadGenerator::Make(config);
+  ASSERT_TRUE(gen.ok());
+  std::map<uint64_t, int> item_counts;
+  for (int i = 0; i < 20000; ++i) ++item_counts[gen->Next().items[0]];
+  EXPECT_GT(item_counts[0], item_counts[50] * 3);
+}
+
+TEST(WorkloadTest, NextBatchSizes) {
+  auto gen = WorkloadGenerator::Make(SmallConfig());
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->NextBatch(25).size(), 25u);
+  EXPECT_TRUE(gen->NextBatch(0).empty());
+}
+
+TEST(WorkloadTest, AllObserveMixWorks) {
+  auto config = SmallConfig();
+  config.predict_fraction = 0.0;
+  config.topk_fraction = 0.0;
+  auto gen = WorkloadGenerator::Make(config);
+  ASSERT_TRUE(gen.ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen->Next().type, RequestType::kObserve);
+  }
+}
+
+}  // namespace
+}  // namespace velox

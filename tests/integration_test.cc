@@ -1,0 +1,386 @@
+// Full-lifecycle integration tests across the whole stack: offline
+// train -> serve -> online learn -> drift -> staleness -> auto-retrain
+// -> rollback, on both model families, plus the §4.2 protocol in
+// miniature (online updates recover most of full retraining's gain).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "core/velox.h"
+#include "linalg/ridge.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+SyntheticDataset MakeData(uint64_t seed, int64_t users = 80, int64_t items = 100) {
+  SyntheticMovieLensConfig config;
+  config.num_users = users;
+  config.num_items = items;
+  config.latent_rank = 5;
+  config.noise_stddev = 0.3;
+  config.min_ratings_per_user = 14;
+  config.max_ratings_per_user = 24;
+  config.seed = seed;
+  auto ds = GenerateSyntheticMovieLens(config);
+  VELOX_CHECK_OK(ds.status());
+  return std::move(ds).value();
+}
+
+VeloxServerConfig ServerConfig(int nodes = 1) {
+  VeloxServerConfig config;
+  config.num_nodes = nodes;
+  config.dim = 5;
+  config.lambda = 0.1;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1000000;
+  return config;
+}
+
+std::unique_ptr<VeloxModel> MfModelPtr(int iterations = 8) {
+  AlsConfig als;
+  als.rank = 5;
+  als.lambda = 0.1;
+  als.iterations = iterations;
+  return std::make_unique<MatrixFactorizationModel>("songs", als);
+}
+
+double HeldOutRmse(VeloxServer* server, const std::vector<Observation>& heldout) {
+  double sq = 0.0;
+  size_t n = 0;
+  for (const Observation& obs : heldout) {
+    auto pred = server->Predict(obs.uid, MakeItem(obs.item_id));
+    if (!pred.ok()) continue;
+    double e = pred->score - obs.label;
+    sq += e * e;
+    ++n;
+  }
+  return n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+}
+
+TEST(IntegrationTest, Section42ProtocolOnlineRecoversMostOfRetrainGain) {
+  // Mirror of §4.2: initialize feature parameters offline on the head
+  // of each user's history, stream part of the tail through online
+  // updates, and compare held-out error against (a) no updates and
+  // (b) full offline retraining.
+  auto data = MakeData(31, 100, 120);
+  std::vector<Observation> init_head;
+  std::vector<Observation> tail;
+  SplitPerUserChronological(data.ratings, 0.5, &init_head, &tail);
+  std::vector<Observation> online_stream;
+  std::vector<Observation> heldout;
+  SplitPerUserChronological(tail, 0.7, &online_stream, &heldout);
+
+  // (a) Baseline: offline init only.
+  VeloxServer baseline(ServerConfig(), MfModelPtr());
+  ASSERT_TRUE(baseline.Bootstrap(init_head).ok());
+  double rmse_baseline = HeldOutRmse(&baseline, heldout);
+
+  // (b) Online: same init, then stream online observations.
+  VeloxServer online(ServerConfig(), MfModelPtr());
+  ASSERT_TRUE(online.Bootstrap(init_head).ok());
+  for (const Observation& obs : online_stream) {
+    Status st = online.Observe(obs.uid, MakeItem(obs.item_id), obs.label);
+    // Items first rated after the offline init have no factor yet; the
+    // paper's protocol simply cannot apply those online updates.
+    ASSERT_TRUE(st.ok() || st.IsNotFound()) << st.ToString();
+  }
+  double rmse_online = HeldOutRmse(&online, heldout);
+
+  // (c) Full retrain over init + stream.
+  ASSERT_TRUE(online.RetrainNow().ok());
+  double rmse_retrain = HeldOutRmse(&online, heldout);
+
+  // Ordering from the paper: online updates improve on the stale
+  // baseline; full retraining is at least as good as online-only.
+  EXPECT_LT(rmse_online, rmse_baseline);
+  EXPECT_LT(rmse_retrain, rmse_baseline);
+  // Online recovers a substantial share of the retrain gain.
+  double online_gain = rmse_baseline - rmse_online;
+  double retrain_gain = rmse_baseline - rmse_retrain;
+  EXPECT_GT(online_gain, 0.3 * retrain_gain);
+}
+
+TEST(IntegrationTest, DriftDetectAutoRetrainRecoverLoop) {
+  auto config = ServerConfig();
+  config.evaluator.min_observations = 50;
+  config.evaluator.ewma_alpha = 0.1;
+  config.evaluator.staleness_threshold_ratio = 1.5;
+  config.updater.cross_validation_every = 1;
+  VeloxServer server(config, MfModelPtr());
+  auto data = MakeData(37);
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  ASSERT_FALSE(server.QualityReport().stale);
+
+  // Concept drift: all users' tastes invert (5 - old rating).
+  Rng rng(5);
+  int retrains = 0;
+  for (int i = 0; i < 400; ++i) {
+    const Observation& obs =
+        data.ratings[rng.UniformU64(data.ratings.size())];
+    double drifted = 5.5 - obs.label;
+    ASSERT_TRUE(server.Observe(obs.uid, MakeItem(obs.item_id), drifted).ok());
+    auto retrained = server.MaybeRetrain();
+    ASSERT_TRUE(retrained.ok());
+    if (retrained.value()) {
+      ++retrains;
+      break;
+    }
+  }
+  EXPECT_GE(retrains, 1) << "staleness detector never fired under drift";
+  EXPECT_GT(server.current_version(), 1);
+  EXPECT_FALSE(server.QualityReport().stale);
+}
+
+TEST(IntegrationTest, MultiNodeServesSameScoresAsSingleNode) {
+  auto data = MakeData(41);
+  VeloxServer one(ServerConfig(1), MfModelPtr());
+  VeloxServer four(ServerConfig(4), MfModelPtr());
+  ASSERT_TRUE(one.Bootstrap(data.ratings).ok());
+  ASSERT_TRUE(four.Bootstrap(data.ratings).ok());
+  for (uint64_t u = 0; u < 30; ++u) {
+    auto a = one.Predict(u, MakeItem(u % 100));
+    auto b = four.Predict(u, MakeItem(u % 100));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a->score, b->score, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, ComputationalModelLifecycle) {
+  // Personalized linear model over an SVM-ensemble basis (§6 example):
+  // build a catalog with raw attributes, train via batch ridge solves,
+  // serve, learn online.
+  const size_t input_dim = 6;
+  const size_t basis_dim = 8;
+  auto catalog = std::make_shared<std::unordered_map<uint64_t, Item>>();
+  Rng rng(51);
+  for (uint64_t i = 0; i < 60; ++i) {
+    Item item;
+    item.id = i;
+    DenseVector attrs(input_dim);
+    for (size_t k = 0; k < input_dim; ++k) attrs[k] = rng.Gaussian();
+    item.attributes = attrs;
+    (*catalog)[i] = item;
+  }
+  auto basis = std::make_shared<SvmEnsembleFeatureFunction>(input_dim, basis_dim, 7);
+
+  // Planted preferences in basis space.
+  std::vector<Observation> ratings;
+  std::unordered_map<uint64_t, DenseVector> true_w;
+  for (uint64_t u = 0; u < 40; ++u) {
+    DenseVector w(basis_dim);
+    for (size_t k = 0; k < basis_dim; ++k) w[k] = rng.Gaussian();
+    true_w[u] = w;
+    for (uint64_t i = 0; i < 60; i += 2) {
+      auto f = basis->Features((*catalog)[i]);
+      ASSERT_TRUE(f.ok());
+      ratings.push_back(Observation{u, i, Dot(w, f.value()), 0});
+    }
+  }
+
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = basis_dim;
+  config.lambda = 0.01;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  auto model = std::make_unique<ComputationalModel>("svm_personalized", basis,
+                                                    catalog, 0.01);
+  VeloxServer server(config, std::move(model));
+  ASSERT_TRUE(server.Bootstrap(ratings).ok());
+
+  // Held-out odd items: predictions should match planted scores well.
+  double sq = 0.0;
+  size_t n = 0;
+  for (uint64_t u = 0; u < 40; ++u) {
+    for (uint64_t i = 1; i < 60; i += 2) {
+      auto f = basis->Features((*catalog)[i]);
+      ASSERT_TRUE(f.ok());
+      double truth = Dot(true_w[u], f.value());
+      auto pred = server.Predict(u, (*catalog)[i]);
+      ASSERT_TRUE(pred.ok());
+      sq += (pred->score - truth) * (pred->score - truth);
+      ++n;
+    }
+  }
+  EXPECT_LT(std::sqrt(sq / static_cast<double>(n)), 0.5);
+
+  // Online learning still works for a brand-new user.
+  uint64_t new_user = 999;
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 60; i += 2) {
+      auto f = basis->Features((*catalog)[i]);
+      ASSERT_TRUE(f.ok());
+      double label = Dot(true_w[0], f.value());  // clone of user 0's taste
+      ASSERT_TRUE(server.Observe(new_user, (*catalog)[i], label).ok());
+    }
+  }
+  auto probe = basis->Features((*catalog)[1]);
+  ASSERT_TRUE(probe.ok());
+  auto pred = server.Predict(new_user, (*catalog)[1]);
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR(pred->score, Dot(true_w[0], probe.value()), 0.5);
+}
+
+TEST(IntegrationTest, RollbackAfterBadRetrainRestoresQuality) {
+  auto data = MakeData(61);
+  VeloxServer server(ServerConfig(), MfModelPtr());
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  std::vector<Observation> heldout(data.ratings.begin(),
+                                   data.ratings.begin() + 200);
+  double rmse_v1 = HeldOutRmse(&server, heldout);
+
+  // Poison the log with garbage observations, then retrain: v2 fits
+  // noise and degrades.
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t uid = rng.UniformU64(80);
+    uint64_t item = rng.UniformU64(100);
+    ASSERT_TRUE(
+        server.Observe(uid, MakeItem(item), rng.Bernoulli(0.5) ? 0.5 : 5.0).ok());
+  }
+  ASSERT_TRUE(server.RetrainNow().ok());
+  double rmse_v2 = HeldOutRmse(&server, heldout);
+  EXPECT_GT(rmse_v2, rmse_v1);
+
+  // Operator rolls back; held-out quality returns to v1 level.
+  ASSERT_TRUE(server.Rollback(1).ok());
+  double rmse_rolled_back = HeldOutRmse(&server, heldout);
+  EXPECT_NEAR(rmse_rolled_back, rmse_v1, 0.05);
+}
+
+TEST(IntegrationTest, ReplayedUserStateEqualsDirectRidgeSolve) {
+  // The Eq. 2 invariant end-to-end: after Bootstrap (train + log
+  // replay), a user's served weights must equal the one-shot ridge
+  // solution over ALL of their logged observations under the installed
+  // θ, with the ALS-trained weights as the prior mean. This pins the
+  // online-learning machinery to its mathematical definition.
+  auto data = MakeData(97, 40, 60);
+  VeloxServer server(ServerConfig(), MfModelPtr());
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+
+  auto version = server.registry()->Current();
+  ASSERT_TRUE(version.ok());
+  const FactorMap& trained_w = *version.value()->trained_user_weights;
+
+  // Group the log per user.
+  std::unordered_map<uint64_t, std::vector<Observation>> per_user;
+  for (const Observation& obs : server.storage()->AllObservations()) {
+    per_user[obs.uid].push_back(obs);
+  }
+  size_t checked = 0;
+  for (const auto& [uid, observations] : per_user) {
+    if (checked >= 10) break;
+    auto trained_it = trained_w.find(uid);
+    if (trained_it == trained_w.end()) continue;
+    RidgeAccumulator acc(5);
+    for (const Observation& obs : observations) {
+      Item item;
+      item.id = obs.item_id;
+      auto f = version.value()->features->Features(item);
+      ASSERT_TRUE(f.ok());
+      acc.AddExample(f.value(), obs.label);
+    }
+    auto direct = acc.SolveWithPrior(0.1, trained_it->second);
+    ASSERT_TRUE(direct.ok());
+    auto served = server.user_weights(0)->GetWeights(uid);
+    ASSERT_TRUE(served.ok());
+    EXPECT_LT(MaxAbsDiff(served.value(), direct.value()), 1e-7) << "user " << uid;
+    ++checked;
+  }
+  EXPECT_GE(checked, 5u);
+}
+
+TEST(IntegrationTest, ConcurrentServingWithRetrainsIsSafe) {
+  // Hammer the server from multiple request threads while a control
+  // thread forces version swaps: no crashes, no lost updates, and every
+  // error is a benign NotFound (items the trainer never saw).
+  auto data = MakeData(83);
+  auto config = ServerConfig(2);
+  VeloxServer server(config, MfModelPtr());
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> hard_errors{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Observation& obs = data.ratings[rng.UniformU64(data.ratings.size())];
+        Status status;
+        switch (rng.UniformU64(3)) {
+          case 0:
+            status = server.Predict(obs.uid, MakeItem(obs.item_id)).status();
+            break;
+          case 1: {
+            std::vector<Item> slate;
+            for (int j = 0; j < 5; ++j) {
+              slate.push_back(MakeItem(
+                  data.ratings[rng.UniformU64(data.ratings.size())].item_id));
+            }
+            status = server.TopK(obs.uid, slate, 3).status();
+            break;
+          }
+          default:
+            status = server.Observe(obs.uid, MakeItem(obs.item_id), obs.label);
+        }
+        requests.fetch_add(1, std::memory_order_relaxed);
+        if (!status.ok() && !status.IsNotFound()) {
+          hard_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Control plane: force several retrains under live traffic.
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(server.RetrainNow().ok());
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(hard_errors.load(), 0u);
+  EXPECT_GT(requests.load(), 0u);
+  EXPECT_EQ(server.current_version(), 4);
+}
+
+TEST(IntegrationTest, FrontendClosedLoopWorkload) {
+  auto data = MakeData(71);
+  auto config = ServerConfig();
+  config.bandit_policy = "epsilon_greedy:0.1";
+  VeloxServer server(config, MfModelPtr());
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+
+  FrontendOptions fopts;
+  fopts.num_threads = 2;
+  fopts.topk_k = 5;
+  VeloxFrontend frontend(fopts, &server);
+
+  WorkloadConfig wconfig;
+  wconfig.num_users = 80;
+  wconfig.num_items = 100;
+  wconfig.topk_set_size = 15;
+  auto gen = WorkloadGenerator::Make(wconfig);
+  ASSERT_TRUE(gen.ok());
+  for (const Request& req : gen->NextBatch(500)) {
+    auto response = frontend.Handle(req);
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  EXPECT_EQ(frontend.requests_served(), 500u);
+  EXPECT_EQ(frontend.errors(), 0u);
+  EXPECT_GT(frontend.PredictLatency().count, 0u);
+  EXPECT_GT(frontend.TopKLatency().count, 0u);
+  EXPECT_GT(frontend.ObserveLatency().count, 0u);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,134 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+// Random SPD matrix A = B B^T + eps I.
+DenseMatrix RandomSpd(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix b(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) b.At(r, c) = rng.Gaussian();
+  }
+  DenseMatrix a = MatMul(b, b.Transpose());
+  a.AddDiagonal(0.5);
+  return a;
+}
+
+TEST(CholeskyTest, FactorReconstructsMatrix) {
+  DenseMatrix a = RandomSpd(6, 11);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  DenseMatrix reconstructed = MatMul(l.value(), l.value().Transpose());
+  EXPECT_LT(MaxAbsDiff(a, reconstructed), 1e-9);
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  DenseMatrix a = RandomSpd(5, 13);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  for (size_t r = 0; r < 5; ++r) {
+    for (size_t c = r + 1; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(l.value().At(r, c), 0.0);
+    }
+  }
+}
+
+TEST(CholeskyTest, SolveSatisfiesSystem) {
+  DenseMatrix a = RandomSpd(8, 17);
+  Rng rng(19);
+  DenseVector b(8);
+  for (size_t i = 0; i < 8; ++i) b[i] = rng.Gaussian();
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  DenseVector residual = Subtract(a.Gemv(x.value()), b);
+  EXPECT_LT(residual.Norm2(), 1e-9);
+}
+
+TEST(CholeskyTest, SolveIdentityReturnsRhs) {
+  DenseMatrix id(4, 4);
+  id.SetIdentity();
+  DenseVector b = {1.0, -2.0, 3.0, -4.0};
+  auto x = CholeskySolve(id, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(MaxAbsDiff(x.value(), b), 1e-14);
+}
+
+TEST(CholeskyTest, OneByOne) {
+  DenseMatrix a(1, 1);
+  a.At(0, 0) = 4.0;
+  auto x = CholeskySolve(a, DenseVector{8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.value()[0], 2.0);
+}
+
+TEST(CholeskyTest, NonSquareRejected) {
+  DenseMatrix a(2, 3);
+  EXPECT_TRUE(CholeskyFactor(a).status().IsInvalidArgument());
+}
+
+TEST(CholeskyTest, IndefiniteMatrixRejected) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1.0;
+  a.At(1, 1) = -1.0;
+  EXPECT_TRUE(CholeskyFactor(a).status().IsInvalidArgument());
+}
+
+TEST(CholeskyTest, SingularMatrixRejected) {
+  DenseMatrix a(2, 2);  // all zeros
+  EXPECT_TRUE(CholeskyFactor(a).status().IsInvalidArgument());
+}
+
+TEST(CholeskyTest, SolveWithFactorDimensionMismatch) {
+  DenseMatrix a = RandomSpd(3, 23);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(
+      CholeskySolveWithFactor(l.value(), DenseVector(4)).status().IsInvalidArgument());
+}
+
+TEST(SpdInverseTest, InverseTimesMatrixIsIdentity) {
+  DenseMatrix a = RandomSpd(6, 29);
+  auto inv = SpdInverse(a);
+  ASSERT_TRUE(inv.ok());
+  DenseMatrix product = MatMul(a, inv.value());
+  DenseMatrix id(6, 6);
+  id.SetIdentity();
+  EXPECT_LT(MaxAbsDiff(product, id), 1e-9);
+}
+
+TEST(SpdInverseTest, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a.At(0, 0) = 2.0;
+  a.At(1, 1) = 4.0;
+  a.At(2, 2) = 8.0;
+  auto inv = SpdInverse(a);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_NEAR(inv.value().At(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(inv.value().At(1, 1), 0.25, 1e-12);
+  EXPECT_NEAR(inv.value().At(2, 2), 0.125, 1e-12);
+}
+
+// Parameterized scaling check: solve residual stays tiny across sizes.
+class CholeskySizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskySizeTest, ResidualTinyAcrossSizes) {
+  size_t n = GetParam();
+  DenseMatrix a = RandomSpd(n, 31 + n);
+  Rng rng(37 + n);
+  DenseVector b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = rng.Gaussian();
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT(Subtract(a.Gemv(x.value()), b).Norm2() / (1.0 + b.Norm2()), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 25, 50, 100));
+
+}  // namespace
+}  // namespace velox

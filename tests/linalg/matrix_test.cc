@@ -1,0 +1,159 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+DenseMatrix Make2x3() {
+  DenseMatrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  return m;
+}
+
+TEST(DenseMatrixTest, ShapeAndIndexing) {
+  DenseMatrix m = Make2x3();
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(DenseMatrixTest, RowAccessors) {
+  DenseMatrix m = Make2x3();
+  DenseVector r1 = m.Row(1);
+  EXPECT_EQ(r1.dim(), 3u);
+  EXPECT_DOUBLE_EQ(r1[0], 4.0);
+  m.SetRow(0, DenseVector{9.0, 8.0, 7.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 8.0);
+}
+
+TEST(DenseMatrixTest, SetIdentityAndAddDiagonal) {
+  DenseMatrix m(3, 3);
+  m.SetIdentity();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  m.AddDiagonal(0.5);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 1.5);
+}
+
+TEST(DenseMatrixTest, GemvMatchesManual) {
+  DenseMatrix m = Make2x3();
+  DenseVector x = {1.0, 0.0, -1.0};
+  DenseVector y = m.Gemv(x);
+  EXPECT_EQ(y.dim(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 - 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0 - 6.0);
+}
+
+TEST(DenseMatrixTest, GemvTransposeMatchesTransposeGemv) {
+  DenseMatrix m = Make2x3();
+  DenseVector x = {1.0, 2.0};
+  DenseVector direct = m.GemvTranspose(x);
+  DenseVector via_transpose = m.Transpose().Gemv(x);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(direct, via_transpose), 0.0);
+}
+
+TEST(DenseMatrixTest, GerRankOneUpdate) {
+  DenseMatrix m(2, 2);
+  m.Ger(2.0, DenseVector{1.0, 3.0}, DenseVector{4.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 24.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 30.0);
+}
+
+TEST(DenseMatrixTest, AddAndScale) {
+  DenseMatrix a = Make2x3();
+  DenseMatrix b = Make2x3();
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 10.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 5.0);
+}
+
+TEST(DenseMatrixTest, TransposeInvolution) {
+  DenseMatrix m = Make2x3();
+  EXPECT_TRUE(m.Transpose().Transpose() == m);
+}
+
+TEST(DenseMatrixTest, MatMulIdentity) {
+  DenseMatrix m = Make2x3();
+  DenseMatrix id(3, 3);
+  id.SetIdentity();
+  EXPECT_TRUE(MatMul(m, id) == m);
+}
+
+TEST(DenseMatrixTest, MatMulKnownProduct) {
+  DenseMatrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  DenseMatrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 50.0);
+}
+
+TEST(DenseMatrixTest, AtAMatchesExplicitProduct) {
+  Rng rng(3);
+  DenseMatrix a(7, 4);
+  for (size_t r = 0; r < 7; ++r) {
+    for (size_t c = 0; c < 4; ++c) a.At(r, c) = rng.Gaussian();
+  }
+  DenseMatrix gram = AtA(a);
+  DenseMatrix expected = MatMul(a.Transpose(), a);
+  EXPECT_LT(MaxAbsDiff(gram, expected), 1e-12);
+}
+
+TEST(DenseMatrixTest, AtAIsSymmetric) {
+  Rng rng(5);
+  DenseMatrix a(10, 5);
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 5; ++c) a.At(r, c) = rng.Gaussian();
+  }
+  DenseMatrix gram = AtA(a);
+  EXPECT_LT(MaxAbsDiff(gram, gram.Transpose()), 1e-15);
+}
+
+TEST(DenseMatrixTest, AtyMatchesExplicit) {
+  DenseMatrix a = Make2x3();
+  DenseVector y = {1.0, -1.0};
+  DenseVector direct = Aty(a, y);
+  DenseVector expected = a.Transpose().Gemv(y);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(direct, expected), 0.0);
+}
+
+TEST(DenseMatrixTest, FrobeniusNorm) {
+  DenseMatrix m(2, 2);
+  m.At(0, 0) = 3.0;
+  m.At(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(DenseMatrixDeathTest, GemvDimensionMismatchAborts) {
+  DenseMatrix m = Make2x3();
+  EXPECT_DEATH(m.Gemv(DenseVector(2)), "Check failed");
+}
+
+TEST(DenseMatrixDeathTest, MatMulShapeMismatchAborts) {
+  DenseMatrix a(2, 3);
+  DenseMatrix b(2, 3);
+  EXPECT_DEATH(MatMul(a, b), "Check failed");
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,133 @@
+#include "linalg/ridge.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+TEST(RidgeAccumulatorTest, StartsEmpty) {
+  RidgeAccumulator acc(3);
+  EXPECT_EQ(acc.dim(), 3u);
+  EXPECT_EQ(acc.num_examples(), 0);
+}
+
+TEST(RidgeAccumulatorTest, AddAccumulatesSufficientStatistics) {
+  RidgeAccumulator acc(2);
+  acc.AddExample(DenseVector{1.0, 2.0}, 3.0);
+  // FtF = f f^T, Fty = y f.
+  EXPECT_DOUBLE_EQ(acc.ftf().At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.ftf().At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(acc.ftf().At(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(acc.fty()[0], 3.0);
+  EXPECT_DOUBLE_EQ(acc.fty()[1], 6.0);
+  EXPECT_EQ(acc.num_examples(), 1);
+}
+
+TEST(RidgeAccumulatorTest, RemoveUndoesAdd) {
+  RidgeAccumulator acc(2);
+  acc.AddExample(DenseVector{1.0, -1.0}, 2.0);
+  acc.AddExample(DenseVector{0.5, 2.0}, -1.0);
+  acc.RemoveExample(DenseVector{0.5, 2.0}, -1.0);
+  EXPECT_EQ(acc.num_examples(), 1);
+  EXPECT_NEAR(acc.ftf().At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(acc.fty()[1], -2.0, 1e-12);
+}
+
+TEST(RidgeAccumulatorTest, SolveRecoversNoiselessLinearModel) {
+  // y = 2 x1 - 3 x2 exactly; with tiny lambda the solution approaches
+  // the true weights.
+  Rng rng(7);
+  RidgeAccumulator acc(2);
+  for (int i = 0; i < 100; ++i) {
+    DenseVector f = {rng.Gaussian(), rng.Gaussian()};
+    acc.AddExample(f, 2.0 * f[0] - 3.0 * f[1]);
+  }
+  auto w = acc.Solve(1e-8);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w.value()[0], 2.0, 1e-4);
+  EXPECT_NEAR(w.value()[1], -3.0, 1e-4);
+}
+
+TEST(RidgeAccumulatorTest, LambdaShrinksTowardZero) {
+  Rng rng(9);
+  RidgeAccumulator acc(2);
+  for (int i = 0; i < 50; ++i) {
+    DenseVector f = {rng.Gaussian(), rng.Gaussian()};
+    acc.AddExample(f, 5.0 * f[0]);
+  }
+  auto small_lambda = acc.Solve(1e-6);
+  auto big_lambda = acc.Solve(1e6);
+  ASSERT_TRUE(small_lambda.ok());
+  ASSERT_TRUE(big_lambda.ok());
+  EXPECT_GT(small_lambda.value().Norm2(), big_lambda.value().Norm2() * 100);
+}
+
+TEST(RidgeAccumulatorTest, SolveWithNoExamplesReturnsZeroWeights) {
+  RidgeAccumulator acc(3);
+  auto w = acc.Solve(0.5);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w.value().Norm2(), 0.0);
+}
+
+TEST(RidgeAccumulatorTest, NonPositiveLambdaRejected) {
+  RidgeAccumulator acc(2);
+  EXPECT_TRUE(acc.Solve(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(acc.Solve(-1.0).status().IsInvalidArgument());
+}
+
+TEST(RidgeAccumulatorDeathTest, DimensionMismatchAborts) {
+  RidgeAccumulator acc(2);
+  EXPECT_DEATH(acc.AddExample(DenseVector(3), 1.0), "Check failed");
+}
+
+TEST(RidgeSolveTest, MatchesAccumulatorPath) {
+  Rng rng(21);
+  const size_t n = 40;
+  const size_t d = 5;
+  DenseMatrix f(n, d);
+  DenseVector y(n);
+  RidgeAccumulator acc(d);
+  for (size_t r = 0; r < n; ++r) {
+    DenseVector row(d);
+    for (size_t c = 0; c < d; ++c) row[c] = rng.Gaussian();
+    y[r] = rng.Gaussian();
+    f.SetRow(r, row);
+    acc.AddExample(row, y[r]);
+  }
+  auto direct = RidgeSolve(f, y, 0.3);
+  auto via_acc = acc.Solve(0.3);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_acc.ok());
+  EXPECT_LT(MaxAbsDiff(direct.value(), via_acc.value()), 1e-10);
+}
+
+TEST(RidgeSolveTest, RowCountMismatchRejected) {
+  DenseMatrix f(3, 2);
+  DenseVector y(4);
+  EXPECT_TRUE(RidgeSolve(f, y, 0.1).status().IsInvalidArgument());
+}
+
+TEST(RidgeSolveTest, SatisfiesNormalEquations) {
+  // Verify (FtF + lambda I) w == Fty — Eq. 2 of the paper.
+  Rng rng(23);
+  const size_t n = 30;
+  const size_t d = 4;
+  DenseMatrix f(n, d);
+  DenseVector y(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) f.At(r, c) = rng.Gaussian();
+    y[r] = rng.Gaussian();
+  }
+  double lambda = 0.7;
+  auto w = RidgeSolve(f, y, lambda);
+  ASSERT_TRUE(w.ok());
+  DenseMatrix lhs = AtA(f);
+  lhs.AddDiagonal(lambda);
+  DenseVector residual = Subtract(lhs.Gemv(w.value()), Aty(f, y));
+  EXPECT_LT(residual.Norm2(), 1e-9);
+}
+
+}  // namespace
+}  // namespace velox

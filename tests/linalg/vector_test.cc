@@ -1,0 +1,108 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace velox {
+namespace {
+
+TEST(DenseVectorTest, ConstructionZeroInitializes) {
+  DenseVector v(4);
+  EXPECT_EQ(v.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+TEST(DenseVectorTest, InitializerList) {
+  DenseVector v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(DenseVectorTest, FromStdVector) {
+  DenseVector v(std::vector<double>{4.0, 5.0});
+  EXPECT_EQ(v.dim(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+}
+
+TEST(DenseVectorTest, DotProduct) {
+  DenseVector a = {1.0, 2.0, 3.0};
+  DenseVector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(DenseVectorTest, DotOfEmptyVectorsIsZero) {
+  DenseVector a;
+  DenseVector b;
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+}
+
+TEST(DenseVectorDeathTest, DotDimensionMismatchAborts) {
+  DenseVector a(2);
+  DenseVector b(3);
+  EXPECT_DEATH(Dot(a, b), "Check failed");
+}
+
+TEST(DenseVectorTest, AxpyAccumulates) {
+  DenseVector y = {1.0, 1.0};
+  DenseVector x = {2.0, 3.0};
+  y.Axpy(2.0, x);
+  EXPECT_DOUBLE_EQ(y[0], 5.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(DenseVectorTest, ScaleAndFill) {
+  DenseVector v = {1.0, -2.0};
+  v.Scale(-3.0);
+  EXPECT_DOUBLE_EQ(v[0], -3.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+  v.Fill(9.0);
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+  EXPECT_DOUBLE_EQ(v[1], 9.0);
+}
+
+TEST(DenseVectorTest, Norm2) {
+  DenseVector v = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(DenseVector(3).Norm2(), 0.0);
+}
+
+TEST(DenseVectorTest, Sum) {
+  DenseVector v = {1.5, -0.5, 2.0};
+  EXPECT_DOUBLE_EQ(v.Sum(), 3.0);
+}
+
+TEST(DenseVectorTest, AddSubtract) {
+  DenseVector a = {1.0, 2.0};
+  DenseVector b = {10.0, 20.0};
+  DenseVector sum = Add(a, b);
+  DenseVector diff = Subtract(b, a);
+  EXPECT_DOUBLE_EQ(sum[0], 11.0);
+  EXPECT_DOUBLE_EQ(sum[1], 22.0);
+  EXPECT_DOUBLE_EQ(diff[0], 9.0);
+  EXPECT_DOUBLE_EQ(diff[1], 18.0);
+}
+
+TEST(DenseVectorTest, MaxAbsDiff) {
+  DenseVector a = {1.0, 5.0, -2.0};
+  DenseVector b = {1.1, 4.0, -2.0};
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(DenseVectorTest, EqualityIsElementwise) {
+  DenseVector a = {1.0, 2.0};
+  DenseVector b = {1.0, 2.0};
+  DenseVector c = {1.0, 2.5};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(DenseVectorTest, ToStringTruncatesLongVectors) {
+  DenseVector v(100);
+  std::string s = v.ToString(4);
+  EXPECT_NE(s.find("100 entries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,228 @@
+#include "ml/als.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "batch/executor.h"
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+// Ratings from a planted rank-r model, optionally noisy.
+std::vector<Observation> PlantedRatings(int64_t users, int64_t items, size_t rank,
+                                        double noise, uint64_t seed,
+                                        FactorMap* true_w = nullptr,
+                                        FactorMap* true_x = nullptr) {
+  Rng rng(seed);
+  FactorMap w;
+  FactorMap x;
+  double scale = 1.0 / std::sqrt(static_cast<double>(rank));
+  for (int64_t u = 0; u < users; ++u) {
+    w[static_cast<uint64_t>(u)] = InitFactor(rank, scale, seed ^ 1, static_cast<uint64_t>(u));
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    x[static_cast<uint64_t>(i)] = InitFactor(rank, scale, seed ^ 2, static_cast<uint64_t>(i));
+  }
+  std::vector<Observation> ratings;
+  int64_t ts = 0;
+  for (int64_t u = 0; u < users; ++u) {
+    for (int64_t i = 0; i < items; ++i) {
+      // Dense observation grid keeps the test deterministic and small.
+      Observation obs;
+      obs.uid = static_cast<uint64_t>(u);
+      obs.item_id = static_cast<uint64_t>(i);
+      obs.label = Dot(w[obs.uid], x[obs.item_id]) + rng.Gaussian(0.0, noise);
+      obs.timestamp = ts++;
+      ratings.push_back(obs);
+    }
+  }
+  if (true_w != nullptr) *true_w = std::move(w);
+  if (true_x != nullptr) *true_x = std::move(x);
+  return ratings;
+}
+
+class AlsTest : public ::testing::Test {
+ protected:
+  BatchExecutor executor_{2};
+};
+
+TEST_F(AlsTest, RejectsBadInputs) {
+  AlsConfig config;
+  AlsTrainer trainer(config);
+  EXPECT_TRUE(trainer.Train(&executor_, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(trainer.Train(nullptr, PlantedRatings(2, 2, 2, 0.0, 1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(AlsTest, FitsNoiselessLowRankDataToNearZeroRmse) {
+  auto ratings = PlantedRatings(30, 40, 3, 0.0, 17);
+  AlsConfig config;
+  config.rank = 3;
+  config.lambda = 1e-4;
+  config.iterations = 20;
+  config.seed = 5;
+  AlsTrainer trainer(config);
+  auto model = trainer.Train(&executor_, ratings);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(MfTrainRmse(model.value(), ratings), 0.02);
+}
+
+TEST_F(AlsTest, ProducesFactorsForEveryEntity) {
+  auto ratings = PlantedRatings(10, 12, 2, 0.1, 23);
+  AlsConfig config;
+  config.rank = 2;
+  config.iterations = 3;
+  AlsTrainer trainer(config);
+  auto model = trainer.Train(&executor_, ratings);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->user_factors.size(), 10u);
+  EXPECT_EQ(model->item_factors.size(), 12u);
+  for (const auto& [id, f] : model->user_factors) EXPECT_EQ(f.dim(), 2u);
+}
+
+TEST_F(AlsTest, RmseDecreasesWithIterations) {
+  auto ratings = PlantedRatings(25, 30, 4, 0.1, 29);
+  AlsConfig one;
+  one.rank = 4;
+  one.iterations = 1;
+  AlsConfig many = one;
+  many.iterations = 15;
+  auto m1 = AlsTrainer(one).Train(&executor_, ratings);
+  auto m15 = AlsTrainer(many).Train(&executor_, ratings);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m15.ok());
+  EXPECT_LE(MfTrainRmse(m15.value(), ratings), MfTrainRmse(m1.value(), ratings) + 1e-9);
+}
+
+TEST_F(AlsTest, DeterministicAcrossRuns) {
+  auto ratings = PlantedRatings(12, 15, 2, 0.2, 31);
+  AlsConfig config;
+  config.rank = 2;
+  config.iterations = 5;
+  config.seed = 77;
+  auto a = AlsTrainer(config).Train(&executor_, ratings);
+  auto b = AlsTrainer(config).Train(&executor_, ratings);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& [uid, w] : a->user_factors) {
+    EXPECT_LT(MaxAbsDiff(w, b->user_factors.at(uid)), 1e-12);
+  }
+}
+
+TEST_F(AlsTest, WarmStartConvergesFasterThanColdSingleIteration) {
+  auto ratings = PlantedRatings(25, 30, 3, 0.05, 37);
+  AlsConfig full;
+  full.rank = 3;
+  full.iterations = 12;
+  auto converged = AlsTrainer(full).Train(&executor_, ratings);
+  ASSERT_TRUE(converged.ok());
+
+  AlsConfig one_iter = full;
+  one_iter.iterations = 1;
+  auto cold = AlsTrainer(one_iter).Train(&executor_, ratings);
+  auto warm = AlsTrainer(one_iter).TrainWarmStart(&executor_, ratings,
+                                                  converged.value());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(MfTrainRmse(warm.value(), ratings), MfTrainRmse(cold.value(), ratings));
+}
+
+TEST_F(AlsTest, WarmStartRankMismatchRejected) {
+  auto ratings = PlantedRatings(5, 5, 2, 0.0, 41);
+  AlsConfig config;
+  config.rank = 3;
+  MfModel wrong;
+  wrong.rank = 2;
+  wrong.user_factors[0] = DenseVector(2);
+  auto r = AlsTrainer(config).TrainWarmStart(&executor_, ratings, wrong);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(AlsTest, GeneralizesOnHeldOutCells) {
+  FactorMap true_w;
+  FactorMap true_x;
+  auto all = PlantedRatings(30, 30, 2, 0.02, 43, &true_w, &true_x);
+  // Hold out every 7th rating.
+  std::vector<Observation> train;
+  std::vector<Observation> test;
+  for (size_t i = 0; i < all.size(); ++i) {
+    (i % 7 == 0 ? test : train).push_back(all[i]);
+  }
+  AlsConfig config;
+  config.rank = 2;
+  config.lambda = 0.05;
+  config.iterations = 15;
+  auto model = AlsTrainer(config).Train(&executor_, train);
+  ASSERT_TRUE(model.ok());
+  double test_rmse = MfTrainRmse(model.value(), test);
+  // Noise floor is 0.02; allow generalization slack.
+  EXPECT_LT(test_rmse, 0.2);
+}
+
+TEST_F(AlsTest, WeightedRegularizationImprovesGeneralization) {
+  // Sparse per-user data at a too-large rank: plain ALS overfits; the
+  // ALS-WR variant (lambda * n_u) generalizes better on held-out cells.
+  Rng rng(53);
+  FactorMap w;
+  FactorMap x;
+  for (uint64_t u = 0; u < 60; ++u) w[u] = InitFactor(3, 0.6, 1, u);
+  for (uint64_t i = 0; i < 80; ++i) x[i] = InitFactor(3, 0.6, 2, i);
+  std::vector<Observation> train;
+  std::vector<Observation> test;
+  for (uint64_t u = 0; u < 60; ++u) {
+    // Only 10 ratings per user, rank-8 model: an overfitting trap.
+    for (int j = 0; j < 13; ++j) {
+      uint64_t i = rng.UniformU64(80);
+      Observation obs{u, i, Dot(w[u], x[i]) + rng.Gaussian(0.0, 0.3), 0};
+      (j < 10 ? train : test).push_back(obs);
+    }
+  }
+  AlsConfig plain;
+  plain.rank = 8;
+  plain.lambda = 0.05;
+  plain.iterations = 10;
+  AlsConfig wr = plain;
+  wr.weighted_regularization = true;
+  auto m_plain = AlsTrainer(plain).Train(&executor_, train);
+  auto m_wr = AlsTrainer(wr).Train(&executor_, train);
+  ASSERT_TRUE(m_plain.ok());
+  ASSERT_TRUE(m_wr.ok());
+  EXPECT_LT(MfTrainRmse(m_wr.value(), test), MfTrainRmse(m_plain.value(), test));
+}
+
+TEST(MfModelTest, PredictOrFallsBackForUnknowns) {
+  MfModel model;
+  model.rank = 2;
+  model.user_factors[1] = DenseVector{1.0, 0.0};
+  model.item_factors[2] = DenseVector{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(model.PredictOr(1, 2, -9.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.PredictOr(99, 2, -9.0), -9.0);
+  EXPECT_DOUBLE_EQ(model.PredictOr(1, 99, -9.0), -9.0);
+}
+
+TEST(MfModelTest, MeanUserFactor) {
+  MfModel model;
+  model.rank = 2;
+  model.user_factors[1] = DenseVector{1.0, 3.0};
+  model.user_factors[2] = DenseVector{3.0, 5.0};
+  DenseVector mean = model.MeanUserFactor();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+  MfModel empty;
+  empty.rank = 2;
+  EXPECT_DOUBLE_EQ(empty.MeanUserFactor().Norm2(), 0.0);
+}
+
+TEST(InitFactorTest, DeterministicPerEntity) {
+  DenseVector a = InitFactor(4, 0.1, 7, 100);
+  DenseVector b = InitFactor(4, 0.1, 7, 100);
+  DenseVector c = InitFactor(4, 0.1, 7, 101);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(MaxAbsDiff(a, c), 0.0);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,260 @@
+#include "ml/feature_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+Item MakeItem(uint64_t id, std::vector<double> attrs = {}) {
+  Item item;
+  item.id = id;
+  item.attributes = DenseVector(std::move(attrs));
+  return item;
+}
+
+TEST(MaterializedFeatureTest, LooksUpFactors) {
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  (*table)[7] = DenseVector{1.0, 2.0};
+  MaterializedFeatureFunction f(table, 2);
+  EXPECT_TRUE(f.is_materialized());
+  EXPECT_EQ(f.dim(), 2u);
+  auto features = f.Features(MakeItem(7));
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features.value()[1], 2.0);
+}
+
+TEST(MaterializedFeatureTest, UnknownItemIsNotFound) {
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  MaterializedFeatureFunction f(table, 4);
+  EXPECT_TRUE(f.Features(MakeItem(1)).status().IsNotFound());
+}
+
+TEST(IdentityFeatureTest, PassesAttributesThrough) {
+  IdentityFeatureFunction f(3);
+  EXPECT_FALSE(f.is_materialized());
+  EXPECT_EQ(f.dim(), 3u);
+  auto features = f.Features(MakeItem(1, {1.0, 2.0, 3.0}));
+  ASSERT_TRUE(features.ok());
+  EXPECT_EQ(features.value(), (DenseVector{1.0, 2.0, 3.0}));
+}
+
+TEST(IdentityFeatureTest, BiasAppendsOne) {
+  IdentityFeatureFunction f(2, /*add_bias=*/true);
+  EXPECT_EQ(f.dim(), 3u);
+  auto features = f.Features(MakeItem(1, {5.0, 6.0}));
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features.value()[2], 1.0);
+}
+
+TEST(IdentityFeatureTest, WrongAttributeCountRejected) {
+  IdentityFeatureFunction f(3);
+  EXPECT_TRUE(f.Features(MakeItem(1, {1.0})).status().IsInvalidArgument());
+}
+
+TEST(RbfFeatureTest, OutputsBoundedAndDimensioned) {
+  RbfFeatureFunction f(4, 16, 0.5, 42);
+  EXPECT_EQ(f.dim(), 16u);
+  auto features = f.Features(MakeItem(1, {0.1, -0.2, 0.3, 0.0}));
+  ASSERT_TRUE(features.ok());
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_GT(features.value()[i], 0.0);
+    EXPECT_LE(features.value()[i], 1.0);
+  }
+}
+
+TEST(RbfFeatureTest, FeatureAtItsOwnCenterIsOne) {
+  // Build a 1-center RBF; evaluating at the center gives exp(0) = 1.
+  RbfFeatureFunction f(2, 1, 1.0, 7);
+  // Find the center indirectly: a point far away scores near 0, and
+  // the function is deterministic given its seed.
+  auto far = f.Features(MakeItem(1, {100.0, 100.0}));
+  ASSERT_TRUE(far.ok());
+  EXPECT_LT(far.value()[0], 1e-6);
+}
+
+TEST(RbfFeatureTest, DeterministicGivenSeed) {
+  RbfFeatureFunction a(3, 8, 1.0, 99);
+  RbfFeatureFunction b(3, 8, 1.0, 99);
+  auto fa = a.Features(MakeItem(1, {1.0, 2.0, 3.0}));
+  auto fb = b.Features(MakeItem(1, {1.0, 2.0, 3.0}));
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fa.value(), fb.value());
+}
+
+TEST(RbfFeatureTest, WrongAttributeCountRejected) {
+  RbfFeatureFunction f(3, 4, 1.0, 1);
+  EXPECT_TRUE(f.Features(MakeItem(1, {1.0, 2.0})).status().IsInvalidArgument());
+}
+
+TEST(RandomFourierTest, OutputsBoundedByScale) {
+  RandomFourierFeatureFunction f(5, 64, 1.0, 11);
+  EXPECT_EQ(f.dim(), 64u);
+  auto features = f.Features(MakeItem(1, {0.1, 0.2, 0.3, 0.4, 0.5}));
+  ASSERT_TRUE(features.ok());
+  double bound = std::sqrt(2.0 / 64.0) + 1e-12;
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_LE(std::abs(features.value()[i]), bound);
+  }
+}
+
+TEST(RandomFourierTest, KernelApproximationIsShiftInvariantish) {
+  // <f(x), f(y)> approximates a Gaussian kernel k(x - y): the
+  // self-inner-product should be near 1 and decay with distance.
+  RandomFourierFeatureFunction f(2, 2048, 1.0, 13);
+  auto fx = f.Features(MakeItem(1, {0.0, 0.0}));
+  auto fy = f.Features(MakeItem(2, {0.5, 0.0}));
+  auto fz = f.Features(MakeItem(3, {3.0, 0.0}));
+  ASSERT_TRUE(fx.ok());
+  double self = Dot(fx.value(), fx.value());
+  double near = Dot(fx.value(), fy.value());
+  double far = Dot(fx.value(), fz.value());
+  EXPECT_NEAR(self, 1.0, 0.15);
+  EXPECT_GT(near, far);
+  EXPECT_LT(far, 0.2);
+}
+
+TEST(PolynomialFeatureTest, DimensionFormula) {
+  // n + n(n+1)/2 + bias.
+  EXPECT_EQ(PolynomialFeatureFunction(2, true).dim(), 2u + 3u + 1u);
+  EXPECT_EQ(PolynomialFeatureFunction(3, false).dim(), 3u + 6u);
+}
+
+TEST(PolynomialFeatureTest, ComputesInteractions) {
+  PolynomialFeatureFunction f(2, /*add_bias=*/true);
+  auto features = f.Features(MakeItem(1, {2.0, 3.0}));
+  ASSERT_TRUE(features.ok());
+  // Layout: [x0, x1, x0*x0, x0*x1, x1*x1, 1].
+  const DenseVector& v = features.value();
+  ASSERT_EQ(v.dim(), 6u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 3.0);
+  EXPECT_DOUBLE_EQ(v[2], 4.0);
+  EXPECT_DOUBLE_EQ(v[3], 6.0);
+  EXPECT_DOUBLE_EQ(v[4], 9.0);
+  EXPECT_DOUBLE_EQ(v[5], 1.0);
+}
+
+TEST(PolynomialFeatureTest, WrongAttributeCountRejected) {
+  PolynomialFeatureFunction f(3);
+  EXPECT_TRUE(f.Features(MakeItem(1, {1.0})).status().IsInvalidArgument());
+}
+
+TEST(NormalizingFeatureTest, AppliesShiftAndScale) {
+  auto inner = std::make_shared<IdentityFeatureFunction>(2);
+  NormalizingFeatureFunction f(inner, DenseVector{1.0, -1.0}, DenseVector{2.0, 0.5});
+  EXPECT_EQ(f.dim(), 2u);
+  EXPECT_FALSE(f.is_materialized());
+  auto features = f.Features(MakeItem(1, {3.0, 1.0}));
+  ASSERT_TRUE(features.ok());
+  EXPECT_DOUBLE_EQ(features.value()[0], (3.0 - 1.0) * 2.0);
+  EXPECT_DOUBLE_EQ(features.value()[1], (1.0 - (-1.0)) * 0.5);
+}
+
+TEST(NormalizingFeatureTest, PropagatesInnerErrors) {
+  auto inner = std::make_shared<IdentityFeatureFunction>(2);
+  NormalizingFeatureFunction f(inner, DenseVector(2), DenseVector{1.0, 1.0});
+  EXPECT_TRUE(f.Features(MakeItem(1, {1.0})).status().IsInvalidArgument());
+}
+
+TEST(NormalizingFeatureDeathTest, RejectsZeroScaleAndBadDims) {
+  auto inner = std::make_shared<IdentityFeatureFunction>(2);
+  EXPECT_DEATH(NormalizingFeatureFunction(inner, DenseVector(2), DenseVector{1.0, 0.0}),
+               "Check failed");
+  EXPECT_DEATH(NormalizingFeatureFunction(inner, DenseVector(3), DenseVector(2)),
+               "Check failed");
+}
+
+TEST(HashingFeatureTest, AcceptsAnyInputDimension) {
+  HashingFeatureFunction f(8, 42);
+  EXPECT_EQ(f.dim(), 8u);
+  ASSERT_TRUE(f.Features(MakeItem(1, {1.0, 2.0})).ok());
+  ASSERT_TRUE(f.Features(MakeItem(2, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0})).ok());
+}
+
+TEST(HashingFeatureTest, DeterministicAndLinearInInput) {
+  HashingFeatureFunction f(16, 7);
+  auto a = f.Features(MakeItem(1, {1.0, 2.0, 3.0}));
+  auto b = f.Features(MakeItem(2, {1.0, 2.0, 3.0}));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  // Doubling the input doubles the hashed output (signed sums are
+  // linear).
+  auto doubled = f.Features(MakeItem(3, {2.0, 4.0, 6.0}));
+  ASSERT_TRUE(doubled.ok());
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_DOUBLE_EQ(doubled.value()[i], 2.0 * a.value()[i]);
+  }
+}
+
+TEST(HashingFeatureTest, ZeroEntriesContributeNothing) {
+  HashingFeatureFunction f(8, 3);
+  auto sparse = f.Features(MakeItem(1, {0.0, 5.0, 0.0}));
+  DenseVector only_mid(3);
+  only_mid[1] = 5.0;
+  auto dense = f.Features(MakeItem(2, {0.0, 5.0, 0.0}));
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(sparse.value(), dense.value());
+}
+
+TEST(HashingFeatureTest, PreservesInnerProductsApproximately) {
+  // The hashing trick's defining property: E[<h(x), h(y)>] = <x, y>.
+  const size_t input_dim = 64;
+  const size_t output_dim = 512;
+  Rng rng(11);
+  DenseVector x(input_dim);
+  DenseVector y(input_dim);
+  for (size_t i = 0; i < input_dim; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = rng.Gaussian();
+  }
+  double true_dot = Dot(x, y);
+  // Average over independent hash seeds.
+  double sum = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    HashingFeatureFunction f(output_dim, 100 + static_cast<uint64_t>(t));
+    Item ix = MakeItem(1);
+    ix.attributes = x;
+    Item iy = MakeItem(2);
+    iy.attributes = y;
+    sum += Dot(f.Features(ix).value(), f.Features(iy).value());
+  }
+  EXPECT_NEAR(sum / trials, true_dot, 3.0);
+}
+
+TEST(SvmEnsembleTest, MarginsSquashedToUnitInterval) {
+  SvmEnsembleFeatureFunction f(3, 10, 5);
+  EXPECT_EQ(f.dim(), 10u);
+  auto features = f.Features(MakeItem(1, {1.0, -1.0, 0.5}));
+  ASSERT_TRUE(features.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_GE(features.value()[i], -1.0);
+    EXPECT_LE(features.value()[i], 1.0);
+  }
+}
+
+TEST(SvmEnsembleTest, ExplicitWeightsComputeTanhMargins) {
+  DenseMatrix w(1, 2);
+  w.At(0, 0) = 1.0;
+  w.At(0, 1) = -1.0;
+  DenseVector b = {0.5};
+  SvmEnsembleFeatureFunction f(std::move(w), std::move(b));
+  auto features = f.Features(MakeItem(1, {2.0, 1.0}));
+  ASSERT_TRUE(features.ok());
+  EXPECT_NEAR(features.value()[0], std::tanh(2.0 - 1.0 + 0.5), 1e-12);
+}
+
+TEST(SvmEnsembleTest, WrongAttributeCountRejected) {
+  SvmEnsembleFeatureFunction f(4, 2, 3);
+  EXPECT_TRUE(f.Features(MakeItem(1, {1.0})).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace velox

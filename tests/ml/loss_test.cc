@@ -1,0 +1,171 @@
+// Loss functions + eval metrics (RunningStat, Ewma, RMSE/MAE).
+#include "ml/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/eval_metrics.h"
+
+namespace velox {
+namespace {
+
+TEST(SquaredLossTest, ValueAndGradient) {
+  SquaredLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(3.0, 1.0), 2.0);   // 0.5 * 2^2
+  EXPECT_DOUBLE_EQ(loss.Loss(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(3.0, 1.0), -2.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(1.0, 3.0), 2.0);
+}
+
+TEST(AbsoluteLossTest, ValueAndSubgradient) {
+  AbsoluteLoss loss;
+  EXPECT_DOUBLE_EQ(loss.Loss(3.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.Loss(1.0, 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(1.0, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(3.0, 1.0), -1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(1.0, 1.0), 0.0);
+}
+
+TEST(HuberLossTest, QuadraticInsideLinearOutside) {
+  HuberLoss loss(1.0);
+  // Inside delta: 0.5 e^2.
+  EXPECT_DOUBLE_EQ(loss.Loss(0.0, 0.5), 0.125);
+  // Outside delta: delta * (|e| - delta/2).
+  EXPECT_DOUBLE_EQ(loss.Loss(0.0, 3.0), 1.0 * (3.0 - 0.5));
+  // Continuity at the knee.
+  EXPECT_NEAR(loss.Loss(0.0, 1.0 - 1e-9), loss.Loss(0.0, 1.0 + 1e-9), 1e-6);
+}
+
+TEST(HuberLossTest, GradientClipped) {
+  HuberLoss loss(1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(0.0, -10.0), -1.0);
+  EXPECT_DOUBLE_EQ(loss.Gradient(0.0, 0.5), 0.5);
+}
+
+TEST(MakeLossTest, FactoryByName) {
+  EXPECT_NE(MakeLoss("squared"), nullptr);
+  EXPECT_NE(MakeLoss("absolute"), nullptr);
+  EXPECT_NE(MakeLoss("huber"), nullptr);
+  EXPECT_EQ(MakeLoss("bogus"), nullptr);
+  EXPECT_EQ(MakeLoss("squared")->name(), "squared");
+}
+
+TEST(RmseTest, KnownValues) {
+  std::vector<PredictionPair> pairs = {{1.0, 2.0}, {3.0, 1.0}};
+  // errors: -1, 2 -> mean square 2.5.
+  EXPECT_NEAR(Rmse(pairs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(Rmse({}), 0.0);
+  EXPECT_DOUBLE_EQ(Rmse({{2.0, 2.0}}), 0.0);
+}
+
+TEST(MaeTest, KnownValues) {
+  std::vector<PredictionPair> pairs = {{1.0, 2.0}, {3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(Mae(pairs), 1.5);
+  EXPECT_DOUBLE_EQ(Mae({}), 0.0);
+}
+
+TEST(RelativeErrorReductionTest, SignConvention) {
+  // Candidate error lower => positive improvement.
+  EXPECT_NEAR(RelativeErrorReductionPercent(1.0, 0.98), 2.0, 1e-10);
+  EXPECT_NEAR(RelativeErrorReductionPercent(1.0, 1.1), -10.0, 1e-10);
+  EXPECT_DOUBLE_EQ(RelativeErrorReductionPercent(0.0, 1.0), 0.0);
+}
+
+TEST(RankingMetricsTest, PrecisionAtK) {
+  std::vector<uint64_t> ranked = {1, 2, 3, 4, 5};
+  std::vector<uint64_t> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 1), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 5), 0.4);
+  // k beyond the list: hits stay fixed, denominator is k.
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 10), 0.2);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, relevant, 0), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(ranked, {}, 3), 0.0);
+}
+
+TEST(RankingMetricsTest, RecallAtK) {
+  std::vector<uint64_t> ranked = {1, 2, 3, 4, 5};
+  std::vector<uint64_t> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, relevant, 5), 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgAtK) {
+  // Perfect ranking: relevant items first.
+  EXPECT_DOUBLE_EQ(NdcgAtK({7, 8, 1, 2}, {7, 8}, 4), 1.0);
+  // Worst placement within k: relevant at the tail.
+  double tail = NdcgAtK({1, 2, 7, 8}, {7, 8}, 4);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 1.0);
+  // Higher-placed hit beats lower-placed hit.
+  EXPECT_GT(NdcgAtK({7, 1, 2, 3}, {7}, 4), NdcgAtK({1, 2, 3, 7}, {7}, 4));
+  // Known value: single relevant item at rank 2 of k=2 -> 1/log2(3).
+  EXPECT_NEAR(NdcgAtK({1, 7}, {7}, 2), 1.0 / std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2}, {}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(NdcgAtK({1, 2}, {1}, 0), 0.0);
+}
+
+TEST(RankingMetricsTest, NdcgIdealTruncatesAtK) {
+  // 3 relevant items but k=2: ideal DCG uses only 2 slots, so placing
+  // 2 relevant items in the top-2 is a perfect score.
+  EXPECT_DOUBLE_EQ(NdcgAtK({5, 6, 1}, {5, 6, 7}, 2), 1.0);
+}
+
+TEST(RunningStatTest, MeanAndVarianceMatchBatch) {
+  RunningStat stat;
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) stat.Add(x);
+  EXPECT_EQ(stat.count(), 8);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance of this classic set is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatTest, DegenerateCases) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  stat.Add(3.0);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(EwmaTest, FirstValueInitializes) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.Add(10.0);
+  EXPECT_TRUE(ewma.initialized());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(EwmaTest, ExponentialSmoothing) {
+  Ewma ewma(0.5);
+  ewma.Add(10.0);
+  ewma.Add(0.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+  ewma.Add(0.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 2.5);
+}
+
+TEST(EwmaTest, TracksLevelShift) {
+  Ewma ewma(0.2);
+  for (int i = 0; i < 100; ++i) ewma.Add(1.0);
+  EXPECT_NEAR(ewma.value(), 1.0, 1e-9);
+  for (int i = 0; i < 100; ++i) ewma.Add(3.0);
+  EXPECT_NEAR(ewma.value(), 3.0, 1e-6);
+}
+
+TEST(EwmaDeathTest, InvalidAlphaAborts) {
+  EXPECT_DEATH(Ewma(0.0), "Check failed");
+  EXPECT_DEATH(Ewma(1.5), "Check failed");
+}
+
+}  // namespace
+}  // namespace velox

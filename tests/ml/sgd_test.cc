@@ -1,0 +1,127 @@
+#include "ml/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace velox {
+namespace {
+
+std::vector<Observation> PlantedRatings(int64_t users, int64_t items, size_t rank,
+                                        double noise, uint64_t seed) {
+  Rng rng(seed);
+  FactorMap w;
+  FactorMap x;
+  double scale = 1.0 / std::sqrt(static_cast<double>(rank));
+  for (int64_t u = 0; u < users; ++u) {
+    w[static_cast<uint64_t>(u)] =
+        InitFactor(rank, scale, seed ^ 1, static_cast<uint64_t>(u));
+  }
+  for (int64_t i = 0; i < items; ++i) {
+    x[static_cast<uint64_t>(i)] =
+        InitFactor(rank, scale, seed ^ 2, static_cast<uint64_t>(i));
+  }
+  std::vector<Observation> ratings;
+  for (int64_t u = 0; u < users; ++u) {
+    for (int64_t i = 0; i < items; ++i) {
+      Observation obs;
+      obs.uid = static_cast<uint64_t>(u);
+      obs.item_id = static_cast<uint64_t>(i);
+      obs.label = Dot(w[obs.uid], x[obs.item_id]) + rng.Gaussian(0.0, noise);
+      ratings.push_back(obs);
+    }
+  }
+  return ratings;
+}
+
+TEST(SgdTest, RejectsEmptyData) {
+  SgdTrainer trainer(SgdConfig{});
+  EXPECT_TRUE(trainer.Train({}).status().IsInvalidArgument());
+}
+
+TEST(SgdTest, FitsLowRankData) {
+  auto ratings = PlantedRatings(20, 25, 2, 0.0, 7);
+  SgdConfig config;
+  config.rank = 2;
+  config.lambda = 0.001;
+  config.learning_rate = 0.05;
+  config.epochs = 60;
+  auto model = SgdTrainer(config).Train(ratings);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(MfTrainRmse(model.value(), ratings), 0.1);
+}
+
+TEST(SgdTest, MoreEpochsReduceError) {
+  auto ratings = PlantedRatings(15, 20, 3, 0.05, 11);
+  SgdConfig few;
+  few.rank = 3;
+  few.epochs = 2;
+  SgdConfig many = few;
+  many.epochs = 40;
+  auto m_few = SgdTrainer(few).Train(ratings);
+  auto m_many = SgdTrainer(many).Train(ratings);
+  ASSERT_TRUE(m_few.ok());
+  ASSERT_TRUE(m_many.ok());
+  EXPECT_LT(MfTrainRmse(m_many.value(), ratings), MfTrainRmse(m_few.value(), ratings));
+}
+
+TEST(SgdTest, DeterministicGivenSeed) {
+  auto ratings = PlantedRatings(10, 10, 2, 0.1, 13);
+  SgdConfig config;
+  config.rank = 2;
+  config.epochs = 5;
+  config.seed = 99;
+  auto a = SgdTrainer(config).Train(ratings);
+  auto b = SgdTrainer(config).Train(ratings);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const auto& [uid, w] : a->user_factors) {
+    EXPECT_LT(MaxAbsDiff(w, b->user_factors.at(uid)), 1e-12);
+  }
+}
+
+TEST(SgdTest, WarmStartBeatsColdAtEqualBudget) {
+  auto ratings = PlantedRatings(15, 20, 3, 0.05, 23);
+  SgdConfig full;
+  full.rank = 3;
+  full.epochs = 60;
+  auto converged = SgdTrainer(full).Train(ratings);
+  ASSERT_TRUE(converged.ok());
+
+  SgdConfig short_budget = full;
+  short_budget.epochs = 2;
+  auto cold = SgdTrainer(short_budget).Train(ratings);
+  auto warm = SgdTrainer(short_budget).TrainWarmStart(ratings, converged.value());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(MfTrainRmse(warm.value(), ratings), MfTrainRmse(cold.value(), ratings));
+}
+
+TEST(SgdTest, WarmStartRankMismatchRejected) {
+  auto ratings = PlantedRatings(5, 5, 2, 0.0, 29);
+  SgdConfig config;
+  config.rank = 3;
+  MfModel wrong;
+  wrong.rank = 2;
+  wrong.user_factors[0] = DenseVector(2);
+  EXPECT_TRUE(SgdTrainer(config)
+                  .TrainWarmStart(ratings, wrong)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SgdTest, CoversAllEntities) {
+  auto ratings = PlantedRatings(8, 9, 2, 0.1, 17);
+  SgdConfig config;
+  config.rank = 2;
+  config.epochs = 1;
+  auto model = SgdTrainer(config).Train(ratings);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->user_factors.size(), 8u);
+  EXPECT_EQ(model->item_factors.size(), 9u);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,150 @@
+// StorageCluster + StorageClient: placement, routing, and the locality
+// accounting underpinning the paper's §5 claims.
+#include "storage/storage_client.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/storage_cluster.h"
+
+namespace velox {
+namespace {
+
+StorageClusterOptions SmallCluster(int32_t nodes) {
+  StorageClusterOptions opts;
+  opts.num_nodes = nodes;
+  opts.partitions_per_table = 4;
+  opts.network.local_call_nanos = 10;
+  opts.network.remote_latency_nanos = 1000;
+  opts.network.nanos_per_byte = 0.0;
+  return opts;
+}
+
+Value Payload(uint8_t tag) { return Value{tag, tag, tag}; }
+
+TEST(StorageClusterTest, CreatesTablesOnEveryNode) {
+  StorageCluster cluster(SmallCluster(3));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_TRUE(cluster.store(n)->GetTable("t").ok());
+  }
+  // Creating again fails everywhere.
+  EXPECT_TRUE(cluster.CreateTable("t").IsAlreadyExists());
+}
+
+TEST(StorageClusterTest, OwnerIsStable) {
+  StorageCluster cluster(SmallCluster(4));
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(cluster.OwnerOf(k).value(), cluster.OwnerOf(k).value());
+  }
+}
+
+TEST(StorageClientTest, PutPlacesDataOnOwningNode) {
+  StorageCluster cluster(SmallCluster(4));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  for (Key k = 0; k < 200; ++k) {
+    ASSERT_TRUE(client.Put("t", k, Payload(static_cast<uint8_t>(k))).ok());
+  }
+  for (Key k = 0; k < 200; ++k) {
+    NodeId owner = cluster.OwnerOf(k).value();
+    auto table = cluster.store(owner)->GetTable("t");
+    ASSERT_TRUE(table.ok());
+    EXPECT_TRUE(table.value()->Contains(k)) << "key " << k;
+    // And no other node has it.
+    for (NodeId n = 0; n < 4; ++n) {
+      if (n == owner) continue;
+      EXPECT_FALSE(cluster.store(n)->GetTable("t").value()->Contains(k));
+    }
+  }
+}
+
+TEST(StorageClientTest, GetRoundTripsThroughOwner) {
+  StorageCluster cluster(SmallCluster(3));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient writer(&cluster, 0);
+  StorageClient reader(&cluster, 2);
+  ASSERT_TRUE(writer.Put("t", 77, Payload(9)).ok());
+  auto v = reader.Get("t", 77);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), Payload(9));
+}
+
+TEST(StorageClientTest, GetMissingKeyIsNotFound) {
+  StorageCluster cluster(SmallCluster(2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  EXPECT_TRUE(client.Get("t", 12345).status().IsNotFound());
+}
+
+TEST(StorageClientTest, UnknownTableIsNotFound) {
+  StorageCluster cluster(SmallCluster(2));
+  StorageClient client(&cluster, 0);
+  EXPECT_TRUE(client.Get("missing", 1).status().IsNotFound());
+  EXPECT_TRUE(client.Put("missing", 1, Payload(1)).IsNotFound());
+}
+
+TEST(StorageClientTest, DeleteRemovesFromOwner) {
+  StorageCluster cluster(SmallCluster(2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  ASSERT_TRUE(client.Put("t", 5, Payload(1)).ok());
+  ASSERT_TRUE(client.Delete("t", 5).ok());
+  EXPECT_TRUE(client.Get("t", 5).status().IsNotFound());
+}
+
+TEST(StorageClientTest, SingleNodeTrafficIsAllLocal) {
+  StorageCluster cluster(SmallCluster(1));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  for (Key k = 0; k < 100; ++k) {
+    ASSERT_TRUE(client.Put("t", k, Payload(1)).ok());
+    ASSERT_TRUE(client.Get("t", k).ok());
+  }
+  auto stats = cluster.network()->stats();
+  EXPECT_EQ(stats.remote_messages, 0u);
+  EXPECT_GT(stats.local_messages, 0u);
+}
+
+TEST(StorageClientTest, CrossNodeAccessesChargedRemote) {
+  StorageCluster cluster(SmallCluster(4));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  for (Key k = 0; k < 400; ++k) {
+    ASSERT_TRUE(client.Put("t", k, Payload(1)).ok());
+  }
+  auto stats = cluster.network()->stats();
+  // With 4 nodes, ~3/4 of keys live remotely from node 0.
+  double remote_fraction = stats.RemoteFraction();
+  EXPECT_GT(remote_fraction, 0.55);
+  EXPECT_LT(remote_fraction, 0.95);
+}
+
+TEST(StorageClientTest, AccessingOwnKeysIsLocal) {
+  StorageCluster cluster(SmallCluster(4));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  // For every key, access it from its owner: traffic must be 100% local.
+  for (Key k = 0; k < 200; ++k) {
+    NodeId owner = cluster.OwnerOf(k).value();
+    StorageClient client(&cluster, owner);
+    ASSERT_TRUE(client.Put("t", k, Payload(1)).ok());
+  }
+  EXPECT_EQ(cluster.network()->stats().remote_messages, 0u);
+}
+
+TEST(StorageClientTest, ObservationsAppendToOriginShard) {
+  StorageCluster cluster(SmallCluster(3));
+  StorageClient c0(&cluster, 0);
+  StorageClient c2(&cluster, 2);
+  c0.AppendObservation(Observation{1, 1, 1.0, 0});
+  c0.AppendObservation(Observation{2, 2, 2.0, 1});
+  c2.AppendObservation(Observation{3, 3, 3.0, 2});
+  EXPECT_EQ(cluster.observation_log(0)->size(), 2u);
+  EXPECT_EQ(cluster.observation_log(1)->size(), 0u);
+  EXPECT_EQ(cluster.observation_log(2)->size(), 1u);
+  EXPECT_EQ(cluster.AllObservations().size(), 3u);
+  // Observation writes never cross the network.
+  EXPECT_EQ(cluster.network()->stats().remote_messages, 0u);
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,105 @@
+// velox_shell — interactive / scriptable front door to a Velox server.
+//
+//   velox_shell [--users N] [--items N] [--rank R] [--nodes N]
+//               [--ratings path.dat] [--csv path.csv] [--seed S]
+//
+// Reads commands from stdin (one per line; see `help`). With real
+// MovieLens data pass --ratings (ml-1m/10m ::-format) or --csv
+// (ml-latest); otherwise a synthetic MovieLens-shaped dataset is
+// generated. Example session:
+//
+//   $ echo -e "train\npredict 1 42\ntopk 1 5\nreport" | build/tools/velox_shell
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/shell.h"
+#include "core/velox.h"
+
+namespace {
+
+// Minimal --flag value parser.
+std::string FlagValue(int argc, char** argv, const std::string& flag,
+                      const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace velox;
+
+  int64_t users = std::stoll(FlagValue(argc, argv, "--users", "500"));
+  int64_t items = std::stoll(FlagValue(argc, argv, "--items", "800"));
+  int64_t rank = std::stoll(FlagValue(argc, argv, "--rank", "10"));
+  int64_t nodes = std::stoll(FlagValue(argc, argv, "--nodes", "1"));
+  uint64_t seed = std::stoull(FlagValue(argc, argv, "--seed", "42"));
+  std::string ratings_path = FlagValue(argc, argv, "--ratings", "");
+  std::string csv_path = FlagValue(argc, argv, "--csv", "");
+
+  std::vector<Observation> dataset;
+  if (!ratings_path.empty()) {
+    auto loaded = LoadMovieLensRatings(ratings_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+    std::fprintf(stderr, "loaded %zu ratings from %s\n", dataset.size(),
+                 ratings_path.c_str());
+  } else if (!csv_path.empty()) {
+    auto loaded = LoadMovieLensCsv(csv_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(loaded).value();
+    std::fprintf(stderr, "loaded %zu ratings from %s\n", dataset.size(),
+                 csv_path.c_str());
+  } else {
+    SyntheticMovieLensConfig config;
+    config.num_users = users;
+    config.num_items = items;
+    config.latent_rank = static_cast<size_t>(rank);
+    config.seed = seed;
+    auto generated = GenerateSyntheticMovieLens(config);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "error: %s\n", generated.status().ToString().c_str());
+      return 1;
+    }
+    dataset = std::move(generated->ratings);
+    std::fprintf(stderr, "generated %zu synthetic ratings (%lld users, %lld items)\n",
+                 dataset.size(), static_cast<long long>(users),
+                 static_cast<long long>(items));
+  }
+
+  AlsConfig als;
+  als.rank = static_cast<size_t>(rank);
+  als.lambda = 0.1;
+  als.iterations = 10;
+  als.weighted_regularization = true;
+  VeloxServerConfig config;
+  config.num_nodes = static_cast<int32_t>(nodes);
+  config.dim = als.rank;
+  config.seed = seed;
+  VeloxServer server(config,
+                     std::make_unique<MatrixFactorizationModel>("shell", als));
+  VeloxShell shell(&server, std::move(dataset));
+
+  std::fprintf(stderr, "velox shell ready — type `help` for commands\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    auto result = shell.Execute(line);
+    if (result.ok()) {
+      if (!result.value().empty()) std::printf("%s\n", result.value().c_str());
+    } else {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
