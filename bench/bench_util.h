@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace velox::bench {
@@ -54,6 +55,69 @@ inline std::string FmtInt(long long v) {
   std::snprintf(buf, sizeof(buf), "%lld", v);
   return buf;
 }
+
+// Machine-readable results: accumulates flat rows of (key, value)
+// pairs and writes {"bench": <name>, "rows": [{...}, ...]} to a
+// BENCH_<name>.json file, so successive PRs can diff perf
+// trajectories instead of scraping stdout tables.
+class JsonRows {
+ public:
+  JsonRows(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  // JSON-encoded values for Row().
+  static std::string Num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+  static std::string Num(long long v) { return FmtInt(v); }
+  static std::string Str(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  // `fields` values must already be JSON-encoded (use Num/Str).
+  void Row(const std::vector<std::pair<std::string, std::string>>& fields) {
+    std::string row = "    {";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += Str(fields[i].first) + ": " + fields[i].second;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes the accumulated rows; returns false (with a note on stderr)
+  // if the file cannot be opened.
+  bool Write() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"rows\": [\n",
+                 Str(bench_name_).c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path_.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace velox::bench
 

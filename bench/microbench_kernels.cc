@@ -5,12 +5,16 @@
 // and 4; keeping them visible guards against performance regressions.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <vector>
+
 #include "common/lru.h"
 #include "common/random.h"
 #include "core/prediction_cache.h"
 #include "core/prediction_service.h"
 #include "linalg/cholesky.h"
 #include "linalg/ridge.h"
+#include "linalg/scoring_kernels.h"
 #include "linalg/sherman_morrison.h"
 #include "ml/feature_function.h"
 
@@ -34,6 +38,41 @@ void BM_Dot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Dot)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DotKernel(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  DenseVector a = RandomVector(d, 1);
+  DenseVector b = RandomVector(d, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotKernel(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DotKernel)->Arg(10)->Arg(50)->Arg(100)->Arg(1000)->Arg(10000);
+
+// The catalog-scan kernel: score a block of contiguous plane rows
+// against one weight vector (d = 50, the ablation_topk_scan shape).
+void BM_ScoreRows(benchmark::State& state) {
+  const size_t d = 50;
+  size_t rows = static_cast<size_t>(state.range(0));
+  MaterializedFeatureFunction::FactorTable table;
+  Rng rng(3);
+  for (uint64_t i = 0; i < rows; ++i) {
+    DenseVector f(d);
+    for (size_t k = 0; k < d; ++k) f[k] = rng.Gaussian();
+    table[i] = std::move(f);
+  }
+  ItemFactorPlane plane(table, d);
+  DenseVector w = RandomVector(d, 5);
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    ScoreRows(plane.data(), plane.num_items(), plane.stride(), w.data(), d,
+              out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ScoreRows)->Arg(8)->Arg(512)->Arg(4096)->Arg(50000);
 
 void BM_CholeskySolve(benchmark::State& state) {
   size_t d = static_cast<size_t>(state.range(0));
@@ -143,4 +182,26 @@ BENCHMARK(BM_ZipfSample);
 }  // namespace
 }  // namespace velox
 
-BENCHMARK_MAIN();
+// Custom main: console output for humans plus a machine-readable JSON
+// file (BENCH_microbench_kernels.json) so future PRs can track kernel
+// perf trajectories.
+int main(int argc, char** argv) {
+  // Default the JSON sidecar via the library's own flags (inserted
+  // right after argv[0], so explicit flags on the command line still
+  // win); a custom file reporter without --benchmark_out is an error.
+  char out_flag[] = "--benchmark_out=BENCH_microbench_kernels.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  args.push_back(out_flag);
+  args.push_back(fmt_flag);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int num_args = static_cast<int>(args.size());
+  benchmark::Initialize(&num_args, args.data());
+  if (benchmark::ReportUnrecognizedArguments(num_args, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("wrote BENCH_microbench_kernels.json\n");
+  return 0;
+}

@@ -78,21 +78,30 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> remaining{n};
+  // Submit one contiguous range per worker instead of one closure per
+  // index: small-body loops would otherwise drown in queue/mutex
+  // overhead (one Submit + two lock acquisitions per index).
+  size_t num_tasks = std::min(n, pool->num_threads());
+  size_t base = n / num_tasks;
+  size_t extra = n % num_tasks;  // first `extra` tasks take one more
+  std::atomic<size_t> remaining{num_tasks};
   std::mutex mu;
   std::condition_variable done;
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([&, i] {
-      fn(i);
+  size_t begin = 0;
+  for (size_t t = 0; t < num_tasks; ++t) {
+    size_t end = begin + base + (t < extra ? 1 : 0);
+    pool->Submit([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(mu);
         done.notify_all();
       }
     });
+    begin = end;
   }
   std::unique_lock<std::mutex> lock(mu);
   done.wait(lock, [&] { return remaining.load() == 0; });

@@ -1,5 +1,7 @@
 #include "core/frontend.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "common/logging.h"
 
@@ -72,6 +74,25 @@ FrontendResponse VeloxFrontend::Handle(const Request& request) {
       break;
   }
   return response;
+}
+
+Result<std::vector<TopKResult>> VeloxFrontend::HandleTopKAllBatch(
+    const std::vector<uint64_t>& uids) {
+  Stopwatch watch;
+  auto results = server_->TopKAllBatch(uids, options_.topk_k);
+  double elapsed = watch.ElapsedMicros();
+  size_t n = std::max<size_t>(1, uids.size());
+  requests_.fetch_add(uids.size(), std::memory_order_relaxed);
+  if (!results.ok()) {
+    errors_.fetch_add(uids.size(), std::memory_order_relaxed);
+  } else {
+    // Amortized per-user latency: the batch's point is that the shared
+    // version/plane work is paid once, which this records.
+    for (size_t i = 0; i < uids.size(); ++i) {
+      topk_latency_.Record(elapsed / static_cast<double>(n));
+    }
+  }
+  return results;
 }
 
 void VeloxFrontend::SubmitAsync(Request request,

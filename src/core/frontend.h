@@ -46,6 +46,12 @@ class VeloxFrontend {
   // Executes one request synchronously on the calling thread.
   FrontendResponse Handle(const Request& request);
 
+  // Full-catalog top-K for a batch of users in one call (options_.
+  // topk_k items each): the server resolves the model version and
+  // scoring plane once and reuses them across the whole batch. Counts
+  // one topK request per uid in the latency/throughput stats.
+  Result<std::vector<TopKResult>> HandleTopKAllBatch(const std::vector<uint64_t>& uids);
+
   // Enqueues a request on the pool; `done` runs on a worker thread.
   void SubmitAsync(Request request, std::function<void(FrontendResponse)> done);
 

@@ -16,6 +16,12 @@ int32_t ModelRegistry::Register(std::shared_ptr<const FeatureFunction> features,
   auto version = std::make_shared<ModelVersion>();
   version->model_name = model_name_;
   version->features = std::move(features);
+  // Materialized models carry a prebuilt contiguous scoring plane;
+  // attach it so the serving scan needs no per-request discovery.
+  if (const auto* materialized = dynamic_cast<const MaterializedFeatureFunction*>(
+          version->features.get())) {
+    version->item_plane = materialized->plane();
+  }
   version->trained_user_weights =
       trained_user_weights != nullptr ? std::move(trained_user_weights)
                                       : std::make_shared<const FactorMap>();

@@ -32,6 +32,11 @@ struct ModelVersion {
   int32_t version = 0;
   std::string model_name;
   std::shared_ptr<const FeatureFunction> features;
+  // Contiguous scoring plane over the materialized factors, attached
+  // at Register() when `features` is a MaterializedFeatureFunction
+  // (null for computational models). Immutable like the version;
+  // full-catalog top-K scans stream it lock-free.
+  std::shared_ptr<const ItemFactorPlane> item_plane;
   // W as produced by the (re)training run; the live, online-updated
   // weights live in UserWeightStore and are re-seeded from this on swap.
   std::shared_ptr<const FactorMap> trained_user_weights;

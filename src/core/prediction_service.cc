@@ -1,13 +1,237 @@
 #include "core/prediction_service.h"
 
 #include <algorithm>
-#include <queue>
+#include <cmath>
+#include <functional>
+#include <limits>
 
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "linalg/scoring_kernels.h"
 
 namespace velox {
+
+namespace {
+
+// One scored catalog row during a scan.
+struct ScanEntry {
+  double score = 0.0;
+  uint64_t item_id = 0;
+};
+
+// The scan's total ranking order: higher score first, ties broken by
+// smaller item id. Every scan path (heap, serial plane, parallel
+// shards + merge) ranks with this one comparator, which is what makes
+// their outputs identical even on tie-heavy tables.
+inline bool BetterEntry(const ScanEntry& a, const ScanEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item_id < b.item_id;
+}
+
+// Bounded "worst of the current best k at the front" heap.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(size_t k) : k_(k) { entries_.reserve(k); }
+
+  void Offer(double score, uint64_t item_id) {
+    ScanEntry e{score, item_id};
+    if (entries_.size() < k_) {
+      entries_.push_back(e);
+      std::push_heap(entries_.begin(), entries_.end(), BetterEntry);
+      return;
+    }
+    if (!BetterEntry(e, entries_.front())) return;
+    std::pop_heap(entries_.begin(), entries_.end(), BetterEntry);
+    entries_.back() = e;
+    std::push_heap(entries_.begin(), entries_.end(), BetterEntry);
+  }
+
+  // Consumes the heap, returning entries best-first.
+  std::vector<ScanEntry> TakeSorted() {
+    std::sort(entries_.begin(), entries_.end(), BetterEntry);
+    return std::move(entries_);
+  }
+
+  bool Full() const { return entries_.size() >= k_; }
+  // Worst score currently kept; only meaningful when Full().
+  double Worst() const { return entries_.front().score; }
+
+  std::vector<ScanEntry>& entries() { return entries_; }
+
+ private:
+  size_t k_;
+  std::vector<ScanEntry> entries_;
+};
+
+// Scores plane rows [begin, end) into `top`, one ScoreRows block at a
+// time so the factor rows stream through cache. `weights` must hold
+// plane.stride() entries, zero beyond plane.dim(): scoring the full
+// padded stride keeps every row on an exact kernel-block boundary (no
+// per-row tail work) and is bit-identical to scoring dim entries by
+// the kernel's zero-padding invariance.
+void ScanPlaneRange(const ItemFactorPlane& plane, const double* weights, size_t begin,
+                    size_t end, const PredictionService::ItemFilter& filter,
+                    BoundedTopK* top) {
+  constexpr size_t kBlockRows = 512;
+  double scores[kBlockRows];
+  const std::vector<uint64_t>& ids = plane.item_ids();
+  for (size_t b = begin; b < end; b += kBlockRows) {
+    size_t count = std::min(kBlockRows, end - b);
+    ScoreRows(plane.data() + b * plane.stride(), count, plane.stride(), weights,
+              plane.stride(), scores);
+    for (size_t i = 0; i < count; ++i) {
+      uint64_t item_id = ids[b + i];
+      if (filter && !filter(item_id)) continue;  // application policy
+      top->Offer(scores[i], item_id);
+    }
+  }
+}
+
+// Mixed-precision scan: stream the float mirror of the plane (half the
+// memory traffic of the double rows), prune with a provably
+// conservative error bound, and rescore the survivors in double
+// through the shared DotKernel. The output is the exact double top-k —
+// identical to the pure-double scan — because:
+//  * for every row, |float_score - double_score| <= eps_max where
+//    eps_max = 8(dim+8)·u_f·max_row_norm2·‖w‖₂ dominates the float
+//    conversion, product, and blocked-summation rounding (γ-bound via
+//    Cauchy-Schwarz, with ~8x slack — which also swallows the rounding
+//    of the cutoff arithmetic below);
+//  * with Tf the k-th largest *finite* float score over eligible rows,
+//    at least k eligible rows have true score >= Tf - eps_max, so a
+//    row with float score < Tf - 3·eps_max (upper bound below the
+//    supported threshold, slack included) cannot be in the true top k;
+//    at ties those k rows score strictly above it;
+//  * any non-finite value (overflowed float, NaN weights) is never
+//    offered to the threshold heap and never pruned, degrading to
+//    "rescore it" — never to wrong pruning;
+//  * both this path and the pure path emit the unique top-k under the
+//    (score desc, item_id asc) total order, so their outputs agree
+//    bit-for-bit regardless of visit order.
+// Note: `filter` may be consulted up to twice per row (float pass and
+// rescore), so it must be a pure predicate — the same contract the
+// rest of the scan already assumes.
+std::vector<ScanEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
+                                          const DenseVector& weights, size_t k,
+                                          const PredictionService::ItemFilter& filter,
+                                          size_t shards, ThreadPool* pool) {
+  const size_t n = plane.num_items();
+  const size_t dim = plane.dim();
+  const std::vector<uint64_t>& ids = plane.item_ids();
+
+  // Stride-padded float weights: scoring the full padded stride keeps
+  // rows on exact kernel-block boundaries (see ScanPlaneRange).
+  std::vector<float> fw(plane.stride(), 0.0f);
+  double wsq = 0.0;
+  for (size_t c = 0; c < dim; ++c) {
+    fw[c] = static_cast<float>(weights[c]);
+    wsq += weights[c] * weights[c];
+  }
+  constexpr double kFloatUlp = 5.9604644775390625e-08;  // 2^-24
+  const double eps_max = 8.0 * (static_cast<double>(dim) + 8.0) * kFloatUlp *
+                         std::sqrt(wsq) * plane.max_row_norm2();
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  // Phase 1 (sharded): float-score rows block by block and keep (a)
+  // a per-shard bounded top-k of the finite eligible float scores and
+  // (b) every row whose float score cleared the shard's *running*
+  // cutoff (current k-th best - 3·eps_max) when it was visited. The
+  // running cutoff only rises toward the final global cutoff, so the
+  // kept rows are a superset of every row the final cutoff admits; a
+  // skipped row was already provably outside the top k. The hot path
+  // is one comparison per row.
+  struct Candidate {
+    uint32_t row;
+    float sf;
+  };
+  std::vector<std::vector<Candidate>> shard_cands(shards);
+  std::vector<BoundedTopK> float_tops(shards, BoundedTopK(k));
+  const size_t per = (n + shards - 1) / shards;
+  auto scan_shard = [&](size_t s) {
+    size_t begin = s * per;
+    size_t end = std::min(n, begin + per);
+    if (begin >= end) return;
+    std::vector<Candidate>& cands = shard_cands[s];
+    cands.reserve(k + 64);
+    BoundedTopK& ftop = float_tops[s];
+    // The hot-loop compare stays in float: fcut is the running cutoff
+    // rounded DOWN to float, so `sf <= fcut` implies sf <= cutoff in
+    // double and the skip remains conservative.
+    constexpr float kNegInfF = -std::numeric_limits<float>::infinity();
+    constexpr float kLowestF = std::numeric_limits<float>::lowest();
+    float fcut = kNegInfF;
+    constexpr size_t kBlockRows = 512;
+    float sbuf[kBlockRows];
+    for (size_t b = begin; b < end; b += kBlockRows) {
+      size_t count = std::min(kBlockRows, end - b);
+      ScoreRowsF(plane.fdata() + b * plane.stride(), count, plane.stride(),
+                 fw.data(), plane.stride(), sbuf);
+      for (size_t i = 0; i < count; ++i) {
+        float sf = sbuf[i];
+        // NaN fails the first comparison, -inf (overflowed row, bound
+        // invalid) the second — both stay candidates for exact
+        // rescoring; only provably-out rows are skipped.
+        if (sf <= fcut && sf != kNegInfF) continue;
+        size_t r = b + i;
+        cands.push_back(Candidate{static_cast<uint32_t>(r), sf});
+        double sd = sf;
+        if (std::isfinite(sd) && (!ftop.Full() || sd > ftop.Worst()) &&
+            (!filter || filter(ids[r]))) {
+          ftop.Offer(sd, ids[r]);
+          if (ftop.Full()) {
+            double cut = ftop.Worst() - 3.0 * eps_max;
+            float f = static_cast<float>(cut);
+            // Round-to-nearest may land above `cut`; step down one ulp
+            // so (double)fcut <= cut always holds.
+            if (static_cast<double>(f) > cut) f = std::nextafterf(f, kLowestF);
+            fcut = f;
+          }
+        }
+      }
+    }
+  };
+  if (shards <= 1) {
+    scan_shard(0);
+  } else {
+    ParallelFor(pool, shards, scan_shard);
+  }
+
+  // Final cutoff from Tf, the global k-th largest finite eligible
+  // float score (-inf until k such rows exist, pruning nothing). The
+  // global Tf is >= every shard's running value, so each shard's
+  // candidate list is a superset of what this cutoff admits.
+  double cutoff = kNegInf;
+  {
+    std::vector<double> floats;
+    floats.reserve(shards * k);
+    for (BoundedTopK& ftop : float_tops) {
+      for (const ScanEntry& e : ftop.entries()) floats.push_back(e.score);
+    }
+    if (floats.size() >= k) {
+      std::nth_element(floats.begin(), floats.begin() + (k - 1), floats.end(),
+                       std::greater<double>());
+      cutoff = floats[k - 1] - 3.0 * eps_max;
+    }
+  }
+
+  // Phase 2 (serial, tiny): exact double rescore of the surviving
+  // candidates — typically ~k rows plus whatever sits within eps of
+  // the boundary.
+  BoundedTopK top(k);
+  for (const std::vector<Candidate>& cands : shard_cands) {
+    for (const Candidate& c : cands) {
+      double sf = c.sf;
+      if (sf < cutoff && sf != kNegInf) continue;
+      if (filter && !filter(ids[c.row])) continue;  // application policy
+      top.Offer(DotKernel(plane.row(c.row), weights.data(), dim), ids[c.row]);
+    }
+  }
+  return top.TakeSorted();
+}
+
+}  // namespace
 
 FeatureResolver::FeatureResolver(StorageClient* client, std::string table_prefix)
     : client_(client), table_prefix_(std::move(table_prefix)) {
@@ -77,18 +301,39 @@ Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& versi
 Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_t uid,
                                             uint64_t user_epoch,
                                             const DenseVector& weights,
-                                            const Item& item) {
+                                            const Item& item,
+                                            DenseVector* features_out) {
   PredictionKey key{uid, item.id, user_epoch, version.version};
+  if (features_out == nullptr) {
+    if (options_.use_prediction_cache) {
+      auto cached = prediction_cache_->Get(key);
+      if (cached.has_value()) return *cached;
+    }
+    VELOX_ASSIGN_OR_RETURN(DenseVector features, ResolveFeatures(version, item));
+    if (features.dim() != weights.dim()) {
+      return Status::Internal(StrFormat("feature dim %zu != weight dim %zu",
+                                        features.dim(), weights.dim()));
+    }
+    double score = Dot(weights, features);
+    if (options_.use_prediction_cache) {
+      prediction_cache_->Put(key, score);
+    }
+    return score;
+  }
+
+  // The caller needs the features regardless of a score-cache hit
+  // (e.g. for bandit uncertainty), so resolve them exactly once up
+  // front and share that resolution with the scoring path.
+  VELOX_ASSIGN_OR_RETURN(*features_out, ResolveFeatures(version, item));
   if (options_.use_prediction_cache) {
     auto cached = prediction_cache_->Get(key);
     if (cached.has_value()) return *cached;
   }
-  VELOX_ASSIGN_OR_RETURN(DenseVector features, ResolveFeatures(version, item));
-  if (features.dim() != weights.dim()) {
-    return Status::Internal(
-        StrFormat("feature dim %zu != weight dim %zu", features.dim(), weights.dim()));
+  if (features_out->dim() != weights.dim()) {
+    return Status::Internal(StrFormat("feature dim %zu != weight dim %zu",
+                                      features_out->dim(), weights.dim()));
   }
-  double score = Dot(weights, features);
+  double score = Dot(weights, *features_out);
   if (options_.use_prediction_cache) {
     prediction_cache_->Put(key, score);
   }
@@ -124,19 +369,18 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
 
   const bool needs_uncertainty = policy != nullptr;
   std::vector<BanditCandidate> scored(candidates.size());
+  DenseVector features;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    VELOX_ASSIGN_OR_RETURN(double score,
-                           ScoreItem(*version, uid, epoch, weights, candidates[i]));
+    // When the policy needs uncertainty, ScoreItem hands back the
+    // features it resolved for scoring — one resolution serves both
+    // uses, with no second cache/storage round-trip.
+    VELOX_ASSIGN_OR_RETURN(
+        double score, ScoreItem(*version, uid, epoch, weights, candidates[i],
+                                needs_uncertainty ? &features : nullptr));
     scored[i].item_id = candidates[i].id;
     scored[i].score = score;
     if (needs_uncertainty) {
-      // Uncertainty needs the item's features; they are cache-hot after
-      // ScoreItem unless the prediction cache short-circuited. Either
-      // way this resolve is cache-served in the common case.
-      auto features = ResolveFeatures(*version, candidates[i]);
-      if (features.ok()) {
-        scored[i].uncertainty = weights_->Uncertainty(uid, features.value());
-      }
+      scored[i].uncertainty = weights_->Uncertainty(uid, features);
     }
   }
 
@@ -160,8 +404,67 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
   return result;
 }
 
+TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
+                                        int32_t model_version,
+                                        const DenseVector& weights, size_t k,
+                                        const ItemFilter& filter,
+                                        bool parallel) const {
+  const size_t n = plane.num_items();
+  // Shards below options_.topk_min_shard_rows pay more in fan-out than
+  // they save in scoring; small catalogs stay serial.
+  size_t min_shard_rows = std::max<size_t>(1, options_.topk_min_shard_rows);
+  size_t shards = 1;
+  if (parallel && scan_pool_ != nullptr && scan_pool_->num_threads() > 1) {
+    shards =
+        std::min(scan_pool_->num_threads(), std::max<size_t>(1, n / min_shard_rows));
+  }
+
+  // Stride-padded copy of the weights so plane rows can be scored over
+  // their full padded stride (bit-identical, no per-row kernel tail).
+  std::vector<double> wpad(plane.stride(), 0.0);
+  std::copy(weights.data(), weights.data() + std::min(weights.dim(), plane.dim()),
+            wpad.begin());
+
+  std::vector<ScanEntry> best;
+  if (options_.topk_mixed_precision && plane.float_ok()) {
+    best = MixedPrecisionScan(plane, weights, k, filter, shards, scan_pool_);
+  } else if (shards <= 1) {
+    BoundedTopK top(k);
+    ScanPlaneRange(plane, wpad.data(), 0, n, filter, &top);
+    best = top.TakeSorted();
+  } else {
+    // Contiguous shards with deterministic boundaries: shard s scans
+    // [s*per, ...). Each keeps its own bounded heap; the merge ranks
+    // every surviving entry under the same total order the serial scan
+    // uses, so the parallel result is bit-identical to serial.
+    std::vector<BoundedTopK> tops(shards, BoundedTopK(k));
+    size_t per = (n + shards - 1) / shards;
+    ParallelFor(scan_pool_, shards, [&](size_t s) {
+      size_t begin = s * per;
+      size_t end = std::min(n, begin + per);
+      if (begin < end) {
+        ScanPlaneRange(plane, wpad.data(), begin, end, filter, &tops[s]);
+      }
+    });
+    for (BoundedTopK& top : tops) {
+      for (const ScanEntry& e : top.entries()) best.push_back(e);
+    }
+    std::sort(best.begin(), best.end(), BetterEntry);
+    if (best.size() > k) best.resize(k);
+  }
+
+  TopKResult result;
+  result.model_version = model_version;
+  result.items.reserve(best.size());
+  for (const ScanEntry& e : best) {
+    result.items.push_back(ScoredItem{e.item_id, e.score, 0.0});
+  }
+  return result;
+}
+
 Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
-                                              const ItemFilter& filter) {
+                                              const ItemFilter& filter,
+                                              TopKAllMode mode) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
@@ -174,31 +477,58 @@ Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
   DenseVector weights =
       weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
 
-  // Bounded min-heap over (score, item): the root is the worst of the
-  // current best k, so most items are rejected with one comparison
-  // after the dot product.
-  using Entry = std::pair<double, uint64_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-  for (const auto& [item_id, factor] : materialized->table()) {
-    if (filter && !filter(item_id)) continue;  // application policy
-    if (factor.dim() != weights.dim()) continue;  // defensive: skip bad rows
-    double score = Dot(weights, factor);
-    if (heap.size() < k) {
-      heap.emplace(score, item_id);
-    } else if (score > heap.top().first) {
-      heap.pop();
-      heap.emplace(score, item_id);
+  if (mode == TopKAllMode::kHeapScan) {
+    // Legacy per-item walk of the hash-map table, kept for ablation.
+    // Same bounded heap and tie-break order as the plane scan, so the
+    // output is identical — only the memory access pattern differs
+    // (two dependent pointer loads per item vs a streaming read).
+    BoundedTopK top(k);
+    for (const auto& [item_id, factor] : materialized->table()) {
+      if (filter && !filter(item_id)) continue;  // application policy
+      if (factor.dim() != weights.dim()) continue;  // defensive: skip bad rows
+      top.Offer(Dot(weights, factor), item_id);
     }
+    TopKResult result;
+    result.model_version = version->version;
+    for (const ScanEntry& e : top.TakeSorted()) {
+      result.items.push_back(ScoredItem{e.item_id, e.score, 0.0});
+    }
+    return result;
   }
 
-  TopKResult result;
-  result.model_version = version->version;
-  result.items.resize(heap.size());
-  for (size_t i = heap.size(); i-- > 0;) {
-    result.items[i] = ScoredItem{heap.top().second, heap.top().first, 0.0};
-    heap.pop();
+  // Plane scan. Versions registered through the registry carry the
+  // plane; fall back to the feature function's own copy otherwise.
+  std::shared_ptr<const ItemFactorPlane> plane = version->item_plane;
+  if (plane == nullptr) plane = materialized->plane();
+  bool parallel = mode != TopKAllMode::kPlaneSerial;
+  return ScanPlane(*plane, version->version, weights, k, filter, parallel);
+}
+
+Result<std::vector<TopKResult>> PredictionService::TopKAllBatch(
+    const std::vector<uint64_t>& uids, size_t k, const ItemFilter& filter) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
+                         registry_->Current());
+  const auto* materialized =
+      dynamic_cast<const MaterializedFeatureFunction*>(version->features.get());
+  if (materialized == nullptr) {
+    return Status::FailedPrecondition(
+        "TopKAll requires an in-process materialized feature table");
   }
-  return result;
+  std::shared_ptr<const ItemFactorPlane> plane = version->item_plane;
+  if (plane == nullptr) plane = materialized->plane();
+
+  // One version/plane resolution amortized over the whole batch; the
+  // plane stays cache-hot across consecutive users.
+  std::vector<TopKResult> results;
+  results.reserve(uids.size());
+  const DenseVector mean = bootstrapper_->MeanWeights();
+  for (uint64_t uid : uids) {
+    DenseVector weights = weights_->GetOrBootstrapWeights(uid, mean);
+    results.push_back(
+        ScanPlane(*plane, version->version, weights, k, filter, /*parallel=*/true));
+  }
+  return results;
 }
 
 }  // namespace velox

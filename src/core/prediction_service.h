@@ -24,6 +24,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/bandit.h"
 #include "core/bootstrap.h"
 #include "core/feature_cache.h"
@@ -82,6 +83,17 @@ struct TopKResult {
 struct PredictionServiceOptions {
   bool use_feature_cache = true;
   bool use_prediction_cache = true;
+  // Minimum plane rows per shard before a TopKAll scan fans out to the
+  // scan pool; below ~this the fan-out overhead beats the win. Tests
+  // lower it to exercise the parallel merge on small catalogs.
+  size_t topk_min_shard_rows = 4096;
+  // Plane scans pre-filter through the float mirror of the plane (half
+  // the memory traffic) and rescore the provably-sufficient candidate
+  // set in double; the output is bit-identical to the pure-double scan
+  // (see MixedPrecisionScan in prediction_service.cc for the bound).
+  // Off forces the pure-double streaming scan; planes holding
+  // non-finite factors fall back automatically.
+  bool topk_mixed_precision = true;
 };
 
 class PredictionService {
@@ -105,16 +117,43 @@ class PredictionService {
   // application level policies"). Returns true to keep the item.
   using ItemFilter = std::function<bool(uint64_t item_id)>;
 
-  // Full-catalog greedy top-K over a materialized feature table — the
-  // paper's §8 "more efficient top-K support for our linear modeling
-  // tasks". Scans θ once with a bounded min-heap (O(|catalog| · d +
-  // |catalog| log k) time, O(k) extra space) instead of materializing
-  // and ranking a candidate list; bypasses the per-item caches (a
+  // Which scan implementation TopKAll uses. All modes return the same
+  // items/scores/order (ranking is the total order (score desc,
+  // item_id asc), and every path scores with the same kernels), so the
+  // non-auto modes exist for benchmarking and tests.
+  enum class TopKAllMode {
+    kAuto,           // plane scan, parallel when a scan pool is set
+    kHeapScan,       // legacy per-item walk of the hash-map table
+    kPlaneSerial,    // contiguous plane, single thread
+    kPlaneParallel,  // contiguous plane, sharded across the scan pool
+  };
+
+  // Full-catalog greedy top-K — the paper's §8 "more efficient top-K
+  // support for our linear modeling tasks". Streams the version's
+  // ItemFactorPlane with blocked kernels (linalg/scoring_kernels.h)
+  // and a bounded worst-at-top heap: O(|catalog| · d + |catalog| log k)
+  // time, O(k) extra space per shard. With a scan pool set, the plane
+  // splits into contiguous shards whose per-shard heaps merge with
+  // deterministic (score, item_id) tie-breaking, so parallel output is
+  // bit-identical to serial. Bypasses the per-item caches (a
   // whole-catalog scan would only thrash them). Requires the current
   // version's features to be materialized and in-process. `filter`
-  // (optional) drops items before scoring.
-  Result<TopKResult> TopKAll(uint64_t uid, size_t k,
-                             const ItemFilter& filter = nullptr);
+  // (optional) drops items before they enter the heap.
+  Result<TopKResult> TopKAll(uint64_t uid, size_t k, const ItemFilter& filter = nullptr,
+                             TopKAllMode mode = TopKAllMode::kAuto);
+
+  // Batched TopKAll: one registry/version/plane resolution amortized
+  // across all `uids`, reusing the hot plane for every user. Returns
+  // one TopKResult per uid, in input order.
+  Result<std::vector<TopKResult>> TopKAllBatch(const std::vector<uint64_t>& uids,
+                                               size_t k,
+                                               const ItemFilter& filter = nullptr);
+
+  // Thread pool for sharded plane scans (borrowed; may be null for
+  // serial scans). Wire at construction time — not thread-safe against
+  // concurrent requests.
+  void SetScanPool(ThreadPool* pool) { scan_pool_ = pool; }
+  ThreadPool* scan_pool() const { return scan_pool_; }
 
   // Resolves features through the cache (shared with the observe path
   // so updates reuse cached features).
@@ -123,10 +162,19 @@ class PredictionService {
   const PredictionServiceOptions& options() const { return options_; }
 
  private:
-  // Score one item for a user; uses/fills both caches.
+  // Score one item for a user; uses/fills both caches. When
+  // `features_out` is non-null the resolved features are returned
+  // through it (resolved exactly once, shared between scoring and any
+  // uncertainty computation — no second cache/storage round-trip).
   Result<double> ScoreItem(const ModelVersion& version, uint64_t uid,
                            uint64_t user_epoch, const DenseVector& weights,
-                           const Item& item);
+                           const Item& item, DenseVector* features_out = nullptr);
+
+  // Scans `plane` for one user's weights; shared by TopKAll and
+  // TopKAllBatch. `parallel` shards across scan_pool_ when profitable.
+  TopKResult ScanPlane(const ItemFactorPlane& plane, int32_t model_version,
+                       const DenseVector& weights, size_t k, const ItemFilter& filter,
+                       bool parallel) const;
 
   PredictionServiceOptions options_;
   ModelRegistry* registry_;
@@ -135,6 +183,7 @@ class PredictionService {
   FeatureCache* feature_cache_;
   PredictionCache* prediction_cache_;
   FeatureResolver resolver_;
+  ThreadPool* scan_pool_ = nullptr;
 };
 
 }  // namespace velox

@@ -14,6 +14,13 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
   VELOX_CHECK_GT(config_.num_nodes, 0);
   config_.storage.num_nodes = config_.num_nodes;
 
+  size_t scan_threads = config_.topk_scan_threads;
+  if (scan_threads == 0) {
+    scan_threads = std::min<size_t>(
+        std::max<size_t>(1, std::thread::hardware_concurrency()), 8);
+  }
+  if (scan_threads > 1) scan_pool_ = std::make_unique<ThreadPool>(scan_threads);
+
   storage_ = std::make_unique<StorageCluster>(config_.storage);
   VELOX_CHECK_OK(storage_->CreateTable(config_.updater.weights_table));
 
@@ -53,6 +60,7 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
     node->prediction_service = std::make_unique<PredictionService>(
         popts, registry_.get(), node->weights.get(), node->bootstrapper.get(),
         node->feature_cache.get(), node->prediction_cache.get(), std::move(resolver));
+    node->prediction_service->SetScanPool(scan_pool_.get());
 
     node->updater = std::make_unique<OnlineUpdater>(
         config_.updater, model_.get(), registry_.get(), node->weights.get(),
@@ -159,6 +167,31 @@ Result<TopKResult> VeloxServer::TopKAll(uint64_t uid, size_t k,
   VELOX_ASSIGN_OR_RETURN(NodeId node, ServingNode(uid, sizeof(uint64_t) * 2));
   return per_node_[static_cast<size_t>(node)]->prediction_service->TopKAll(uid, k,
                                                                            filter);
+}
+
+Result<std::vector<TopKResult>> VeloxServer::TopKAllBatch(
+    const std::vector<uint64_t>& uids, size_t k,
+    const PredictionService::ItemFilter& filter) {
+  // Group by serving node so each node's service resolves the
+  // version/plane once for its whole share of the batch.
+  std::vector<std::vector<uint64_t>> node_uids(per_node_.size());
+  std::vector<std::vector<size_t>> node_slots(per_node_.size());
+  for (size_t i = 0; i < uids.size(); ++i) {
+    VELOX_ASSIGN_OR_RETURN(NodeId node, ServingNode(uids[i], sizeof(uint64_t) * 2));
+    node_uids[static_cast<size_t>(node)].push_back(uids[i]);
+    node_slots[static_cast<size_t>(node)].push_back(i);
+  }
+  std::vector<TopKResult> results(uids.size());
+  for (size_t n = 0; n < per_node_.size(); ++n) {
+    if (node_uids[n].empty()) continue;
+    VELOX_ASSIGN_OR_RETURN(
+        std::vector<TopKResult> node_results,
+        per_node_[n]->prediction_service->TopKAllBatch(node_uids[n], k, filter));
+    for (size_t j = 0; j < node_results.size(); ++j) {
+      results[node_slots[n][j]] = std::move(node_results[j]);
+    }
+  }
+  return results;
 }
 
 Status VeloxServer::Observe(uint64_t uid, const Item& item, double label) {

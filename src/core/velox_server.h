@@ -60,6 +60,11 @@ struct VeloxServerConfig {
   // Route requests to the user's home node (§5). Ablation toggle.
   bool route_by_uid = true;
 
+  // Worker threads for sharded full-catalog top-K scans, shared across
+  // nodes (the plane is read-only so one pool serves them all). 0 =
+  // one per hardware thread (clamped to 8); 1 = always serial.
+  size_t topk_scan_threads = 0;
+
   // Bandit policy spec for topK ("greedy", "epsilon_greedy:0.1",
   // "linucb:0.5", "thompson"); empty = greedy, no exploration marking.
   std::string bandit_policy = "linucb:0.5";
@@ -107,11 +112,18 @@ class VeloxServer {
   // ---- Listing 1: the prediction and observation API ----
   Result<ScoredItem> Predict(uint64_t uid, const Item& item);
   Result<TopKResult> TopK(uint64_t uid, const std::vector<Item>& candidates, size_t k);
-  // Greedy top-K over the whole catalog (heap scan of the materialized
-  // θ; see PredictionService::TopKAll). `filter` optionally drops items
-  // before scoring (application-level pre-filtering policies, §5).
+  // Greedy top-K over the whole catalog (sharded scan of the
+  // materialized θ's scoring plane; see PredictionService::TopKAll).
+  // `filter` optionally drops items before scoring (application-level
+  // pre-filtering policies, §5).
   Result<TopKResult> TopKAll(uint64_t uid, size_t k,
                              const PredictionService::ItemFilter& filter = nullptr);
+  // Batched full-catalog top-K: amortizes the version/plane lookup
+  // across users, grouping uids by home node. Results in input order.
+  Result<std::vector<TopKResult>> TopKAllBatch(const std::vector<uint64_t>& uids,
+                                               size_t k,
+                                               const PredictionService::ItemFilter&
+                                                   filter = nullptr);
   Status Observe(uint64_t uid, const Item& item, double label);
   // Observe with provenance from a previous TopK (exploration-sourced
   // observations feed the bandit validation pool).
@@ -180,6 +192,9 @@ class VeloxServer {
 
   VeloxServerConfig config_;
   std::unique_ptr<VeloxModel> model_;
+  // Declared before per_node_ so it outlives the prediction services
+  // that borrow it.
+  std::unique_ptr<ThreadPool> scan_pool_;
   std::unique_ptr<StorageCluster> storage_;
   std::unique_ptr<ModelRegistry> registry_;
   std::unique_ptr<Evaluator> evaluator_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "linalg/scoring_kernels.h"
 
 namespace velox {
 
@@ -46,11 +47,10 @@ std::string DenseVector::ToString(size_t max_entries) const {
 
 double Dot(const DenseVector& a, const DenseVector& b) {
   VELOX_CHECK_EQ(a.dim(), b.dim());
-  double s = 0.0;
-  const double* pa = a.data();
-  const double* pb = b.data();
-  for (size_t i = 0; i < a.dim(); ++i) s += pa[i] * pb[i];
-  return s;
+  // Delegates to the unrolled kernel so per-item scoring and the
+  // blocked catalog scan (linalg/scoring_kernels.h) produce
+  // bit-identical results.
+  return DotKernel(a.data(), b.data(), a.dim());
 }
 
 DenseVector Add(const DenseVector& a, const DenseVector& b) {

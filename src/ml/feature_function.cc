@@ -1,5 +1,6 @@
 #include "ml/feature_function.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "cluster/router.h"
@@ -8,10 +9,36 @@
 
 namespace velox {
 
+ItemFactorPlane::ItemFactorPlane(const std::unordered_map<uint64_t, DenseVector>& table,
+                                 size_t dim)
+    : dim_(dim), stride_((dim + 7) / 8 * 8) {
+  item_ids_.reserve(table.size());
+  for (const auto& [item_id, factor] : table) {
+    if (factor.dim() != dim_) continue;
+    item_ids_.push_back(item_id);
+  }
+  std::sort(item_ids_.begin(), item_ids_.end());
+  data_.assign(item_ids_.size() * stride_, 0.0);
+  fdata_.assign(item_ids_.size() * stride_, 0.0f);
+  for (size_t r = 0; r < item_ids_.size(); ++r) {
+    const DenseVector& factor = table.at(item_ids_[r]);
+    std::copy(factor.data(), factor.data() + dim_, data_.begin() + r * stride_);
+    double sq = 0.0;
+    for (size_t c = 0; c < dim_; ++c) {
+      double v = factor[c];
+      if (!std::isfinite(v)) float_ok_ = false;
+      fdata_[r * stride_ + c] = static_cast<float>(v);
+      sq += v * v;
+    }
+    max_row_norm2_ = std::max(max_row_norm2_, std::sqrt(sq));
+  }
+}
+
 MaterializedFeatureFunction::MaterializedFeatureFunction(
     std::shared_ptr<const FactorTable> table, size_t dim)
     : table_(std::move(table)), dim_(dim) {
   VELOX_CHECK(table_ != nullptr);
+  plane_ = std::make_shared<const ItemFactorPlane>(*table_, dim_);
 }
 
 Result<DenseVector> MaterializedFeatureFunction::Features(const Item& x) const {

@@ -34,6 +34,59 @@ struct Item {
   DenseVector attributes;
 };
 
+// Immutable, contiguous, row-major copy of a materialized factor table
+// — the scoring plane for full-catalog top-K (paper §8: "more
+// efficient top-K support for our linear modeling tasks").
+//
+// Layout: row r holds the factor of item_ids()[r] at data() + r *
+// stride(), zero-padded from dim() to stride() (stride rounds dim up
+// to a multiple of 8 doubles = one 64-byte cache line) so rows never
+// straddle lines unpredictably and blocked kernels can assume a fixed
+// pitch. Rows are sorted by ascending item id, which makes every scan
+// order — and therefore every tie-break — deterministic.
+//
+// Lifecycle: built once when a MaterializedFeatureFunction is
+// constructed and attached to the ModelVersion at ModelRegistry
+// install time; like the version it is immutable, so scans take no
+// locks and concurrent readers share it via shared_ptr. A retrain
+// builds a whole new plane with the new θ.
+class ItemFactorPlane {
+ public:
+  // Copies `table` into the contiguous layout; rows whose factor
+  // dimension differs from `dim` are dropped (mirrors the defensive
+  // skip in the per-item scan).
+  ItemFactorPlane(const std::unordered_map<uint64_t, DenseVector>& table, size_t dim);
+
+  size_t num_items() const { return item_ids_.size(); }
+  size_t dim() const { return dim_; }
+  size_t stride() const { return stride_; }
+
+  // Item ids in ascending order; row r scores item_ids()[r].
+  const std::vector<uint64_t>& item_ids() const { return item_ids_; }
+  const double* data() const { return data_.data(); }
+  const double* row(size_t r) const { return data_.data() + r * stride_; }
+
+  // Single-precision mirror of data() (same stride/padding) plus the
+  // largest row 2-norm, for the mixed-precision top-K pre-filter: scan
+  // the float plane (half the memory traffic), bound every row's score
+  // error by eps_max ∝ max_row_norm2()·‖w‖₂, and rescore only the rows
+  // whose error interval can still reach the top k in double. Only
+  // usable when every factor is finite.
+  bool float_ok() const { return float_ok_; }
+  const float* fdata() const { return fdata_.data(); }
+  const float* frow(size_t r) const { return fdata_.data() + r * stride_; }
+  double max_row_norm2() const { return max_row_norm2_; }
+
+ private:
+  size_t dim_ = 0;
+  size_t stride_ = 0;
+  bool float_ok_ = true;
+  double max_row_norm2_ = 0.0;
+  std::vector<uint64_t> item_ids_;
+  std::vector<double> data_;  // num_items * stride, zero-padded
+  std::vector<float> fdata_;  // same layout, float-converted
+};
+
 class FeatureFunction {
  public:
   virtual ~FeatureFunction() = default;
@@ -64,9 +117,13 @@ class MaterializedFeatureFunction final : public FeatureFunction {
   Result<DenseVector> Features(const Item& x) const override;
 
   const FactorTable& table() const { return *table_; }
+  // Contiguous scoring plane over the same factors, built once at
+  // construction (the table is immutable). Never null.
+  std::shared_ptr<const ItemFactorPlane> plane() const { return plane_; }
 
  private:
   std::shared_ptr<const FactorTable> table_;
+  std::shared_ptr<const ItemFactorPlane> plane_;
   size_t dim_;
 };
 

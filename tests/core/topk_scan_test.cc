@@ -1,0 +1,242 @@
+// Tier-1 coverage for the plane-based full-catalog top-K scan: the
+// parallel sharded path must return exactly the same items, scores,
+// and order as the serial plane scan, the legacy heap scan, and the
+// generic TopK over the whole catalog — including on tie-heavy factor
+// tables, k > catalog, and under ItemFilter pre-filtering.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/prediction_service.h"
+
+namespace velox {
+namespace {
+
+using Mode = PredictionService::TopKAllMode;
+
+class TopKScanTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDim = 7;
+  static constexpr size_t kCatalog = 1000;
+
+  TopKScanTest()
+      : registry_("scan_model"),
+        bootstrapper_(kDim),
+        weights_(MakeWeightOptions(), &bootstrapper_),
+        feature_cache_(4 * kCatalog),
+        prediction_cache_(4 * kCatalog),
+        pool_(4),
+        service_(MakeServiceOptions(), &registry_, &weights_, &bootstrapper_,
+                 &feature_cache_, &prediction_cache_, FeatureResolver()) {
+    // Tie-heavy catalog: factors depend only on id % 5, so scores
+    // collapse onto 5 distinct values and tie-breaking is load-bearing.
+    auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+    for (uint64_t id = 0; id < kCatalog; ++id) {
+      DenseVector f(kDim);
+      for (size_t c = 0; c < kDim; ++c) {
+        f[c] = static_cast<double>((id % 5) + 1) * (c + 1) * 0.125;
+      }
+      (*table)[id] = std::move(f);
+    }
+    registry_.Register(std::make_shared<MaterializedFeatureFunction>(table, kDim),
+                       nullptr, 0.0);
+    DenseVector w(kDim);
+    for (size_t c = 0; c < kDim; ++c) w[c] = (c % 2 == 0 ? 1.0 : -0.5) * (c + 1);
+    weights_.SeedUser(1, w, 1);
+    service_.SetScanPool(&pool_);
+  }
+
+  static UserWeightStoreOptions MakeWeightOptions() {
+    UserWeightStoreOptions opts;
+    opts.dim = kDim;
+    opts.lambda = 0.5;
+    return opts;
+  }
+
+  static PredictionServiceOptions MakeServiceOptions() {
+    PredictionServiceOptions opts;
+    // Low shard floor so the 4-thread pool actually shards this small
+    // catalog (1000 / 64 = 15 > 4 shards -> one shard per thread).
+    opts.topk_min_shard_rows = 64;
+    return opts;
+  }
+
+  std::vector<Item> AllItems() {
+    std::vector<Item> items;
+    items.reserve(kCatalog);
+    for (uint64_t id = 0; id < kCatalog; ++id) {
+      Item item;
+      item.id = id;
+      items.push_back(item);
+    }
+    return items;
+  }
+
+  static void ExpectSame(const TopKResult& a, const TopKResult& b) {
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+      EXPECT_EQ(a.items[i].item_id, b.items[i].item_id) << "rank " << i;
+      // Bit-identical, not just close: every path shares the kernels
+      // and the (score desc, item_id asc) total order.
+      EXPECT_EQ(a.items[i].score, b.items[i].score) << "rank " << i;
+    }
+  }
+
+  ModelRegistry registry_;
+  Bootstrapper bootstrapper_;
+  UserWeightStore weights_;
+  FeatureCache feature_cache_;
+  PredictionCache prediction_cache_;
+  ThreadPool pool_;
+  PredictionService service_;
+};
+
+TEST_F(TopKScanTest, ParallelMatchesSerialHeapAndGenericOnTieHeavyCatalog) {
+  const size_t k = 37;
+  auto parallel = service_.TopKAll(1, k, nullptr, Mode::kPlaneParallel);
+  auto serial = service_.TopKAll(1, k, nullptr, Mode::kPlaneSerial);
+  auto heap = service_.TopKAll(1, k, nullptr, Mode::kHeapScan);
+  auto generic = service_.TopK(1, AllItems(), k, nullptr, nullptr);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(generic.ok());
+  ASSERT_EQ(parallel->items.size(), k);
+  ExpectSame(*serial, *parallel);
+  ExpectSame(*heap, *parallel);
+  ExpectSame(*generic, *parallel);
+  // Ties resolve to ascending item id at equal scores.
+  for (size_t i = 1; i < parallel->items.size(); ++i) {
+    if (parallel->items[i - 1].score == parallel->items[i].score) {
+      EXPECT_LT(parallel->items[i - 1].item_id, parallel->items[i].item_id);
+    }
+  }
+}
+
+TEST_F(TopKScanTest, KLargerThanCatalogReturnsWholeCatalogInIdenticalOrder) {
+  auto parallel = service_.TopKAll(1, kCatalog + 50, nullptr, Mode::kPlaneParallel);
+  auto serial = service_.TopKAll(1, kCatalog + 50, nullptr, Mode::kPlaneSerial);
+  auto heap = service_.TopKAll(1, kCatalog + 50, nullptr, Mode::kHeapScan);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(heap.ok());
+  EXPECT_EQ(parallel->items.size(), kCatalog);
+  ExpectSame(*serial, *parallel);
+  ExpectSame(*heap, *parallel);
+}
+
+TEST_F(TopKScanTest, FilterInteractsIdenticallyAcrossPaths) {
+  // Drop two of the five score classes, including the best one.
+  auto filter = [](uint64_t item_id) { return item_id % 5 != 4 && item_id % 5 != 1; };
+  auto parallel = service_.TopKAll(1, 20, filter, Mode::kPlaneParallel);
+  auto serial = service_.TopKAll(1, 20, filter, Mode::kPlaneSerial);
+  auto heap = service_.TopKAll(1, 20, filter, Mode::kHeapScan);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(heap.ok());
+  ASSERT_EQ(parallel->items.size(), 20u);
+  for (const ScoredItem& item : parallel->items) {
+    EXPECT_TRUE(filter(item.item_id)) << item.item_id;
+  }
+  ExpectSame(*serial, *parallel);
+  ExpectSame(*heap, *parallel);
+}
+
+TEST_F(TopKScanTest, AutoModeUsesPlaneAndAgreesWithExplicitModes) {
+  auto auto_mode = service_.TopKAll(1, 10);
+  auto parallel = service_.TopKAll(1, 10, nullptr, Mode::kPlaneParallel);
+  ASSERT_TRUE(auto_mode.ok());
+  ASSERT_TRUE(parallel.ok());
+  ExpectSame(*parallel, *auto_mode);
+}
+
+TEST_F(TopKScanTest, NoScanPoolFallsBackToSerialWithIdenticalOutput) {
+  PredictionService no_pool(MakeServiceOptions(), &registry_, &weights_,
+                            &bootstrapper_, &feature_cache_, &prediction_cache_,
+                            FeatureResolver());
+  auto serial = no_pool.TopKAll(1, 15, nullptr, Mode::kPlaneParallel);
+  auto pooled = service_.TopKAll(1, 15, nullptr, Mode::kPlaneParallel);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(pooled.ok());
+  ExpectSame(*serial, *pooled);
+}
+
+TEST_F(TopKScanTest, BatchMatchesPerUserCallsAndAmortizesLookup) {
+  // Mix of seeded and bootstrap-on-first-touch users.
+  std::vector<uint64_t> uids = {1, 42, 7, 1};
+  auto batch = service_.TopKAllBatch(uids, 12);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), uids.size());
+  for (size_t i = 0; i < uids.size(); ++i) {
+    auto single = service_.TopKAll(uids[i], 12);
+    ASSERT_TRUE(single.ok());
+    ExpectSame(*single, (*batch)[i]);
+    EXPECT_EQ((*batch)[i].model_version, 1);
+  }
+}
+
+TEST_F(TopKScanTest, BatchValidatesArgumentsAndPreconditions) {
+  EXPECT_TRUE(service_.TopKAllBatch({1}, 0).status().IsInvalidArgument());
+  auto empty = service_.TopKAllBatch({}, 5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  ModelRegistry computational("comp");
+  computational.Register(std::make_shared<IdentityFeatureFunction>(kDim), nullptr,
+                         0.0);
+  PredictionService service(MakeServiceOptions(), &computational, &weights_,
+                            &bootstrapper_, &feature_cache_, &prediction_cache_,
+                            FeatureResolver());
+  EXPECT_TRUE(service.TopKAllBatch({1}, 5).status().IsFailedPrecondition());
+}
+
+TEST_F(TopKScanTest, RepeatedParallelScansAreDeterministic) {
+  auto first = service_.TopKAll(1, 33, nullptr, Mode::kPlaneParallel);
+  ASSERT_TRUE(first.ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    auto again = service_.TopKAll(1, 33, nullptr, Mode::kPlaneParallel);
+    ASSERT_TRUE(again.ok());
+    ExpectSame(*first, *again);
+  }
+}
+
+// All factors identical -> every item ties; output must be the first k
+// item ids in ascending order on every path.
+TEST(TopKScanAllTiesTest, FullTieCatalogOrdersByItemId) {
+  const size_t dim = 3, catalog = 300;
+  ModelRegistry registry("ties");
+  Bootstrapper bootstrapper(dim);
+  UserWeightStoreOptions wopts;
+  wopts.dim = dim;
+  UserWeightStore weights(wopts, &bootstrapper);
+  FeatureCache feature_cache(1024);
+  PredictionCache prediction_cache(1024);
+  ThreadPool pool(4);
+  PredictionServiceOptions opts;
+  opts.topk_min_shard_rows = 16;
+  PredictionService service(opts, &registry, &weights, &bootstrapper, &feature_cache,
+                            &prediction_cache, FeatureResolver());
+  service.SetScanPool(&pool);
+
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  for (uint64_t id = 0; id < catalog; ++id) {
+    (*table)[id] = DenseVector{1.0, 2.0, 3.0};
+  }
+  registry.Register(std::make_shared<MaterializedFeatureFunction>(table, dim),
+                    nullptr, 0.0);
+  weights.SeedUser(9, DenseVector{0.5, -1.0, 2.0}, 1);
+
+  for (Mode mode : {Mode::kPlaneParallel, Mode::kPlaneSerial, Mode::kHeapScan}) {
+    auto r = service.TopKAll(9, 25, nullptr, mode);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->items.size(), 25u);
+    for (size_t i = 0; i < r->items.size(); ++i) {
+      EXPECT_EQ(r->items[i].item_id, i) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace velox

@@ -1,0 +1,140 @@
+#include "linalg/scoring_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/vector.h"
+#include "ml/feature_function.h"
+
+namespace velox {
+namespace {
+
+std::vector<double> RandomValues(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.Gaussian();
+  return v;
+}
+
+double NaiveDot(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+TEST(DotKernelTest, MatchesNaiveLoopToTolerance) {
+  // Every length through several unroll blocks, so all tail cases
+  // (n % 4 in {0,1,2,3}) are exercised.
+  for (size_t n = 0; n <= 67; ++n) {
+    std::vector<double> a = RandomValues(n, 2 * n + 1);
+    std::vector<double> b = RandomValues(n, 2 * n + 2);
+    double unrolled = DotKernel(a.data(), b.data(), n);
+    double naive = NaiveDot(a.data(), b.data(), n);
+    EXPECT_NEAR(unrolled, naive, 1e-12 * (1.0 + std::abs(naive))) << "n=" << n;
+  }
+}
+
+TEST(DotKernelTest, BitIdenticalToDenseVectorDot) {
+  // Dot(DenseVector, DenseVector) delegates to DotKernel; the top-K
+  // scan paths rely on exact agreement, not just closeness.
+  for (size_t n : {1u, 2u, 3u, 4u, 7u, 50u, 129u}) {
+    DenseVector a(RandomValues(n, n));
+    DenseVector b(RandomValues(n, n + 100));
+    EXPECT_EQ(Dot(a, b), DotKernel(a.data(), b.data(), n)) << "n=" << n;
+  }
+}
+
+TEST(DotKernelTest, ZeroPaddingDoesNotChangeTheResult) {
+  // Padding a row with zeros up to the unroll width must reproduce the
+  // unpadded result bit-for-bit — the plane's padded stride depends on
+  // the tail lanes landing in the same accumulators.
+  for (size_t n = 1; n <= 16; ++n) {
+    std::vector<double> a = RandomValues(n, 3 * n);
+    std::vector<double> b = RandomValues(n, 3 * n + 1);
+    std::vector<double> ap(a), bp(b);
+    ap.resize((n + 7) / 8 * 8, 0.0);
+    bp.resize((n + 7) / 8 * 8, 0.0);
+    EXPECT_EQ(DotKernel(a.data(), b.data(), n),
+              DotKernel(ap.data(), bp.data(), ap.size()))
+        << "n=" << n;
+  }
+}
+
+TEST(ScoreRowsTest, MatchesPerRowKernelExactlyAndNaiveToTolerance) {
+  // Row counts around the 8-row blocking boundary.
+  for (size_t rows : {1u, 7u, 8u, 9u, 16u, 61u, 64u}) {
+    const size_t dim = 13;
+    const size_t stride = 16;
+    std::vector<double> data(rows * stride, 0.0);
+    Rng rng(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < dim; ++c) data[r * stride + c] = rng.Gaussian();
+    }
+    std::vector<double> w = RandomValues(dim, 99);
+    std::vector<double> out(rows, 0.0);
+    ScoreRows(data.data(), rows, stride, w.data(), dim, out.data());
+    for (size_t r = 0; r < rows; ++r) {
+      double expected = DotKernel(data.data() + r * stride, w.data(), dim);
+      EXPECT_EQ(out[r], expected) << "rows=" << rows << " r=" << r;
+      double naive = NaiveDot(data.data() + r * stride, w.data(), dim);
+      EXPECT_NEAR(out[r], naive, 1e-12 * (1.0 + std::abs(naive)));
+    }
+  }
+}
+
+TEST(ScoreRowsTest, IgnoresRowPadding) {
+  // Poison the padding lanes: ScoreRows must only read the first `dim`
+  // entries of each row.
+  const size_t rows = 9, dim = 5, stride = 8;
+  std::vector<double> data(rows * stride,
+                           std::numeric_limits<double>::quiet_NaN());
+  Rng rng(7);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < dim; ++c) data[r * stride + c] = rng.Gaussian();
+  }
+  std::vector<double> w = RandomValues(dim, 11);
+  std::vector<double> out(rows, 0.0);
+  ScoreRows(data.data(), rows, stride, w.data(), dim, out.data());
+  for (size_t r = 0; r < rows; ++r) {
+    EXPECT_TRUE(std::isfinite(out[r])) << "r=" << r;
+  }
+}
+
+TEST(ItemFactorPlaneTest, ContiguousSortedAndPadded) {
+  MaterializedFeatureFunction::FactorTable table;
+  table[30] = DenseVector{3.0, 3.5};
+  table[10] = DenseVector{1.0, 1.5};
+  table[20] = DenseVector{2.0, 2.5};
+  table[40] = DenseVector{4.0};  // wrong dim: dropped
+  ItemFactorPlane plane(table, 2);
+  EXPECT_EQ(plane.num_items(), 3u);
+  EXPECT_EQ(plane.dim(), 2u);
+  EXPECT_EQ(plane.stride(), 8u);  // rounded up to one cache line
+  ASSERT_EQ(plane.item_ids(), (std::vector<uint64_t>{10, 20, 30}));
+  for (size_t r = 0; r < plane.num_items(); ++r) {
+    const DenseVector& factor = table.at(plane.item_ids()[r]);
+    EXPECT_EQ(plane.row(r)[0], factor[0]);
+    EXPECT_EQ(plane.row(r)[1], factor[1]);
+    for (size_t c = plane.dim(); c < plane.stride(); ++c) {
+      EXPECT_EQ(plane.row(r)[c], 0.0);  // zero padding
+    }
+  }
+  // Rows are exactly stride apart in one allocation.
+  EXPECT_EQ(plane.row(1), plane.data() + plane.stride());
+}
+
+TEST(ItemFactorPlaneTest, MaterializedFunctionCarriesPlane) {
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  (*table)[1] = DenseVector{1.0, 2.0, 3.0};
+  MaterializedFeatureFunction fn(table, 3);
+  ASSERT_NE(fn.plane(), nullptr);
+  EXPECT_EQ(fn.plane()->num_items(), 1u);
+  EXPECT_EQ(fn.plane()->dim(), 3u);
+}
+
+}  // namespace
+}  // namespace velox
