@@ -93,6 +93,19 @@ class JsonRows {
     rows_.push_back(std::move(row));
   }
 
+  // Attaches a named top-level section whose value is already a JSON
+  // document (e.g. VeloxServer::StageBreakdownJson()). Sections land
+  // after "rows" in insertion order; setting a key again replaces it.
+  void Section(const std::string& key, std::string raw_json) {
+    for (auto& [k, v] : sections_) {
+      if (k == key) {
+        v = std::move(raw_json);
+        return;
+      }
+    }
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+
   // Writes the accumulated rows; returns false (with a note on stderr)
   // if the file cannot be opened.
   bool Write() const {
@@ -107,7 +120,11 @@ class JsonRows {
       std::fprintf(f, "%s%s\n", rows_[i].c_str(),
                    i + 1 < rows_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    for (const auto& [key, raw] : sections_) {
+      std::fprintf(f, ",\n  %s: %s", Str(key).c_str(), raw.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s (%zu rows)\n", path_.c_str(), rows_.size());
     return true;
@@ -117,6 +134,7 @@ class JsonRows {
   std::string bench_name_;
   std::string path_;
   std::vector<std::string> rows_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 }  // namespace velox::bench

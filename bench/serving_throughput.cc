@@ -36,6 +36,9 @@ void Run() {
   VELOX_CHECK_OK(data.status());
 
   bench::Table table({"threads", "req_per_s", "p50_us", "p99_us", "errors"});
+  bench::JsonRows json("serving_throughput", "BENCH_serving_throughput.json");
+  std::string stage_breakdown = "{}";
+  std::string stage_report;
   for (size_t threads : {1, 2, 4}) {
     AlsConfig als;
     als.rank = 10;
@@ -90,7 +93,20 @@ void Run() {
                bench::Fmt("%.0f", kRequestsPerRun / seconds),
                bench::Fmt("%.1f", weighted_p50), bench::Fmt("%.1f", p99),
                bench::FmtInt(static_cast<long long>(errors.load()))});
+    json.Row({{"threads", bench::JsonRows::Num(static_cast<long long>(threads))},
+              {"req_per_s", bench::JsonRows::Num(kRequestsPerRun / seconds)},
+              {"p50_us", bench::JsonRows::Num(weighted_p50)},
+              {"p99_us", bench::JsonRows::Num(p99)},
+              {"errors",
+               bench::JsonRows::Num(static_cast<long long>(errors.load()))}});
+    // Per-stage breakdown of the same traffic (kept from the last, most
+    // concurrent run): where inside the request path the time goes.
+    stage_breakdown = server.StageBreakdownJson();
+    stage_report = server.StageReport();
   }
+  json.Section("stage_breakdown", stage_breakdown);
+  json.Write();
+  std::printf("\n%s", stage_report.c_str());
   std::printf(
       "\nShape check: request latencies sit at tens of microseconds (warm caches,\n"
       "in-memory θ and W); throughput is bounded by the container's single core.\n");

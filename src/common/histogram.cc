@@ -2,20 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace velox {
 
 namespace {
 
-double PercentileOfSorted(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  if (sorted.size() == 1) return sorted[0];
-  double rank = p * static_cast<double>(sorted.size() - 1);
-  size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+inline uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+inline double DoubleOf(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// Atomic add for doubles via CAS (portable pre-C++20 fetch_add).
+inline void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMin(std::atomic<uint64_t>& target_bits, double v) {
+  uint64_t cur = target_bits.load(std::memory_order_relaxed);
+  while (v < DoubleOf(cur) &&
+         !target_bits.compare_exchange_weak(cur, BitsOf(v), std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMax(std::atomic<uint64_t>& target_bits, double v) {
+  uint64_t cur = target_bits.load(std::memory_order_relaxed);
+  while (v > DoubleOf(cur) &&
+         !target_bits.compare_exchange_weak(cur, BitsOf(v), std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace
@@ -28,47 +53,168 @@ std::string HistogramSnapshot::ToString() const {
   return os.str();
 }
 
+// ---------------------------------------------------------------------------
+// Bucket geometry.
+// ---------------------------------------------------------------------------
+
+size_t Histogram::BucketIndex(double value) {
+  // NaN, zero, negatives, and subnormal-range values fall into the
+  // underflow bucket; its representative is the recorded min.
+  if (!(value > 0.0)) return 0;
+  const uint64_t bits = BitsOf(value);
+  const int biased_exp = static_cast<int>((bits >> 52) & 0x7FF);
+  if (biased_exp == 0) return 0;  // subnormal
+  const int exp = biased_exp - 1023;
+  if (exp < kMinExponent) return 0;
+  if (exp >= kMaxExponent) return kNumBuckets - 1;
+  // Top kSubBucketBits mantissa bits pick the log-spaced sub-bucket
+  // inside the octave [2^exp, 2^(exp+1)).
+  const size_t sub = static_cast<size_t>((bits >> (52 - kSubBucketBits)) &
+                                         static_cast<uint64_t>(kSubBuckets - 1));
+  return 1 + static_cast<size_t>(exp - kMinExponent) * kSubBuckets + sub;
+}
+
+double Histogram::BucketValue(size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kNumBuckets) index = kNumBuckets - 1;
+  const size_t linear = index - 1;
+  const int exp = kMinExponent + static_cast<int>(linear / kSubBuckets);
+  const double sub = static_cast<double>(linear % kSubBuckets);
+  const double lower = std::ldexp(1.0 + sub / kSubBuckets, exp);
+  const double upper = std::ldexp(1.0 + (sub + 1.0) / kSubBuckets, exp);
+  return std::sqrt(lower * upper);  // geometric midpoint: min relative error
+}
+
+// ---------------------------------------------------------------------------
+// HistogramData.
+// ---------------------------------------------------------------------------
+
+void HistogramData::Merge(const HistogramData& other) {
+  if (other.count_ == 0) return;
+  if (buckets_.size() < other.buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  min_ = (count_ == 0) ? other.min_ : std::min(min_, other.min_);
+  max_ = (count_ == 0) ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+}
+
+double HistogramData::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const uint64_t needed = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= needed) {
+      const double v = Histogram::BucketValue(i);
+      return std::min(max_, std::max(min_, v));
+    }
+  }
+  return max_;
+}
+
+HistogramSnapshot HistogramData::Summarize() const {
+  HistogramSnapshot snap;
+  snap.count = count_;
+  if (count_ == 0) return snap;
+  const double n = static_cast<double>(count_);
+  snap.mean = sum_ / n;
+  if (count_ > 1) {
+    // Sample variance from the sum of squares; clamp the subtraction's
+    // floating-point noise at zero.
+    const double var = std::max(0.0, (sum_squares_ - n * snap.mean * snap.mean) / (n - 1.0));
+    snap.stddev = std::sqrt(var);
+  }
+  snap.min = min_;
+  snap.max = max_;
+  snap.p50 = Quantile(0.50);
+  snap.p95 = Quantile(0.95);
+  snap.p99 = Quantile(0.99);
+  snap.ci95_halfwidth = 1.96 * snap.stddev / std::sqrt(n);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram() : stripes_(kNumStripes) {
+  for (auto& stripe : stripes_) {
+    stripe.buckets.reset(new std::atomic<uint64_t>[kNumBuckets]);
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    stripe.min_bits.store(BitsOf(std::numeric_limits<double>::infinity()),
+                          std::memory_order_relaxed);
+    stripe.max_bits.store(BitsOf(-std::numeric_limits<double>::infinity()),
+                          std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(Histogram&& other) noexcept : stripes_(std::move(other.stripes_)) {}
+
+Histogram::Stripe& Histogram::StripeForThisThread() {
+  static std::atomic<size_t> next_stripe{0};
+  thread_local const size_t idx =
+      next_stripe.fetch_add(1, std::memory_order_relaxed) % kNumStripes;
+  return stripes_[idx];
+}
+
 void Histogram::Record(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  values_.push_back(value);
+  if (std::isnan(value)) return;
+  Stripe& stripe = StripeForThisThread();
+  stripe.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(stripe.sum, value);
+  AtomicAdd(stripe.sum_squares, value * value);
+  AtomicMin(stripe.min_bits, value);
+  AtomicMax(stripe.max_bits, value);
 }
 
 void Histogram::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  values_.clear();
+  for (auto& stripe : stripes_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    stripe.count.store(0, std::memory_order_relaxed);
+    stripe.sum.store(0.0, std::memory_order_relaxed);
+    stripe.sum_squares.store(0.0, std::memory_order_relaxed);
+    stripe.min_bits.store(BitsOf(std::numeric_limits<double>::infinity()),
+                          std::memory_order_relaxed);
+    stripe.max_bits.store(BitsOf(-std::numeric_limits<double>::infinity()),
+                          std::memory_order_relaxed);
+  }
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return values_.size();
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) total += stripe.count.load(std::memory_order_relaxed);
+  return total;
 }
 
-HistogramSnapshot Histogram::Snapshot() const {
-  std::vector<double> sorted;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    sorted = values_;
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  data.buckets_.assign(kNumBuckets, 0);
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  for (const auto& stripe : stripes_) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      data.buckets_[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    }
+    data.count_ += stripe.count.load(std::memory_order_relaxed);
+    data.sum_ += stripe.sum.load(std::memory_order_relaxed);
+    data.sum_squares_ += stripe.sum_squares.load(std::memory_order_relaxed);
+    min_v = std::min(min_v, DoubleOf(stripe.min_bits.load(std::memory_order_relaxed)));
+    max_v = std::max(max_v, DoubleOf(stripe.max_bits.load(std::memory_order_relaxed)));
   }
-  HistogramSnapshot snap;
-  snap.count = sorted.size();
-  if (sorted.empty()) return snap;
-  std::sort(sorted.begin(), sorted.end());
-  double sum = 0.0;
-  for (double v : sorted) sum += v;
-  snap.mean = sum / static_cast<double>(sorted.size());
-  double sq = 0.0;
-  for (double v : sorted) sq += (v - snap.mean) * (v - snap.mean);
-  snap.stddev = sorted.size() > 1
-                    ? std::sqrt(sq / static_cast<double>(sorted.size() - 1))
-                    : 0.0;
-  snap.min = sorted.front();
-  snap.max = sorted.back();
-  snap.p50 = PercentileOfSorted(sorted, 0.50);
-  snap.p95 = PercentileOfSorted(sorted, 0.95);
-  snap.p99 = PercentileOfSorted(sorted, 0.99);
-  snap.ci95_halfwidth =
-      1.96 * snap.stddev / std::sqrt(static_cast<double>(sorted.size()));
-  return snap;
+  data.min_ = std::isfinite(min_v) ? min_v : 0.0;
+  data.max_ = std::isfinite(max_v) ? max_v : 0.0;
+  return data;
 }
 
 }  // namespace velox

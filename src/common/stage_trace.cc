@@ -1,0 +1,27 @@
+#include "common/stage_trace.h"
+
+namespace velox {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kUserWeightLookup:
+      return "user_weight_lookup";
+    case Stage::kPredictionCacheProbe:
+      return "prediction_cache_probe";
+    case Stage::kFeatureResolveLocal:
+      return "feature_resolve_local";
+    case Stage::kFeatureResolveRemote:
+      return "feature_resolve_remote";
+    case Stage::kKernelScore:
+      return "kernel_score";
+    case Stage::kBanditOrder:
+      return "bandit_order";
+    case Stage::kOnlineSolve:
+      return "online_solve";
+    case Stage::kPersist:
+      return "persist";
+  }
+  return "unknown";
+}
+
+}  // namespace velox

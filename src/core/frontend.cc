@@ -113,4 +113,32 @@ uint64_t VeloxFrontend::errors() const {
   return errors_.load(std::memory_order_relaxed);
 }
 
+std::string VeloxFrontend::MetricsReport(MetricsRegistry* registry) const {
+  MetricsRegistry scratch;
+  MetricsRegistry* target = registry != nullptr ? registry : &scratch;
+
+  const std::pair<const char*, const Histogram*> types[] = {
+      {"predict", &predict_latency_},
+      {"topk", &topk_latency_},
+      {"observe", &observe_latency_},
+  };
+  for (const auto& [name, histogram] : types) {
+    HistogramSnapshot snap = histogram->Snapshot();
+    if (snap.count == 0) continue;
+    std::string prefix = std::string("frontend.") + name + ".";
+    target->GetGauge(prefix + "count")->Set(static_cast<double>(snap.count));
+    target->GetGauge(prefix + "mean_us")->Set(snap.mean);
+    target->GetGauge(prefix + "p50_us")->Set(snap.p50);
+    target->GetGauge(prefix + "p95_us")->Set(snap.p95);
+    target->GetGauge(prefix + "p99_us")->Set(snap.p99);
+  }
+  target->GetGauge("frontend.requests")
+      ->Set(static_cast<double>(requests_served()));
+  target->GetGauge("frontend.errors")->Set(static_cast<double>(errors()));
+
+  // The server contributes its caches/network/quality series and the
+  // per-stage breakdown; one call yields the whole export.
+  return server_->MetricsReport(target);
+}
+
 }  // namespace velox

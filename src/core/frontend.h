@@ -64,6 +64,12 @@ class VeloxFrontend {
   uint64_t requests_served() const;
   uint64_t errors() const;
 
+  // Publishes the frontend's per-request-type latency percentiles
+  // (under "frontend.<type>.*") plus the server's full metric set —
+  // including the per-stage latency breakdown — into `registry`
+  // (nullptr = private scratch) and returns the textual report.
+  std::string MetricsReport(MetricsRegistry* registry = nullptr) const;
+
  private:
   Item BuildItem(uint64_t item_id) const;
 

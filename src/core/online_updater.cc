@@ -25,13 +25,16 @@ OnlineUpdater::OnlineUpdater(OnlineUpdaterOptions options, const VeloxModel* mod
 
 Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
                                              double label, bool exploration_sourced) {
+  StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
   VELOX_ASSIGN_OR_RETURN(DenseVector features,
-                         prediction_service_->ResolveFeatures(*version, item));
+                         prediction_service_->ResolveFeatures(*version, item, timer));
 
+  StageTimer::Scope solve(timer, Stage::kOnlineSolve);
   VELOX_ASSIGN_OR_RETURN(UserWeightStore::UpdateResult update,
                          weights_->ApplyObservation(uid, features, label));
+  solve.Stop();
 
   ObserveResult result;
   result.prediction_before = update.prediction_before;
@@ -51,6 +54,7 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
   }
 
   if (client_ != nullptr) {
+    StageTimer::Scope persist(timer, Stage::kPersist);
     Observation obs;
     obs.uid = uid;
     obs.item_id = item.id;

@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/stage_trace.h"
 #include "core/evaluator.h"
 #include "core/model.h"
 #include "core/model_registry.h"
@@ -66,6 +67,9 @@ class OnlineUpdater {
 
   const OnlineUpdaterOptions& options() const { return options_; }
 
+  // Per-node stage-latency sink (borrowed; may be null => untimed).
+  void SetStageRegistry(StageRegistry* stages) { stages_ = stages; }
+
  private:
   OnlineUpdaterOptions options_;
   const VeloxModel* model_;
@@ -74,6 +78,7 @@ class OnlineUpdater {
   PredictionService* prediction_service_;
   Evaluator* evaluator_;
   StorageClient* client_;
+  StageRegistry* stages_ = nullptr;
   std::atomic<int64_t> observation_counter_{0};
 };
 

@@ -244,12 +244,15 @@ std::string FeatureResolver::TableForVersion(int32_t version) const {
 }
 
 Result<DenseVector> FeatureResolver::Resolve(const ModelVersion& version,
-                                             const Item& item) const {
+                                             const Item& item,
+                                             bool* served_remote) const {
+  if (served_remote != nullptr) *served_remote = false;
   if (client_ == nullptr) {
     return version.features->Features(item);
   }
-  VELOX_ASSIGN_OR_RETURN(Value bytes,
-                         client_->Get(TableForVersion(version.version), item.id));
+  VELOX_ASSIGN_OR_RETURN(
+      Value bytes,
+      client_->Get(TableForVersion(version.version), item.id, served_remote));
   return DecodeFactor(bytes);
 }
 
@@ -287,34 +290,50 @@ PredictionService::PredictionService(PredictionServiceOptions options,
 
 Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& version,
                                                        const Item& item) {
+  StageTimer untimed(nullptr);
+  return ResolveFeatures(version, item, untimed);
+}
+
+Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& version,
+                                                       const Item& item,
+                                                       StageTimer& timer) {
+  // Cache hits are always local; misses are classified by where the
+  // resolver actually served the factor from.
+  StageTimer::Scope span(timer, Stage::kFeatureResolveLocal);
   if (options_.use_feature_cache) {
     auto cached = feature_cache_->Get(item.id);
     if (cached.has_value()) return std::move(*cached);
   }
-  VELOX_ASSIGN_OR_RETURN(DenseVector features, resolver_.Resolve(version, item));
+  bool remote = false;
+  Result<DenseVector> resolved = resolver_.Resolve(version, item, &remote);
+  span.Stop(remote ? Stage::kFeatureResolveRemote : Stage::kFeatureResolveLocal);
+  if (!resolved.ok()) return resolved.status();
   if (options_.use_feature_cache) {
-    feature_cache_->Put(item.id, features);
+    feature_cache_->Put(item.id, resolved.value());
   }
-  return features;
+  return resolved;
 }
 
 Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_t uid,
                                             uint64_t user_epoch,
                                             const DenseVector& weights,
-                                            const Item& item,
+                                            const Item& item, StageTimer& timer,
                                             DenseVector* features_out) {
   PredictionKey key{uid, item.id, user_epoch, version.version};
   if (features_out == nullptr) {
     if (options_.use_prediction_cache) {
+      StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
       auto cached = prediction_cache_->Get(key);
       if (cached.has_value()) return *cached;
     }
-    VELOX_ASSIGN_OR_RETURN(DenseVector features, ResolveFeatures(version, item));
+    VELOX_ASSIGN_OR_RETURN(DenseVector features, ResolveFeatures(version, item, timer));
     if (features.dim() != weights.dim()) {
       return Status::Internal(StrFormat("feature dim %zu != weight dim %zu",
                                         features.dim(), weights.dim()));
     }
+    StageTimer::Scope kernel(timer, Stage::kKernelScore);
     double score = Dot(weights, features);
+    kernel.Stop();
     if (options_.use_prediction_cache) {
       prediction_cache_->Put(key, score);
     }
@@ -324,8 +343,9 @@ Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_
   // The caller needs the features regardless of a score-cache hit
   // (e.g. for bandit uncertainty), so resolve them exactly once up
   // front and share that resolution with the scoring path.
-  VELOX_ASSIGN_OR_RETURN(*features_out, ResolveFeatures(version, item));
+  VELOX_ASSIGN_OR_RETURN(*features_out, ResolveFeatures(version, item, timer));
   if (options_.use_prediction_cache) {
+    StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
     auto cached = prediction_cache_->Get(key);
     if (cached.has_value()) return *cached;
   }
@@ -333,7 +353,9 @@ Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_
     return Status::Internal(StrFormat("feature dim %zu != weight dim %zu",
                                       features_out->dim(), weights.dim()));
   }
+  StageTimer::Scope kernel(timer, Stage::kKernelScore);
   double score = Dot(weights, *features_out);
+  kernel.Stop();
   if (options_.use_prediction_cache) {
     prediction_cache_->Put(key, score);
   }
@@ -341,12 +363,16 @@ Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_
 }
 
 Result<ScoredItem> PredictionService::Predict(uint64_t uid, const Item& item) {
+  StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
+  StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
   DenseVector weights =
       weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
   uint64_t epoch = weights_->Epoch(uid);
-  VELOX_ASSIGN_OR_RETURN(double score, ScoreItem(*version, uid, epoch, weights, item));
+  lookup.Stop();
+  VELOX_ASSIGN_OR_RETURN(double score,
+                         ScoreItem(*version, uid, epoch, weights, item, timer));
   ScoredItem out;
   out.item_id = item.id;
   out.score = score;
@@ -361,11 +387,14 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
     return Status::InvalidArgument("topK requires a non-empty candidate set");
   }
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
+  StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
   DenseVector weights =
       weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
   uint64_t epoch = weights_->Epoch(uid);
+  lookup.Stop();
 
   const bool needs_uncertainty = policy != nullptr;
   std::vector<BanditCandidate> scored(candidates.size());
@@ -375,21 +404,24 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
     // features it resolved for scoring — one resolution serves both
     // uses, with no second cache/storage round-trip.
     VELOX_ASSIGN_OR_RETURN(
-        double score, ScoreItem(*version, uid, epoch, weights, candidates[i],
+        double score, ScoreItem(*version, uid, epoch, weights, candidates[i], timer,
                                 needs_uncertainty ? &features : nullptr));
     scored[i].item_id = candidates[i].id;
     scored[i].score = score;
     if (needs_uncertainty) {
+      StageTimer::Scope bandit(timer, Stage::kBanditOrder);
       scored[i].uncertainty = weights_->Uncertainty(uid, features);
     }
   }
 
+  StageTimer::Scope bandit(timer, Stage::kBanditOrder);
   std::vector<size_t> order;
   if (policy != nullptr) {
     order = policy->Rank(scored, rng);
   } else {
     order = GreedyPolicy().Rank(scored, rng);
   }
+  bandit.Stop();
 
   TopKResult result;
   result.model_version = version->version;
@@ -466,6 +498,7 @@ Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
                                               const ItemFilter& filter,
                                               TopKAllMode mode) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
+  StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
   const auto* materialized =
@@ -474,8 +507,14 @@ Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
     return Status::FailedPrecondition(
         "TopKAll requires an in-process materialized feature table");
   }
+  StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
   DenseVector weights =
       weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
+  lookup.Stop();
+
+  // The whole catalog scan is kernel work — it bypasses the per-item
+  // caches by design, so the scan's time all lands in one stage.
+  StageTimer::Scope kernel(timer, Stage::kKernelScore);
 
   if (mode == TopKAllMode::kHeapScan) {
     // Legacy per-item walk of the hash-map table, kept for ablation.
@@ -523,10 +562,16 @@ Result<std::vector<TopKResult>> PredictionService::TopKAllBatch(
   std::vector<TopKResult> results;
   results.reserve(uids.size());
   const DenseVector mean = bootstrapper_->MeanWeights();
+  StageTimer timer(stages_);
   for (uint64_t uid : uids) {
+    StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
     DenseVector weights = weights_->GetOrBootstrapWeights(uid, mean);
+    lookup.Stop();
+    StageTimer::Scope kernel(timer, Stage::kKernelScore);
     results.push_back(
         ScanPlane(*plane, version->version, weights, k, filter, /*parallel=*/true));
+    kernel.Stop();
+    timer.Flush();  // one histogram sample per user, like TopKAll
   }
   return results;
 }

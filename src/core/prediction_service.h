@@ -24,6 +24,7 @@
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/stage_trace.h"
 #include "common/thread_pool.h"
 #include "core/bandit.h"
 #include "core/bootstrap.h"
@@ -49,8 +50,11 @@ class FeatureResolver {
   // for the current model version ("<prefix>_v<version>").
   FeatureResolver(StorageClient* client, std::string table_prefix);
 
-  // Resolves features for `item` under `version`.
-  Result<DenseVector> Resolve(const ModelVersion& version, const Item& item) const;
+  // Resolves features for `item` under `version`. When `served_remote`
+  // is non-null it reports whether the resolution crossed the network
+  // (distributed mode, factor served by a non-origin replica).
+  Result<DenseVector> Resolve(const ModelVersion& version, const Item& item,
+                              bool* served_remote = nullptr) const;
 
   bool is_distributed() const { return client_ != nullptr; }
   // Table name for a given version (distributed mode).
@@ -155,9 +159,18 @@ class PredictionService {
   void SetScanPool(ThreadPool* pool) { scan_pool_ = pool; }
   ThreadPool* scan_pool() const { return scan_pool_; }
 
+  // Per-node stage-latency sink (borrowed; may be null, in which case
+  // request paths skip all clock reads). Wire at construction time.
+  void SetStageRegistry(StageRegistry* stages) { stages_ = stages; }
+  StageRegistry* stage_registry() const { return stages_; }
+
   // Resolves features through the cache (shared with the observe path
   // so updates reuse cached features).
   Result<DenseVector> ResolveFeatures(const ModelVersion& version, const Item& item);
+  // As above, charging elapsed time to `timer`'s feature-resolve stage
+  // (local or remote depending on where the factor was served from).
+  Result<DenseVector> ResolveFeatures(const ModelVersion& version, const Item& item,
+                                      StageTimer& timer);
 
   const PredictionServiceOptions& options() const { return options_; }
 
@@ -168,7 +181,8 @@ class PredictionService {
   // uncertainty computation — no second cache/storage round-trip).
   Result<double> ScoreItem(const ModelVersion& version, uint64_t uid,
                            uint64_t user_epoch, const DenseVector& weights,
-                           const Item& item, DenseVector* features_out = nullptr);
+                           const Item& item, StageTimer& timer,
+                           DenseVector* features_out = nullptr);
 
   // Scans `plane` for one user's weights; shared by TopKAll and
   // TopKAllBatch. `parallel` shards across scan_pool_ when profitable.
@@ -184,6 +198,7 @@ class PredictionService {
   PredictionCache* prediction_cache_;
   FeatureResolver resolver_;
   ThreadPool* scan_pool_ = nullptr;
+  StageRegistry* stages_ = nullptr;
 };
 
 }  // namespace velox

@@ -1,8 +1,8 @@
 #include "core/retrain_scheduler.h"
 
 #include <algorithm>
-
-#include <unordered_set>
+#include <set>
+#include <utility>
 
 #include "common/clock.h"
 #include "common/logging.h"
@@ -194,10 +194,17 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
         item.id = obs.item_id;
         auto features =
             node->prediction_service->ResolveFeatures(*current.value(), item);
-        if (!features.ok()) continue;  // item absent from the new θ
+        if (!features.ok()) {
+          ++report.replay_skipped;  // item absent from the new θ
+          continue;
+        }
         auto applied =
             node->weights->ApplyObservation(obs.uid, features.value(), obs.label);
-        VELOX_RETURN_NOT_OK(applied.status());
+        // A single bad observation (corrupt entry, stale-dimension
+        // factor) must not abort the install: at this point the caches
+        // are cleared and weights reseeded, so failing here would strand
+        // the node half-installed. Skip it and surface the count.
+        if (!applied.ok()) ++report.replay_skipped;
       }
     }
   }
@@ -219,10 +226,11 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
             ++report.warmed_features;
           }
         }
-        std::unordered_set<uint64_t> warmed_pairs;
+        // Dedup on the exact (uid, item) pair: a 64-bit hash of the
+        // pair can collide and silently drop a distinct warm entry.
+        std::set<std::pair<uint64_t, uint64_t>> warmed_pairs;
         for (const PredictionKey& key : hot_predictions[i]) {
-          uint64_t pair_hash = key.uid * 0x9e3779b97f4a7c15ULL ^ key.item_id;
-          if (!warmed_pairs.insert(pair_hash).second) continue;
+          if (!warmed_pairs.emplace(key.uid, key.item_id).second) continue;
           Item item;
           item.id = key.item_id;
           if (ps->Predict(key.uid, item).ok()) {

@@ -75,6 +75,11 @@ struct RetrainReport {
   double training_rmse = 0.0;
   size_t warmed_features = 0;
   size_t warmed_predictions = 0;
+  // Logged observations the post-swap replay could not apply (e.g. a
+  // corrupt entry, or a factor whose dimension no longer matches). The
+  // install completes regardless; skipped users keep their retrained
+  // prior for the affected observations.
+  size_t replay_skipped = 0;
   double wall_millis = 0.0;
 };
 

@@ -42,6 +42,7 @@ std::string VeloxShell::HelpText() {
       "  rollback <version>          switch to an older model version\n"
       "  versions                    model version history\n"
       "  report                      quality + cache/network statistics\n"
+      "  stages                      per-stage latency breakdown\n"
       "  save <path>                 write a model snapshot\n"
       "  load <path>                 install a model snapshot\n"
       "  help                        this text";
@@ -75,6 +76,11 @@ Result<std::string> VeloxShell::Execute(const std::string& line) {
   if (cmd == "rollback") return CmdRollback(args);
   if (cmd == "versions") return CmdVersions();
   if (cmd == "report") return CmdReport();
+  if (cmd == "stages") {
+    std::string report = server_->StageReport();
+    if (!report.empty() && report.back() == '\n') report.pop_back();
+    return report;
+  }
   if (cmd == "save") return CmdSave(args);
   if (cmd == "load") return CmdLoad(args);
   return Status::InvalidArgument("unknown command '" + cmd + "' (try `help`)");

@@ -116,9 +116,16 @@ Result<UserWeightStore::UpdateResult> UserWeightStore::ApplyObservation(
   std::lock_guard<std::mutex> lock(stripe.mu);
   auto it = stripe.users.find(uid);
   if (it == stripe.users.end()) {
+    // Same cold-start source as the predict path
+    // (GetOrBootstrapWeights): persisted snapshot first, then the
+    // bootstrap mean. Seeding from zero here would give observe-first
+    // users a different prior — and a meaningless prediction_before —
+    // than predict-first users.
     DenseVector initial(options_.dim);
     if (auto recovered = TryRecover(uid); recovered.has_value()) {
       initial = *recovered;
+    } else if (bootstrapper_ != nullptr) {
+      initial = bootstrapper_->MeanWeights();
     }
     it = stripe.users.emplace(uid, MakeState(initial, 0)).first;
     if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(it->second.weights);

@@ -1,6 +1,7 @@
 #include "core/velox_server.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -65,6 +66,10 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
     node->updater = std::make_unique<OnlineUpdater>(
         config_.updater, model_.get(), registry_.get(), node->weights.get(),
         node->prediction_service.get(), evaluator_.get(), node->client.get());
+
+    node->stages = std::make_unique<StageRegistry>();
+    node->prediction_service->SetStageRegistry(node->stages.get());
+    node->updater->SetStageRegistry(node->stages.get());
 
     // Node-failure recovery: when a remapped user is absent from this
     // node's memory, fetch their last persisted weights from the
@@ -272,7 +277,66 @@ std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
       ->Set(static_cast<double>(registry_->History().size()));
   target->GetGauge(prefix + "users.total")->Set(static_cast<double>(TotalUsers()));
 
+  // Per-stage latency breakdown, merged across nodes. Only stages that
+  // saw traffic are published, so reports stay compact.
+  for (int s = 0; s < kNumStages; ++s) {
+    Stage stage = static_cast<Stage>(s);
+    HistogramSnapshot snap = StageData(stage).Summarize();
+    if (snap.count == 0) continue;
+    std::string sp = prefix + "stage." + StageName(stage) + ".";
+    target->GetGauge(sp + "count")->Set(static_cast<double>(snap.count));
+    target->GetGauge(sp + "mean_us")->Set(snap.mean);
+    target->GetGauge(sp + "p50_us")->Set(snap.p50);
+    target->GetGauge(sp + "p95_us")->Set(snap.p95);
+    target->GetGauge(sp + "p99_us")->Set(snap.p99);
+    target->GetGauge(sp + "max_us")->Set(snap.max);
+  }
+
   return target->Report();
+}
+
+HistogramData VeloxServer::StageData(Stage stage) const {
+  HistogramData merged;
+  for (const auto& node : per_node_) merged.Merge(node->stages->Data(stage));
+  return merged;
+}
+
+std::string VeloxServer::StageReport() const {
+  std::ostringstream os;
+  os << "stage breakdown (" << per_node_.size() << " node(s), micros per request)\n";
+  bool any = false;
+  for (int s = 0; s < kNumStages; ++s) {
+    Stage stage = static_cast<Stage>(s);
+    HistogramSnapshot snap = StageData(stage).Summarize();
+    if (snap.count == 0) continue;
+    any = true;
+    os << "  " << StageName(stage) << " " << snap.ToString() << "\n";
+  }
+  if (!any) os << "  (no traced requests yet)\n";
+  return os.str();
+}
+
+std::string VeloxServer::StageBreakdownJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int s = 0; s < kNumStages; ++s) {
+    Stage stage = static_cast<Stage>(s);
+    HistogramSnapshot snap = StageData(stage).Summarize();
+    if (snap.count == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << StageName(stage) << "\": {\"count\": " << snap.count
+       << ", \"mean_us\": " << snap.mean << ", \"p50_us\": " << snap.p50
+       << ", \"p95_us\": " << snap.p95 << ", \"p99_us\": " << snap.p99
+       << ", \"max_us\": " << snap.max << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+void VeloxServer::ResetStageStats() {
+  for (const auto& node : per_node_) node->stages->ResetStats();
 }
 
 ServerCacheStats VeloxServer::AggregatedCacheStats() const {

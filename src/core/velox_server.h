@@ -24,6 +24,7 @@
 #include "batch/job.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/stage_trace.h"
 #include "common/result.h"
 #include "core/bandit.h"
 #include "core/bootstrap.h"
@@ -149,9 +150,29 @@ class VeloxServer {
   // ---- introspection ----
   // Publishes a consistent snapshot of all server metrics (caches,
   // network, evaluator, versions, users) into `registry` under the
-  // "velox.<model>." prefix and returns its textual report. Passing
-  // nullptr uses a private scratch registry (report-only).
+  // "velox.<model>." prefix — including per-stage latency percentiles
+  // under "velox.<model>.stage.<name>.*" — and returns its textual
+  // report. Passing nullptr uses a private scratch registry
+  // (report-only).
   std::string MetricsReport(MetricsRegistry* registry = nullptr) const;
+
+  // ---- per-stage latency breakdown (tentpole observability) ----
+  // Cluster-wide view of one stage: every node's histogram merged
+  // (bucket counts add exactly, so quantiles are as if all requests
+  // hit one node).
+  HistogramData StageData(Stage stage) const;
+  // Human-readable dump, one line per stage with nonzero samples
+  // (reachable from the shell's `stages` command).
+  std::string StageReport() const;
+  // JSON object keyed by stage name with count/mean/percentiles in
+  // microseconds — embedded by benches as the BENCH `stage_breakdown`
+  // section.
+  std::string StageBreakdownJson() const;
+  void ResetStageStats();
+  // A node's raw registry (tests/benches).
+  StageRegistry* stage_registry(NodeId node) {
+    return per_node_[static_cast<size_t>(node)]->stages.get();
+  }
 
   ServerCacheStats AggregatedCacheStats() const;
   void ResetCacheStats();
@@ -182,6 +203,9 @@ class VeloxServer {
     std::unique_ptr<PredictionCache> prediction_cache;
     std::unique_ptr<PredictionService> prediction_service;
     std::unique_ptr<OnlineUpdater> updater;
+    // Per-node stage-latency sink shared by the predict and observe
+    // paths above (both run on this node's threads).
+    std::unique_ptr<StageRegistry> stages;
   };
 
   // Home node of a user (ring placement).

@@ -17,7 +17,7 @@ Result<KvTable*> StorageClient::RouteToTable(const std::string& table, Key key,
   return cluster_->store(owner)->GetTable(table);
 }
 
-Result<Value> StorageClient::Get(const std::string& table, Key key) {
+Result<Value> StorageClient::Get(const std::string& table, Key key, bool* was_remote) {
   VELOX_ASSIGN_OR_RETURN(std::vector<NodeId> owners, cluster_->OwnersOf(key));
   Status last = Status::NotFound("no replica produced the key");
   for (NodeId owner : owners) {
@@ -31,6 +31,7 @@ Result<Value> StorageClient::Get(const std::string& table, Key key) {
     auto value = t.value()->Get(key);
     if (value.ok()) {
       cluster_->network()->Charge(owner, origin_, value.value().size());
+      if (was_remote != nullptr) *was_remote = owner != origin_;
       return value;
     }
     last = value.status();

@@ -24,7 +24,11 @@ class StorageClient {
 
   // Reads `key` from its primary owner, falling back along the replica
   // list (replication_factor > 1) when a replica misses or is gone.
-  Result<Value> Get(const std::string& table, Key key);
+  // When `was_remote` is non-null it reports whether the replica that
+  // served the read lives on a different node than the origin (i.e.
+  // the read paid a network round-trip) — stage tracing uses this to
+  // split local vs. remote feature resolution.
+  Result<Value> Get(const std::string& table, Key key, bool* was_remote = nullptr);
   // Writes `key` to every replica owner.
   Status Put(const std::string& table, Key key, Value value);
   // Deletes from every replica; OK if any replica held the key.

@@ -1,0 +1,137 @@
+#include "common/stage_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace velox {
+namespace {
+
+TEST(StageTraceTest, StageNamesAreUniqueAndStable) {
+  std::set<std::string> names;
+  for (int s = 0; s < kNumStages; ++s) {
+    std::string name = StageName(static_cast<Stage>(s));
+    EXPECT_NE(name, "unknown");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate stage name " << name;
+  }
+  // Metric/JSON consumers key on these exact strings.
+  EXPECT_STREQ(StageName(Stage::kUserWeightLookup), "user_weight_lookup");
+  EXPECT_STREQ(StageName(Stage::kFeatureResolveRemote), "feature_resolve_remote");
+  EXPECT_STREQ(StageName(Stage::kPersist), "persist");
+}
+
+TEST(StageTraceTest, NullRegistryTimerIsInert) {
+  StageTimer timer(nullptr);
+  EXPECT_FALSE(timer.enabled());
+  timer.Add(Stage::kKernelScore, 5.0);
+  {
+    StageTimer::Scope scope(timer, Stage::kOnlineSolve);
+  }
+  timer.Flush();  // must not crash; nothing to flush anywhere
+}
+
+TEST(StageTraceTest, AddAccumulatesIntoOneSamplePerRequest) {
+  StageRegistry registry;
+  {
+    StageTimer timer(&registry);
+    // Three touches of the same stage in one request...
+    timer.Add(Stage::kKernelScore, 10.0);
+    timer.Add(Stage::kKernelScore, 20.0);
+    timer.Add(Stage::kKernelScore, 30.0);
+    timer.Add(Stage::kPersist, 7.0);
+  }  // ...flush once on destruction
+  auto kernel = registry.Snapshot(Stage::kKernelScore);
+  EXPECT_EQ(kernel.count, 1u);  // one request => one sample
+  EXPECT_DOUBLE_EQ(kernel.mean, 60.0);
+  EXPECT_EQ(registry.Snapshot(Stage::kPersist).count, 1u);
+  // Untouched stages record nothing (not even zeros).
+  EXPECT_EQ(registry.Snapshot(Stage::kBanditOrder).count, 0u);
+}
+
+TEST(StageTraceTest, ExplicitFlushSeparatesRequests) {
+  StageRegistry registry;
+  StageTimer timer(&registry);
+  for (int i = 0; i < 3; ++i) {
+    timer.Add(Stage::kUserWeightLookup, 1.0 + i);
+    timer.Flush();
+  }
+  auto snap = registry.Snapshot(Stage::kUserWeightLookup);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 3.0);
+}
+
+TEST(StageTraceTest, ScopeMeasuresNonNegativeTime) {
+  StageRegistry registry;
+  {
+    StageTimer timer(&registry);
+    StageTimer::Scope scope(timer, Stage::kOnlineSolve);
+  }
+  auto snap = registry.Snapshot(Stage::kOnlineSolve);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.max, 0.0);
+}
+
+TEST(StageTraceTest, ScopeStopReclassifiesStage) {
+  StageRegistry registry;
+  {
+    StageTimer timer(&registry);
+    StageTimer::Scope scope(timer, Stage::kFeatureResolveLocal);
+    // The fetch turned out to be remote; charge the remote stage.
+    scope.Stop(Stage::kFeatureResolveRemote);
+    scope.Stop();  // second stop is a no-op
+  }
+  EXPECT_EQ(registry.Snapshot(Stage::kFeatureResolveLocal).count, 0u);
+  EXPECT_EQ(registry.Snapshot(Stage::kFeatureResolveRemote).count, 1u);
+}
+
+TEST(StageTraceTest, ConcurrentTimersAllFlush) {
+  StageRegistry registry;
+  const int threads = 4;
+  const int requests_per_thread = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < requests_per_thread; ++i) {
+        StageTimer timer(&registry);
+        timer.Add(Stage::kKernelScore, 2.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto snap = registry.Snapshot(Stage::kKernelScore);
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(threads * requests_per_thread));
+  EXPECT_DOUBLE_EQ(snap.mean, 2.0);
+}
+
+TEST(StageTraceTest, RegistryDataMergesAcrossNodes) {
+  // Two "nodes" each record the same stage; the merged view summarizes
+  // the union — the cross-node aggregation VeloxServer performs.
+  StageRegistry node_a;
+  StageRegistry node_b;
+  node_a.Record(Stage::kPersist, 10.0);
+  node_b.Record(Stage::kPersist, 30.0);
+  HistogramData merged = node_a.Data(Stage::kPersist);
+  merged.Merge(node_b.Data(Stage::kPersist));
+  auto snap = merged.Summarize();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_DOUBLE_EQ(snap.min, 10.0);
+  EXPECT_DOUBLE_EQ(snap.max, 30.0);
+  EXPECT_DOUBLE_EQ(snap.mean, 20.0);
+}
+
+TEST(StageTraceTest, ResetStatsClearsAllStages) {
+  StageRegistry registry;
+  registry.Record(Stage::kKernelScore, 1.0);
+  registry.Record(Stage::kPersist, 1.0);
+  registry.ResetStats();
+  for (int s = 0; s < kNumStages; ++s) {
+    EXPECT_EQ(registry.Snapshot(static_cast<Stage>(s)).count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace velox

@@ -109,6 +109,26 @@ TEST_F(FrontendTest, LatencyHistogramsPerType) {
   EXPECT_EQ(frontend_->requests_served(), 3u);
 }
 
+TEST_F(FrontendTest, MetricsReportIncludesFrontendAndStageSeries) {
+  frontend_->Handle(Predict(1, 2));
+  Request observe;
+  observe.type = RequestType::kObserve;
+  observe.uid = 1;
+  observe.items = {2};
+  observe.label = 3.0;
+  frontend_->Handle(observe);
+  MetricsRegistry registry;
+  std::string report = frontend_->MetricsReport(&registry);
+  // Frontend request-level series...
+  EXPECT_NE(report.find("frontend.predict.p99_us"), std::string::npos);
+  EXPECT_EQ(registry.GetGauge("frontend.requests")->value(), 2.0);
+  // ...and the server's per-stage breakdown in the same report.
+  EXPECT_NE(report.find("velox.songs.stage.user_weight_lookup.count"),
+            std::string::npos);
+  EXPECT_NE(report.find("velox.songs.stage.online_solve.mean_us"),
+            std::string::npos);
+}
+
 TEST_F(FrontendTest, AsyncRequestsComplete) {
   std::atomic<int> completed{0};
   std::atomic<int> ok{0};

@@ -163,10 +163,12 @@ TEST_F(PredictionServiceTest, TopKValidatesArguments) {
 }
 
 TEST_F(PredictionServiceTest, TopKWithLinUcbUsesUncertainty) {
-  // Give user 3 many observations of item 10's direction so its
-  // uncertainty collapses; direction [0,1] stays uncertain.
+  // Give user 3 many high-label observations of item 10's direction so
+  // its uncertainty collapses while its point score rises well above
+  // item 20's (which starts near the bootstrap-mean prior of 2.0);
+  // direction [0,1] stays uncertain.
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(weights_.ApplyObservation(3, DenseVector{1.0, 0.0}, 1.0).ok());
+    ASSERT_TRUE(weights_.ApplyObservation(3, DenseVector{1.0, 0.0}, 5.0).ok());
   }
   LinUcbPolicy policy(5.0);
   Rng rng(1);

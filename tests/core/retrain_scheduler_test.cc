@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/random.h"
+#include "ml/feature_function.h"
 
 #include "core/velox_server.h"
 #include "data/movielens.h"
@@ -55,6 +59,45 @@ Item MakeItem(uint64_t id) {
   item.id = id;
   return item;
 }
+
+// Delegates to an inner MF model but, from the second retrain on,
+// corrupts one item's factor in the produced θ with a wrong-dimension
+// vector — modeling a corrupt row in the batch job's output. The first
+// (bootstrap) train stays clean so the server starts healthy.
+class PoisonedModel final : public VeloxModel {
+ public:
+  PoisonedModel(std::unique_ptr<VeloxModel> inner, uint64_t poisoned_item)
+      : inner_(std::move(inner)), poisoned_item_(poisoned_item) {}
+
+  std::string name() const override { return inner_->name(); }
+  size_t dim() const override { return inner_->dim(); }
+  std::shared_ptr<const FeatureFunction> features() const override {
+    return inner_->features();
+  }
+
+  Result<RetrainOutput> Retrain(BatchExecutor* executor,
+                                const std::vector<Observation>& observations,
+                                const FactorMap& current_user_weights) const override {
+    VELOX_ASSIGN_OR_RETURN(
+        RetrainOutput out,
+        inner_->Retrain(executor, observations, current_user_weights));
+    if (++retrains_ < 2) return out;
+    const auto* materialized =
+        dynamic_cast<const MaterializedFeatureFunction*>(out.features.get());
+    VELOX_CHECK(materialized != nullptr);
+    auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>(
+        materialized->table());
+    (*table)[poisoned_item_] = DenseVector(inner_->dim() + 1);
+    out.features =
+        std::make_shared<MaterializedFeatureFunction>(std::move(table), inner_->dim());
+    return out;
+  }
+
+ private:
+  std::unique_ptr<VeloxModel> inner_;
+  uint64_t poisoned_item_;
+  mutable int retrains_ = 0;
+};
 
 TEST(RetrainSchedulerTest, RetrainWithoutObservationsFails) {
   VeloxServer server(SmallServerConfig(), SmallModel());
@@ -255,6 +298,66 @@ TEST(RetrainSchedulerTest, WindowBoundsObservationsUsed) {
   auto report = server.RetrainNow();
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->observations_used, 100u);
+}
+
+TEST(RetrainSchedulerTest, PoisonedReplayObservationSkippedNotFatal) {
+  // One corrupt entry in the retrained θ must not abort the install:
+  // by replay time the caches are cleared and weights reseeded, so an
+  // error would strand the server half-installed. The bad observations
+  // are skipped and surfaced in the report instead.
+  auto config = SmallServerConfig();
+  config.retrain.warm_caches = false;  // warming would touch the bad item
+  VeloxServer server(config, std::make_unique<PoisonedModel>(SmallModel(),
+                                                             /*poisoned_item=*/0));
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  // Guarantee the log holds observations of the to-be-poisoned item.
+  for (uint64_t u = 0; u < 5; ++u) {
+    ASSERT_TRUE(server.Observe(u, MakeItem(0), 4.0).ok());
+  }
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->new_version, 2);
+  EXPECT_EQ(server.current_version(), 2);
+  EXPECT_GT(report->replay_skipped, 0u);
+  EXPECT_LT(report->replay_skipped, report->observations_used);
+  // Healthy items still serve after the install.
+  EXPECT_TRUE(server.Predict(1, MakeItem(1)).ok());
+}
+
+TEST(RetrainSchedulerTest, WarmingKeepsHashCollidingPredictionPairs) {
+  // Two distinct (uid, item) pairs engineered to collide under the
+  // 64-bit mix h = uid * kMix ^ item that the warming dedup once keyed
+  // on. Dedup must compare exact pairs, so both get warmed.
+  constexpr uint64_t kMix = 0x9e3779b97f4a7c15ULL;
+  const uint64_t uid_a = 1, uid_b = 2;
+  const uint64_t item_a = 7;
+  const uint64_t item_b = ((uid_a * kMix) ^ (uid_b * kMix)) ^ item_a;
+  ASSERT_NE(item_a, item_b);
+  ASSERT_EQ((uid_a * kMix) ^ item_a, (uid_b * kMix) ^ item_b);
+
+  auto config = SmallServerConfig();
+  config.retrain.warm_caches = true;
+  VeloxServer server(config, SmallModel());
+  // Both users rate both items so every retrain's θ covers both pairs.
+  std::vector<Observation> ratings;
+  for (int round = 0; round < 6; ++round) {
+    for (uint64_t uid : {uid_a, uid_b}) {
+      for (uint64_t item : {item_a, item_b}) {
+        Observation obs;
+        obs.uid = uid;
+        obs.item_id = item;
+        obs.label = uid == uid_a ? 4.0 : 2.0;
+        ratings.push_back(obs);
+      }
+    }
+  }
+  ASSERT_TRUE(server.Bootstrap(ratings).ok());
+  ASSERT_TRUE(server.Predict(uid_a, MakeItem(item_a)).ok());
+  ASSERT_TRUE(server.Predict(uid_b, MakeItem(item_b)).ok());
+  auto report = server.RetrainNow();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->warmed_predictions, 2u);
 }
 
 TEST(RetrainSchedulerTest, RetrainCountTracked) {

@@ -79,6 +79,21 @@ TEST_F(ShellTest, TrainPredictObserveFlow) {
   EXPECT_NE(report.find("healthy"), std::string::npos);
 }
 
+TEST_F(ShellTest, StagesCommandShowsBreakdown) {
+  std::string help = MustExecute("help");
+  EXPECT_NE(help.find("stages"), std::string::npos);
+  MustExecute("train");
+  EXPECT_NE(MustExecute("stages").find("no traced requests yet"),
+            std::string::npos);
+  MustExecute("predict " + std::to_string(first_uid_) + " " +
+              std::to_string(first_item_));
+  MustExecute("observe " + std::to_string(first_uid_) + " " +
+              std::to_string(first_item_) + " 4.0");
+  std::string stages = MustExecute("stages");
+  EXPECT_NE(stages.find("user_weight_lookup"), std::string::npos);
+  EXPECT_NE(stages.find("online_solve"), std::string::npos);
+}
+
 TEST_F(ShellTest, PredictBeforeTrainFails) {
   auto result = shell_->Execute("predict 1 2");
   ASSERT_FALSE(result.ok());

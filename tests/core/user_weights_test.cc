@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 
 #include "common/random.h"
@@ -129,6 +130,58 @@ TEST(UserWeightStoreTest, NaiveStrategyUsesCountProxyUncertainty) {
   ASSERT_TRUE(store.ApplyObservation(1, f, 1.0).ok());
   ASSERT_TRUE(store.ApplyObservation(1, f, 1.0).ok());
   EXPECT_NEAR(store.Uncertainty(1, f), 0.5, 1e-12);  // 1/sqrt(1+3)
+}
+
+// Regression: an observe-first cold start must seed from the same
+// bootstrap source as a predict-first cold start (GetOrBootstrapWeights
+// uses the bootstrap mean; ApplyObservation used to seed from zero,
+// giving observe-first users a different prior and a meaningless
+// prediction_before).
+TEST(UserWeightStoreTest, ObserveFirstAndPredictFirstColdStartsMatch) {
+  const DenseVector f = {1.0, 0.0};
+  const double label = 3.0;
+
+  // Two stores with identical non-trivial bootstrap state.
+  auto make_store = [](Bootstrapper* bootstrapper) {
+    UserWeightStoreOptions opts;
+    opts.dim = 2;
+    opts.lambda = 0.5;
+    auto store = std::make_unique<UserWeightStore>(opts, bootstrapper);
+    store->SeedUser(1, DenseVector{2.0, 0.0}, 1);
+    store->SeedUser(2, DenseVector{0.0, 4.0}, 1);
+    return store;
+  };
+  Bootstrapper boot_a(2);
+  Bootstrapper boot_b(2);
+  auto observe_first = make_store(&boot_a);
+  auto predict_first = make_store(&boot_b);
+  const DenseVector mean = boot_a.MeanWeights();  // [1, 2]
+  ASSERT_GT(mean.Norm2(), 0.0);
+
+  // Path A: user 99's first contact is an observation.
+  auto observed = observe_first->ApplyObservation(99, f, label);
+  ASSERT_TRUE(observed.ok());
+  // The pre-update prediction comes from the bootstrap mean, not zero.
+  EXPECT_DOUBLE_EQ(observed->prediction_before, Dot(mean, f));
+
+  // Path B: user 99 predicts first (bootstraps), then observes.
+  DenseVector initial = predict_first->GetOrBootstrapWeights(99, mean);
+  EXPECT_EQ(initial, mean);
+  auto after_predict = predict_first->ApplyObservation(99, f, label);
+  ASSERT_TRUE(after_predict.ok());
+
+  // Identical initial weights => identical posterior weights.
+  EXPECT_DOUBLE_EQ(after_predict->prediction_before, observed->prediction_before);
+  EXPECT_LT(MaxAbsDiff(observed->new_weights, after_predict->new_weights), 1e-12);
+}
+
+// The null-bootstrapper fallback stays zero-seeded (pure solver tests
+// rely on it).
+TEST(UserWeightStoreTest, ObserveFirstWithoutBootstrapperSeedsZero) {
+  UserWeightStore store(Opts(UpdateStrategy::kShermanMorrison), nullptr);
+  auto r = store.ApplyObservation(5, DenseVector{1.0, 0.0, 0.0}, 2.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->prediction_before, 0.0);
 }
 
 TEST(UserWeightStoreTest, BootstrapperTracksMeanAcrossUpdates) {

@@ -319,6 +319,42 @@ TEST(VeloxServerTest, MetricsReportPublishesKeySeries) {
   EXPECT_FALSE(server.MetricsReport().empty());
 }
 
+TEST(VeloxServerTest, StageBreakdownExportedAfterTraffic) {
+  VeloxServer server(BaseConfig(2), SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+  ASSERT_EQ(server.StageBreakdownJson(), "{}");  // no traffic yet
+  for (size_t i = 0; i < 30; ++i) {
+    const Observation& obs = data.ratings[i];
+    ASSERT_TRUE(server.Predict(obs.uid, MakeItem(obs.item_id)).ok());
+    ASSERT_TRUE(server.Observe(obs.uid, MakeItem(obs.item_id), obs.label).ok());
+  }
+  // Cluster-merged per-stage histograms: every predict touches the
+  // weight lookup, every observe runs the solver.
+  EXPECT_GE(server.StageData(Stage::kUserWeightLookup).count(), 30u);
+  EXPECT_GE(server.StageData(Stage::kOnlineSolve).count(), 30u);
+
+  MetricsRegistry registry;
+  std::string report = server.MetricsReport(&registry);
+  EXPECT_NE(report.find("velox.songs.stage.user_weight_lookup.count"),
+            std::string::npos);
+  EXPECT_NE(report.find("velox.songs.stage.online_solve.p99_us"),
+            std::string::npos);
+  EXPECT_GT(registry.GetGauge("velox.songs.stage.kernel_score.count")->value(),
+            0.0);
+
+  std::string human = server.StageReport();
+  EXPECT_NE(human.find("user_weight_lookup"), std::string::npos);
+  std::string json = server.StageBreakdownJson();
+  EXPECT_NE(json.find("\"kernel_score\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+
+  server.ResetStageStats();
+  EXPECT_EQ(server.StageBreakdownJson(), "{}");
+  EXPECT_NE(server.StageReport().find("no traced requests yet"),
+            std::string::npos);
+}
+
 // Property: caching and feature distribution are pure optimizations —
 // every configuration must serve identical scores.
 struct CacheConfigCase {
