@@ -34,9 +34,15 @@ Status ConsistentHashRouter::AddNode(NodeId node) {
     return Status::AlreadyExists(StrFormat("node %d already in ring", node));
   }
   for (int32_t v = 0; v < virtual_nodes_per_node_; ++v) {
+    // The vnode position domain must be disjoint from the key hash
+    // domain: without the salt, vnode (0, v) sat at MixHash(v) — the
+    // exact ring position of key v — so lower_bound routed every key
+    // smaller than virtual_nodes_per_node_ to node 0.
+    constexpr uint64_t kVnodeSalt = 0x9e3779b97f4a7c15ULL;
     uint64_t pos = HashPartitioner::MixHash(
-        (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 32) |
-        static_cast<uint64_t>(static_cast<uint32_t>(v)));
+        kVnodeSalt ^
+        ((static_cast<uint64_t>(static_cast<uint32_t>(node)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(v))));
     // Collisions across (node, vnode) pairs are resolved by linear
     // probing on the ring position; astronomically rare in practice.
     while (ring_.count(pos) > 0) ++pos;

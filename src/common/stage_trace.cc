@@ -20,6 +20,10 @@ const char* StageName(Stage stage) {
       return "online_solve";
     case Stage::kPersist:
       return "persist";
+    case Stage::kStorageBackoff:
+      return "storage_backoff";
+    case Stage::kDegradedServe:
+      return "degraded_serve";
   }
   return "unknown";
 }

@@ -30,9 +30,11 @@ enum class Stage : int {
   kBanditOrder,            // bandit policy ranking
   kOnlineSolve,            // per-observation weight update
   kPersist,                // observation WAL append + weight write
+  kStorageBackoff,         // simulated retry/hedge waits on storage ops
+  kDegradedServe,          // fallback answer after feature resolution failed
 };
 
-inline constexpr int kNumStages = 8;
+inline constexpr int kNumStages = 10;
 
 // Short stable identifier used in metrics names and JSON keys.
 const char* StageName(Stage stage);

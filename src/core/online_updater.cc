@@ -28,8 +28,31 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
   StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
-  VELOX_ASSIGN_OR_RETURN(DenseVector features,
-                         prediction_service_->ResolveFeatures(*version, item, timer));
+  Result<DenseVector> resolved =
+      prediction_service_->ResolveFeatures(*version, item, timer);
+  if (!resolved.ok()) {
+    // Transiently unresolvable features: the weight update is impossible
+    // right now, but the observation itself must not be lost — append it
+    // to the log (node-local, unaffected by the fault) so offline
+    // retraining replays it, and report a degraded success. Definitive
+    // errors still fail the observation.
+    if (options_.degrade_on_unavailable && client_ != nullptr &&
+        resolved.status().IsUnavailable()) {
+      StageTimer::Scope span(timer, Stage::kDegradedServe);
+      Observation obs;
+      obs.uid = uid;
+      obs.item_id = item.id;
+      obs.label = label;
+      obs.timestamp = client_->NextTimestamp();
+      ObserveResult result;
+      result.log_seq = client_->AppendObservation(obs);
+      result.degraded = true;
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    return resolved.status();
+  }
+  DenseVector features = std::move(resolved).value();
 
   StageTimer::Scope solve(timer, Stage::kOnlineSolve);
   VELOX_ASSIGN_OR_RETURN(UserWeightStore::UpdateResult update,
@@ -64,8 +87,19 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
     obs.timestamp = client_->NextTimestamp();
     result.log_seq = client_->AppendObservation(obs);
     if (options_.persist_weights) {
-      VELOX_RETURN_NOT_OK(
-          client_->Put(options_.weights_table, uid, EncodeFactor(update.new_weights)));
+      Status persisted =
+          client_->Put(options_.weights_table, uid, EncodeFactor(update.new_weights));
+      if (!persisted.ok()) {
+        // The in-memory update already happened and the observation is
+        // logged; a transiently-failed persist degrades durability, not
+        // correctness (recovery replays the log). Surface it as a
+        // degraded success rather than failing the observation.
+        if (!options_.degrade_on_unavailable || !persisted.IsUnavailable()) {
+          return persisted;
+        }
+        result.degraded = true;
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   return result;

@@ -42,6 +42,11 @@ struct OnlineUpdaterOptions {
   bool persist_weights = true;
   // Storage table for persisted weights.
   std::string weights_table = "user_weights";
+  // Graceful degradation: when feature resolution or the weight persist
+  // fails *transiently* (Unavailable), log what we can and return a
+  // degraded OK instead of failing the observation. Definitive errors
+  // still propagate.
+  bool degrade_on_unavailable = true;
 };
 
 struct ObserveResult {
@@ -49,6 +54,11 @@ struct ObserveResult {
   double loss = 0.0;
   int64_t user_observations = 0;
   uint64_t log_seq = 0;
+  // True when this observation took a degraded path: features were
+  // transiently unresolvable (weights unchanged; the observation still
+  // reached the log for the retrainer to replay), or the weight persist
+  // failed (update applied in memory, not durable).
+  bool degraded = false;
 };
 
 class OnlineUpdater {
@@ -70,6 +80,12 @@ class OnlineUpdater {
   // Per-node stage-latency sink (borrowed; may be null => untimed).
   void SetStageRegistry(StageRegistry* stages) { stages_ = stages; }
 
+  // Observations that took a degraded path (skipped update or
+  // non-durable persist).
+  uint64_t degraded_count() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
  private:
   OnlineUpdaterOptions options_;
   const VeloxModel* model_;
@@ -80,6 +96,7 @@ class OnlineUpdater {
   StorageClient* client_;
   StageRegistry* stages_ = nullptr;
   std::atomic<int64_t> observation_counter_{0};
+  std::atomic<uint64_t> degraded_{0};
 };
 
 }  // namespace velox

@@ -244,15 +244,15 @@ std::string FeatureResolver::TableForVersion(int32_t version) const {
 }
 
 Result<DenseVector> FeatureResolver::Resolve(const ModelVersion& version,
-                                             const Item& item,
-                                             bool* served_remote) const {
+                                             const Item& item, bool* served_remote,
+                                             StorageOpReport* report) const {
   if (served_remote != nullptr) *served_remote = false;
   if (client_ == nullptr) {
     return version.features->Features(item);
   }
   VELOX_ASSIGN_OR_RETURN(
       Value bytes,
-      client_->Get(TableForVersion(version.version), item.id, served_remote));
+      client_->Get(TableForVersion(version.version), item.id, served_remote, report));
   return DecodeFactor(bytes);
 }
 
@@ -280,7 +280,8 @@ PredictionService::PredictionService(PredictionServiceOptions options,
       bootstrapper_(bootstrapper),
       feature_cache_(feature_cache),
       prediction_cache_(prediction_cache),
-      resolver_(std::move(resolver)) {
+      resolver_(std::move(resolver)),
+      stale_scores_(std::max<size_t>(1, options.stale_score_capacity)) {
   VELOX_CHECK(registry_ != nullptr);
   VELOX_CHECK(weights_ != nullptr);
   VELOX_CHECK(bootstrapper_ != nullptr);
@@ -305,8 +306,15 @@ Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& versi
     if (cached.has_value()) return std::move(*cached);
   }
   bool remote = false;
-  Result<DenseVector> resolved = resolver_.Resolve(version, item, &remote);
+  StorageOpReport report;
+  Result<DenseVector> resolved = resolver_.Resolve(version, item, &remote, &report);
   span.Stop(remote ? Stage::kFeatureResolveRemote : Stage::kFeatureResolveLocal);
+  // Simulated retry/hedge waits are logically part of the resolve but
+  // belong to their own stage in the breakdown: they measure the fault
+  // plan, not the storage path.
+  if (report.backoff_nanos > 0) {
+    timer.Add(Stage::kStorageBackoff, static_cast<double>(report.backoff_nanos) / 1e3);
+  }
   if (!resolved.ok()) return resolved.status();
   if (options_.use_feature_cache) {
     feature_cache_->Put(item.id, resolved.value());
@@ -337,6 +345,7 @@ Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_
     if (options_.use_prediction_cache) {
       prediction_cache_->Put(key, score);
     }
+    NoteScore(uid, item.id, score);
     return score;
   }
 
@@ -359,7 +368,33 @@ Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_
   if (options_.use_prediction_cache) {
     prediction_cache_->Put(key, score);
   }
+  NoteScore(uid, item.id, score);
   return score;
+}
+
+void PredictionService::NoteScore(uint64_t uid, uint64_t item_id, double score) {
+  if (!options_.degrade_on_unavailable) return;
+  stale_scores_.Put(PredictionKey{uid, item_id, 0, 0}, score);
+  std::lock_guard<std::mutex> lock(fallback_mu_);
+  score_sum_ += score;
+  ++score_count_;
+}
+
+ScoredItem PredictionService::DegradedAnswer(uint64_t uid, uint64_t item_id,
+                                             StageTimer& timer) {
+  StageTimer::Scope span(timer, Stage::kDegradedServe);
+  ScoredItem out;
+  out.item_id = item_id;
+  out.degraded = true;
+  auto stale = stale_scores_.Get(PredictionKey{uid, item_id, 0, 0});
+  if (stale.has_value()) {
+    out.score = *stale;
+    degraded_stale_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    out.score = fallback_score();
+    degraded_mean_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
 }
 
 Result<ScoredItem> PredictionService::Predict(uint64_t uid, const Item& item) {
@@ -371,11 +406,19 @@ Result<ScoredItem> PredictionService::Predict(uint64_t uid, const Item& item) {
       weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
   uint64_t epoch = weights_->Epoch(uid);
   lookup.Stop();
-  VELOX_ASSIGN_OR_RETURN(double score,
-                         ScoreItem(*version, uid, epoch, weights, item, timer));
+  Result<double> score = ScoreItem(*version, uid, epoch, weights, item, timer);
+  if (!score.ok()) {
+    // Transient storage failure (drops, partitions, deadline misses):
+    // serve a bounded degraded answer instead of erroring the request.
+    // Definitive errors (unknown item, decode failure) still propagate.
+    if (options_.degrade_on_unavailable && score.status().IsUnavailable()) {
+      return DegradedAnswer(uid, item.id, timer);
+    }
+    return score.status();
+  }
   ScoredItem out;
   out.item_id = item.id;
-  out.score = score;
+  out.score = score.value();
   return out;
 }
 
@@ -398,20 +441,36 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
 
   const bool needs_uncertainty = policy != nullptr;
   std::vector<BanditCandidate> scored(candidates.size());
+  std::vector<bool> candidate_degraded(candidates.size(), false);
+  bool any_degraded = false;
   DenseVector features;
   for (size_t i = 0; i < candidates.size(); ++i) {
     // When the policy needs uncertainty, ScoreItem hands back the
     // features it resolved for scoring — one resolution serves both
     // uses, with no second cache/storage round-trip.
-    VELOX_ASSIGN_OR_RETURN(
-        double score, ScoreItem(*version, uid, epoch, weights, candidates[i], timer,
-                                needs_uncertainty ? &features : nullptr));
+    Result<double> score = ScoreItem(*version, uid, epoch, weights, candidates[i],
+                                     timer, needs_uncertainty ? &features : nullptr);
     scored[i].item_id = candidates[i].id;
-    scored[i].score = score;
-    if (needs_uncertainty) {
-      StageTimer::Scope bandit(timer, Stage::kBanditOrder);
-      scored[i].uncertainty = weights_->Uncertainty(uid, features);
+    if (score.ok()) {
+      scored[i].score = score.value();
+      if (needs_uncertainty) {
+        StageTimer::Scope bandit(timer, Stage::kBanditOrder);
+        scored[i].uncertainty = weights_->Uncertainty(uid, features);
+      }
+      continue;
     }
+    // A transiently-unresolvable candidate gets a degraded score (and
+    // zero uncertainty — a degraded pick should never look like an
+    // attractive exploration target); the rest of the set still gets
+    // real scores. Definitive errors fail the whole request.
+    if (!options_.degrade_on_unavailable || !score.status().IsUnavailable()) {
+      return score.status();
+    }
+    ScoredItem fallback = DegradedAnswer(uid, candidates[i].id, timer);
+    scored[i].score = fallback.score;
+    scored[i].uncertainty = 0.0;
+    candidate_degraded[i] = true;
+    any_degraded = true;
   }
 
   StageTimer::Scope bandit(timer, Stage::kBanditOrder);
@@ -425,11 +484,13 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
 
   TopKResult result;
   result.model_version = version->version;
+  result.degraded = any_degraded;
   size_t take = std::min(k, order.size());
   result.items.reserve(take);
   for (size_t i = 0; i < take; ++i) {
     const BanditCandidate& c = scored[order[i]];
-    result.items.push_back(ScoredItem{c.item_id, c.score, c.uncertainty});
+    result.items.push_back(
+        ScoredItem{c.item_id, c.score, c.uncertainty, candidate_degraded[order[i]]});
   }
   result.top_is_exploratory =
       !order.empty() && order[0] != BanditPolicy::GreedyTop(scored);

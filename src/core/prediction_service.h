@@ -17,9 +17,13 @@
 #ifndef VELOX_CORE_PREDICTION_SERVICE_H_
 #define VELOX_CORE_PREDICTION_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
+
+#include "common/lru.h"
 
 #include "common/metrics.h"
 #include "common/random.h"
@@ -53,8 +57,11 @@ class FeatureResolver {
   // Resolves features for `item` under `version`. When `served_remote`
   // is non-null it reports whether the resolution crossed the network
   // (distributed mode, factor served by a non-origin replica).
+  // `report`, when non-null, receives the storage op trace (attempts,
+  // hedges, simulated backoff) in distributed mode.
   Result<DenseVector> Resolve(const ModelVersion& version, const Item& item,
-                              bool* served_remote = nullptr) const;
+                              bool* served_remote = nullptr,
+                              StorageOpReport* report = nullptr) const;
 
   bool is_distributed() const { return client_ != nullptr; }
   // Table name for a given version (distributed mode).
@@ -73,6 +80,10 @@ struct ScoredItem {
   uint64_t item_id = 0;
   double score = 0.0;
   double uncertainty = 0.0;
+  // True when feature resolution ultimately failed and the score is a
+  // degraded answer (stale cached score or the bootstrap-mean score)
+  // rather than w_u' f(x, theta).
+  bool degraded = false;
 };
 
 struct TopKResult {
@@ -82,6 +93,8 @@ struct TopKResult {
   // the signal that the eventual observation is exploration-sourced.
   bool top_is_exploratory = false;
   int32_t model_version = 0;
+  // True when any candidate's score is degraded.
+  bool degraded = false;
 };
 
 struct PredictionServiceOptions {
@@ -98,6 +111,16 @@ struct PredictionServiceOptions {
   // Off forces the pure-double streaming scan; planes holding
   // non-finite factors fall back automatically.
   bool topk_mixed_precision = true;
+  // Graceful degradation (Clipper-style bounded answers): when feature
+  // resolution ultimately fails with a *transient* error (Unavailable —
+  // drops, partitions, deadline misses), serve the last known score for
+  // the (uid, item) pair, or the bootstrap-mean score when none exists,
+  // flagged `degraded` — instead of erroring the request. Definitive
+  // errors (NotFound) still propagate.
+  bool degrade_on_unavailable = true;
+  // Capacity of the stale-score board backing the first degradation
+  // rung (last computed score per (uid, item), any epoch/version).
+  size_t stale_score_capacity = 1 << 16;
 };
 
 class PredictionService {
@@ -174,6 +197,28 @@ class PredictionService {
 
   const PredictionServiceOptions& options() const { return options_; }
 
+  // Degraded answers served so far, split by rung: stale-score board
+  // hits vs bootstrap-mean fallbacks.
+  uint64_t degraded_count() const {
+    return degraded_stale_.load(std::memory_order_relaxed) +
+           degraded_mean_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_stale_count() const {
+    return degraded_stale_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_mean_count() const {
+    return degraded_mean_.load(std::memory_order_relaxed);
+  }
+
+  // The bootstrap-mean score: running mean of every successfully
+  // computed score (0.0 before any request completes) — the final rung
+  // of the degradation ladder. Public so tests can pin degraded answers
+  // bit-for-bit.
+  double fallback_score() const {
+    std::lock_guard<std::mutex> lock(fallback_mu_);
+    return score_count_ == 0 ? 0.0 : score_sum_ / static_cast<double>(score_count_);
+  }
+
  private:
   // Score one item for a user; uses/fills both caches. When
   // `features_out` is non-null the resolved features are returned
@@ -183,6 +228,17 @@ class PredictionService {
                            uint64_t user_epoch, const DenseVector& weights,
                            const Item& item, StageTimer& timer,
                            DenseVector* features_out = nullptr);
+
+  // Records a successfully computed score: feeds the running bootstrap
+  // mean and the stale-score board (keyed (uid, item), any
+  // epoch/version) so later transient failures have something to serve.
+  void NoteScore(uint64_t uid, uint64_t item_id, double score);
+
+  // The degradation ladder: last known score for (uid, item) if the
+  // stale board has one, else the bootstrap-mean score. Returns the
+  // degraded ScoredItem and bumps the matching counter. Callers have
+  // already decided the failure is transient.
+  ScoredItem DegradedAnswer(uint64_t uid, uint64_t item_id, StageTimer& timer);
 
   // Scans `plane` for one user's weights; shared by TopKAll and
   // TopKAllBatch. `parallel` shards across scan_pool_ when profitable.
@@ -199,6 +255,16 @@ class PredictionService {
   FeatureResolver resolver_;
   ThreadPool* scan_pool_ = nullptr;
   StageRegistry* stages_ = nullptr;
+
+  // Degradation state. The stale board reuses PredictionKey with
+  // epoch/version zeroed: unlike the prediction cache, a stale entry is
+  // *meant* to survive epoch bumps — that is what makes it stale.
+  LruCache<PredictionKey, double, PredictionKeyHash> stale_scores_;
+  mutable std::mutex fallback_mu_;
+  double score_sum_ = 0.0;
+  uint64_t score_count_ = 0;
+  std::atomic<uint64_t> degraded_stale_{0};
+  std::atomic<uint64_t> degraded_mean_{0};
 };
 
 }  // namespace velox

@@ -146,11 +146,17 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
                                   version);
     VELOX_RETURN_NOT_OK(storage_->CreateTable(table));
     for (const auto& [item_id, factor] : materialized->table()) {
-      VELOX_ASSIGN_OR_RETURN(NodeId owner, storage_->OwnerOf(item_id));
+      // Every replica gets the factor, not just the primary: reads fall
+      // back (and hedge) along the whole replica list, so a
+      // primary-only write would turn every failover into a definitive
+      // NotFound.
+      VELOX_ASSIGN_OR_RETURN(std::vector<NodeId> owners, storage_->OwnersOf(item_id));
       Value encoded = EncodeFactor(factor);
-      storage_->network()->Charge(0, owner, encoded.size());
-      VELOX_ASSIGN_OR_RETURN(KvTable * t, storage_->store(owner)->GetTable(table));
-      t->Put(item_id, std::move(encoded));
+      for (NodeId owner : owners) {
+        storage_->network()->Charge(0, owner, encoded.size());
+        VELOX_ASSIGN_OR_RETURN(KvTable * t, storage_->store(owner)->GetTable(table));
+        VELOX_RETURN_NOT_OK(t->Put(item_id, encoded));
+      }
     }
   }
 

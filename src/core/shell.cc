@@ -43,6 +43,7 @@ std::string VeloxShell::HelpText() {
       "  versions                    model version history\n"
       "  report                      quality + cache/network statistics\n"
       "  stages                      per-stage latency breakdown\n"
+      "  fail <node>                 crash a node (ring remaps to survivors)\n"
       "  save <path>                 write a model snapshot\n"
       "  load <path>                 install a model snapshot\n"
       "  help                        this text";
@@ -83,6 +84,7 @@ Result<std::string> VeloxShell::Execute(const std::string& line) {
   }
   if (cmd == "save") return CmdSave(args);
   if (cmd == "load") return CmdLoad(args);
+  if (cmd == "fail") return CmdFail(args);
   return Status::InvalidArgument("unknown command '" + cmd + "' (try `help`)");
 }
 
@@ -182,7 +184,35 @@ Result<std::string> VeloxShell::CmdReport() {
                   100.0 * net.RemoteFraction(),
                   static_cast<unsigned long long>(net.local_messages +
                                                   net.remote_messages));
+  auto sc = server_->AggregatedStorageStats();
+  uint64_t degraded = server_->DegradedCount();
+  if (net.dropped_messages > 0 || net.timed_out_messages > 0 || sc.retries > 0 ||
+      sc.hedged_reads > 0 || sc.deadline_misses > 0 || sc.partial_writes > 0 ||
+      sc.failovers > 0 || degraded > 0) {
+    os << "\n"
+       << StrFormat(
+              "storage faults: dropped=%llu timeouts=%llu retries=%llu "
+              "hedged=%llu(won %llu) failovers=%llu deadline_misses=%llu "
+              "partial_writes=%llu degraded=%llu",
+              static_cast<unsigned long long>(net.dropped_messages),
+              static_cast<unsigned long long>(net.timed_out_messages),
+              static_cast<unsigned long long>(sc.retries),
+              static_cast<unsigned long long>(sc.hedged_reads),
+              static_cast<unsigned long long>(sc.hedge_wins),
+              static_cast<unsigned long long>(sc.failovers),
+              static_cast<unsigned long long>(sc.deadline_misses),
+              static_cast<unsigned long long>(sc.partial_writes),
+              static_cast<unsigned long long>(degraded));
+  }
   return os.str();
+}
+
+Result<std::string> VeloxShell::CmdFail(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: fail <node>");
+  VELOX_ASSIGN_OR_RETURN(uint64_t node, ParseId(args[0], "node"));
+  VELOX_RETURN_NOT_OK(server_->FailNode(static_cast<NodeId>(node)));
+  return StrFormat("node %llu failed; ownership remapped to survivors",
+                   static_cast<unsigned long long>(node));
 }
 
 Result<std::string> VeloxShell::CmdSave(const std::vector<std::string>& args) {

@@ -49,6 +49,7 @@ class VeloxShell {
   Result<std::string> CmdRollback(const std::vector<std::string>& args);
   Result<std::string> CmdVersions();
   Result<std::string> CmdReport();
+  Result<std::string> CmdFail(const std::vector<std::string>& args);
   Result<std::string> CmdSave(const std::vector<std::string>& args);
   Result<std::string> CmdLoad(const std::vector<std::string>& args);
 

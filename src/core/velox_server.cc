@@ -38,7 +38,8 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
   std::vector<NodeComponents> scheduler_nodes;
   for (int32_t n = 0; n < config_.num_nodes; ++n) {
     auto node = std::make_unique<PerNode>();
-    node->client = std::make_unique<StorageClient>(storage_.get(), n);
+    node->client =
+        std::make_unique<StorageClient>(storage_.get(), n, config_.storage_client);
     node->bootstrapper = std::make_unique<Bootstrapper>(config_.dim);
     UserWeightStoreOptions wopts;
     wopts.dim = config_.dim;
@@ -53,6 +54,7 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
     PredictionServiceOptions popts;
     popts.use_feature_cache = config_.use_feature_cache;
     popts.use_prediction_cache = config_.use_prediction_cache;
+    popts.degrade_on_unavailable = config_.degrade_on_unavailable;
     FeatureResolver resolver =
         config_.distribute_item_features
             ? FeatureResolver(node->client.get(),
@@ -63,8 +65,10 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
         node->feature_cache.get(), node->prediction_cache.get(), std::move(resolver));
     node->prediction_service->SetScanPool(scan_pool_.get());
 
+    OnlineUpdaterOptions uopts = config_.updater;
+    uopts.degrade_on_unavailable = config_.degrade_on_unavailable;
     node->updater = std::make_unique<OnlineUpdater>(
-        config_.updater, model_.get(), registry_.get(), node->weights.get(),
+        uopts, model_.get(), registry_.get(), node->weights.get(),
         node->prediction_service.get(), evaluator_.get(), node->client.get());
 
     node->stages = std::make_unique<StageRegistry>();
@@ -263,6 +267,30 @@ std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
       ->Increment(net.remote_messages);
   target->GetCounter(prefix + "network.local_messages")->Reset();
   target->GetCounter(prefix + "network.local_messages")->Increment(net.local_messages);
+  target->GetCounter(prefix + "network.dropped_messages")->Reset();
+  target->GetCounter(prefix + "network.dropped_messages")
+      ->Increment(net.dropped_messages);
+  target->GetCounter(prefix + "network.timed_out_messages")->Reset();
+  target->GetCounter(prefix + "network.timed_out_messages")
+      ->Increment(net.timed_out_messages);
+
+  // Storage fault handling: how hard the clients had to work, and how
+  // often the serving path fell back to a degraded answer.
+  StorageClientStats sc = AggregatedStorageStats();
+  auto set_counter = [&](const std::string& name, uint64_t v) {
+    Counter* c = target->GetCounter(prefix + name);
+    c->Reset();
+    c->Increment(v);
+  };
+  set_counter("storage.retries", sc.retries);
+  set_counter("storage.hedged_reads", sc.hedged_reads);
+  set_counter("storage.hedge_wins", sc.hedge_wins);
+  set_counter("storage.deadline_misses", sc.deadline_misses);
+  set_counter("storage.failovers", sc.failovers);
+  set_counter("storage.partial_writes", sc.partial_writes);
+  target->GetGauge(prefix + "storage.backoff_nanos")
+      ->Set(static_cast<double>(sc.backoff_nanos));
+  set_counter("storage.degraded", DegradedCount());
 
   EvaluatorReport quality = evaluator_->Report();
   target->GetGauge(prefix + "quality.mean_online_loss")->Set(quality.mean_online_loss);
@@ -356,6 +384,30 @@ ServerCacheStats VeloxServer::AggregatedCacheStats() const {
     agg.prediction.entries += p.entries;
   }
   return agg;
+}
+
+StorageClientStats VeloxServer::AggregatedStorageStats() const {
+  StorageClientStats agg;
+  for (const auto& node : per_node_) {
+    StorageClientStats s = node->client->stats();
+    agg.retries += s.retries;
+    agg.hedged_reads += s.hedged_reads;
+    agg.hedge_wins += s.hedge_wins;
+    agg.deadline_misses += s.deadline_misses;
+    agg.failovers += s.failovers;
+    agg.partial_writes += s.partial_writes;
+    agg.backoff_nanos += s.backoff_nanos;
+  }
+  return agg;
+}
+
+uint64_t VeloxServer::DegradedCount() const {
+  uint64_t total = 0;
+  for (const auto& node : per_node_) {
+    total += node->prediction_service->degraded_count();
+    total += node->updater->degraded_count();
+  }
+  return total;
 }
 
 void VeloxServer::ResetCacheStats() {

@@ -76,6 +76,14 @@ struct VeloxServerConfig {
   // operator polling MaybeRetrain(). 0 = manual only.
   int64_t auto_retrain_check_every = 0;
 
+  // Per-node storage clients: retry/backoff, per-op deadlines, hedged
+  // replica reads. Benches flip these off for the no-fault-tolerance
+  // baseline.
+  StorageClientOptions storage_client;
+  // Serve bounded degraded answers (stale score / bootstrap mean) when
+  // feature resolution fails transiently, instead of erroring requests.
+  bool degrade_on_unavailable = true;
+
   OnlineUpdaterOptions updater;
   EvaluatorOptions evaluator;
   RetrainSchedulerOptions retrain;
@@ -176,6 +184,11 @@ class VeloxServer {
 
   ServerCacheStats AggregatedCacheStats() const;
   void ResetCacheStats();
+  // Storage fault-handling counters summed across every node's client
+  // (retries, hedges, deadline misses, partial writes, backoff nanos).
+  StorageClientStats AggregatedStorageStats() const;
+  // Degraded answers served across all nodes (predict + observe paths).
+  uint64_t DegradedCount() const;
   NetworkStats NetworkStatistics() const { return storage_->network()->stats(); }
   void ResetNetworkStats() { storage_->network()->ResetStats(); }
   size_t TotalUsers() const;

@@ -16,9 +16,13 @@ Result<Value> KvTable::Get(Key key) const {
   return partitions_[static_cast<size_t>(partitioner_.PartitionForKey(key))]->Get(key);
 }
 
-void KvTable::Put(Key key, Value value) {
+Status KvTable::Put(Key key, Value value) {
+  if (fail_writes_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("table '" + name_ + "' is rejecting writes");
+  }
   partitions_[static_cast<size_t>(partitioner_.PartitionForKey(key))]->Put(
       key, std::move(value));
+  return Status::OK();
 }
 
 Status KvTable::Delete(Key key) {
@@ -58,6 +62,7 @@ Result<KvTable*> KvStore::CreateTable(const std::string& name, int32_t num_parti
     return Status::AlreadyExists("table exists: " + name);
   }
   auto table = std::make_unique<KvTable>(name, num_partitions);
+  table->SetFailWrites(fail_writes_);
   KvTable* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;
@@ -75,6 +80,7 @@ KvTable* KvStore::GetOrCreateTable(const std::string& name, int32_t num_partitio
   auto it = tables_.find(name);
   if (it != tables_.end()) return it->second.get();
   auto table = std::make_unique<KvTable>(name, num_partitions);
+  table->SetFailWrites(fail_writes_);
   KvTable* ptr = table.get();
   tables_[name] = std::move(table);
   return ptr;
@@ -92,6 +98,12 @@ std::vector<std::string> KvStore::TableNames() const {
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
   return names;
+}
+
+void KvStore::SetFailWrites(bool fail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_writes_ = fail;
+  for (auto& [name, table] : tables_) table->SetFailWrites(fail);
 }
 
 uint64_t KvStore::TotalSizeBytes() const {

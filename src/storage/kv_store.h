@@ -6,6 +6,7 @@
 #ifndef VELOX_STORAGE_KV_STORE_H_
 #define VELOX_STORAGE_KV_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,9 +27,17 @@ class KvTable {
   int32_t num_partitions() const { return partitioner_.num_partitions(); }
 
   Result<Value> Get(Key key) const;
-  void Put(Key key, Value value);
+  // Inserts or overwrites. Fails (Unavailable) while the table is
+  // rejecting writes — replica-write callers must check this or
+  // replicas silently diverge.
+  Status Put(Key key, Value value);
   Status Delete(Key key);
   bool Contains(Key key) const;
+
+  // Simulates a wedged replica (disk full, read-only remount): reads
+  // keep working, writes fail until cleared.
+  void SetFailWrites(bool fail) { fail_writes_.store(fail, std::memory_order_relaxed); }
+  bool fail_writes() const { return fail_writes_.load(std::memory_order_relaxed); }
 
   // Point-in-time copy of all rows (per-partition consistency).
   std::vector<std::pair<Key, Value>> Snapshot() const;
@@ -43,6 +52,7 @@ class KvTable {
   std::string name_;
   HashPartitioner partitioner_;
   std::vector<std::unique_ptr<Partition>> partitions_;
+  std::atomic<bool> fail_writes_{false};
 };
 
 class KvStore {
@@ -59,9 +69,14 @@ class KvStore {
   std::vector<std::string> TableNames() const;
   uint64_t TotalSizeBytes() const;
 
+  // Wedges (or un-wedges) every table on this store, existing and
+  // future: reads succeed, writes fail Unavailable.
+  void SetFailWrites(bool fail);
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<KvTable>> tables_;
+  bool fail_writes_ = false;
 };
 
 }  // namespace velox

@@ -1,37 +1,106 @@
-// StorageClient: node-bound access to the StorageCluster.
+// StorageClient: node-bound, fault-tolerant access to the StorageCluster.
 //
 // A client is constructed with an origin node (the node the calling
 // Velox predictor/manager process runs on). Every operation resolves
-// the owning node via the ring and charges the simulated network — a
-// local call when owner == origin, a remote RPC otherwise. This makes
+// the owning replicas via the ring and charges the simulated network —
+// a local call when owner == origin, a remote RPC otherwise. This makes
 // the paper's locality properties measurable: with uid-routing enabled
 // the user-weight table sees 100% local traffic; item-feature fetches
 // are remote unless cached.
+//
+// Robustness (Clipper-style bounded latency + "The Tail at Scale"):
+// under an injected fault plan (cluster/network.h) messages can drop,
+// time out, or slow down, so every operation runs inside a per-op
+// deadline of simulated nanoseconds, transient (Unavailable) failures
+// are retried with exponential backoff + jitter, and reads hedge to a
+// second replica when the primary's projected round trip exceeds the
+// hedge delay plus the secondary's. Definitive answers (NotFound, a
+// missing table) are never retried.
 #ifndef VELOX_STORAGE_STORAGE_CLIENT_H_
 #define VELOX_STORAGE_STORAGE_CLIENT_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 
+#include "common/random.h"
 #include "storage/storage_cluster.h"
 
 namespace velox {
 
+struct StorageClientOptions {
+  // Total delivery passes per op (each pass walks the replica list);
+  // 1 = no retries. Only transient (Unavailable) failures are retried.
+  int32_t max_attempts = 3;
+  // Backoff before retry k (1-based): base * multiplier^(k-1), then
+  // jittered by +/- backoff_jitter fraction. Charged to the simulated
+  // clock, never slept.
+  int64_t backoff_base_nanos = 500'000;  // 0.5ms
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.5;
+  // Per-op budget of simulated nanoseconds (message costs, fault
+  // timeouts, backoff and hedge waits all count against it). 0
+  // disables deadline enforcement.
+  int64_t op_deadline_nanos = 50'000'000;  // 50ms
+  // Hedged reads: when the projected primary round trip exceeds
+  // hedge_delay_nanos plus the projected round trip of another
+  // replica, race that replica (the abandoned primary request is still
+  // charged as wire traffic).
+  bool hedge_reads = true;
+  int64_t hedge_delay_nanos = 1'000'000;  // 1ms
+  // Seed for backoff jitter.
+  uint64_t seed = 0xbacf0ffULL;
+};
+
+// Monotone counters describing how hard the client had to work; the
+// serving layer surfaces these as storage.* metrics.
+struct StorageClientStats {
+  uint64_t retries = 0;           // delivery passes re-run after backoff
+  uint64_t hedged_reads = 0;      // secondary replica raced
+  uint64_t hedge_wins = 0;        // ...and served the read
+  uint64_t deadline_misses = 0;   // op abandoned at its deadline
+  uint64_t failovers = 0;         // read served by a non-primary replica
+  uint64_t partial_writes = 0;    // Put landed on some but not all replicas
+  int64_t backoff_nanos = 0;      // total simulated backoff + hedge waits
+};
+
+// Optional per-op trace for stage accounting and benches.
+struct StorageOpReport {
+  int32_t attempts = 1;
+  bool hedged = false;
+  bool deadline_missed = false;
+  // Simulated nanos the op spent waiting in backoff / hedge delays.
+  int64_t backoff_nanos = 0;
+  // Total simulated nanos the op consumed (messages + waits).
+  int64_t sim_nanos = 0;
+};
+
 class StorageClient {
  public:
-  StorageClient(StorageCluster* cluster, NodeId origin_node);
+  StorageClient(StorageCluster* cluster, NodeId origin_node,
+                StorageClientOptions options = {});
 
   NodeId origin() const { return origin_; }
+  const StorageClientOptions& options() const { return options_; }
 
   // Reads `key` from its primary owner, falling back along the replica
-  // list (replication_factor > 1) when a replica misses or is gone.
-  // When `was_remote` is non-null it reports whether the replica that
+  // list (replication_factor > 1) when a replica misses or is gone,
+  // hedging to a faster replica when the primary is slow, and retrying
+  // transient delivery failures under the op deadline. When
+  // `was_remote` is non-null it reports whether the replica that
   // served the read lives on a different node than the origin (i.e.
   // the read paid a network round-trip) — stage tracing uses this to
-  // split local vs. remote feature resolution.
-  Result<Value> Get(const std::string& table, Key key, bool* was_remote = nullptr);
-  // Writes `key` to every replica owner.
+  // split local vs. remote feature resolution. It is always assigned,
+  // false on every error path, so callers never read an indeterminate
+  // flag. `report`, when non-null, receives the op trace.
+  Result<Value> Get(const std::string& table, Key key, bool* was_remote = nullptr,
+                    StorageOpReport* report = nullptr);
+  // Writes `key` to every replica owner, retrying transiently failed
+  // replicas under the op deadline. Returns the first error when any
+  // replica ultimately failed (and counts a partial write if at least
+  // one replica took the value).
   Status Put(const std::string& table, Key key, Value value);
-  // Deletes from every replica; OK if any replica held the key.
+  // Deletes from every reachable replica; OK if any replica held the key.
   Status Delete(const std::string& table, Key key);
 
   // Appends to the *origin node's* observation-log shard (observation
@@ -42,14 +111,28 @@ class StorageClient {
   // Cluster-wide monotone logical timestamp.
   int64_t NextTimestamp() { return cluster_->NextTimestamp(); }
 
+  StorageClientStats stats() const;
+  void ResetStats();
+
  private:
-  // Resolves the owner and charges the network for a message carrying
-  // `payload_bytes`.
-  Result<KvTable*> RouteToTable(const std::string& table, Key key,
-                                uint64_t payload_bytes);
+  // Backoff for the transition into delivery pass `attempt` (>= 1),
+  // jittered. Charged to the network's wait ledger by the caller.
+  int64_t BackoffNanos(int32_t attempt);
 
   StorageCluster* cluster_;
   NodeId origin_;
+  StorageClientOptions options_;
+
+  std::mutex rng_mu_;
+  Rng rng_;
+
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> hedged_reads_{0};
+  std::atomic<uint64_t> hedge_wins_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> partial_writes_{0};
+  std::atomic<int64_t> backoff_nanos_{0};
 };
 
 }  // namespace velox

@@ -19,6 +19,15 @@ StorageCluster::StorageCluster(StorageClusterOptions options)
     stores_.push_back(std::make_unique<KvStore>());
     logs_.push_back(std::make_unique<ObservationLog>());
   }
+  if (options.inject_faults) network_.InjectFaults(options.faults);
+}
+
+Status StorageCluster::SetNodeFailWrites(NodeId node, bool fail) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::InvalidArgument(StrFormat("no such node %d", node));
+  }
+  stores_[static_cast<size_t>(node)]->SetFailWrites(fail);
+  return Status::OK();
 }
 
 Result<NodeId> StorageCluster::OwnerOf(Key key) const {

@@ -32,6 +32,11 @@ struct StorageClusterOptions {
   // replica list — the fault-tolerance role Tachyon plays in the paper.
   int32_t replication_factor = 1;
   NetworkOptions network;
+  // When set, the cluster constructs with this fault plan installed on
+  // its network (deterministic under faults.seed). Benches and tests
+  // can also install/adjust plans at runtime via network().
+  bool inject_faults = false;
+  FaultInjectionOptions faults;
 };
 
 class StorageCluster {
@@ -55,6 +60,10 @@ class StorageCluster {
 
   bool IsAlive(NodeId node) const;
   int32_t replication_factor() const { return replication_; }
+
+  // Wedges one node's stores (reads fine, writes rejected) — the
+  // partial-write fault the replica write path must surface.
+  Status SetNodeFailWrites(NodeId node, bool fail);
 
   // Cluster-wide logical timestamps: monotone across all nodes, used to
   // order observations from different log shards (windowed retraining).

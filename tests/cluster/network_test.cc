@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "cluster/cluster.h"
 
@@ -74,6 +76,105 @@ TEST(SimulatedNetworkTest, ConcurrentChargesAllAccounted) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(net.stats().remote_messages, 40000u);
+}
+
+TEST(SimulatedNetworkTest, FractionalBandwidthCostRounds) {
+  // Regression: nanos_per_byte * bytes used to be truncated, so
+  // 0.3 ns/B systematically undercharged. 0.3 * 5 = 1.5 must round to
+  // 2, not drop to 1.
+  NetworkOptions opts;
+  opts.local_call_nanos = 0;
+  opts.remote_latency_nanos = 1000;
+  opts.nanos_per_byte = 0.3;
+  SimulatedNetwork net(opts);
+  EXPECT_EQ(net.CostNanos(0, 1, 5), 1000 + 2);
+  // And the charged ledger total reflects the rounded cost exactly.
+  net.Charge(0, 1, 5);
+  net.Charge(0, 1, 5);
+  EXPECT_EQ(net.stats().charged_nanos, 2 * (1000 + 2));
+}
+
+TEST(SimulatedNetworkTest, DropPlanIsDeterministicAndCharged) {
+  auto run = [] {
+    SimulatedNetwork net(TestOptions());
+    FaultInjectionOptions faults;
+    faults.drop_probability = 0.5;
+    faults.timeout_nanos = 7777;
+    faults.seed = 42;
+    net.InjectFaults(faults);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) outcomes.push_back(net.TryCharge(0, 1, 8).ok());
+    return std::make_pair(outcomes, net.stats());
+  };
+  auto [outcomes_a, stats_a] = run();
+  auto [outcomes_b, stats_b] = run();
+  EXPECT_EQ(outcomes_a, outcomes_b);  // same seed => same fault sequence
+  EXPECT_EQ(stats_a.dropped_messages, stats_b.dropped_messages);
+  EXPECT_GT(stats_a.dropped_messages, 10u);
+  EXPECT_LT(stats_a.dropped_messages, 54u);
+  // Every failure charges exactly the sender's timeout wait.
+  int64_t expected = static_cast<int64_t>(stats_a.dropped_messages) * 7777 +
+                     static_cast<int64_t>(64 - stats_a.dropped_messages) *
+                         (10000 + 8);
+  EXPECT_EQ(stats_a.charged_nanos, expected);
+}
+
+TEST(SimulatedNetworkTest, LocalMessagesNeverFault) {
+  SimulatedNetwork net(TestOptions());
+  FaultInjectionOptions faults;
+  faults.drop_probability = 1.0;
+  net.InjectFaults(faults);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(net.TryCharge(3, 3, 100).ok());
+  }
+  EXPECT_EQ(net.stats().dropped_messages, 0u);
+}
+
+TEST(SimulatedNetworkTest, PartitionDropsBothDirections) {
+  SimulatedNetwork net(TestOptions());
+  net.SetPartitioned(0, 1, true);
+  EXPECT_TRUE(net.TryCharge(0, 1, 1).status().IsUnavailable());
+  EXPECT_TRUE(net.TryCharge(1, 0, 1).status().IsUnavailable());
+  EXPECT_TRUE(net.TryCharge(0, 2, 1).ok());  // other links unaffected
+  net.SetPartitioned(0, 1, false);
+  EXPECT_TRUE(net.TryCharge(0, 1, 1).ok());
+}
+
+TEST(SimulatedNetworkTest, LinkDropOverridesGlobalProbability) {
+  SimulatedNetwork net(TestOptions());
+  net.SetLinkDropProbability(0, 1, 1.0);
+  EXPECT_TRUE(net.TryCharge(0, 1, 1).status().IsUnavailable());
+  EXPECT_TRUE(net.TryCharge(1, 0, 1).ok());  // directed: reverse is clean
+  EXPECT_TRUE(net.TryCharge(0, 2, 1).ok());
+}
+
+TEST(SimulatedNetworkTest, SlowdownScalesCostAndHonorsMax) {
+  SimulatedNetwork net(TestOptions());
+  int64_t base = net.CostNanos(0, 1, 100);
+  net.SetNodeSlowdown(1, 4.0);
+  EXPECT_EQ(net.CostNanos(0, 1, 100), 4 * base);
+  EXPECT_EQ(net.CostNanos(1, 2, 100), 4 * base);  // from-side too
+  net.SetNodeSlowdown(0, 8.0);
+  EXPECT_EQ(net.CostNanos(0, 1, 100), 8 * base);  // max, not product
+  net.SetNodeSlowdown(1, 1.0);
+  net.SetNodeSlowdown(0, 1.0);
+  EXPECT_EQ(net.CostNanos(0, 1, 100), base);
+}
+
+TEST(SimulatedNetworkTest, WaitAndAbandonedAccounting) {
+  SimulatedClock clock;
+  SimulatedNetwork net(TestOptions(), &clock);
+  net.ChargeWait(5000);
+  EXPECT_EQ(net.stats().charged_nanos, 5000);
+  EXPECT_EQ(net.stats().remote_messages, 0u);
+  EXPECT_EQ(clock.NowNanos(), 5000);
+  // Abandoned messages occupy the wire (message + bytes) but cost no
+  // time: their latency overlapped an already-charged wait.
+  net.ChargeAbandoned(0, 1, 64);
+  auto stats = net.stats();
+  EXPECT_EQ(stats.remote_messages, 1u);
+  EXPECT_EQ(stats.remote_bytes, 64u);
+  EXPECT_EQ(stats.charged_nanos, 5000);
 }
 
 TEST(ClusterTest, AddAndLookupNodes) {

@@ -81,6 +81,21 @@ TEST(ConsistentHashRouterTest, KeysSpreadAcrossNodes) {
   }
 }
 
+TEST(ConsistentHashRouterTest, SmallKeysDoNotAliasVnodePositions) {
+  // Regression: vnode positions used to be MixHash((node << 32) | v) —
+  // the same function applied to raw keys — so key k < vnodes-per-node
+  // hashed exactly onto node 0's vnode (0, k) and lower_bound routed
+  // every small key to node 0. Small sequential uids (the common case)
+  // all piled onto one node, silently defeating routing locality and
+  // replica placement.
+  ConsistentHashRouter router(64);
+  for (NodeId n = 0; n < 4; ++n) ASSERT_TRUE(router.AddNode(n).ok());
+  std::map<NodeId, int> counts;
+  for (uint64_t k = 0; k < 64; ++k) ++counts[router.NodeForKey(k).value()];
+  EXPECT_GT(counts.size(), 1u) << "all small keys routed to a single node";
+  EXPECT_LT(counts[0], 48) << "node 0 still captures nearly all small keys";
+}
+
 TEST(ConsistentHashRouterTest, NodeRemovalOnlyRemapsItsKeys) {
   ConsistentHashRouter router(128);
   for (NodeId n = 0; n < 4; ++n) ASSERT_TRUE(router.AddNode(n).ok());

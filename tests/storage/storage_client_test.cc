@@ -131,6 +131,64 @@ TEST(StorageClientTest, AccessingOwnKeysIsLocal) {
   EXPECT_EQ(cluster.network()->stats().remote_messages, 0u);
 }
 
+TEST(StorageClientTest, PutSurfacesReplicaWriteFailure) {
+  // Regression: Put used to ignore each replica table's Put() status,
+  // reporting success while a wedged replica silently diverged.
+  StorageClusterOptions opts = SmallCluster(3);
+  opts.replication_factor = 2;
+  StorageCluster cluster(opts);
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+
+  const Key key = 11;
+  auto owners = cluster.OwnersOf(key).value();
+  ASSERT_EQ(owners.size(), 2u);
+  // Wedge the secondary replica's stores: reads fine, writes rejected.
+  ASSERT_TRUE(cluster.SetNodeFailWrites(owners[1], true).ok());
+
+  Status put = client.Put("t", key, Payload(7));
+  EXPECT_FALSE(put.ok()) << "write failed on a replica but Put reported success";
+  EXPECT_TRUE(put.IsUnavailable());
+  // The primary still took the write, so this is a partial write.
+  EXPECT_EQ(client.stats().partial_writes, 1u);
+  EXPECT_TRUE(cluster.store(owners[0])->GetTable("t").value()->Contains(key));
+  EXPECT_FALSE(cluster.store(owners[1])->GetTable("t").value()->Contains(key));
+
+  // Unwedged, the same write replicates cleanly and the error clears.
+  ASSERT_TRUE(cluster.SetNodeFailWrites(owners[1], false).ok());
+  EXPECT_TRUE(client.Put("t", key, Payload(7)).ok());
+  EXPECT_TRUE(cluster.store(owners[1])->GetTable("t").value()->Contains(key));
+}
+
+TEST(StorageClientTest, WasRemoteInitializedOnFailure) {
+  // Regression: when every replica fails, Get used to leave the
+  // caller's was_remote flag untouched (indeterminate).
+  StorageCluster cluster(SmallCluster(2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  bool was_remote = true;  // poisoned: must be overwritten
+  EXPECT_TRUE(client.Get("t", 999, &was_remote).status().IsNotFound());
+  EXPECT_FALSE(was_remote);
+
+  was_remote = true;
+  EXPECT_TRUE(client.Get("missing", 1, &was_remote).status().IsNotFound());
+  EXPECT_FALSE(was_remote);
+}
+
+TEST(StorageClientTest, OpReportCountsAttempts) {
+  StorageCluster cluster(SmallCluster(2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0);
+  ASSERT_TRUE(client.Put("t", 4, Payload(2)).ok());
+  StorageOpReport report;
+  ASSERT_TRUE(client.Get("t", 4, nullptr, &report).ok());
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_FALSE(report.hedged);
+  EXPECT_FALSE(report.deadline_missed);
+  EXPECT_EQ(report.backoff_nanos, 0);
+  EXPECT_GT(report.sim_nanos, 0);
+}
+
 TEST(StorageClientTest, ObservationsAppendToOriginShard) {
   StorageCluster cluster(SmallCluster(3));
   StorageClient c0(&cluster, 0);
