@@ -41,7 +41,7 @@ namespace {
 constexpr int64_t kNumItems = 300;
 constexpr int64_t kNumUsers = 50;
 constexpr size_t kRank = 6;  // dims 0-2 mainstream, 3-5 niche
-constexpr int kRounds = 8000;
+const int kRounds = bench::SmokeScaled(8000);
 constexpr int kCandidates = 20;
 
 Item MakeItem(uint64_t id) {

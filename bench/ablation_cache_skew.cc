@@ -23,7 +23,7 @@ namespace {
 
 constexpr int64_t kNumItems = 20000;
 constexpr int64_t kNumUsers = 2000;
-constexpr int kRequests = 40000;
+const int kRequests = bench::SmokeScaled(40000);
 
 Item MakeItem(uint64_t id) {
   Item item;

@@ -29,7 +29,7 @@
 namespace velox {
 namespace {
 
-constexpr int kRequests = 4000;
+const int kRequests = bench::SmokeScaled(4000);
 
 Item MakeItem(uint64_t id) {
   Item item;

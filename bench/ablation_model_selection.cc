@@ -24,7 +24,7 @@
 namespace velox {
 namespace {
 
-constexpr int kRequestsPerPhase = 4000;
+const int kRequestsPerPhase = bench::SmokeScaled(4000);
 
 Item MakeItem(uint64_t id) {
   Item item;

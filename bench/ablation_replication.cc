@@ -19,7 +19,7 @@
 namespace velox {
 namespace {
 
-constexpr int kObserves = 5000;
+const int kObserves = bench::SmokeScaled(5000);
 
 Item MakeItem(uint64_t id) {
   Item item;

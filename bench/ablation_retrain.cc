@@ -91,7 +91,7 @@ DriftOutcome RunScenario(bool auto_retrain, bool warm_caches) {
   // Concept drift: a long stream of inverted-taste observations; the
   // same stream for every deployment.
   DriftOutcome outcome;
-  const int drift_stream = 6000;
+  const int drift_stream = bench::SmokeScaled(6000);
   for (int i = 0; i < drift_stream; ++i) {
     const Observation& obs = data->ratings[rng.UniformU64(data->ratings.size())];
     VELOX_CHECK_OK(

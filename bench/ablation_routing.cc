@@ -26,7 +26,7 @@ namespace {
 
 constexpr int64_t kNumUsers = 4000;
 constexpr int64_t kNumItems = 2000;
-constexpr int kRequests = 20000;
+const int kRequests = bench::SmokeScaled(20000);
 
 Item MakeItem(uint64_t id) {
   Item item;

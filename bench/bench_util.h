@@ -5,11 +5,25 @@
 #define VELOX_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace velox::bench {
+
+// Smoke mode (VELOX_BENCH_SMOKE=1): CI builds every bench binary and
+// runs it at tiny sizes purely to prove each harness still executes
+// end to end — numbers from a smoke run are meaningless.
+inline bool SmokeMode() {
+  const char* v = std::getenv("VELOX_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+// Full-size workload normally, `smoke` iterations under smoke mode.
+inline int SmokeScaled(int full, int smoke = 50) {
+  return SmokeMode() ? smoke : full;
+}
 
 inline void Banner(const std::string& title, const std::string& paper_ref,
                    const std::string& notes) {

@@ -10,6 +10,7 @@
 
 #include "common/lru.h"
 #include "common/random.h"
+#include "core/feature_cache.h"
 #include "core/prediction_cache.h"
 #include "core/prediction_service.h"
 #include "linalg/cholesky.h"
@@ -146,6 +147,22 @@ void BM_LruPutEvict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LruPutEvict);
+
+// Feature-cache hit path: the cache stores shared_ptr<const
+// DenseVector>, so a hit is a refcount bump, not a vector copy.
+// Compare against BM_LruGetHit (which copies a 32-d vector out) to see
+// the per-hit allocation saved; the gap widens with factor dimension.
+void BM_FeatureCacheHit(benchmark::State& state) {
+  size_t d = static_cast<size_t>(state.range(0));
+  FeatureCache cache(4096, 8);
+  for (uint64_t i = 0; i < 2048; ++i) cache.Put(i, RandomVector(d, i));
+  Rng rng(23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(rng.UniformU64(2048)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FeatureCacheHit)->Arg(32)->Arg(100)->Arg(1000);
 
 void BM_PredictionCacheLookup(benchmark::State& state) {
   PredictionCache cache(1 << 16, 8);

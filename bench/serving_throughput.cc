@@ -16,7 +16,7 @@
 namespace velox {
 namespace {
 
-constexpr int kRequestsPerRun = 20000;
+const int kRequestsPerRun = bench::SmokeScaled(20000);
 
 void Run() {
   bench::Banner(

@@ -106,6 +106,16 @@ Result<int64_t> SimulatedNetwork::TryCharge(NodeId from, NodeId to, uint64_t byt
   return cost;
 }
 
+Result<int64_t> SimulatedNetwork::TryChargeBatch(NodeId from, NodeId to,
+                                                 uint64_t bytes, uint32_t keys) {
+  // One message on the wire regardless of key count: the header
+  // (latency) is paid once, the payload bytes sum. Counted before the
+  // fault roll — a dropped batch was still sent.
+  batched_messages_.fetch_add(1, std::memory_order_relaxed);
+  batched_keys_.fetch_add(keys, std::memory_order_relaxed);
+  return TryCharge(from, to, bytes);
+}
+
 void SimulatedNetwork::ChargeWait(int64_t nanos) {
   if (nanos <= 0) return;
   charged_nanos_.fetch_add(nanos, std::memory_order_relaxed);
@@ -187,6 +197,8 @@ NetworkStats SimulatedNetwork::stats() const {
   s.charged_nanos = charged_nanos_.load(std::memory_order_relaxed);
   s.dropped_messages = dropped_messages_.load(std::memory_order_relaxed);
   s.timed_out_messages = timed_out_messages_.load(std::memory_order_relaxed);
+  s.batched_messages = batched_messages_.load(std::memory_order_relaxed);
+  s.batched_keys = batched_keys_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -198,6 +210,8 @@ void SimulatedNetwork::ResetStats() {
   charged_nanos_.store(0, std::memory_order_relaxed);
   dropped_messages_.store(0, std::memory_order_relaxed);
   timed_out_messages_.store(0, std::memory_order_relaxed);
+  batched_messages_.store(0, std::memory_order_relaxed);
+  batched_keys_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace velox

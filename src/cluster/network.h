@@ -75,6 +75,11 @@ struct NetworkStats {
   // Fault-plan outcomes (all zero when no plan is installed).
   uint64_t dropped_messages = 0;
   uint64_t timed_out_messages = 0;
+  // Batched (MultiGet/MultiPut sub-batch) messages and the keys they
+  // carried. A batched message is also counted in the local/remote
+  // totals above: it is one message on the wire, whatever it carries.
+  uint64_t batched_messages = 0;
+  uint64_t batched_keys = 0;
 
   double RemoteFraction() const {
     uint64_t total = local_messages + remote_messages;
@@ -100,6 +105,14 @@ class SimulatedNetwork {
   // sender's timeout wait, counts the outcome, and returns Unavailable.
   // Equivalent to Charge() when no fault plan is installed.
   Result<int64_t> TryCharge(NodeId from, NodeId to, uint64_t bytes);
+
+  // Batched delivery: one message carrying `keys` keys worth of
+  // payload. Costs exactly one header charge (latency) plus the summed
+  // payload bytes — the round-trip amortization MultiGet/MultiPut
+  // exists for — and counts toward the batched_* stats. Faults apply
+  // to the message as a whole: a drop loses every key it carried.
+  Result<int64_t> TryChargeBatch(NodeId from, NodeId to, uint64_t bytes,
+                                 uint32_t keys);
 
   // Cost without recording (for what-if analysis and hedging
   // decisions). Includes per-node slowdown multipliers but not jitter.
@@ -152,6 +165,8 @@ class SimulatedNetwork {
   std::atomic<int64_t> charged_nanos_{0};
   std::atomic<uint64_t> dropped_messages_{0};
   std::atomic<uint64_t> timed_out_messages_{0};
+  std::atomic<uint64_t> batched_messages_{0};
+  std::atomic<uint64_t> batched_keys_{0};
 
   // True whenever a plan or any override is installed; lets the
   // fault-free hot path skip fault_mu_ entirely.

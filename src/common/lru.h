@@ -38,15 +38,20 @@ struct CacheStats {
 template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache {
  public:
-  // `capacity` is the total entry budget split evenly across shards.
+  // `capacity` is the total entry budget split across shards. The
+  // remainder is distributed one entry at a time (the first
+  // capacity % num_shards shards hold one extra) so the shard budgets
+  // sum to exactly `capacity` — rounding every shard up would let the
+  // cache hold up to num_shards-1 entries over budget.
   explicit LruCache(size_t capacity, size_t num_shards = 8) {
     VELOX_CHECK_GT(capacity, 0u);
     if (num_shards == 0) num_shards = 1;
     if (num_shards > capacity) num_shards = capacity;
-    size_t per_shard = (capacity + num_shards - 1) / num_shards;
+    size_t base = capacity / num_shards;
+    size_t remainder = capacity % num_shards;
     shards_.reserve(num_shards);
     for (size_t i = 0; i < num_shards; ++i) {
-      shards_.push_back(std::make_unique<Shard>(per_shard));
+      shards_.push_back(std::make_unique<Shard>(base + (i < remainder ? 1 : 0)));
     }
   }
 

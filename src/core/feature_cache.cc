@@ -5,11 +5,16 @@ namespace velox {
 FeatureCache::FeatureCache(size_t capacity, size_t num_shards)
     : cache_(capacity, num_shards) {}
 
-std::optional<DenseVector> FeatureCache::Get(uint64_t item_id) {
-  return cache_.Get(item_id);
+FeaturePtr FeatureCache::Get(uint64_t item_id) {
+  auto hit = cache_.Get(item_id);
+  return hit.has_value() ? std::move(*hit) : nullptr;
 }
 
 void FeatureCache::Put(uint64_t item_id, DenseVector features) {
+  cache_.Put(item_id, std::make_shared<const DenseVector>(std::move(features)));
+}
+
+void FeatureCache::Put(uint64_t item_id, FeaturePtr features) {
   cache_.Put(item_id, std::move(features));
 }
 

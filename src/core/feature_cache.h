@@ -10,7 +10,7 @@
 #define VELOX_CORE_FEATURE_CACHE_H_
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "common/lru.h"
@@ -18,12 +18,20 @@
 
 namespace velox {
 
+// Shared handle to an immutable cached factor. Entries are immutable
+// by construction (features only change when retraining installs a new
+// θ, which clears the cache wholesale), so hits hand out refcounted
+// pointers instead of copying the vector — a hit is allocation-free.
+using FeaturePtr = std::shared_ptr<const DenseVector>;
+
 class FeatureCache {
  public:
   explicit FeatureCache(size_t capacity, size_t num_shards = 8);
 
-  std::optional<DenseVector> Get(uint64_t item_id);
+  // nullptr on miss.
+  FeaturePtr Get(uint64_t item_id);
   void Put(uint64_t item_id, DenseVector features);
+  void Put(uint64_t item_id, FeaturePtr features);
   bool Invalidate(uint64_t item_id);
   // Full flush — the model-version-swap path.
   void Clear();
@@ -37,7 +45,7 @@ class FeatureCache {
   size_t size() const { return cache_.size(); }
 
  private:
-  LruCache<uint64_t, DenseVector> cache_;
+  LruCache<uint64_t, FeaturePtr> cache_;
 };
 
 }  // namespace velox

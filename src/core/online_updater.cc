@@ -28,7 +28,7 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
   StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
-  Result<DenseVector> resolved =
+  Result<FeaturePtr> resolved =
       prediction_service_->ResolveFeatures(*version, item, timer);
   if (!resolved.ok()) {
     // Transiently unresolvable features: the weight update is impossible
@@ -52,7 +52,7 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
     }
     return resolved.status();
   }
-  DenseVector features = std::move(resolved).value();
+  const DenseVector& features = *resolved.value();
 
   StageTimer::Scope solve(timer, Stage::kOnlineSolve);
   VELOX_ASSIGN_OR_RETURN(UserWeightStore::UpdateResult update,

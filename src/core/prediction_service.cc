@@ -4,6 +4,8 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <optional>
+#include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/logging.h"
@@ -256,6 +258,45 @@ Result<DenseVector> FeatureResolver::Resolve(const ModelVersion& version,
   return DecodeFactor(bytes);
 }
 
+std::vector<Result<DenseVector>> FeatureResolver::ResolveBatch(
+    const ModelVersion& version, const std::vector<Item>& items, bool* served_remote,
+    StorageOpReport* report) const {
+  if (served_remote != nullptr) *served_remote = false;
+  std::vector<Result<DenseVector>> out;
+  out.reserve(items.size());
+  if (client_ == nullptr) {
+    for (const Item& item : items) out.push_back(version.features->Features(item));
+    return out;
+  }
+  // Chunked so one giant batch cannot blow the per-op storage deadline:
+  // each chunk is its own MultiGet with its own retry/deadline budget.
+  constexpr size_t kMaxKeysPerOp = 256;
+  const std::string table = TableForVersion(version.version);
+  for (size_t begin = 0; begin < items.size(); begin += kMaxKeysPerOp) {
+    const size_t end = std::min(items.size(), begin + kMaxKeysPerOp);
+    std::vector<Key> keys;
+    keys.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) keys.push_back(items[i].id);
+    MultiGetResult got = client_->MultiGet(table, keys);
+    if (served_remote != nullptr && got.any_remote) *served_remote = true;
+    if (report != nullptr) {
+      report->attempts = std::max(report->attempts, got.report.attempts);
+      report->hedged |= got.report.hedged;
+      report->deadline_missed |= got.report.deadline_missed;
+      report->backoff_nanos += got.report.backoff_nanos;
+      report->sim_nanos += got.report.sim_nanos;
+    }
+    for (Result<Value>& v : got.values) {
+      if (v.ok()) {
+        out.push_back(DecodeFactor(v.value()));
+      } else {
+        out.push_back(v.status());
+      }
+    }
+  }
+  return out;
+}
+
 Value EncodeFactor(const DenseVector& v) {
   ByteWriter w;
   w.PutDoubleVector(v.values());
@@ -289,81 +330,207 @@ PredictionService::PredictionService(PredictionServiceOptions options,
   VELOX_CHECK(prediction_cache_ != nullptr);
 }
 
-Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& version,
-                                                       const Item& item) {
+Result<FeaturePtr> PredictionService::ResolveFeatures(const ModelVersion& version,
+                                                      const Item& item) {
   StageTimer untimed(nullptr);
   return ResolveFeatures(version, item, untimed);
 }
 
-Result<DenseVector> PredictionService::ResolveFeatures(const ModelVersion& version,
-                                                       const Item& item,
-                                                       StageTimer& timer) {
-  // Cache hits are always local; misses are classified by where the
-  // resolver actually served the factor from.
-  StageTimer::Scope span(timer, Stage::kFeatureResolveLocal);
+Result<FeaturePtr> PredictionService::ResolveFeatures(const ModelVersion& version,
+                                                      const Item& item,
+                                                      StageTimer& timer) {
+  coalesce_keys_.fetch_add(1, std::memory_order_relaxed);
   if (options_.use_feature_cache) {
-    auto cached = feature_cache_->Get(item.id);
-    if (cached.has_value()) return std::move(*cached);
+    // Hit fast path: a refcount bump, no allocation, no batch
+    // bookkeeping. Cache hits are always local.
+    StageTimer::Scope span(timer, Stage::kFeatureResolveLocal);
+    FeaturePtr hit = feature_cache_->Get(item.id);
+    if (hit != nullptr) {
+      coalesce_hits_.fetch_add(1, std::memory_order_relaxed);
+      return Result<FeaturePtr>(std::move(hit));
+    }
   }
-  bool remote = false;
+  std::vector<Result<FeaturePtr>> one = ResolveMisses(version, {item}, timer);
+  return std::move(one.front());
+}
+
+std::vector<Result<FeaturePtr>> PredictionService::BatchResolveFeatures(
+    const ModelVersion& version, const std::vector<Item>& items, StageTimer& timer) {
+  coalesce_keys_.fetch_add(items.size(), std::memory_order_relaxed);
+  std::vector<std::optional<Result<FeaturePtr>>> slots(items.size());
+
+  // Duplicate items fold into their first occurrence: one cache probe,
+  // one fetch, shared handle for every copy.
+  std::unordered_map<uint64_t, size_t> first;
+  first.reserve(items.size());
+  std::vector<size_t> rep_of(items.size());
+  std::vector<size_t> unique_pos;
+  unique_pos.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    auto [it, inserted] = first.emplace(items[i].id, i);
+    if (inserted) {
+      unique_pos.push_back(i);
+    } else {
+      coalesce_merged_.fetch_add(1, std::memory_order_relaxed);
+    }
+    rep_of[i] = it->second;
+  }
+
+  // One cache probe per unique item — the same per-item probe
+  // discipline as the per-key path, so cache counters stay faithful.
+  std::vector<Item> misses;
+  std::vector<size_t> miss_pos;
+  {
+    StageTimer::Scope span(timer, Stage::kFeatureResolveLocal);
+    for (size_t pos : unique_pos) {
+      if (options_.use_feature_cache) {
+        FeaturePtr hit = feature_cache_->Get(items[pos].id);
+        if (hit != nullptr) {
+          coalesce_hits_.fetch_add(1, std::memory_order_relaxed);
+          slots[pos] = Result<FeaturePtr>(std::move(hit));
+          continue;
+        }
+      }
+      misses.push_back(items[pos]);
+      miss_pos.push_back(pos);
+    }
+  }
+
+  if (!misses.empty()) {
+    std::vector<Result<FeaturePtr>> resolved = ResolveMisses(version, misses, timer);
+    for (size_t j = 0; j < misses.size(); ++j) {
+      slots[miss_pos[j]] = std::move(resolved[j]);
+    }
+  }
+
+  std::vector<Result<FeaturePtr>> out;
+  out.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) out.push_back(*slots[rep_of[i]]);
+  return out;
+}
+
+std::vector<Result<FeaturePtr>> PredictionService::ResolveMisses(
+    const ModelVersion& version, const std::vector<Item>& misses, StageTimer& timer) {
+  std::vector<std::optional<Result<FeaturePtr>>> out(misses.size());
+  StageTimer::Scope span(timer, Stage::kFeatureResolveLocal);
+
+  // Claim each miss: the inserter owns the fetch, everyone else waits
+  // on the owner's Flight and shares its result.
+  struct Claim {
+    std::shared_ptr<Flight> flight;
+    bool won = false;
+  };
+  std::vector<Claim> claims(misses.size());
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    for (size_t i = 0; i < misses.size(); ++i) {
+      auto [it, inserted] =
+          flights_.emplace(std::make_pair(version.version, misses[i].id), nullptr);
+      if (inserted) it->second = std::make_shared<Flight>();
+      claims[i].flight = it->second;
+      claims[i].won = inserted;
+    }
+  }
+
+  std::vector<size_t> won;
+  std::vector<Item> fetch;
+  for (size_t i = 0; i < misses.size(); ++i) {
+    if (!claims[i].won) continue;
+    won.push_back(i);
+    fetch.push_back(misses[i]);
+  }
+
+  bool any_remote = false;
   StorageOpReport report;
-  Result<DenseVector> resolved = resolver_.Resolve(version, item, &remote, &report);
-  span.Stop(remote ? Stage::kFeatureResolveRemote : Stage::kFeatureResolveLocal);
+  if (!fetch.empty()) {
+    coalesce_fetches_.fetch_add(fetch.size(), std::memory_order_relaxed);
+    std::vector<Result<DenseVector>> fetched =
+        resolver_.ResolveBatch(version, fetch, &any_remote, &report);
+    for (size_t j = 0; j < won.size(); ++j) {
+      const size_t i = won[j];
+      Flight& flight = *claims[i].flight;
+      if (fetched[j].ok()) {
+        auto ptr = std::make_shared<const DenseVector>(std::move(fetched[j]).value());
+        if (options_.use_feature_cache) feature_cache_->Put(misses[i].id, ptr);
+        {
+          std::lock_guard<std::mutex> lock(flight.mu);
+          flight.finished = true;
+          flight.value = ptr;
+        }
+        out[i] = Result<FeaturePtr>(std::move(ptr));
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(flight.mu);
+          flight.finished = true;
+          flight.status = fetched[j].status();
+        }
+        out[i] = fetched[j].status();
+      }
+      flight.cv.notify_all();
+      // Retire the flight: waiters hold their own shared_ptr, and a
+      // failed fetch must be retried by the next request, not pinned.
+      {
+        std::lock_guard<std::mutex> lock(flights_mu_);
+        auto it = flights_.find(std::make_pair(version.version, misses[i].id));
+        if (it != flights_.end() && it->second == claims[i].flight) flights_.erase(it);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < misses.size(); ++i) {
+    if (claims[i].won) continue;
+    coalesce_flight_waits_.fetch_add(1, std::memory_order_relaxed);
+    Flight& flight = *claims[i].flight;
+    std::unique_lock<std::mutex> lock(flight.mu);
+    flight.cv.wait(lock, [&flight] { return flight.finished; });
+    out[i] = flight.status.ok() ? Result<FeaturePtr>(flight.value)
+                                : Result<FeaturePtr>(flight.status);
+  }
+
+  span.Stop(any_remote ? Stage::kFeatureResolveRemote : Stage::kFeatureResolveLocal);
   // Simulated retry/hedge waits are logically part of the resolve but
   // belong to their own stage in the breakdown: they measure the fault
   // plan, not the storage path.
   if (report.backoff_nanos > 0) {
     timer.Add(Stage::kStorageBackoff, static_cast<double>(report.backoff_nanos) / 1e3);
   }
-  if (!resolved.ok()) return resolved.status();
-  if (options_.use_feature_cache) {
-    feature_cache_->Put(item.id, resolved.value());
-  }
-  return resolved;
+
+  std::vector<Result<FeaturePtr>> ret;
+  ret.reserve(misses.size());
+  for (size_t i = 0; i < misses.size(); ++i) ret.push_back(std::move(*out[i]));
+  return ret;
+}
+
+size_t PredictionService::WarmFeatures(const ModelVersion& version,
+                                       const std::vector<uint64_t>& item_ids) {
+  if (item_ids.empty()) return 0;
+  std::vector<Item> items(item_ids.size());
+  for (size_t i = 0; i < item_ids.size(); ++i) items[i].id = item_ids[i];
+  StageTimer untimed(nullptr);
+  std::vector<Result<FeaturePtr>> resolved =
+      BatchResolveFeatures(version, items, untimed);
+  size_t warmed = 0;
+  for (const auto& r : resolved) warmed += r.ok() ? 1 : 0;
+  return warmed;
 }
 
 Result<double> PredictionService::ScoreItem(const ModelVersion& version, uint64_t uid,
                                             uint64_t user_epoch,
                                             const DenseVector& weights,
-                                            const Item& item, StageTimer& timer,
-                                            DenseVector* features_out) {
+                                            const Item& item, StageTimer& timer) {
   PredictionKey key{uid, item.id, user_epoch, version.version};
-  if (features_out == nullptr) {
-    if (options_.use_prediction_cache) {
-      StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
-      auto cached = prediction_cache_->Get(key);
-      if (cached.has_value()) return *cached;
-    }
-    VELOX_ASSIGN_OR_RETURN(DenseVector features, ResolveFeatures(version, item, timer));
-    if (features.dim() != weights.dim()) {
-      return Status::Internal(StrFormat("feature dim %zu != weight dim %zu",
-                                        features.dim(), weights.dim()));
-    }
-    StageTimer::Scope kernel(timer, Stage::kKernelScore);
-    double score = Dot(weights, features);
-    kernel.Stop();
-    if (options_.use_prediction_cache) {
-      prediction_cache_->Put(key, score);
-    }
-    NoteScore(uid, item.id, score);
-    return score;
-  }
-
-  // The caller needs the features regardless of a score-cache hit
-  // (e.g. for bandit uncertainty), so resolve them exactly once up
-  // front and share that resolution with the scoring path.
-  VELOX_ASSIGN_OR_RETURN(*features_out, ResolveFeatures(version, item, timer));
   if (options_.use_prediction_cache) {
     StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
     auto cached = prediction_cache_->Get(key);
     if (cached.has_value()) return *cached;
   }
-  if (features_out->dim() != weights.dim()) {
+  VELOX_ASSIGN_OR_RETURN(FeaturePtr features, ResolveFeatures(version, item, timer));
+  if (features->dim() != weights.dim()) {
     return Status::Internal(StrFormat("feature dim %zu != weight dim %zu",
-                                      features_out->dim(), weights.dim()));
+                                      features->dim(), weights.dim()));
   }
   StageTimer::Scope kernel(timer, Stage::kKernelScore);
-  double score = Dot(weights, *features_out);
+  double score = Dot(weights, *features);
   kernel.Stop();
   if (options_.use_prediction_cache) {
     prediction_cache_->Put(key, score);
@@ -422,6 +589,78 @@ Result<ScoredItem> PredictionService::Predict(uint64_t uid, const Item& item) {
   return out;
 }
 
+Result<std::vector<ScoredItem>> PredictionService::PredictBatch(
+    uint64_t uid, const std::vector<Item>& items) {
+  std::vector<ScoredItem> out(items.size());
+  if (items.empty()) return out;
+  StageTimer timer(stages_);
+  VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
+                         registry_->Current());
+  StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
+  DenseVector weights =
+      weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
+  uint64_t epoch = weights_->Epoch(uid);
+  lookup.Stop();
+
+  // Phase 1: one prediction-cache probe per item, exactly like the
+  // per-key path.
+  std::vector<std::optional<double>> cached_scores(items.size());
+  if (options_.use_prediction_cache) {
+    StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
+    for (size_t i = 0; i < items.size(); ++i) {
+      cached_scores[i] =
+          prediction_cache_->Get(PredictionKey{uid, items[i].id, epoch,
+                                               version->version});
+    }
+  }
+
+  // Phase 2: the misses resolve features through the coalescer — one
+  // batched storage fetch for the whole request, duplicates merged.
+  std::vector<Item> to_score;
+  std::vector<size_t> score_pos;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (cached_scores[i].has_value()) {
+      out[i].item_id = items[i].id;
+      out[i].score = *cached_scores[i];
+    } else {
+      to_score.push_back(items[i]);
+      score_pos.push_back(i);
+    }
+  }
+  std::vector<Result<FeaturePtr>> features =
+      BatchResolveFeatures(*version, to_score, timer);
+
+  // Phase 3: score. Scores are w_u' f — the same Dot over the same
+  // resolved factors the per-key path uses, so batched output is
+  // bit-identical to per-key output. Degradation applies per item.
+  for (size_t j = 0; j < to_score.size(); ++j) {
+    const size_t i = score_pos[j];
+    out[i].item_id = items[i].id;
+    if (!features[j].ok()) {
+      if (!options_.degrade_on_unavailable || !features[j].status().IsUnavailable()) {
+        return features[j].status();
+      }
+      out[i] = DegradedAnswer(uid, items[i].id, timer);
+      continue;
+    }
+    const DenseVector& f = *features[j].value();
+    if (f.dim() != weights.dim()) {
+      return Status::Internal(StrFormat("feature dim %zu != weight dim %zu", f.dim(),
+                                        weights.dim()));
+    }
+    StageTimer::Scope kernel(timer, Stage::kKernelScore);
+    double score = Dot(weights, f);
+    kernel.Stop();
+    if (options_.use_prediction_cache) {
+      prediction_cache_->Put(PredictionKey{uid, items[i].id, epoch, version->version},
+                             score);
+    }
+    NoteScore(uid, items[i].id, score);
+    out[i].score = score;
+  }
+  return out;
+}
+
 Result<TopKResult> PredictionService::TopK(uint64_t uid,
                                            const std::vector<Item>& candidates,
                                            size_t k, const BanditPolicy* policy,
@@ -443,34 +682,91 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
   std::vector<BanditCandidate> scored(candidates.size());
   std::vector<bool> candidate_degraded(candidates.size(), false);
   bool any_degraded = false;
-  DenseVector features;
+
+  // Phase 1: prediction-cache probes. Skipped in uncertainty mode,
+  // where features are needed regardless of a score hit (the per-key
+  // path resolved first there too).
+  std::vector<std::optional<double>> cached_scores(candidates.size());
+  if (!needs_uncertainty && options_.use_prediction_cache) {
+    StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      cached_scores[i] = prediction_cache_->Get(
+          PredictionKey{uid, candidates[i].id, epoch, version->version});
+    }
+  }
+
+  // Phase 2: one coalesced feature resolution for everything that
+  // still needs features — the whole candidate set's storage misses
+  // travel as one MultiGet instead of one round trip per candidate.
+  std::vector<Item> to_resolve;
+  std::vector<size_t> resolve_pos;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    // When the policy needs uncertainty, ScoreItem hands back the
-    // features it resolved for scoring — one resolution serves both
-    // uses, with no second cache/storage round-trip.
-    Result<double> score = ScoreItem(*version, uid, epoch, weights, candidates[i],
-                                     timer, needs_uncertainty ? &features : nullptr);
+    if (!cached_scores[i].has_value()) {
+      to_resolve.push_back(candidates[i]);
+      resolve_pos.push_back(i);
+    }
+  }
+  std::vector<Result<FeaturePtr>> features =
+      BatchResolveFeatures(*version, to_resolve, timer);
+  std::vector<ptrdiff_t> feat_idx(candidates.size(), -1);
+  for (size_t j = 0; j < resolve_pos.size(); ++j) {
+    feat_idx[resolve_pos[j]] = static_cast<ptrdiff_t>(j);
+  }
+
+  // Phase 3: per-candidate scoring; same kernels and per-item cache
+  // semantics as the per-key path, so scores are bit-identical.
+  for (size_t i = 0; i < candidates.size(); ++i) {
     scored[i].item_id = candidates[i].id;
-    if (score.ok()) {
-      scored[i].score = score.value();
-      if (needs_uncertainty) {
-        StageTimer::Scope bandit(timer, Stage::kBanditOrder);
-        scored[i].uncertainty = weights_->Uncertainty(uid, features);
-      }
+    if (cached_scores[i].has_value()) {
+      scored[i].score = *cached_scores[i];
       continue;
     }
-    // A transiently-unresolvable candidate gets a degraded score (and
-    // zero uncertainty — a degraded pick should never look like an
-    // attractive exploration target); the rest of the set still gets
-    // real scores. Definitive errors fail the whole request.
-    if (!options_.degrade_on_unavailable || !score.status().IsUnavailable()) {
-      return score.status();
+    Result<FeaturePtr>& feat = features[static_cast<size_t>(feat_idx[i])];
+    if (!feat.ok()) {
+      // A transiently-unresolvable candidate gets a degraded score (and
+      // zero uncertainty — a degraded pick should never look like an
+      // attractive exploration target); the rest of the set still gets
+      // real scores. Definitive errors fail the whole request.
+      if (!options_.degrade_on_unavailable || !feat.status().IsUnavailable()) {
+        return feat.status();
+      }
+      ScoredItem fallback = DegradedAnswer(uid, candidates[i].id, timer);
+      scored[i].score = fallback.score;
+      scored[i].uncertainty = 0.0;
+      candidate_degraded[i] = true;
+      any_degraded = true;
+      continue;
     }
-    ScoredItem fallback = DegradedAnswer(uid, candidates[i].id, timer);
-    scored[i].score = fallback.score;
-    scored[i].uncertainty = 0.0;
-    candidate_degraded[i] = true;
-    any_degraded = true;
+    const DenseVector& f = *feat.value();
+    if (f.dim() != weights.dim()) {
+      return Status::Internal(StrFormat("feature dim %zu != weight dim %zu", f.dim(),
+                                        weights.dim()));
+    }
+    std::optional<double> cached;
+    if (needs_uncertainty && options_.use_prediction_cache) {
+      // Uncertainty mode resolves first, then probes — this is that
+      // probe; non-uncertainty mode already probed in phase 1.
+      StageTimer::Scope probe(timer, Stage::kPredictionCacheProbe);
+      cached = prediction_cache_->Get(
+          PredictionKey{uid, candidates[i].id, epoch, version->version});
+    }
+    if (cached.has_value()) {
+      scored[i].score = *cached;
+    } else {
+      StageTimer::Scope kernel(timer, Stage::kKernelScore);
+      double score = Dot(weights, f);
+      kernel.Stop();
+      if (options_.use_prediction_cache) {
+        prediction_cache_->Put(
+            PredictionKey{uid, candidates[i].id, epoch, version->version}, score);
+      }
+      NoteScore(uid, candidates[i].id, score);
+      scored[i].score = score;
+    }
+    if (needs_uncertainty) {
+      StageTimer::Scope bandit(timer, Stage::kBanditOrder);
+      scored[i].uncertainty = weights_->Uncertainty(uid, f);
+    }
   }
 
   StageTimer::Scope bandit(timer, Stage::kBanditOrder);

@@ -18,9 +18,12 @@
 #define VELOX_CORE_PREDICTION_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/lru.h"
@@ -62,6 +65,18 @@ class FeatureResolver {
   Result<DenseVector> Resolve(const ModelVersion& version, const Item& item,
                               bool* served_remote = nullptr,
                               StorageOpReport* report = nullptr) const;
+
+  // Batched resolve: one Result per item, in input order. Local mode
+  // evaluates the feature function per item; distributed mode fetches
+  // all keys through StorageClient::MultiGet (chunked to respect the
+  // per-op deadline), so a batch of B cold items costs O(nodes)
+  // sub-batch round trips instead of B. `served_remote` reports
+  // whether any factor crossed the network; `report` accumulates the
+  // storage traces (summed backoff/sim nanos, max attempts).
+  std::vector<Result<DenseVector>> ResolveBatch(const ModelVersion& version,
+                                                const std::vector<Item>& items,
+                                                bool* served_remote = nullptr,
+                                                StorageOpReport* report = nullptr) const;
 
   bool is_distributed() const { return client_ != nullptr; }
   // Table name for a given version (distributed mode).
@@ -134,6 +149,18 @@ class PredictionService {
   // Point prediction for (uid, item) — Listing 1's `predict`.
   Result<ScoredItem> Predict(uint64_t uid, const Item& item);
 
+  // Batched point predictions: one ScoredItem per input item, in input
+  // order, bit-identical to calling Predict per item. The win is the
+  // storage plane: feature-cache misses across the whole batch are
+  // coalesced into one MultiGet (duplicate items fetch once), and
+  // concurrent misses for the same (version, item) from other requests
+  // share a single in-flight fetch. Degradation applies per item: a
+  // transiently-unresolvable item gets a stale/bootstrap-mean score,
+  // the rest of the batch gets real scores; definitive errors still
+  // fail the request.
+  Result<std::vector<ScoredItem>> PredictBatch(uint64_t uid,
+                                               const std::vector<Item>& items);
+
   // Scores `candidates` and returns the best k under `policy`
   // (greedy when policy is null) — Listing 1's `topK`.
   Result<TopKResult> TopK(uint64_t uid, const std::vector<Item>& candidates, size_t k,
@@ -188,12 +215,22 @@ class PredictionService {
   StageRegistry* stage_registry() const { return stages_; }
 
   // Resolves features through the cache (shared with the observe path
-  // so updates reuse cached features).
-  Result<DenseVector> ResolveFeatures(const ModelVersion& version, const Item& item);
+  // so updates reuse cached features). Returns a shared handle to the
+  // immutable cached factor — hits are allocation-free. Concurrent
+  // misses for the same (version, item) share one in-flight fetch.
+  Result<FeaturePtr> ResolveFeatures(const ModelVersion& version, const Item& item);
   // As above, charging elapsed time to `timer`'s feature-resolve stage
   // (local or remote depending on where the factor was served from).
-  Result<DenseVector> ResolveFeatures(const ModelVersion& version, const Item& item,
-                                      StageTimer& timer);
+  Result<FeaturePtr> ResolveFeatures(const ModelVersion& version, const Item& item,
+                                     StageTimer& timer);
+
+  // Batch-warms the feature cache for `item_ids` under `version`
+  // through the same coalesced resolve path requests use (one chunked
+  // MultiGet per batch in distributed mode). Returns how many items
+  // resolved successfully. The retrain scheduler's cache warming runs
+  // on this.
+  size_t WarmFeatures(const ModelVersion& version,
+                      const std::vector<uint64_t>& item_ids);
 
   const PredictionServiceOptions& options() const { return options_; }
 
@@ -219,15 +256,52 @@ class PredictionService {
     return score_count_ == 0 ? 0.0 : score_sum_ / static_cast<double>(score_count_);
   }
 
+  // Miss-coalescer counters. Every feature resolution (single or
+  // batched) flows through the coalescer, so keys = items asked,
+  // hits = feature-cache hits, merged = duplicate items folded into one
+  // fetch within a batch, flight_waits = resolutions that piggybacked
+  // on another request's in-flight fetch, fetches = items actually sent
+  // to the resolver. Coalescer hit rate = 1 - fetches/keys.
+  uint64_t coalesce_keys() const {
+    return coalesce_keys_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesce_hits() const {
+    return coalesce_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesce_merged() const {
+    return coalesce_merged_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesce_flight_waits() const {
+    return coalesce_flight_waits_.load(std::memory_order_relaxed);
+  }
+  uint64_t coalesce_fetches() const {
+    return coalesce_fetches_.load(std::memory_order_relaxed);
+  }
+
  private:
-  // Score one item for a user; uses/fills both caches. When
-  // `features_out` is non-null the resolved features are returned
-  // through it (resolved exactly once, shared between scoring and any
-  // uncertainty computation — no second cache/storage round-trip).
+  // Score one item for a user; uses/fills both caches.
   Result<double> ScoreItem(const ModelVersion& version, uint64_t uid,
                            uint64_t user_epoch, const DenseVector& weights,
-                           const Item& item, StageTimer& timer,
-                           DenseVector* features_out = nullptr);
+                           const Item& item, StageTimer& timer);
+
+  // The miss coalescer: resolves features for every item (one Result
+  // per input, in input order, duplicates merged) with one cache probe
+  // per unique item, claiming misses in the single-flight table so one
+  // fetch per (version, item) is in flight cluster-node-wide, and
+  // resolving the claimed keys through FeatureResolver::ResolveBatch
+  // (one chunked MultiGet in distributed mode). Losers of a claim race
+  // block until the winner completes and share its result.
+  std::vector<Result<FeaturePtr>> BatchResolveFeatures(const ModelVersion& version,
+                                                       const std::vector<Item>& items,
+                                                       StageTimer& timer);
+
+  // The fetch half of the coalescer: `misses` are unique items that
+  // already missed the feature cache. Claims each in the single-flight
+  // table, resolves the claimed ones in one batched fetch, publishes
+  // results (cache + flight), and waits out claims another thread won.
+  std::vector<Result<FeaturePtr>> ResolveMisses(const ModelVersion& version,
+                                                const std::vector<Item>& misses,
+                                                StageTimer& timer);
 
   // Records a successfully computed score: feeds the running bootstrap
   // mean and the stale-score board (keyed (uid, item), any
@@ -265,6 +339,28 @@ class PredictionService {
   uint64_t score_count_ = 0;
   std::atomic<uint64_t> degraded_stale_{0};
   std::atomic<uint64_t> degraded_mean_{0};
+
+  // Single-flight table: one Flight per (model version, item id) with a
+  // fetch in progress. The claiming thread fetches, publishes into
+  // `value`/`status`, erases the entry, and wakes the waiters (who hold
+  // their own shared_ptr to the Flight, so erasure is safe). Erasing on
+  // completion means a failed fetch is retried by the next request
+  // instead of pinning the failure.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool finished = false;
+    Status status;
+    FeaturePtr value;
+  };
+  std::mutex flights_mu_;
+  std::map<std::pair<int32_t, uint64_t>, std::shared_ptr<Flight>> flights_;
+
+  std::atomic<uint64_t> coalesce_keys_{0};
+  std::atomic<uint64_t> coalesce_hits_{0};
+  std::atomic<uint64_t> coalesce_merged_{0};
+  std::atomic<uint64_t> coalesce_flight_waits_{0};
+  std::atomic<uint64_t> coalesce_fetches_{0};
 };
 
 }  // namespace velox

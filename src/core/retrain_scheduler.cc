@@ -7,10 +7,16 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "storage/storage_client.h"
 
 namespace velox {
 
 namespace {
+
+// Factor-distribution batch size: large enough that the per-message
+// header amortizes away, small enough that one MultiPut cannot trip
+// the per-op deadline on big tables.
+constexpr size_t kDistributeChunk = 256;
 
 // Wraps the model's retrain procedure as a batch job (the "opaque
 // Spark UDF" of §4.2).
@@ -145,19 +151,25 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
     std::string table = StrFormat("%s_v%d", options_.feature_table_prefix.c_str(),
                                   version);
     VELOX_RETURN_NOT_OK(storage_->CreateTable(table));
+    // Batch publish: the driver ships the table as chunked MultiPuts —
+    // one message per storage node per chunk instead of one per
+    // (item, replica). MultiPut itself writes every replica, so reads
+    // can still fall back (and hedge) along the whole replica list.
+    StorageClient driver(storage_, 0);
+    std::vector<std::pair<Key, Value>> chunk;
+    chunk.reserve(kDistributeChunk);
+    auto flush = [&]() -> Status {
+      if (chunk.empty()) return Status::OK();
+      std::vector<Status> statuses = driver.MultiPut(table, std::move(chunk));
+      chunk.clear();
+      for (const Status& s : statuses) VELOX_RETURN_NOT_OK(s);
+      return Status::OK();
+    };
     for (const auto& [item_id, factor] : materialized->table()) {
-      // Every replica gets the factor, not just the primary: reads fall
-      // back (and hedge) along the whole replica list, so a
-      // primary-only write would turn every failover into a definitive
-      // NotFound.
-      VELOX_ASSIGN_OR_RETURN(std::vector<NodeId> owners, storage_->OwnersOf(item_id));
-      Value encoded = EncodeFactor(factor);
-      for (NodeId owner : owners) {
-        storage_->network()->Charge(0, owner, encoded.size());
-        VELOX_ASSIGN_OR_RETURN(KvTable * t, storage_->store(owner)->GetTable(table));
-        VELOX_RETURN_NOT_OK(t->Put(item_id, encoded));
-      }
+      chunk.emplace_back(item_id, EncodeFactor(factor));
+      if (chunk.size() >= kDistributeChunk) VELOX_RETURN_NOT_OK(flush());
     }
+    VELOX_RETURN_NOT_OK(flush());
   }
 
   // 4. Swap-time invalidation: the offline phase "invalidates both
@@ -205,7 +217,7 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
           continue;
         }
         auto applied =
-            node->weights->ApplyObservation(obs.uid, features.value(), obs.label);
+            node->weights->ApplyObservation(obs.uid, *features.value(), obs.label);
         // A single bad observation (corrupt entry, stale-dimension
         // factor) must not abort the install: at this point the caches
         // are cleared and weights reseeded, so failing here would strand
@@ -225,13 +237,9 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
       for (size_t i = 0; i < nodes_.size(); ++i) {
         PredictionService* ps = nodes_[i].prediction_service;
         if (ps == nullptr) continue;
-        for (uint64_t item_id : hot_items[i]) {
-          Item item;
-          item.id = item_id;
-          if (ps->ResolveFeatures(*current.value(), item).ok()) {
-            ++report.warmed_features;
-          }
-        }
+        // One coalesced MultiGet warms the whole hot set instead of a
+        // storage round trip per item.
+        report.warmed_features += ps->WarmFeatures(*current.value(), hot_items[i]);
         // Dedup on the exact (uid, item) pair: a 64-bit hash of the
         // pair can collide and silently drop a distinct warm entry.
         std::set<std::pair<uint64_t, uint64_t>> warmed_pairs;

@@ -161,6 +161,14 @@ Result<ScoredItem> VeloxServer::Predict(uint64_t uid, const Item& item) {
   return per_node_[static_cast<size_t>(node)]->prediction_service->Predict(uid, item);
 }
 
+Result<std::vector<ScoredItem>> VeloxServer::PredictBatch(
+    uint64_t uid, const std::vector<Item>& items) {
+  VELOX_ASSIGN_OR_RETURN(NodeId node,
+                         ServingNode(uid, sizeof(uint64_t) * (1 + items.size())));
+  return per_node_[static_cast<size_t>(node)]->prediction_service->PredictBatch(uid,
+                                                                                items);
+}
+
 Result<TopKResult> VeloxServer::TopK(uint64_t uid, const std::vector<Item>& candidates,
                                      size_t k) {
   VELOX_ASSIGN_OR_RETURN(NodeId node,
@@ -288,6 +296,15 @@ std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
   set_counter("storage.deadline_misses", sc.deadline_misses);
   set_counter("storage.failovers", sc.failovers);
   set_counter("storage.partial_writes", sc.partial_writes);
+  set_counter("storage.multiget.batches", sc.multiget_batches);
+  set_counter("storage.multiget.keys", sc.multiget_keys);
+  set_counter("storage.multiget.sub_batches", sc.multiget_sub_batches);
+  set_counter("storage.multiget.merged_misses", sc.multiget_merged_misses);
+  set_counter("storage.multiput.batches", sc.multiput_batches);
+  set_counter("storage.multiput.keys", sc.multiput_keys);
+  set_counter("storage.multiput.sub_batches", sc.multiput_sub_batches);
+  set_counter("network.batched_messages", net.batched_messages);
+  set_counter("network.batched_keys", net.batched_keys);
   target->GetGauge(prefix + "storage.backoff_nanos")
       ->Set(static_cast<double>(sc.backoff_nanos));
   set_counter("storage.degraded", DegradedCount());
@@ -397,6 +414,13 @@ StorageClientStats VeloxServer::AggregatedStorageStats() const {
     agg.failovers += s.failovers;
     agg.partial_writes += s.partial_writes;
     agg.backoff_nanos += s.backoff_nanos;
+    agg.multiget_batches += s.multiget_batches;
+    agg.multiget_keys += s.multiget_keys;
+    agg.multiget_sub_batches += s.multiget_sub_batches;
+    agg.multiget_merged_misses += s.multiget_merged_misses;
+    agg.multiput_batches += s.multiput_batches;
+    agg.multiput_keys += s.multiput_keys;
+    agg.multiput_sub_batches += s.multiput_sub_batches;
   }
   return agg;
 }

@@ -120,6 +120,12 @@ class VeloxServer {
 
   // ---- Listing 1: the prediction and observation API ----
   Result<ScoredItem> Predict(uint64_t uid, const Item& item);
+  // Scores every item for one user in a single request: feature-cache
+  // misses across the batch are coalesced into one MultiGet instead of
+  // a storage round-trip per item. Results are order-aligned with
+  // `items` and bit-identical to per-item Predict.
+  Result<std::vector<ScoredItem>> PredictBatch(uint64_t uid,
+                                               const std::vector<Item>& items);
   Result<TopKResult> TopK(uint64_t uid, const std::vector<Item>& candidates, size_t k);
   // Greedy top-K over the whole catalog (sharded scan of the
   // materialized θ's scoring plane; see PredictionService::TopKAll).
@@ -202,6 +208,9 @@ class VeloxServer {
   // Direct access to a node's prediction service (benchmarks).
   PredictionService* prediction_service(NodeId node) {
     return per_node_[static_cast<size_t>(node)]->prediction_service.get();
+  }
+  FeatureCache* feature_cache(NodeId node) {
+    return per_node_[static_cast<size_t>(node)]->feature_cache.get();
   }
   UserWeightStore* user_weights(NodeId node) {
     return per_node_[static_cast<size_t>(node)]->weights.get();

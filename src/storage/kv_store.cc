@@ -29,6 +29,21 @@ Status KvTable::Delete(Key key) {
   return partitions_[static_cast<size_t>(partitioner_.PartitionForKey(key))]->Delete(key);
 }
 
+std::vector<Result<Value>> KvTable::MultiGet(const std::vector<Key>& keys) const {
+  std::vector<Result<Value>> out;
+  out.reserve(keys.size());
+  for (Key key : keys) out.push_back(Get(key));
+  return out;
+}
+
+std::vector<Status> KvTable::MultiPut(
+    const std::vector<std::pair<Key, Value>>& entries) {
+  std::vector<Status> out;
+  out.reserve(entries.size());
+  for (const auto& [key, value] : entries) out.push_back(Put(key, value));
+  return out;
+}
+
 bool KvTable::Contains(Key key) const {
   return partitions_[static_cast<size_t>(partitioner_.PartitionForKey(key))]->Contains(
       key);

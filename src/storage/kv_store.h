@@ -34,6 +34,15 @@ class KvTable {
   Status Delete(Key key);
   bool Contains(Key key) const;
 
+  // Batched point lookups: one Result per input key, in input order
+  // (NotFound entries for absent keys — a partial answer, not an op
+  // failure).
+  std::vector<Result<Value>> MultiGet(const std::vector<Key>& keys) const;
+  // Batched upserts: one Status per input entry, in input order.
+  // Entries fail individually (Unavailable) while the table is
+  // rejecting writes.
+  std::vector<Status> MultiPut(const std::vector<std::pair<Key, Value>>& entries);
+
   // Simulates a wedged replica (disk full, read-only remount): reads
   // keep working, writes fail until cleared.
   void SetFailWrites(bool fail) { fail_writes_.store(fail, std::memory_order_relaxed); }

@@ -54,6 +54,10 @@ struct StorageClientOptions {
 
 // Monotone counters describing how hard the client had to work; the
 // serving layer surfaces these as storage.* metrics.
+//
+// Batched ops count hedges/failovers/retries once per *sub-batch*
+// (one message to one node), never once per key: a 64-key sub-batch
+// that gets hedged is one hedged read, not 64.
 struct StorageClientStats {
   uint64_t retries = 0;           // delivery passes re-run after backoff
   uint64_t hedged_reads = 0;      // secondary replica raced
@@ -62,6 +66,16 @@ struct StorageClientStats {
   uint64_t failovers = 0;         // read served by a non-primary replica
   uint64_t partial_writes = 0;    // Put landed on some but not all replicas
   int64_t backoff_nanos = 0;      // total simulated backoff + hedge waits
+  // Batched reads: MultiGet calls, keys they asked for, sub-batch
+  // messages they sent, and duplicate keys merged into one fetch.
+  uint64_t multiget_batches = 0;
+  uint64_t multiget_keys = 0;
+  uint64_t multiget_sub_batches = 0;
+  uint64_t multiget_merged_misses = 0;
+  // Batched writes: MultiPut calls / entries / sub-batch messages.
+  uint64_t multiput_batches = 0;
+  uint64_t multiput_keys = 0;
+  uint64_t multiput_sub_batches = 0;
 };
 
 // Optional per-op trace for stage accounting and benches.
@@ -73,6 +87,25 @@ struct StorageOpReport {
   int64_t backoff_nanos = 0;
   // Total simulated nanos the op consumed (messages + waits).
   int64_t sim_nanos = 0;
+};
+
+// Outcome of a batched read: per-key results plus the op-level trace.
+struct MultiGetResult {
+  // Parallel to the input keys. Each entry is the value, NotFound
+  // (every replica answered and none had it — definitive), or
+  // Unavailable (transient failures survived retries / the deadline).
+  // Partial success is normal: some keys resolve, others do not.
+  std::vector<Result<Value>> values;
+  // True when any key was served by a non-origin replica (the batch
+  // paid at least one network round trip).
+  bool any_remote = false;
+  StorageOpReport report;
+
+  size_t found() const {
+    size_t n = 0;
+    for (const auto& v : values) n += v.ok() ? 1 : 0;
+    return n;
+  }
 };
 
 class StorageClient {
@@ -102,6 +135,29 @@ class StorageClient {
   Status Put(const std::string& table, Key key, Value value);
   // Deletes from every reachable replica; OK if any replica held the key.
   Status Delete(const std::string& table, Key key);
+
+  // Batched read of `keys`. Keys are grouped by owning replica via the
+  // ring and each group travels as ONE sub-batch message per node per
+  // delivery pass (one header charge + summed payload bytes), so a
+  // B-key cold read costs O(nodes) round trips instead of O(B).
+  // Duplicate keys are merged into a single fetch (multiget.
+  // merged_misses). Per-key semantics match Get exactly: a key missing
+  // on one replica falls over to the next within the pass; retries
+  // after backoff re-shard only the still-missing keys; whole
+  // sub-batches (never individual keys) are hedged to the replica set
+  // when the target node is projected slow; the op-wide deadline
+  // converts the remaining keys to Unavailable. Results are positional
+  // and partial: each key carries its own value or status.
+  MultiGetResult MultiGet(const std::string& table, const std::vector<Key>& keys);
+
+  // Batched write: every entry goes to all its replica owners, grouped
+  // into one sub-batch message per node per delivery pass. Returns one
+  // Status per entry, in input order: OK when every replica took the
+  // value, the first error otherwise (counting a partial write when at
+  // least one replica did). Transiently unreachable nodes are retried
+  // with only their still-pending entries.
+  std::vector<Status> MultiPut(const std::string& table,
+                               std::vector<std::pair<Key, Value>> entries);
 
   // Appends to the *origin node's* observation-log shard (observation
   // writes are always local, matching the paper: "all writes — online
@@ -133,6 +189,13 @@ class StorageClient {
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> partial_writes_{0};
   std::atomic<int64_t> backoff_nanos_{0};
+  std::atomic<uint64_t> multiget_batches_{0};
+  std::atomic<uint64_t> multiget_keys_{0};
+  std::atomic<uint64_t> multiget_sub_batches_{0};
+  std::atomic<uint64_t> multiget_merged_misses_{0};
+  std::atomic<uint64_t> multiput_batches_{0};
+  std::atomic<uint64_t> multiput_keys_{0};
+  std::atomic<uint64_t> multiput_sub_batches_{0};
 };
 
 }  // namespace velox

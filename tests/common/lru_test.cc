@@ -58,8 +58,18 @@ TEST(LruCacheTest, CapacityNeverExceededSingleShard) {
 TEST(LruCacheTest, CapacityBoundHoldsAcrossShards) {
   LruCache<int, int> cache(64, 8);
   for (int i = 0; i < 10000; ++i) cache.Put(i, i);
-  // Per-shard budget is ceil(64/8) = 8; total <= 8 * 8.
   EXPECT_LE(cache.size(), 64u);
+}
+
+TEST(LruCacheTest, ShardBudgetsSumToExactCapacity) {
+  // 10 entries over 4 shards splits 3+3+2+2: the remainder is
+  // distributed, not rounded up per shard. The old ceil split would
+  // let this cache hold 12 entries — pin the exact bound.
+  LruCache<int, int> cache(10, 4);
+  for (int i = 0; i < 10000; ++i) cache.Put(i, i);
+  // Enough distinct keys to drive every shard to its budget, so the
+  // steady-state size is exactly the requested capacity.
+  EXPECT_EQ(cache.size(), 10u);
 }
 
 TEST(LruCacheTest, EraseRemovesEntry) {

@@ -10,14 +10,25 @@ namespace {
 
 TEST(FeatureCacheTest, PutGetInvalidate) {
   FeatureCache cache(16);
-  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.Get(1), nullptr);
   cache.Put(1, DenseVector{1.0, 2.0});
-  auto v = cache.Get(1);
-  ASSERT_TRUE(v.has_value());
+  FeaturePtr v = cache.Get(1);
+  ASSERT_NE(v, nullptr);
   EXPECT_EQ(*v, (DenseVector{1.0, 2.0}));
   EXPECT_TRUE(cache.Invalidate(1));
-  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.Get(1), nullptr);
   EXPECT_FALSE(cache.Invalidate(1));
+}
+
+TEST(FeatureCacheTest, HitsShareOneAllocation) {
+  // A hit hands out a refcounted pointer to the cached vector — two
+  // hits alias the same allocation instead of copying it.
+  FeatureCache cache(16);
+  cache.Put(1, DenseVector{3.0, 4.0});
+  FeaturePtr a = cache.Get(1);
+  FeaturePtr b = cache.Get(1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
 }
 
 TEST(FeatureCacheTest, ClearFlushesAll) {
@@ -26,6 +37,7 @@ TEST(FeatureCacheTest, ClearFlushesAll) {
   EXPECT_GT(cache.size(), 0u);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get(3), nullptr);
 }
 
 TEST(FeatureCacheTest, StatsTrackHitsAndMisses) {

@@ -1,0 +1,279 @@
+// Batched storage plane: MultiGet/MultiPut semantics — per-key
+// statuses, sub-batch message accounting, duplicate-key merging,
+// re-sharding of only the still-missing keys across retries, and
+// per-sub-batch (never per-key) hedge/retry/deadline stats.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "storage/storage_client.h"
+#include "storage/storage_cluster.h"
+
+namespace velox {
+namespace {
+
+StorageClusterOptions SmallCluster(int32_t nodes, int32_t replicas = 1) {
+  StorageClusterOptions opts;
+  opts.num_nodes = nodes;
+  opts.partitions_per_table = 4;
+  opts.replication_factor = replicas;
+  opts.network.local_call_nanos = 10;
+  opts.network.remote_latency_nanos = 1000;
+  opts.network.nanos_per_byte = 0.0;
+  return opts;
+}
+
+StorageClientOptions RobustClient() {
+  StorageClientOptions opts;
+  opts.max_attempts = 3;
+  opts.backoff_base_nanos = 1000;
+  opts.op_deadline_nanos = 50'000'000;
+  opts.hedge_reads = false;  // hedging tested separately
+  return opts;
+}
+
+Value Payload(uint8_t tag) { return Value{tag, tag, tag}; }
+
+TEST(MultiGetTest, RoundTripsInOrderWithOneMessagePerNode) {
+  constexpr Key kKeys = 100;
+  StorageCluster cluster(SmallCluster(4));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0, RobustClient());
+
+  std::vector<std::pair<Key, Value>> entries;
+  std::vector<Key> keys;
+  for (Key k = 0; k < kKeys; ++k) {
+    entries.emplace_back(k, Payload(static_cast<uint8_t>(k)));
+    keys.push_back(k);
+  }
+  for (const Status& s : client.MultiPut("t", std::move(entries))) {
+    ASSERT_TRUE(s.ok());
+  }
+
+  cluster.network()->ResetStats();
+  MultiGetResult result = client.MultiGet("t", keys);
+  ASSERT_EQ(result.values.size(), keys.size());
+  EXPECT_EQ(result.found(), static_cast<size_t>(kKeys));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(result.values[i].ok()) << "key " << keys[i];
+    EXPECT_EQ(result.values[i].value(), Payload(static_cast<uint8_t>(keys[i])));
+  }
+
+  // The batched plane: 100 keys travel as at most one request plus one
+  // response message per storage node, not one round trip per key.
+  NetworkStats net = cluster.network()->stats();
+  EXPECT_LE(net.batched_messages, 8u);
+  EXPECT_EQ(net.batched_keys, static_cast<uint64_t>(2 * kKeys));
+  StorageClientStats stats = client.stats();
+  EXPECT_EQ(stats.multiget_batches, 1u);
+  EXPECT_EQ(stats.multiget_keys, static_cast<uint64_t>(kKeys));
+  EXPECT_LE(stats.multiget_sub_batches, 4u);
+  EXPECT_EQ(stats.multiget_merged_misses, 0u);
+}
+
+TEST(MultiPutTest, PlacesEveryReplicaLikePut) {
+  StorageCluster cluster(SmallCluster(3, 2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0, RobustClient());
+
+  std::vector<std::pair<Key, Value>> entries;
+  for (Key k = 0; k < 60; ++k) entries.emplace_back(k, Payload(1));
+  for (const Status& s : client.MultiPut("t", std::move(entries))) {
+    ASSERT_TRUE(s.ok());
+  }
+  for (Key k = 0; k < 60; ++k) {
+    std::vector<NodeId> owners = cluster.OwnersOf(k).value();
+    for (NodeId owner : owners) {
+      EXPECT_TRUE(cluster.store(owner)->GetTable("t").value()->Contains(k))
+          << "key " << k << " missing on replica " << owner;
+    }
+  }
+  EXPECT_EQ(client.stats().multiput_batches, 1u);
+  EXPECT_EQ(client.stats().multiput_keys, 60u);
+}
+
+TEST(MultiGetTest, DuplicateKeysMergeIntoOneFetch) {
+  StorageCluster cluster(SmallCluster(2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient client(&cluster, 0, RobustClient());
+  ASSERT_TRUE(client.Put("t", 7, Payload(7)).ok());
+
+  cluster.network()->ResetStats();
+  MultiGetResult result = client.MultiGet("t", {7, 7, 7});
+  ASSERT_EQ(result.values.size(), 3u);
+  for (const auto& v : result.values) {
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), Payload(7));
+  }
+  EXPECT_EQ(client.stats().multiget_merged_misses, 2u);
+  // Only the unique key crossed the wire: one on the request leg, one
+  // on the response.
+  EXPECT_EQ(cluster.network()->stats().batched_keys, 2u);
+}
+
+TEST(MultiGetTest, PartialResultsMixNotFoundAndUnavailable) {
+  StorageCluster cluster(SmallCluster(2, 1));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient writer(&cluster, 0, RobustClient());
+
+  // Sort keys by owner so the batch mixes local (node 0) and remote
+  // (node 1) sub-batches deterministically.
+  std::vector<Key> local_present, local_absent, remote;
+  for (Key k = 0; k < 64 && (local_present.size() < 3 || local_absent.empty() ||
+                             remote.size() < 3);
+       ++k) {
+    if (cluster.OwnerOf(k).value() == 0) {
+      if (local_present.size() < 3) {
+        ASSERT_TRUE(writer.Put("t", k, Payload(static_cast<uint8_t>(k))).ok());
+        local_present.push_back(k);
+      } else if (local_absent.empty()) {
+        local_absent.push_back(k);
+      }
+    } else if (remote.size() < 3) {
+      ASSERT_TRUE(writer.Put("t", k, Payload(static_cast<uint8_t>(k))).ok());
+      remote.push_back(k);
+    }
+  }
+  ASSERT_EQ(local_present.size(), 3u);
+  ASSERT_EQ(local_absent.size(), 1u);
+  ASSERT_EQ(remote.size(), 3u);
+
+  cluster.network()->SetPartitioned(0, 1, true);
+  StorageClient reader(&cluster, 0, RobustClient());
+  std::vector<Key> keys;
+  keys.insert(keys.end(), local_present.begin(), local_present.end());
+  keys.insert(keys.end(), local_absent.begin(), local_absent.end());
+  keys.insert(keys.end(), remote.begin(), remote.end());
+  MultiGetResult result = reader.MultiGet("t", keys);
+  ASSERT_EQ(result.values.size(), keys.size());
+
+  // Per-key statuses: present local keys succeed, the absent local key
+  // is a definitive NotFound, the partitioned node's keys come back
+  // Unavailable — one batch, three different outcomes.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(result.values[i].ok()) << "key " << keys[i];
+  }
+  EXPECT_TRUE(result.values[3].status().IsNotFound());
+  for (size_t i = 4; i < 7; ++i) {
+    EXPECT_TRUE(result.values[i].status().IsUnavailable()) << "key " << keys[i];
+  }
+  EXPECT_EQ(result.found(), 3u);
+
+  // Retries re-shard only the still-missing keys: the local sub-batch
+  // resolves definitively on pass 1, so passes 2 and 3 send exactly one
+  // sub-batch each (the node-1 keys).
+  StorageClientStats stats = reader.stats();
+  EXPECT_EQ(stats.multiget_sub_batches, 2u + 2u);
+  // ...and stats count per pass / per sub-batch, never per key.
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.deadline_misses, 0u);
+}
+
+TEST(MultiGetTest, HedgeCountsOncePerSubBatchNotPerKey) {
+  StorageCluster cluster(SmallCluster(4, 2));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient writer(&cluster, 0, RobustClient());
+
+  // Collect >= 3 keys sharing the exact same (primary, secondary)
+  // replica pair with distinct nodes, so they land in one sub-batch
+  // with one viable hedge target.
+  std::map<std::pair<NodeId, NodeId>, std::vector<Key>> by_pair;
+  std::pair<NodeId, NodeId> pair{-1, -1};
+  for (Key k = 0; k < 500; ++k) {
+    auto owners = cluster.OwnersOf(k).value();
+    if (owners.size() != 2 || owners[0] == owners[1]) continue;
+    auto& bucket = by_pair[{owners[0], owners[1]}];
+    bucket.push_back(k);
+    if (bucket.size() >= 3) {
+      pair = {owners[0], owners[1]};
+      break;
+    }
+  }
+  ASSERT_NE(pair.first, -1) << "no shared replica pair found";
+  std::vector<Key> keys = by_pair[pair];
+  for (Key k : keys) {
+    ASSERT_TRUE(writer.Put("t", k, Payload(static_cast<uint8_t>(k))).ok());
+  }
+
+  // Slow the shared primary; read from the secondary's node so the
+  // hedged path is cheap and local.
+  cluster.network()->SetNodeSlowdown(pair.first, 10.0);
+  StorageClientOptions opts = RobustClient();
+  opts.hedge_reads = true;
+  opts.hedge_delay_nanos = 500;
+  StorageClient reader(&cluster, pair.second, opts);
+
+  MultiGetResult result = reader.MultiGet("t", keys);
+  EXPECT_EQ(result.found(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(result.values[i].ok());
+    EXPECT_EQ(result.values[i].value(), Payload(static_cast<uint8_t>(keys[i])));
+  }
+  // The whole 3-key sub-batch hedged as a unit: one hedged read, one
+  // win — not one per key.
+  EXPECT_EQ(reader.stats().hedged_reads, 1u);
+  EXPECT_EQ(reader.stats().hedge_wins, 1u);
+}
+
+TEST(MultiGetTest, DeadlineMissCountsOncePerOp) {
+  StorageCluster cluster(SmallCluster(2, 1));
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  StorageClient writer(&cluster, 0, RobustClient());
+  std::vector<Key> keys;
+  for (Key k = 0; keys.size() < 5; ++k) {
+    if (cluster.OwnerOf(k).value() != 1) continue;
+    ASSERT_TRUE(writer.Put("t", k, Payload(1)).ok());
+    keys.push_back(k);
+  }
+
+  cluster.network()->SetPartitioned(0, 1, true);
+  StorageClientOptions opts = RobustClient();
+  opts.op_deadline_nanos = 3'000'000;  // two 2ms timeout waits overrun it
+  StorageClient reader(&cluster, 0, opts);
+  MultiGetResult result = reader.MultiGet("t", keys);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(result.values[i].status().IsUnavailable()) << "key " << keys[i];
+  }
+  EXPECT_TRUE(result.report.deadline_missed);
+  // Five stranded keys, one abandoned op — the miss counts once.
+  EXPECT_EQ(reader.stats().deadline_misses, 1u);
+}
+
+TEST(MultiPutTest, PartialFailureReportsPerEntryStatus) {
+  StorageClusterOptions opts = SmallCluster(3, 2);
+  StorageCluster cluster(opts);
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+
+  // Wedge one node's writes: entries replicated there fail (partially
+  // — the healthy replica still takes the value), the rest succeed.
+  ASSERT_TRUE(cluster.SetNodeFailWrites(2, true).ok());
+  StorageClient client(&cluster, 0, RobustClient());
+  std::vector<std::pair<Key, Value>> entries;
+  std::vector<bool> touches_wedged;
+  for (Key k = 0; k < 40; ++k) {
+    entries.emplace_back(k, Payload(static_cast<uint8_t>(k)));
+    bool wedged = false;
+    std::vector<NodeId> owners = cluster.OwnersOf(k).value();
+    for (NodeId owner : owners) wedged |= (owner == 2);
+    touches_wedged.push_back(wedged);
+  }
+  std::vector<Status> statuses = client.MultiPut("t", std::move(entries));
+  ASSERT_EQ(statuses.size(), touches_wedged.size());
+  size_t failed = 0;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (touches_wedged[i]) {
+      EXPECT_FALSE(statuses[i].ok()) << "key " << i;
+      ++failed;
+    } else {
+      EXPECT_TRUE(statuses[i].ok()) << "key " << i;
+    }
+  }
+  ASSERT_GT(failed, 0u);
+  // Each failed entry still landed on its healthy replica.
+  EXPECT_EQ(client.stats().partial_writes, static_cast<uint64_t>(failed));
+}
+
+}  // namespace
+}  // namespace velox
