@@ -1,0 +1,364 @@
+#include "ann/ivf_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/random.h"
+#include "common/topk_heap.h"
+#include "linalg/scoring_kernels.h"
+
+namespace velox {
+namespace {
+
+// Parallel assignment runs over fixed-size row chunks regardless of
+// pool size, and each chunk writes only its own rows' slots, so the
+// assignment — and therefore the whole build — is byte-identical with
+// any pool (or none).
+constexpr size_t kAssignChunk = 2048;
+
+// Nearest centroid of `row` under L2, as argmax_c (row·c - ½‖c‖²),
+// ties toward the lowest index. `scores` is a scratch buffer of nlist.
+uint32_t NearestCentroid(const double* centroids, size_t nlist, size_t stride,
+                         const double* half_norms, const double* row,
+                         double* scores) {
+  ScoreRows(centroids, nlist, stride, row, stride, scores);
+  uint32_t best = 0;
+  double best_score = scores[0] - half_norms[0];
+  for (size_t c = 1; c < nlist; ++c) {
+    const double s = scores[c] - half_norms[c];
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+void ComputeHalfNorms(const double* centroids, size_t nlist, size_t stride,
+                      std::vector<double>* half_norms) {
+  half_norms->resize(nlist);
+  for (size_t c = 0; c < nlist; ++c) {
+    const double* p = centroids + c * stride;
+    (*half_norms)[c] = 0.5 * DotKernel(p, p, stride);
+  }
+}
+
+// Assigns each plane row named by `rows` (nullptr = all of [0, n)) to
+// its nearest centroid, in parallel fixed chunks, writing assign[i] for
+// the i-th entry.
+void AssignRows(const ItemFactorPlane& plane, const std::vector<int64_t>* rows,
+                size_t n, const std::vector<double>& centroids, size_t nlist,
+                const std::vector<double>& half_norms, ThreadPool* pool,
+                std::vector<uint32_t>* assign) {
+  const size_t stride = plane.stride();
+  assign->resize(n);
+  const size_t num_chunks = (n + kAssignChunk - 1) / kAssignChunk;
+  ParallelFor(pool, num_chunks, [&](size_t chunk) {
+    std::vector<double> scores(nlist);
+    const size_t begin = chunk * kAssignChunk;
+    const size_t end = std::min(n, begin + kAssignChunk);
+    for (size_t i = begin; i < end; ++i) {
+      const size_t r = rows == nullptr ? i : static_cast<size_t>((*rows)[i]);
+      (*assign)[i] = NearestCentroid(centroids.data(), nlist, stride,
+                                     half_norms.data(), plane.row(r),
+                                     scores.data());
+    }
+  });
+}
+
+size_t Clamp(size_t v, size_t lo, size_t hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+std::shared_ptr<const IvfIndex> IvfIndex::Build(
+    std::shared_ptr<const ItemFactorPlane> plane, const AnnIndexOptions& options,
+    ThreadPool* pool) {
+  if (plane == nullptr || plane->num_items() == 0) return nullptr;
+  const size_t n = plane->num_items();
+  const size_t dim = plane->dim();
+  const size_t stride = plane->stride();
+
+  auto index = std::shared_ptr<IvfIndex>(new IvfIndex());
+  index->plane_ = plane;
+  AnnIndexOptions opts = options;
+  if (opts.nlist == 0) opts.nlist = Clamp(n / 256, 16, 2048);
+  opts.nlist = std::min(opts.nlist, n);
+  if (opts.train_sample == 0) opts.train_sample = Clamp(8 * opts.nlist, 4096, 131072);
+  opts.train_sample = Clamp(opts.train_sample, opts.nlist, n);
+  const size_t nlist = opts.nlist;
+  index->nlist_ = nlist;
+
+  // --- Coarse quantizer: seeded k-means over a row sample. ---
+  Rng rng(opts.seed);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(
+      static_cast<int64_t>(n), static_cast<int64_t>(opts.train_sample));
+  std::sort(sample.begin(), sample.end());
+  const size_t train_n = sample.size();
+
+  std::vector<double>& centroids = index->centroids_;
+  centroids.assign(nlist * stride, 0.0);
+  for (size_t c = 0; c < nlist; ++c) {
+    std::memcpy(centroids.data() + c * stride,
+                plane->row(static_cast<size_t>(sample[c])),
+                stride * sizeof(double));
+  }
+
+  std::vector<double> half_norms;
+  std::vector<uint32_t> assign;
+  std::vector<double> sums(nlist * stride);
+  std::vector<uint32_t> counts(nlist);
+  for (size_t iter = 0; iter < opts.kmeans_iters; ++iter) {
+    ComputeHalfNorms(centroids.data(), nlist, stride, &half_norms);
+    AssignRows(*plane, &sample, train_n, centroids, nlist, half_norms, pool,
+               &assign);
+    // Serial accumulation in sample (= ascending row) order keeps the
+    // floating-point sums independent of the pool.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < train_n; ++i) {
+      const uint32_t c = assign[i];
+      const double* row = plane->row(static_cast<size_t>(sample[i]));
+      double* acc = sums.data() + static_cast<size_t>(c) * stride;
+      for (size_t j = 0; j < stride; ++j) acc[j] += row[j];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // empty cell keeps its old centroid
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      double* dst = centroids.data() + c * stride;
+      const double* src = sums.data() + c * stride;
+      for (size_t j = 0; j < stride; ++j) dst[j] = src[j] * inv;
+    }
+  }
+
+  // --- Inverted lists: one full assignment pass, then counting sort.
+  // Iterating rows in ascending order keeps each list ascending. ---
+  ComputeHalfNorms(centroids.data(), nlist, stride, &half_norms);
+  AssignRows(*plane, nullptr, n, centroids, nlist, half_norms, pool, &assign);
+  index->list_offsets_.assign(nlist + 1, 0);
+  for (size_t r = 0; r < n; ++r) ++index->list_offsets_[assign[r] + 1];
+  for (size_t c = 0; c < nlist; ++c) {
+    index->list_offsets_[c + 1] += index->list_offsets_[c];
+  }
+  index->list_rows_.resize(n);
+  std::vector<uint32_t> cursor(index->list_offsets_.begin(),
+                               index->list_offsets_.end() - 1);
+  for (size_t r = 0; r < n; ++r) {
+    index->list_rows_[cursor[assign[r]]++] = static_cast<uint32_t>(r);
+  }
+
+  // --- PQ mirror: per-subvector codebooks over *residuals* (row minus
+  // its list's centroid — raw-vector PQ collapses clustered catalogs
+  // onto a few codes and recall craters), codes stored in list order so
+  // list scans stream the code bytes contiguously. ---
+  if (opts.build_pq && dim > 0) {
+    const size_t dsub = Clamp(opts.pq_dsub, 1, dim);
+    const size_t m = (dim + dsub - 1) / dsub;
+    const size_t ksub = std::min<size_t>(256, n);
+    index->has_pq_ = true;
+    index->pq_m_ = m;
+    index->pq_ksub_ = ksub;
+    index->pq_dsub_ = dsub;
+
+    // `assign` still holds the final full-plane assignment from the
+    // inverted-list pass: assign[r] is row r's list.
+    const auto residual_of = [&](size_t r, double* out) {
+      const double* row = plane->row(r);
+      const double* cen = centroids.data() + static_cast<size_t>(assign[r]) * stride;
+      for (size_t t = 0; t < dim; ++t) out[t] = row[t] - cen[t];
+    };
+
+    Rng pq_rng = rng.Fork();
+    const size_t pq_train = Clamp(opts.pq_train_sample, ksub, n);
+    std::vector<int64_t> pq_sample = pq_rng.SampleWithoutReplacement(
+        static_cast<int64_t>(n), static_cast<int64_t>(pq_train));
+    std::sort(pq_sample.begin(), pq_sample.end());
+    std::vector<double> train_res(pq_sample.size() * dim);
+    for (size_t i = 0; i < pq_sample.size(); ++i) {
+      residual_of(static_cast<size_t>(pq_sample[i]), train_res.data() + i * dim);
+    }
+
+    std::vector<double>& cb = index->pq_codebooks_;
+    cb.assign(m * ksub * dsub, 0.0);
+    std::vector<uint8_t> sub_assign(pq_sample.size());
+    std::vector<double> sub_sums(ksub * dsub);
+    std::vector<uint32_t> sub_counts(ksub);
+    for (size_t j = 0; j < m; ++j) {
+      const size_t d0 = j * dsub;
+      const size_t dj = std::min(dsub, dim - d0);
+      double* cbj = cb.data() + j * ksub * dsub;
+      for (size_t c = 0; c < ksub; ++c) {
+        const double* res = train_res.data() + c * dim;
+        for (size_t t = 0; t < dj; ++t) cbj[c * dsub + t] = res[d0 + t];
+      }
+      for (size_t iter = 0; iter < opts.pq_kmeans_iters; ++iter) {
+        for (size_t i = 0; i < pq_sample.size(); ++i) {
+          const double* res = train_res.data() + i * dim;
+          size_t best = 0;
+          double best_d = 0.0;
+          for (size_t c = 0; c < ksub; ++c) {
+            double d2 = 0.0;
+            for (size_t t = 0; t < dj; ++t) {
+              const double diff = res[d0 + t] - cbj[c * dsub + t];
+              d2 += diff * diff;
+            }
+            if (c == 0 || d2 < best_d) {
+              best_d = d2;
+              best = c;
+            }
+          }
+          sub_assign[i] = static_cast<uint8_t>(best);
+        }
+        std::fill(sub_sums.begin(), sub_sums.end(), 0.0);
+        std::fill(sub_counts.begin(), sub_counts.end(), 0u);
+        for (size_t i = 0; i < pq_sample.size(); ++i) {
+          const double* res = train_res.data() + i * dim;
+          double* acc = sub_sums.data() + sub_assign[i] * dsub;
+          for (size_t t = 0; t < dj; ++t) acc[t] += res[d0 + t];
+          ++sub_counts[sub_assign[i]];
+        }
+        for (size_t c = 0; c < ksub; ++c) {
+          if (sub_counts[c] == 0) continue;
+          const double inv = 1.0 / static_cast<double>(sub_counts[c]);
+          for (size_t t = 0; t < dj; ++t) cbj[c * dsub + t] = sub_sums[c * dsub + t] * inv;
+        }
+      }
+    }
+
+    // Encode every row's residual (parallel, per-row slots =>
+    // deterministic), then permute the codes into list order.
+    std::vector<uint8_t> row_codes(n * m);
+    const size_t num_chunks = (n + kAssignChunk - 1) / kAssignChunk;
+    ParallelFor(pool, num_chunks, [&](size_t chunk) {
+      std::vector<double> res(dim);
+      const size_t begin = chunk * kAssignChunk;
+      const size_t end = std::min(n, begin + kAssignChunk);
+      for (size_t r = begin; r < end; ++r) {
+        residual_of(r, res.data());
+        uint8_t* out = row_codes.data() + r * m;
+        for (size_t j = 0; j < m; ++j) {
+          const size_t d0 = j * dsub;
+          const size_t dj = std::min(dsub, dim - d0);
+          const double* cbj = cb.data() + j * ksub * dsub;
+          size_t best = 0;
+          double best_d = 0.0;
+          for (size_t c = 0; c < ksub; ++c) {
+            double d2 = 0.0;
+            for (size_t t = 0; t < dj; ++t) {
+              const double diff = res[d0 + t] - cbj[c * dsub + t];
+              d2 += diff * diff;
+            }
+            if (c == 0 || d2 < best_d) {
+              best_d = d2;
+              best = c;
+            }
+          }
+          out[j] = static_cast<uint8_t>(best);
+        }
+      }
+    });
+    index->codes_.resize(n * m);
+    for (size_t pos = 0; pos < n; ++pos) {
+      std::memcpy(index->codes_.data() + pos * m,
+                  row_codes.data() + static_cast<size_t>(index->list_rows_[pos]) * m,
+                  m);
+    }
+  }
+
+  index->options_ = opts;
+  return index;
+}
+
+std::vector<uint32_t> IvfIndex::RankLists(const double* wpad, size_t nprobe) const {
+  const size_t stride = plane_->stride();
+  std::vector<double> scores(nlist_);
+  ScoreRows(centroids_.data(), nlist_, stride, wpad, stride, scores.data());
+  std::vector<uint32_t> order(nlist_);
+  for (size_t c = 0; c < nlist_; ++c) order[c] = static_cast<uint32_t>(c);
+  nprobe = std::min(nprobe, nlist_);
+  std::partial_sort(order.begin(), order.begin() + nprobe, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(nprobe);
+  return order;
+}
+
+std::vector<uint32_t> IvfIndex::Probe(const double* wpad, size_t nprobe,
+                                      const Filter& filter, ProbeStats* stats) const {
+  if (nprobe == 0) nprobe = options_.nprobe;
+  const std::vector<uint32_t> lists = RankLists(wpad, nprobe);
+  const std::vector<uint64_t>& ids = plane_->item_ids();
+  std::vector<uint32_t> rows;
+  for (uint32_t list : lists) {
+    const uint32_t begin = list_offsets_[list];
+    const uint32_t end = list_offsets_[list + 1];
+    if (stats != nullptr) stats->candidates += end - begin;
+    for (uint32_t pos = begin; pos < end; ++pos) {
+      const uint32_t r = list_rows_[pos];
+      if (filter != nullptr && !filter(ids[r])) continue;
+      rows.push_back(r);
+    }
+  }
+  if (stats != nullptr) stats->lists_probed += lists.size();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<uint32_t> IvfIndex::ProbePq(const double* wpad, size_t nprobe,
+                                        size_t shortlist, const Filter& filter,
+                                        ProbeStats* stats) const {
+  if (!has_pq_) return Probe(wpad, nprobe, filter, stats);
+  if (nprobe == 0) nprobe = options_.nprobe;
+  if (shortlist == 0) shortlist = 1;
+  const std::vector<uint32_t> lists = RankLists(wpad, nprobe);
+  const size_t dim = plane_->dim();
+  const size_t stride = plane_->stride();
+
+  // Asymmetric distance table over the residual codebooks:
+  // adc[j*ksub + c] = w_sub_j · codebook_j[c]. A row's approximate
+  // score is w·centroid(list) + the sum of m table lookups, since
+  // w·row ≈ w·(centroid + residual).
+  std::vector<double> adc(pq_m_ * pq_ksub_, 0.0);
+  for (size_t j = 0; j < pq_m_; ++j) {
+    const size_t d0 = j * pq_dsub_;
+    const size_t dj = std::min(pq_dsub_, dim - d0);
+    const double* cbj = pq_codebooks_.data() + j * pq_ksub_ * pq_dsub_;
+    for (size_t c = 0; c < pq_ksub_; ++c) {
+      double s = 0.0;
+      for (size_t t = 0; t < dj; ++t) s += wpad[d0 + t] * cbj[c * pq_dsub_ + t];
+      adc[j * pq_ksub_ + c] = s;
+    }
+  }
+
+  const std::vector<uint64_t>& ids = plane_->item_ids();
+  BoundedTopK heap(shortlist);
+  for (uint32_t list : lists) {
+    const uint32_t begin = list_offsets_[list];
+    const uint32_t end = list_offsets_[list + 1];
+    if (stats != nullptr) stats->candidates += end - begin;
+    const double base =
+        DotKernel(wpad, centroids_.data() + static_cast<size_t>(list) * stride,
+                  stride);
+    for (uint32_t pos = begin; pos < end; ++pos) {
+      const uint32_t r = list_rows_[pos];
+      if (filter != nullptr && !filter(ids[r])) continue;
+      const uint8_t* code = codes_.data() + static_cast<size_t>(pos) * pq_m_;
+      double s = base;
+      for (size_t j = 0; j < pq_m_; ++j) s += adc[j * pq_ksub_ + code[j]];
+      heap.Offer(s, r);
+    }
+  }
+  if (stats != nullptr) stats->lists_probed += lists.size();
+  std::vector<TopKEntry> best = heap.TakeSorted();
+  std::vector<uint32_t> rows;
+  rows.reserve(best.size());
+  for (const TopKEntry& e : best) rows.push_back(static_cast<uint32_t>(e.id));
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace velox

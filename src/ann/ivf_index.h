@@ -1,0 +1,138 @@
+// Approximate candidate generation over an ItemFactorPlane: an IVF
+// (inverted-file) index with an optional product-quantized mirror.
+//
+// The serving problem is MIPS — argmax_x w_uᵀ f(x) over the catalog —
+// and the exact plane scan is O(|catalog|·d) per request. The IVF
+// index trades a bounded recall loss for a much smaller scan:
+//  * Build time (model install): a seeded k-means coarse quantizer
+//    clusters the plane's rows into `nlist` cells; each cell's rows are
+//    stored contiguously in one inverted list (CSR layout), rows
+//    ascending within a list.
+//  * Query time: rank the `nlist` centroids by inner product with the
+//    user weights, take the top `nprobe` lists, and either
+//      - Probe(): return every row in the probed lists (post-filter), or
+//      - ProbePq(): scan the probed lists' PQ codes (residuals against
+//        the list centroid) with an asymmetric distance table computed
+//        once per query, approximating w·row as w·centroid +
+//        adc(residual), and keep only a bounded shortlist — ~m
+//        byte-loads + m adds per row instead of d multiply-adds, and
+//        1/8th the memory traffic.
+//  * The caller then rescores the candidates exactly in double through
+//    the shared scoring kernels, so every returned score is
+//    bit-identical to what the exact scan would have produced for that
+//    item (zero-padding invariance, scoring_kernels.h).
+//
+// Determinism contract: Build() is a pure function of (plane bytes,
+// options). k-means samples with a seeded Rng, assigns rows to
+// centroids in fixed 2048-row chunks whose results are written to
+// per-row slots (so thread count and pool presence are invisible),
+// accumulates centroids serially in row order, and breaks every
+// nearest-centroid tie toward the lowest index. Same seed, same plane
+// => byte-identical centroids, list offsets, list rows, and PQ codes.
+#ifndef VELOX_ANN_IVF_INDEX_H_
+#define VELOX_ANN_IVF_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ml/feature_function.h"
+
+namespace velox {
+
+struct AnnIndexOptions {
+  // Number of coarse cells; 0 = auto: clamp(num_items/256, 16, 2048).
+  size_t nlist = 0;
+  // Default number of lists probed per query (callers may override).
+  size_t nprobe = 16;
+  size_t kmeans_iters = 5;
+  // Rows sampled for k-means training; 0 = auto:
+  // clamp(8*nlist, 4096, 131072). Clamped to num_items.
+  size_t train_sample = 0;
+  uint64_t seed = 0x5eedULL;
+
+  // Product-quantized mirror: each row's *residual* against its list's
+  // centroid is split into m = ceil(dim/pq_dsub) subvectors, each coded
+  // against a 256-entry codebook (residual coding keeps the codes
+  // informative when the catalog is clustered — exactly when IVF wins).
+  bool build_pq = true;
+  size_t pq_dsub = 4;
+  size_t pq_kmeans_iters = 4;
+  size_t pq_train_sample = 32768;
+  // PQ shortlist size as a multiple of k: ProbePq keeps the
+  // rescore_multiple*k best ADC scores for exact rescoring. Rescoring
+  // is cheap relative to the probe scan, so the default is generous —
+  // it buys back the recall the 8-byte codes give up.
+  size_t rescore_multiple = 8;
+};
+
+class IvfIndex {
+ public:
+  using Filter = std::function<bool(uint64_t item_id)>;
+
+  struct ProbeStats {
+    size_t lists_probed = 0;
+    // Rows seen in the probed lists, before filtering/shortlisting.
+    size_t candidates = 0;
+  };
+
+  // Builds the index over `plane` (kept alive via shared_ptr).
+  // Returns nullptr for an empty plane. `pool` may be null (inline
+  // build); the result is byte-identical either way.
+  static std::shared_ptr<const IvfIndex> Build(
+      std::shared_ptr<const ItemFactorPlane> plane, const AnnIndexOptions& options,
+      ThreadPool* pool);
+
+  // Ranks centroids against `wpad` (stride()-padded user weights) and
+  // returns every row index in the top-`nprobe` lists that passes
+  // `filter` (null = keep all). Rows are ascending.
+  std::vector<uint32_t> Probe(const double* wpad, size_t nprobe, const Filter& filter,
+                              ProbeStats* stats) const;
+
+  // As Probe(), but scans the probed lists' PQ codes with an ADC table
+  // and returns only the `shortlist` best rows under (adc score desc,
+  // row asc), ascending by row. Falls back to Probe() when the index
+  // was built without PQ.
+  std::vector<uint32_t> ProbePq(const double* wpad, size_t nprobe, size_t shortlist,
+                                const Filter& filter, ProbeStats* stats) const;
+
+  const ItemFactorPlane& plane() const { return *plane_; }
+  size_t nlist() const { return nlist_; }
+  size_t default_nprobe() const { return options_.nprobe; }
+  const AnnIndexOptions& options() const { return options_; }
+  bool has_pq() const { return has_pq_; }
+  size_t pq_m() const { return pq_m_; }
+
+  // Raw structure, exposed for determinism tests and stats.
+  const std::vector<double>& centroids() const { return centroids_; }
+  const std::vector<uint32_t>& list_offsets() const { return list_offsets_; }
+  const std::vector<uint32_t>& list_rows() const { return list_rows_; }
+  const std::vector<uint8_t>& codes() const { return codes_; }
+
+ private:
+  IvfIndex() = default;
+
+  // Centroid indices of the top-`nprobe` lists by (w·c desc, idx asc).
+  std::vector<uint32_t> RankLists(const double* wpad, size_t nprobe) const;
+
+  std::shared_ptr<const ItemFactorPlane> plane_;
+  AnnIndexOptions options_;  // with auto fields resolved
+  size_t nlist_ = 0;
+
+  std::vector<double> centroids_;      // nlist * plane stride, zero-padded
+  std::vector<uint32_t> list_offsets_; // nlist + 1 (CSR)
+  std::vector<uint32_t> list_rows_;    // num_items, ascending within a list
+
+  bool has_pq_ = false;
+  size_t pq_m_ = 0;     // subvectors per row
+  size_t pq_ksub_ = 0;  // codebook entries per subvector (<= 256)
+  size_t pq_dsub_ = 0;  // dims per subvector (last one may cover fewer)
+  std::vector<double> pq_codebooks_;  // m * ksub * pq_dsub, zero-padded
+  std::vector<uint8_t> codes_;        // num_items * m, in list_rows_ order
+};
+
+}  // namespace velox
+
+#endif  // VELOX_ANN_IVF_INDEX_H_

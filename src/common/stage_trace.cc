@@ -24,6 +24,10 @@ const char* StageName(Stage stage) {
       return "storage_backoff";
     case Stage::kDegradedServe:
       return "degraded_serve";
+    case Stage::kAnnCandidateProbe:
+      return "ann_candidate_probe";
+    case Stage::kAnnRescore:
+      return "ann_rescore";
   }
   return "unknown";
 }

@@ -32,9 +32,11 @@ enum class Stage : int {
   kPersist,                // observation WAL append + weight write
   kStorageBackoff,         // simulated retry/hedge waits on storage ops
   kDegradedServe,          // fallback answer after feature resolution failed
+  kAnnCandidateProbe,      // IVF centroid ranking + inverted-list gather
+  kAnnRescore,             // exact double rescore of ANN candidates
 };
 
-inline constexpr int kNumStages = 10;
+inline constexpr int kNumStages = 12;
 
 // Short stable identifier used in metrics names and JSON keys.
 const char* StageName(Stage stage);

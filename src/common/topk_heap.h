@@ -1,0 +1,74 @@
+// Bounded top-K selection under the serving scan's total order.
+//
+// Every top-K path in the system — the generic candidate scorer, the
+// exact plane scans (serial, sharded, mixed-precision), and the ANN
+// candidate/rescore stages — ranks with the same comparator: higher
+// score first, ties broken by smaller id. Sharing the comparator and
+// the bounded worst-at-top heap here is what makes their outputs agree
+// bit-for-bit: any two paths that score an item identically place it
+// identically.
+#ifndef VELOX_COMMON_TOPK_HEAP_H_
+#define VELOX_COMMON_TOPK_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace velox {
+
+// One scored entry during a scan. `id` is an item id in serving paths
+// and a plane row index in ANN shortlist selection — the comparator
+// only needs it to be a stable total-order tie-break.
+struct TopKEntry {
+  double score = 0.0;
+  uint64_t id = 0;
+};
+
+// The scan's total ranking order: higher score first, ties broken by
+// smaller id. Deterministic regardless of visit order.
+inline bool BetterTopKEntry(const TopKEntry& a, const TopKEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+// Bounded "worst of the current best k at the front" heap: O(log k)
+// per accepted offer, O(1) per rejected one, O(k) space.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(size_t k) : k_(k) { entries_.reserve(k); }
+
+  void Offer(double score, uint64_t id) {
+    TopKEntry e{score, id};
+    if (entries_.size() < k_) {
+      entries_.push_back(e);
+      std::push_heap(entries_.begin(), entries_.end(), BetterTopKEntry);
+      return;
+    }
+    if (!BetterTopKEntry(e, entries_.front())) return;
+    std::pop_heap(entries_.begin(), entries_.end(), BetterTopKEntry);
+    entries_.back() = e;
+    std::push_heap(entries_.begin(), entries_.end(), BetterTopKEntry);
+  }
+
+  // Consumes the heap, returning entries best-first.
+  std::vector<TopKEntry> TakeSorted() {
+    std::sort(entries_.begin(), entries_.end(), BetterTopKEntry);
+    return std::move(entries_);
+  }
+
+  bool Full() const { return entries_.size() >= k_; }
+  // Worst score currently kept; only meaningful when Full().
+  double Worst() const { return entries_.front().score; }
+
+  std::vector<TopKEntry>& entries() { return entries_; }
+
+ private:
+  size_t k_;
+  std::vector<TopKEntry> entries_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_COMMON_TOPK_HEAP_H_

@@ -21,6 +21,14 @@ int32_t ModelRegistry::Register(std::shared_ptr<const FeatureFunction> features,
   if (const auto* materialized = dynamic_cast<const MaterializedFeatureFunction*>(
           version->features.get())) {
     version->item_plane = materialized->plane();
+    // Build the ANN candidate index as part of install — outside the
+    // registry lock, so readers keep serving the old version while the
+    // (potentially long) k-means build runs.
+    if (ann_policy_.enabled && version->item_plane != nullptr &&
+        version->item_plane->num_items() >= ann_policy_.min_items) {
+      version->ann_index =
+          IvfIndex::Build(version->item_plane, ann_policy_.index, ann_pool_);
+    }
   }
   version->trained_user_weights =
       trained_user_weights != nullptr ? std::move(trained_user_weights)

@@ -22,11 +22,25 @@
 #include <string>
 #include <vector>
 
+#include "ann/ivf_index.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "ml/als.h"
 #include "ml/feature_function.h"
 
 namespace velox {
+
+// When and how the registry builds an ANN index at install time.
+// Building is part of install (before the version becomes current), so
+// a served version either has its index or never will — the serving
+// path never races a half-built index.
+struct AnnBuildPolicy {
+  bool enabled = true;
+  // Planes smaller than this serve fine from the exact scan; skip the
+  // build cost. Chosen so unit-test-sized catalogs never pay it.
+  size_t min_items = 32768;
+  AnnIndexOptions index;
+};
 
 struct ModelVersion {
   int32_t version = 0;
@@ -37,6 +51,10 @@ struct ModelVersion {
   // (null for computational models). Immutable like the version;
   // full-catalog top-K scans stream it lock-free.
   std::shared_ptr<const ItemFactorPlane> item_plane;
+  // IVF(+PQ) candidate index over item_plane, built at Register() when
+  // the registry's AnnBuildPolicy applies (null otherwise — exact scans
+  // only). Immutable like the version.
+  std::shared_ptr<const IvfIndex> ann_index;
   // W as produced by the (re)training run; the live, online-updated
   // weights live in UserWeightStore and are re-seeded from this on swap.
   std::shared_ptr<const FactorMap> trained_user_weights;
@@ -68,11 +86,30 @@ class ModelRegistry {
   // Makes a historical version current again (rollback).
   Status Rollback(int32_t version);
 
+  // Enables ANN index construction for subsequent Register() calls
+  // (materialized models whose plane has >= policy.min_items rows).
+  // `pool` (borrowed, may be null) parallelizes the build; the index
+  // bytes are identical either way. Wire before the first Register.
+  void SetAnnBuild(AnnBuildPolicy policy, ThreadPool* pool) {
+    ann_policy_ = std::move(policy);
+    ann_pool_ = pool;
+  }
+  const AnnBuildPolicy& ann_policy() const { return ann_policy_; }
+
   std::vector<ModelVersionInfo> History() const;
   const std::string& model_name() const { return model_name_; }
 
  private:
+  // ANN builds are opt-in: disabled until SetAnnBuild().
+  static AnnBuildPolicy DisabledAnnPolicy() {
+    AnnBuildPolicy p;
+    p.enabled = false;
+    return p;
+  }
+
   std::string model_name_;
+  AnnBuildPolicy ann_policy_ = DisabledAnnPolicy();
+  ThreadPool* ann_pool_ = nullptr;
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<const ModelVersion>> versions_;
   std::shared_ptr<const ModelVersion> current_;

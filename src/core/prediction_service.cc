@@ -10,61 +10,17 @@
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/topk_heap.h"
 #include "linalg/scoring_kernels.h"
 
 namespace velox {
 
 namespace {
 
-// One scored catalog row during a scan.
-struct ScanEntry {
-  double score = 0.0;
-  uint64_t item_id = 0;
-};
-
-// The scan's total ranking order: higher score first, ties broken by
-// smaller item id. Every scan path (heap, serial plane, parallel
-// shards + merge) ranks with this one comparator, which is what makes
-// their outputs identical even on tie-heavy tables.
-inline bool BetterEntry(const ScanEntry& a, const ScanEntry& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.item_id < b.item_id;
-}
-
-// Bounded "worst of the current best k at the front" heap.
-class BoundedTopK {
- public:
-  explicit BoundedTopK(size_t k) : k_(k) { entries_.reserve(k); }
-
-  void Offer(double score, uint64_t item_id) {
-    ScanEntry e{score, item_id};
-    if (entries_.size() < k_) {
-      entries_.push_back(e);
-      std::push_heap(entries_.begin(), entries_.end(), BetterEntry);
-      return;
-    }
-    if (!BetterEntry(e, entries_.front())) return;
-    std::pop_heap(entries_.begin(), entries_.end(), BetterEntry);
-    entries_.back() = e;
-    std::push_heap(entries_.begin(), entries_.end(), BetterEntry);
-  }
-
-  // Consumes the heap, returning entries best-first.
-  std::vector<ScanEntry> TakeSorted() {
-    std::sort(entries_.begin(), entries_.end(), BetterEntry);
-    return std::move(entries_);
-  }
-
-  bool Full() const { return entries_.size() >= k_; }
-  // Worst score currently kept; only meaningful when Full().
-  double Worst() const { return entries_.front().score; }
-
-  std::vector<ScanEntry>& entries() { return entries_; }
-
- private:
-  size_t k_;
-  std::vector<ScanEntry> entries_;
-};
+// Every scan path (heap, serial plane, parallel shards + merge, ANN
+// rescore) selects with the shared BoundedTopK under BetterTopKEntry
+// (common/topk_heap.h) — one comparator is what makes their outputs
+// identical even on tie-heavy tables.
 
 // Scores plane rows [begin, end) into `top`, one ScoreRows block at a
 // time so the factor rows stream through cache. `weights` must hold
@@ -114,7 +70,7 @@ void ScanPlaneRange(const ItemFactorPlane& plane, const double* weights, size_t 
 // Note: `filter` may be consulted up to twice per row (float pass and
 // rescore), so it must be a pure predicate — the same contract the
 // rest of the scan already assumes.
-std::vector<ScanEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
+std::vector<TopKEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
                                           const DenseVector& weights, size_t k,
                                           const PredictionService::ItemFilter& filter,
                                           size_t shards, ThreadPool* pool) {
@@ -209,7 +165,7 @@ std::vector<ScanEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
     std::vector<double> floats;
     floats.reserve(shards * k);
     for (BoundedTopK& ftop : float_tops) {
-      for (const ScanEntry& e : ftop.entries()) floats.push_back(e.score);
+      for (const TopKEntry& e : ftop.entries()) floats.push_back(e.score);
     }
     if (floats.size() >= k) {
       std::nth_element(floats.begin(), floats.begin() + (k - 1), floats.end(),
@@ -227,7 +183,8 @@ std::vector<ScanEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
       double sf = c.sf;
       if (sf < cutoff && sf != kNegInf) continue;
       if (filter && !filter(ids[c.row])) continue;  // application policy
-      top.Offer(DotKernel(plane.row(c.row), weights.data(), dim), ids[c.row]);
+      const ItemFactorPlane::RowSpan row = plane.row_span(c.row);
+      top.Offer(DotKernel(row.data, weights.data(), row.dim), row.item_id);
     }
   }
   return top.TakeSorted();
@@ -793,20 +750,45 @@ Result<TopKResult> PredictionService::TopK(uint64_t uid,
   return result;
 }
 
+size_t PredictionService::EstimateEligibleRows(const ItemFactorPlane& plane,
+                                               const ItemFilter& filter) {
+  const size_t n = plane.num_items();
+  if (filter == nullptr || n == 0) return n;
+  // Evenly-spaced sample — deterministic, cheap, and unbiased enough
+  // for a fan-out decision (the cost of a misestimate is a few shards,
+  // not a wrong answer).
+  constexpr size_t kMaxSamples = 512;
+  const size_t step = std::max<size_t>(1, n / kMaxSamples);
+  const std::vector<uint64_t>& ids = plane.item_ids();
+  size_t sampled = 0, kept = 0;
+  for (size_t r = 0; r < n; r += step) {
+    ++sampled;
+    if (filter(ids[r])) ++kept;
+  }
+  return (n * kept) / sampled;
+}
+
+size_t PredictionService::PlannedScanShards(const ItemFactorPlane& plane,
+                                            const ItemFilter& filter,
+                                            bool parallel) const {
+  if (!parallel || scan_pool_ == nullptr || scan_pool_->num_threads() <= 1) return 1;
+  // Shards below options_.topk_min_shard_rows pay more in fan-out than
+  // they save in scoring; small catalogs stay serial. The floor is
+  // applied to the *filter-adjusted* row estimate: a raw-plane count
+  // would fan a heavily-filtered scan out over rows it mostly skips.
+  const size_t min_shard_rows = std::max<size_t>(1, options_.topk_min_shard_rows);
+  const size_t eligible = EstimateEligibleRows(plane, filter);
+  return std::min(scan_pool_->num_threads(),
+                  std::max<size_t>(1, eligible / min_shard_rows));
+}
+
 TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
                                         int32_t model_version,
                                         const DenseVector& weights, size_t k,
                                         const ItemFilter& filter,
                                         bool parallel) const {
   const size_t n = plane.num_items();
-  // Shards below options_.topk_min_shard_rows pay more in fan-out than
-  // they save in scoring; small catalogs stay serial.
-  size_t min_shard_rows = std::max<size_t>(1, options_.topk_min_shard_rows);
-  size_t shards = 1;
-  if (parallel && scan_pool_ != nullptr && scan_pool_->num_threads() > 1) {
-    shards =
-        std::min(scan_pool_->num_threads(), std::max<size_t>(1, n / min_shard_rows));
-  }
+  const size_t shards = PlannedScanShards(plane, filter, parallel);
 
   // Stride-padded copy of the weights so plane rows can be scored over
   // their full padded stride (bit-identical, no per-row kernel tail).
@@ -814,7 +796,7 @@ TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
   std::copy(weights.data(), weights.data() + std::min(weights.dim(), plane.dim()),
             wpad.begin());
 
-  std::vector<ScanEntry> best;
+  std::vector<TopKEntry> best;
   if (options_.topk_mixed_precision && plane.float_ok()) {
     best = MixedPrecisionScan(plane, weights, k, filter, shards, scan_pool_);
   } else if (shards <= 1) {
@@ -836,19 +818,124 @@ TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
       }
     });
     for (BoundedTopK& top : tops) {
-      for (const ScanEntry& e : top.entries()) best.push_back(e);
+      for (const TopKEntry& e : top.entries()) best.push_back(e);
     }
-    std::sort(best.begin(), best.end(), BetterEntry);
+    std::sort(best.begin(), best.end(), BetterTopKEntry);
     if (best.size() > k) best.resize(k);
   }
 
   TopKResult result;
   result.model_version = model_version;
   result.items.reserve(best.size());
-  for (const ScanEntry& e : best) {
-    result.items.push_back(ScoredItem{e.item_id, e.score, 0.0});
+  for (const TopKEntry& e : best) {
+    result.items.push_back(ScoredItem{e.id, e.score, 0.0});
   }
   return result;
+}
+
+TopKResult PredictionService::AnnScan(const IvfIndex& index, int32_t model_version,
+                                      const DenseVector& weights, size_t k,
+                                      const ItemFilter& filter, bool use_pq,
+                                      StageTimer& timer) {
+  const ItemFactorPlane& plane = index.plane();
+  // Stride-padded weights, as in ScanPlane: rescoring the full padded
+  // stride is bit-identical to the dim-length product (zero-padding
+  // invariance), and the probe's centroid ranking reuses the buffer.
+  std::vector<double> wpad(plane.stride(), 0.0);
+  std::copy(weights.data(), weights.data() + std::min(weights.dim(), plane.dim()),
+            wpad.begin());
+  const size_t nprobe =
+      options_.ann_nprobe != 0 ? options_.ann_nprobe : index.default_nprobe();
+
+  IvfIndex::ProbeStats stats;
+  std::vector<uint32_t> rows;
+  {
+    StageTimer::Scope probe(timer, Stage::kAnnCandidateProbe);
+    if (use_pq && index.has_pq()) {
+      const size_t shortlist =
+          std::max(k, k * std::max<size_t>(1, index.options().rescore_multiple));
+      rows = index.ProbePq(wpad.data(), nprobe, shortlist, filter, &stats);
+    } else {
+      rows = index.Probe(wpad.data(), nprobe, filter, &stats);
+    }
+  }
+
+  TopKResult result;
+  result.model_version = model_version;
+  {
+    StageTimer::Scope rescore(timer, Stage::kAnnRescore);
+    BoundedTopK top(k);
+    for (uint32_t r : rows) {
+      const ItemFactorPlane::RowSpan row = plane.row_span(r);
+      top.Offer(DotKernel(row.data, wpad.data(), row.padded), row.item_id);
+    }
+    for (const TopKEntry& e : top.TakeSorted()) {
+      result.items.push_back(ScoredItem{e.id, e.score, 0.0});
+    }
+  }
+
+  ann_queries_.fetch_add(1, std::memory_order_relaxed);
+  ann_probes_.fetch_add(stats.lists_probed, std::memory_order_relaxed);
+  ann_candidates_.fetch_add(stats.candidates, std::memory_order_relaxed);
+  ann_rescored_.fetch_add(rows.size(), std::memory_order_relaxed);
+  return result;
+}
+
+PredictionService::TopKAllMode PredictionService::ResolveTopKAllMode(
+    const ModelVersion& version, const ItemFactorPlane& plane, size_t k,
+    const ItemFilter& filter, TopKAllMode mode) const {
+  if (mode != TopKAllMode::kAuto) return mode;
+  // kAuto takes the ANN path only when the version carries an index,
+  // k is small enough that the probe's candidate set dwarfs it, and
+  // the *filter-adjusted* catalog estimate clears the threshold — a
+  // filter that keeps few items makes the exact scan cheap and the
+  // probed lists mostly empty.
+  constexpr size_t kMaxAutoAnnK = 1000;
+  if (version.ann_index != nullptr && k <= kMaxAutoAnnK &&
+      EstimateEligibleRows(plane, filter) >= options_.topk_auto_ann_min_rows) {
+    return TopKAllMode::kIvf;
+  }
+  return TopKAllMode::kPlaneParallel;
+}
+
+Result<TopKResult> PredictionService::ExecuteTopKAll(
+    const ModelVersion& version, const MaterializedFeatureFunction& materialized,
+    const ItemFactorPlane& plane, const DenseVector& weights, size_t k,
+    const ItemFilter& filter, TopKAllMode resolved, StageTimer& timer) {
+  if (resolved == TopKAllMode::kIvf || resolved == TopKAllMode::kIvfPq) {
+    if (version.ann_index == nullptr) {
+      return Status::FailedPrecondition(
+          "TopKAll ANN mode requires an index; the current version was "
+          "installed without one (see ModelRegistry::SetAnnBuild)");
+    }
+    return AnnScan(*version.ann_index, version.version, weights, k, filter,
+                   resolved == TopKAllMode::kIvfPq, timer);
+  }
+
+  // The whole-catalog exact scan is kernel work — it bypasses the
+  // per-item caches by design, so the scan's time all lands in one
+  // stage.
+  StageTimer::Scope kernel(timer, Stage::kKernelScore);
+  if (resolved == TopKAllMode::kHeapScan) {
+    // Legacy per-item walk of the hash-map table, kept for ablation.
+    // Same bounded heap and tie-break order as the plane scan, so the
+    // output is identical — only the memory access pattern differs
+    // (two dependent pointer loads per item vs a streaming read).
+    BoundedTopK top(k);
+    for (const auto& [item_id, factor] : materialized.table()) {
+      if (filter && !filter(item_id)) continue;  // application policy
+      if (factor.dim() != weights.dim()) continue;  // defensive: skip bad rows
+      top.Offer(Dot(weights, factor), item_id);
+    }
+    TopKResult result;
+    result.model_version = version.version;
+    for (const TopKEntry& e : top.TakeSorted()) {
+      result.items.push_back(ScoredItem{e.id, e.score, 0.0});
+    }
+    return result;
+  }
+  return ScanPlane(plane, version.version, weights, k, filter,
+                   resolved != TopKAllMode::kPlaneSerial);
 }
 
 Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
@@ -864,44 +951,23 @@ Result<TopKResult> PredictionService::TopKAll(uint64_t uid, size_t k,
     return Status::FailedPrecondition(
         "TopKAll requires an in-process materialized feature table");
   }
+  // Versions registered through the registry carry the plane; fall
+  // back to the feature function's own copy otherwise.
+  std::shared_ptr<const ItemFactorPlane> plane = version->item_plane;
+  if (plane == nullptr) plane = materialized->plane();
+  const TopKAllMode resolved = ResolveTopKAllMode(*version, *plane, k, filter, mode);
+
   StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
   DenseVector weights =
       weights_->GetOrBootstrapWeights(uid, bootstrapper_->MeanWeights());
   lookup.Stop();
-
-  // The whole catalog scan is kernel work — it bypasses the per-item
-  // caches by design, so the scan's time all lands in one stage.
-  StageTimer::Scope kernel(timer, Stage::kKernelScore);
-
-  if (mode == TopKAllMode::kHeapScan) {
-    // Legacy per-item walk of the hash-map table, kept for ablation.
-    // Same bounded heap and tie-break order as the plane scan, so the
-    // output is identical — only the memory access pattern differs
-    // (two dependent pointer loads per item vs a streaming read).
-    BoundedTopK top(k);
-    for (const auto& [item_id, factor] : materialized->table()) {
-      if (filter && !filter(item_id)) continue;  // application policy
-      if (factor.dim() != weights.dim()) continue;  // defensive: skip bad rows
-      top.Offer(Dot(weights, factor), item_id);
-    }
-    TopKResult result;
-    result.model_version = version->version;
-    for (const ScanEntry& e : top.TakeSorted()) {
-      result.items.push_back(ScoredItem{e.item_id, e.score, 0.0});
-    }
-    return result;
-  }
-
-  // Plane scan. Versions registered through the registry carry the
-  // plane; fall back to the feature function's own copy otherwise.
-  std::shared_ptr<const ItemFactorPlane> plane = version->item_plane;
-  if (plane == nullptr) plane = materialized->plane();
-  bool parallel = mode != TopKAllMode::kPlaneSerial;
-  return ScanPlane(*plane, version->version, weights, k, filter, parallel);
+  return ExecuteTopKAll(*version, *materialized, *plane, weights, k, filter, resolved,
+                        timer);
 }
 
 Result<std::vector<TopKResult>> PredictionService::TopKAllBatch(
-    const std::vector<uint64_t>& uids, size_t k, const ItemFilter& filter) {
+    const std::vector<uint64_t>& uids, size_t k, const ItemFilter& filter,
+    TopKAllMode mode) {
   if (k == 0) return Status::InvalidArgument("k must be positive");
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
                          registry_->Current());
@@ -913,9 +979,11 @@ Result<std::vector<TopKResult>> PredictionService::TopKAllBatch(
   }
   std::shared_ptr<const ItemFactorPlane> plane = version->item_plane;
   if (plane == nullptr) plane = materialized->plane();
+  // One version/plane/mode resolution amortized over the whole batch;
+  // the plane (or the index's inverted lists) stays cache-hot across
+  // consecutive users.
+  const TopKAllMode resolved = ResolveTopKAllMode(*version, *plane, k, filter, mode);
 
-  // One version/plane resolution amortized over the whole batch; the
-  // plane stays cache-hot across consecutive users.
   std::vector<TopKResult> results;
   results.reserve(uids.size());
   const DenseVector mean = bootstrapper_->MeanWeights();
@@ -924,10 +992,10 @@ Result<std::vector<TopKResult>> PredictionService::TopKAllBatch(
     StageTimer::Scope lookup(timer, Stage::kUserWeightLookup);
     DenseVector weights = weights_->GetOrBootstrapWeights(uid, mean);
     lookup.Stop();
-    StageTimer::Scope kernel(timer, Stage::kKernelScore);
-    results.push_back(
-        ScanPlane(*plane, version->version, weights, k, filter, /*parallel=*/true));
-    kernel.Stop();
+    VELOX_ASSIGN_OR_RETURN(TopKResult result,
+                           ExecuteTopKAll(*version, *materialized, *plane, weights, k,
+                                          filter, resolved, timer));
+    results.push_back(std::move(result));
     timer.Flush();  // one histogram sample per user, like TopKAll
   }
   return results;

@@ -126,6 +126,13 @@ struct PredictionServiceOptions {
   // Off forces the pure-double streaming scan; planes holding
   // non-finite factors fall back automatically.
   bool topk_mixed_precision = true;
+  // TopKAllMode::kAuto switches from the exact plane scan to the
+  // ANN candidate path (when the current version carries an index)
+  // once the *filter-adjusted* eligible row estimate reaches this many
+  // rows; below it the exact scan is already fast and recall is free.
+  size_t topk_auto_ann_min_rows = 100000;
+  // Lists probed per ANN query; 0 uses the index's build-time default.
+  size_t ann_nprobe = 0;
   // Graceful degradation (Clipper-style bounded answers): when feature
   // resolution ultimately fails with a *transient* error (Unavailable —
   // drops, partitions, deadline misses), serve the last known score for
@@ -171,15 +178,22 @@ class PredictionService {
   // application level policies"). Returns true to keep the item.
   using ItemFilter = std::function<bool(uint64_t item_id)>;
 
-  // Which scan implementation TopKAll uses. All modes return the same
-  // items/scores/order (ranking is the total order (score desc,
-  // item_id asc), and every path scores with the same kernels), so the
-  // non-auto modes exist for benchmarking and tests.
+  // Which scan implementation TopKAll uses. The exact modes (heap,
+  // serial, parallel) return the same items/scores/order (ranking is
+  // the total order (score desc, item_id asc), and every path scores
+  // with the same kernels), so the non-auto exact modes exist for
+  // benchmarking and tests. The ANN modes may return a different item
+  // *set* (bounded recall loss), but every item they do return carries
+  // the exact double score — candidates are rescored through the same
+  // kernels, so scores are bit-identical to the exact path per item.
   enum class TopKAllMode {
-    kAuto,           // plane scan, parallel when a scan pool is set
+    kAuto,           // exact plane scan; ANN above topk_auto_ann_min_rows
+                     // when the version carries an index
     kHeapScan,       // legacy per-item walk of the hash-map table
     kPlaneSerial,    // contiguous plane, single thread
     kPlaneParallel,  // contiguous plane, sharded across the scan pool
+    kIvf,            // IVF probe, exact rescore of all probed rows
+    kIvfPq,          // IVF probe + PQ shortlist, exact rescore
   };
 
   // Full-catalog greedy top-K — the paper's §8 "more efficient top-K
@@ -196,12 +210,22 @@ class PredictionService {
   Result<TopKResult> TopKAll(uint64_t uid, size_t k, const ItemFilter& filter = nullptr,
                              TopKAllMode mode = TopKAllMode::kAuto);
 
-  // Batched TopKAll: one registry/version/plane resolution amortized
-  // across all `uids`, reusing the hot plane for every user. Returns
-  // one TopKResult per uid, in input order.
+  // Batched TopKAll: one registry/version/plane resolution (and one
+  // mode resolution) amortized across all `uids`, reusing the hot
+  // plane for every user. Returns one TopKResult per uid, in input
+  // order.
   Result<std::vector<TopKResult>> TopKAllBatch(const std::vector<uint64_t>& uids,
                                                size_t k,
-                                               const ItemFilter& filter = nullptr);
+                                               const ItemFilter& filter = nullptr,
+                                               TopKAllMode mode = TopKAllMode::kAuto);
+
+  // How many shards a plane scan would fan out to for this filter —
+  // min(pool threads, eligible rows / topk_min_shard_rows), where
+  // eligible rows are *estimated under the filter* (sampled), not the
+  // raw plane size: a heavily-filtered scan must not fan out over rows
+  // it will mostly skip. Public so tests can pin the policy.
+  size_t PlannedScanShards(const ItemFactorPlane& plane, const ItemFilter& filter,
+                           bool parallel) const;
 
   // Thread pool for sharded plane scans (borrowed; may be null for
   // serial scans). Wire at construction time — not thread-safe against
@@ -278,6 +302,19 @@ class PredictionService {
     return coalesce_fetches_.load(std::memory_order_relaxed);
   }
 
+  // ANN serving counters: queries answered through the candidate path,
+  // inverted lists probed, candidate rows seen pre-shortlist, and rows
+  // exactly rescored. rescored/queries is the live candidate-set size;
+  // candidates vs rescored shows how hard the PQ shortlist prunes.
+  uint64_t ann_queries() const { return ann_queries_.load(std::memory_order_relaxed); }
+  uint64_t ann_probes() const { return ann_probes_.load(std::memory_order_relaxed); }
+  uint64_t ann_candidates() const {
+    return ann_candidates_.load(std::memory_order_relaxed);
+  }
+  uint64_t ann_rescored() const {
+    return ann_rescored_.load(std::memory_order_relaxed);
+  }
+
  private:
   // Score one item for a user; uses/fills both caches.
   Result<double> ScoreItem(const ModelVersion& version, uint64_t uid,
@@ -320,6 +357,35 @@ class PredictionService {
                        const DenseVector& weights, size_t k, const ItemFilter& filter,
                        bool parallel) const;
 
+  // Estimated rows of `plane` passing `filter` (plane size when filter
+  // is null), from a bounded evenly-spaced sample — cheap enough to run
+  // per scan, accurate enough for fan-out and mode thresholds.
+  static size_t EstimateEligibleRows(const ItemFactorPlane& plane,
+                                     const ItemFilter& filter);
+
+  // Resolves kAuto against the version's index, the filter-adjusted
+  // catalog size, and k; non-auto modes pass through.
+  TopKAllMode ResolveTopKAllMode(const ModelVersion& version,
+                                 const ItemFactorPlane& plane, size_t k,
+                                 const ItemFilter& filter, TopKAllMode mode) const;
+
+  // ANN candidate path: probe (timed as kAnnCandidateProbe), then
+  // exact double rescore of the candidates (kAnnRescore) through the
+  // shared kernels — returned scores are bit-identical to the exact
+  // scan's for the same items.
+  TopKResult AnnScan(const IvfIndex& index, int32_t model_version,
+                     const DenseVector& weights, size_t k, const ItemFilter& filter,
+                     bool use_pq, StageTimer& timer);
+
+  // One user's TopKAll under an already-resolved mode; shared by
+  // TopKAll and TopKAllBatch.
+  Result<TopKResult> ExecuteTopKAll(const ModelVersion& version,
+                                    const MaterializedFeatureFunction& materialized,
+                                    const ItemFactorPlane& plane,
+                                    const DenseVector& weights, size_t k,
+                                    const ItemFilter& filter, TopKAllMode resolved,
+                                    StageTimer& timer);
+
   PredictionServiceOptions options_;
   ModelRegistry* registry_;
   UserWeightStore* weights_;
@@ -361,6 +427,11 @@ class PredictionService {
   std::atomic<uint64_t> coalesce_merged_{0};
   std::atomic<uint64_t> coalesce_flight_waits_{0};
   std::atomic<uint64_t> coalesce_fetches_{0};
+
+  std::atomic<uint64_t> ann_queries_{0};
+  std::atomic<uint64_t> ann_probes_{0};
+  std::atomic<uint64_t> ann_candidates_{0};
+  std::atomic<uint64_t> ann_rescored_{0};
 };
 
 }  // namespace velox

@@ -26,6 +26,9 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
   VELOX_CHECK_OK(storage_->CreateTable(config_.updater.weights_table));
 
   registry_ = std::make_unique<ModelRegistry>(model_->name());
+  // Index construction happens inside Register(), before a version
+  // becomes current, so serving never sees a half-built index.
+  registry_->SetAnnBuild(config_.ann, scan_pool_.get());
   evaluator_ = std::make_unique<Evaluator>(config_.evaluator);
   driver_ = std::make_unique<JobDriver>(config_.batch_workers);
 
@@ -55,6 +58,8 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
     popts.use_feature_cache = config_.use_feature_cache;
     popts.use_prediction_cache = config_.use_prediction_cache;
     popts.degrade_on_unavailable = config_.degrade_on_unavailable;
+    popts.topk_auto_ann_min_rows = config_.topk_auto_ann_min_rows;
+    popts.ann_nprobe = config_.ann_nprobe;
     FeatureResolver resolver =
         config_.distribute_item_features
             ? FeatureResolver(node->client.get(),
@@ -180,15 +185,17 @@ Result<TopKResult> VeloxServer::TopK(uint64_t uid, const std::vector<Item>& cand
 }
 
 Result<TopKResult> VeloxServer::TopKAll(uint64_t uid, size_t k,
-                                        const PredictionService::ItemFilter& filter) {
+                                        const PredictionService::ItemFilter& filter,
+                                        PredictionService::TopKAllMode mode) {
   VELOX_ASSIGN_OR_RETURN(NodeId node, ServingNode(uid, sizeof(uint64_t) * 2));
   return per_node_[static_cast<size_t>(node)]->prediction_service->TopKAll(uid, k,
-                                                                           filter);
+                                                                           filter, mode);
 }
 
 Result<std::vector<TopKResult>> VeloxServer::TopKAllBatch(
     const std::vector<uint64_t>& uids, size_t k,
-    const PredictionService::ItemFilter& filter) {
+    const PredictionService::ItemFilter& filter,
+    PredictionService::TopKAllMode mode) {
   // Group by serving node so each node's service resolves the
   // version/plane once for its whole share of the batch.
   std::vector<std::vector<uint64_t>> node_uids(per_node_.size());
@@ -203,7 +210,7 @@ Result<std::vector<TopKResult>> VeloxServer::TopKAllBatch(
     if (node_uids[n].empty()) continue;
     VELOX_ASSIGN_OR_RETURN(
         std::vector<TopKResult> node_results,
-        per_node_[n]->prediction_service->TopKAllBatch(node_uids[n], k, filter));
+        per_node_[n]->prediction_service->TopKAllBatch(node_uids[n], k, filter, mode));
     for (size_t j = 0; j < node_results.size(); ++j) {
       results[node_slots[n][j]] = std::move(node_results[j]);
     }
@@ -309,6 +316,23 @@ std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
       ->Set(static_cast<double>(sc.backoff_nanos));
   set_counter("storage.degraded", DegradedCount());
 
+  // ANN candidate path: live candidate-set sizes and whether kAuto
+  // currently routes full-catalog topK through the index.
+  AnnServeStats ann = AggregatedAnnStats();
+  set_counter("ann.queries", ann.queries);
+  set_counter("ann.probes", ann.probes);
+  set_counter("ann.candidates", ann.candidates);
+  set_counter("ann.rescored", ann.rescored);
+  double recall_mode = 0.0;
+  if (auto current = registry_->Current(); current.ok()) {
+    const ModelVersion& v = *current.value();
+    recall_mode = (v.ann_index != nullptr && v.item_plane != nullptr &&
+                   v.item_plane->num_items() >= config_.topk_auto_ann_min_rows)
+                      ? 1.0
+                      : 0.0;
+  }
+  target->GetGauge(prefix + "ann.recall_mode")->Set(recall_mode);
+
   EvaluatorReport quality = evaluator_->Report();
   target->GetGauge(prefix + "quality.mean_online_loss")->Set(quality.mean_online_loss);
   target->GetGauge(prefix + "quality.ewma_heldout_loss")->Set(quality.ewma_loss);
@@ -358,7 +382,24 @@ std::string VeloxServer::StageReport() const {
     os << "  " << StageName(stage) << " " << snap.ToString() << "\n";
   }
   if (!any) os << "  (no traced requests yet)\n";
+  AnnServeStats ann = AggregatedAnnStats();
+  if (ann.queries > 0) {
+    os << "  ann: queries=" << ann.queries << " probes=" << ann.probes
+       << " candidates=" << ann.candidates << " rescored=" << ann.rescored
+       << " (avg " << (ann.rescored / ann.queries) << " rescored/query)\n";
+  }
   return os.str();
+}
+
+VeloxServer::AnnServeStats VeloxServer::AggregatedAnnStats() const {
+  AnnServeStats agg;
+  for (const auto& node : per_node_) {
+    agg.queries += node->prediction_service->ann_queries();
+    agg.probes += node->prediction_service->ann_probes();
+    agg.candidates += node->prediction_service->ann_candidates();
+    agg.rescored += node->prediction_service->ann_rescored();
+  }
+  return agg;
 }
 
 std::string VeloxServer::StageBreakdownJson() const {

@@ -66,6 +66,16 @@ struct VeloxServerConfig {
   // one per hardware thread (clamped to 8); 1 = always serial.
   size_t topk_scan_threads = 0;
 
+  // ANN candidate generation: when enabled and a registered version's
+  // plane has >= ann.min_items rows, the registry builds an IVF(+PQ)
+  // index at install time and TopKAll's kAuto serves from it above
+  // topk_auto_ann_min_rows filter-adjusted rows. The index build
+  // shares the scan pool.
+  AnnBuildPolicy ann;
+  size_t topk_auto_ann_min_rows = 100000;
+  // Lists probed per ANN query; 0 = the index's build-time default.
+  size_t ann_nprobe = 0;
+
   // Bandit policy spec for topK ("greedy", "epsilon_greedy:0.1",
   // "linucb:0.5", "thompson"); empty = greedy, no exploration marking.
   std::string bandit_policy = "linucb:0.5";
@@ -131,14 +141,21 @@ class VeloxServer {
   // materialized θ's scoring plane; see PredictionService::TopKAll).
   // `filter` optionally drops items before scoring (application-level
   // pre-filtering policies, §5).
+  // `mode` selects the scan implementation (exact plane scans, or the
+  // ANN candidate path when the version carries an index); kAuto picks
+  // per the filter-adjusted catalog-size threshold.
   Result<TopKResult> TopKAll(uint64_t uid, size_t k,
-                             const PredictionService::ItemFilter& filter = nullptr);
+                             const PredictionService::ItemFilter& filter = nullptr,
+                             PredictionService::TopKAllMode mode =
+                                 PredictionService::TopKAllMode::kAuto);
   // Batched full-catalog top-K: amortizes the version/plane lookup
   // across users, grouping uids by home node. Results in input order.
   Result<std::vector<TopKResult>> TopKAllBatch(const std::vector<uint64_t>& uids,
                                                size_t k,
                                                const PredictionService::ItemFilter&
-                                                   filter = nullptr);
+                                                   filter = nullptr,
+                                               PredictionService::TopKAllMode mode =
+                                                   PredictionService::TopKAllMode::kAuto);
   Status Observe(uint64_t uid, const Item& item, double label);
   // Observe with provenance from a previous TopK (exploration-sourced
   // observations feed the bandit validation pool).
@@ -187,6 +204,17 @@ class VeloxServer {
   StageRegistry* stage_registry(NodeId node) {
     return per_node_[static_cast<size_t>(node)]->stages.get();
   }
+
+  // ANN serving counters summed across every node's prediction service
+  // (queries through the candidate path, lists probed, candidate rows
+  // seen, rows exactly rescored).
+  struct AnnServeStats {
+    uint64_t queries = 0;
+    uint64_t probes = 0;
+    uint64_t candidates = 0;
+    uint64_t rescored = 0;
+  };
+  AnnServeStats AggregatedAnnStats() const;
 
   ServerCacheStats AggregatedCacheStats() const;
   void ResetCacheStats();

@@ -52,6 +52,20 @@ struct Item {
 // builds a whole new plane with the new θ.
 class ItemFactorPlane {
  public:
+  // One row of the plane, with the stride math resolved: `data`/`fdata`
+  // point at the row start, `dim` is the logical factor dimension and
+  // `padded` the physical pitch (dim rounded up to the stride, zeros in
+  // between). Kernels may read `padded` doubles — the zero padding makes
+  // DotKernel(data, w_padded, padded) bit-identical to the dim-length
+  // product (scoring_kernels.h's zero-padding invariance).
+  struct RowSpan {
+    const double* data = nullptr;
+    const float* fdata = nullptr;
+    uint64_t item_id = 0;
+    size_t dim = 0;
+    size_t padded = 0;
+  };
+
   // Copies `table` into the contiguous layout; rows whose factor
   // dimension differs from `dim` are dropped (mirrors the defensive
   // skip in the per-item scan).
@@ -65,6 +79,13 @@ class ItemFactorPlane {
   const std::vector<uint64_t>& item_ids() const { return item_ids_; }
   const double* data() const { return data_.data(); }
   const double* row(size_t r) const { return data_.data() + r * stride_; }
+
+  // Row r with its stride math pre-resolved — the one place consumers
+  // (scan kernels, ANN build/rescore) get row pointers from.
+  RowSpan row_span(size_t r) const {
+    return RowSpan{data_.data() + r * stride_, fdata_.data() + r * stride_,
+                   item_ids_[r], dim_, stride_};
+  }
 
   // Single-precision mirror of data() (same stride/padding) plus the
   // largest row 2-norm, for the mixed-precision top-K pre-filter: scan

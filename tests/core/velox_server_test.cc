@@ -355,6 +355,44 @@ TEST(VeloxServerTest, StageBreakdownExportedAfterTraffic) {
             std::string::npos);
 }
 
+TEST(VeloxServerTest, AnnServingSurfacesCountersStagesAndMetrics) {
+  auto config = BaseConfig(1);
+  // Force the candidate path on the tiny test catalog: build an index
+  // for any plane and route kAuto through it from the first row.
+  config.ann.min_items = 1;
+  config.topk_auto_ann_min_rows = 1;
+  VeloxServer server(config, SmallModel());
+  auto data = SmallData();
+  ASSERT_TRUE(server.Bootstrap(data.ratings).ok());
+
+  auto exact = server.TopKAll(data.ratings[0].uid, 5, nullptr,
+                              PredictionService::TopKAllMode::kPlaneSerial);
+  auto ann = server.TopKAll(data.ratings[0].uid, 5);  // kAuto -> ANN
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(ann.ok());
+  ASSERT_FALSE(ann->items.empty());
+
+  VeloxServer::AnnServeStats stats = server.AggregatedAnnStats();
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_GT(stats.probes, 0u);
+  EXPECT_GT(stats.rescored, 0u);
+
+  // The candidate path reports its stages and counters everywhere the
+  // exact path reports its own: stage histograms, the human report
+  // behind the shell's `stages` command, and the metrics registry.
+  EXPECT_GT(server.StageData(Stage::kAnnCandidateProbe).count(), 0u);
+  EXPECT_GT(server.StageData(Stage::kAnnRescore).count(), 0u);
+  std::string human = server.StageReport();
+  EXPECT_NE(human.find("ann_candidate_probe"), std::string::npos);
+  EXPECT_NE(human.find("ann: queries=1"), std::string::npos);
+
+  MetricsRegistry registry;
+  server.MetricsReport(&registry);
+  EXPECT_EQ(registry.GetCounter("velox.songs.ann.queries")->value(), 1u);
+  EXPECT_GT(registry.GetCounter("velox.songs.ann.rescored")->value(), 0u);
+  EXPECT_EQ(registry.GetGauge("velox.songs.ann.recall_mode")->value(), 1.0);
+}
+
 // Property: caching and feature distribution are pure optimizations —
 // every configuration must serve identical scores.
 struct CacheConfigCase {

@@ -2,6 +2,7 @@
 //
 //   velox_shell [--users N] [--items N] [--rank R] [--nodes N]
 //               [--ratings path.dat] [--csv path.csv] [--seed S]
+//               [--ann-min-items N] [--ann-nprobe N]
 //
 // Reads commands from stdin (one per line; see `help`). With real
 // MovieLens data pass --ratings (ml-1m/10m ::-format) or --csv
@@ -85,6 +86,17 @@ int main(int argc, char** argv) {
   config.num_nodes = static_cast<int32_t>(nodes);
   config.dim = als.rank;
   config.seed = seed;
+  // ANN candidate generation (DESIGN.md §11): catalogs below
+  // ann.min_items never build an index; lowering both floors lets a
+  // shell-sized catalog exercise the IVF path (`topk` + `stages`).
+  config.ann.min_items = static_cast<size_t>(std::stoll(
+      FlagValue(argc, argv, "--ann-min-items",
+                std::to_string(config.ann.min_items))));
+  config.topk_auto_ann_min_rows = static_cast<size_t>(std::stoll(
+      FlagValue(argc, argv, "--ann-min-items",
+                std::to_string(config.topk_auto_ann_min_rows))));
+  config.ann_nprobe = static_cast<size_t>(
+      std::stoll(FlagValue(argc, argv, "--ann-nprobe", "0")));
   VeloxServer server(config,
                      std::make_unique<MatrixFactorizationModel>("shell", als));
   VeloxShell shell(&server, std::move(dataset));
