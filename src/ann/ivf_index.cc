@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/topk_heap.h"
 #include "linalg/scoring_kernels.h"
@@ -53,7 +54,9 @@ void AssignRows(const ItemFactorPlane& plane, const std::vector<int64_t>* rows,
   const size_t stride = plane.stride();
   assign->resize(n);
   const size_t num_chunks = (n + kAssignChunk - 1) / kAssignChunk;
-  ParallelFor(pool, num_chunks, [&](size_t chunk) {
+  // Pure arithmetic closure: a non-OK status here means a logic bug,
+  // not a recoverable condition — fail the build loudly.
+  Status status = ParallelFor(pool, num_chunks, [&](size_t chunk) {
     std::vector<double> scores(nlist);
     const size_t begin = chunk * kAssignChunk;
     const size_t end = std::min(n, begin + kAssignChunk);
@@ -64,6 +67,7 @@ void AssignRows(const ItemFactorPlane& plane, const std::vector<int64_t>* rows,
                                      scores.data());
     }
   });
+  VELOX_CHECK(status.ok());
 }
 
 size_t Clamp(size_t v, size_t lo, size_t hi) {
@@ -231,7 +235,7 @@ std::shared_ptr<const IvfIndex> IvfIndex::Build(
     // deterministic), then permute the codes into list order.
     std::vector<uint8_t> row_codes(n * m);
     const size_t num_chunks = (n + kAssignChunk - 1) / kAssignChunk;
-    ParallelFor(pool, num_chunks, [&](size_t chunk) {
+    Status encode_status = ParallelFor(pool, num_chunks, [&](size_t chunk) {
       std::vector<double> res(dim);
       const size_t begin = chunk * kAssignChunk;
       const size_t end = std::min(n, begin + kAssignChunk);
@@ -259,6 +263,7 @@ std::shared_ptr<const IvfIndex> IvfIndex::Build(
         }
       }
     });
+    VELOX_CHECK(encode_status.ok());
     index->codes_.resize(n * m);
     for (size_t pos = 0; pos < n; ++pos) {
       std::memcpy(index->codes_.data() + pos * m,

@@ -11,6 +11,10 @@
 //    are overkill" for serving, §1), and our batch tier is a simulator.
 //  * GroupBy performs a hash shuffle: elements are re-partitioned by
 //    key hash so each output group is wholly contained in one partition.
+//  * Operators return plain datasets, so a UDF exception cannot be
+//    returned from here; RunStage latches it on the executor and
+//    JobDriver::Submit fails the whole job (TakeFirstError). Output
+//    partitions of a failed stage may be partially filled.
 #ifndef VELOX_BATCH_DATASET_H_
 #define VELOX_BATCH_DATASET_H_
 

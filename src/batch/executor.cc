@@ -6,16 +6,29 @@ namespace velox {
 
 BatchExecutor::BatchExecutor(size_t num_workers) : pool_(num_workers) {}
 
-void BatchExecutor::RunStage(const std::string& name,
-                             std::vector<std::function<void()>> tasks) {
+Status BatchExecutor::RunStage(const std::string& name,
+                               std::vector<std::function<void()>> tasks) {
   Stopwatch watch;
-  ParallelFor(&pool_, tasks.size(), [&tasks](size_t i) { tasks[i](); });
+  Status status =
+      ParallelFor(&pool_, tasks.size(), [&tasks](size_t i) { tasks[i](); });
   StageInfo info;
   info.name = name;
   info.num_tasks = tasks.size();
   info.wall_millis = watch.ElapsedMillis();
   std::lock_guard<std::mutex> lock(mu_);
   history_.push_back(std::move(info));
+  if (!status.ok() && first_error_.ok()) {
+    first_error_ = Status(status.code(),
+                          "stage '" + name + "': " + std::string(status.message()));
+  }
+  return status;
+}
+
+Status BatchExecutor::TakeFirstError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status out = std::move(first_error_);
+  first_error_ = Status::OK();
+  return out;
 }
 
 std::vector<StageInfo> BatchExecutor::stage_history() const {

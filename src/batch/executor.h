@@ -27,8 +27,17 @@ class BatchExecutor {
   explicit BatchExecutor(size_t num_workers);
 
   // Runs all tasks of one stage to completion (barrier semantics, like
-  // a Spark stage boundary).
-  void RunStage(const std::string& name, std::vector<std::function<void()>> tasks);
+  // a Spark stage boundary). A UDF exception fails the stage with an
+  // Internal Status instead of terminating the process; the first
+  // failure is also latched (see TakeFirstError) so callers that cannot
+  // return a Status — the Dataset operators — still surface it to the
+  // job driver.
+  Status RunStage(const std::string& name, std::vector<std::function<void()>> tasks);
+
+  // Returns the first stage failure since the last call (OK if none)
+  // and clears the latch. JobDriver::Submit consumes this after each
+  // job so a UDF exception anywhere in the job fails the job.
+  Status TakeFirstError();
 
   size_t num_workers() const { return pool_.num_threads(); }
   std::vector<StageInfo> stage_history() const;
@@ -38,6 +47,7 @@ class BatchExecutor {
   ThreadPool pool_;
   mutable std::mutex mu_;
   std::vector<StageInfo> history_;
+  Status first_error_;
 };
 
 }  // namespace velox

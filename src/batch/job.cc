@@ -11,6 +11,11 @@ Status JobDriver::Submit(BatchJob* job) {
   VELOX_CHECK(job != nullptr);
   Stopwatch watch;
   Status status = job->Run(&executor_);
+  // A UDF exception inside any stage of this job (latched by the
+  // executor because Dataset operators cannot return a Status) fails
+  // the job even if Run() itself reported OK.
+  Status stage_error = executor_.TakeFirstError();
+  if (status.ok() && !stage_error.ok()) status = stage_error;
   JobRecord record;
   record.name = job->name();
   record.succeeded = status.ok();

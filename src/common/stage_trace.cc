@@ -28,6 +28,12 @@ const char* StageName(Stage stage) {
       return "ann_candidate_probe";
     case Stage::kAnnRescore:
       return "ann_rescore";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kShed:
+      return "shed";
   }
   return "unknown";
 }

@@ -34,9 +34,12 @@ enum class Stage : int {
   kDegradedServe,          // fallback answer after feature resolution failed
   kAnnCandidateProbe,      // IVF centroid ranking + inverted-list gather
   kAnnRescore,             // exact double rescore of ANN candidates
+  kQueueWait,              // dispatch-queue residency before a worker ran it
+  kAdmission,              // rate-limit + queue admission decision
+  kShed,                   // degraded fast-path answer for a shed request
 };
 
-inline constexpr int kNumStages = 12;
+inline constexpr int kNumStages = 15;
 
 // Short stable identifier used in metrics names and JSON keys.
 const char* StageName(Stage stage);

@@ -1,10 +1,27 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <exception>
 
 #include "common/logging.h"
 
 namespace velox {
+
+namespace {
+
+// Human-readable description of the in-flight exception (for Status
+// messages and worker-loop logging).
+std::string CurrentExceptionMessage() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -16,14 +33,15 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    VELOX_CHECK(!shutting_down_) << "Submit after Shutdown";
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
     ++tasks_submitted_;
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
@@ -53,6 +71,11 @@ uint64_t ThreadPool::tasks_completed() const {
   return tasks_completed_;
 }
 
+uint64_t ThreadPool::task_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return task_failures_;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -63,24 +86,53 @@ void ThreadPool::WorkerLoop() {
         // shutting_down_ and drained: exit.
         return;
       }
+      // Pop and activate under one lock acquisition: WaitIdle's
+      // "queue empty && no active workers" predicate can never observe
+      // an in-flight task as idle.
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_workers_;
     }
-    task();
+    bool failed = false;
+    try {
+      task();
+    } catch (...) {
+      // A throwing task must not reach std::terminate and take the
+      // whole server with it. Swallow, count, log.
+      failed = true;
+      VELOX_LOG(WARNING) << "thread pool task threw: " << CurrentExceptionMessage();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_workers_;
       ++tasks_completed_;
+      if (failed) ++task_failures_;
       if (queue_.empty() && active_workers_ == 0) idle_.notify_all();
     }
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+Status ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn) {
+  // Shared capture of the first task exception across ranges.
+  std::mutex err_mu;
+  Status first_error;
+  auto run_range = [&](size_t begin, size_t end) {
+    size_t i = begin;
+    try {
+      for (; i < end; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) {
+        first_error = Status::Internal("ParallelFor task threw at index " +
+                                       std::to_string(i) + ": " +
+                                       CurrentExceptionMessage());
+      }
+    }
+  };
+
   if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
+    run_range(0, n);
+    return first_error;
   }
   // Submit one contiguous range per worker instead of one closure per
   // index: small-body loops would otherwise drown in queue/mutex
@@ -94,17 +146,28 @@ void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& 
   size_t begin = 0;
   for (size_t t = 0; t < num_tasks; ++t) {
     size_t end = begin + base + (t < extra ? 1 : 0);
-    pool->Submit([&, begin, end] {
-      for (size_t i = begin; i < end; ++i) fn(i);
+    bool accepted = pool->Submit([&, begin, end] {
+      run_range(begin, end);
       if (remaining.fetch_sub(1) == 1) {
         std::lock_guard<std::mutex> lock(mu);
         done.notify_all();
       }
     });
+    if (!accepted) {
+      // Pool is shutting down: run the range on the caller so the loop
+      // still covers every index (and the wait below can terminate).
+      run_range(begin, end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done.notify_all();
+      }
+    }
     begin = end;
   }
   std::unique_lock<std::mutex> lock(mu);
   done.wait(lock, [&] { return remaining.load() == 0; });
+  std::lock_guard<std::mutex> err_lock(err_mu);
+  return first_error;
 }
 
 }  // namespace velox

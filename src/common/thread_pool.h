@@ -1,5 +1,17 @@
-// Fixed-size thread pool used by the serving frontend (core/frontend.h)
-// and the batch-compute executor (batch/executor.h).
+// Fixed-size thread pool used by the serving frontend (core/frontend.h),
+// the server plane's dispatcher (server/dispatcher.h), and the
+// batch-compute executor (batch/executor.h).
+//
+// Crash-safety contract (the server plane depends on all three):
+//  * Submit() after Shutdown() began returns false instead of aborting,
+//    so a serving thread racing a pool teardown gets a rejection it can
+//    handle, not a process death.
+//  * An exception escaping a task is caught at the worker loop (counted
+//    in task_failures()) instead of reaching std::terminate; one bad
+//    request cannot take down every request.
+//  * ParallelFor() surfaces task exceptions as a Status and falls back
+//    to inline execution when the pool rejects work mid-shutdown, so it
+//    always completes every index or reports why it could not.
 #ifndef VELOX_COMMON_THREAD_POOL_H_
 #define VELOX_COMMON_THREAD_POOL_H_
 
@@ -10,6 +22,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace velox {
 
@@ -23,19 +37,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Must not be called after Shutdown().
-  void Submit(std::function<void()> task);
+  // Enqueues a task. Returns false — and does not run `task` — once
+  // Shutdown() has begun (racing submitters see a clean rejection, not
+  // an abort).
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
-  // Blocks until the queue is empty and all workers are idle.
+  // Blocks until the queue is empty and all workers are idle. A task is
+  // popped and marked active under one lock acquisition (WorkerLoop),
+  // so there is no window where a task is in flight while both the
+  // queue and the active count read as idle.
   void WaitIdle();
 
   // Stops accepting work, drains the queue, joins workers. Idempotent.
   void Shutdown();
 
   size_t num_threads() const { return threads_.size(); }
-  // Tasks submitted over the pool's lifetime.
+  // Tasks accepted over the pool's lifetime (rejected submits excluded).
   uint64_t tasks_submitted() const;
   uint64_t tasks_completed() const;
+  // Tasks whose body threw; the exception was swallowed at the worker
+  // loop. Failed tasks also count as completed.
+  uint64_t task_failures() const;
 
  private:
   void WorkerLoop();
@@ -48,12 +70,18 @@ class ThreadPool {
   size_t active_workers_ = 0;
   uint64_t tasks_submitted_ = 0;
   uint64_t tasks_completed_ = 0;
+  uint64_t task_failures_ = 0;
   bool shutting_down_ = false;
 };
 
 // Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-// Falls back to inline execution when pool is nullptr.
-void ParallelFor(ThreadPool* pool, size_t n, const std::function<void(size_t)>& fn);
+// Falls back to inline execution when pool is nullptr, and runs a
+// range inline if the pool rejects it (shutdown race) — every index is
+// attempted exactly once either way. If any invocation throws, the
+// remaining indices of that range are skipped and the first error comes
+// back as an Internal Status; other ranges still run to completion.
+[[nodiscard]] Status ParallelFor(ThreadPool* pool, size_t n,
+                                 const std::function<void(size_t)>& fn);
 
 }  // namespace velox
 

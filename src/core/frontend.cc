@@ -97,10 +97,25 @@ Result<std::vector<TopKResult>> VeloxFrontend::HandleTopKAllBatch(
 
 void VeloxFrontend::SubmitAsync(Request request,
                                 std::function<void(FrontendResponse)> done) {
-  pool_.Submit([this, request = std::move(request), done = std::move(done)] {
+  // `done` stays copyable here (not moved into the closure) so a
+  // rejected submit can still complete the callback: every SubmitAsync
+  // invokes `done` exactly once, shutdown race included.
+  bool accepted = pool_.Submit([this, request = std::move(request), done] {
     FrontendResponse response = Handle(request);
     if (done) done(std::move(response));
   });
+  if (!accepted) {
+    // Pool is shutting down: the request was not enqueued. Answer with
+    // a rejection instead of crashing (old behavior) or dropping the
+    // callback.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    if (done) {
+      FrontendResponse response;
+      response.status = Status::Unavailable("frontend is shutting down");
+      done(std::move(response));
+    }
+  }
 }
 
 void VeloxFrontend::Drain() { pool_.WaitIdle(); }

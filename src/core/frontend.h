@@ -26,6 +26,11 @@ struct FrontendResponse {
   // Whether a topK response's head pick was exploratory (echoed back on
   // the matching observe to feed the validation pool).
   bool top_is_exploratory = false;
+  // True when the server plane answered this request off the degraded
+  // fast path instead of the full pipeline (admission shed). Scores, if
+  // any, are degradation-ladder answers; an observe's update was
+  // dropped. Items additionally carry per-item `degraded` flags.
+  bool shed = false;
   double latency_micros = 0.0;
 };
 
@@ -69,6 +74,12 @@ class VeloxFrontend {
   // including the per-stage latency breakdown — into `registry`
   // (nullptr = private scratch) and returns the textual report.
   std::string MetricsReport(MetricsRegistry* registry = nullptr) const;
+
+  // The wrapped server and the options in force — the server plane's
+  // acceptor answers shed requests through these (degraded fast path,
+  // same k as the real topK handler).
+  VeloxServer* server() const { return server_; }
+  const FrontendOptions& options() const { return options_; }
 
  private:
   Item BuildItem(uint64_t item_id) const;

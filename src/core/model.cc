@@ -139,7 +139,7 @@ Result<RetrainOutput> ComputationalModel::Retrain(
       total_n += local_n;
     });
   }
-  executor->RunStage("computational-retrain", std::move(tasks));
+  VELOX_RETURN_NOT_OK(executor->RunStage("computational-retrain", std::move(tasks)));
   VELOX_RETURN_NOT_OK(first_error);
 
   RetrainOutput out;

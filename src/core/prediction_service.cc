@@ -70,10 +70,9 @@ void ScanPlaneRange(const ItemFactorPlane& plane, const double* weights, size_t 
 // Note: `filter` may be consulted up to twice per row (float pass and
 // rescore), so it must be a pure predicate — the same contract the
 // rest of the scan already assumes.
-std::vector<TopKEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
-                                          const DenseVector& weights, size_t k,
-                                          const PredictionService::ItemFilter& filter,
-                                          size_t shards, ThreadPool* pool) {
+Result<std::vector<TopKEntry>> MixedPrecisionScan(
+    const ItemFactorPlane& plane, const DenseVector& weights, size_t k,
+    const PredictionService::ItemFilter& filter, size_t shards, ThreadPool* pool) {
   const size_t n = plane.num_items();
   const size_t dim = plane.dim();
   const std::vector<uint64_t>& ids = plane.item_ids();
@@ -153,7 +152,9 @@ std::vector<TopKEntry> MixedPrecisionScan(const ItemFactorPlane& plane,
   if (shards <= 1) {
     scan_shard(0);
   } else {
-    ParallelFor(pool, shards, scan_shard);
+    // A throwing filter predicate (the only user code inside the shard
+    // closures) fails the scan as a Status instead of the process.
+    VELOX_RETURN_NOT_OK(ParallelFor(pool, shards, scan_shard));
   }
 
   // Final cutoff from Tf, the global k-th largest finite eligible
@@ -521,6 +522,11 @@ ScoredItem PredictionService::DegradedAnswer(uint64_t uid, uint64_t item_id,
   return out;
 }
 
+ScoredItem PredictionService::ShedAnswer(uint64_t uid, uint64_t item_id) {
+  StageTimer timer(stages_);
+  return DegradedAnswer(uid, item_id, timer);
+}
+
 Result<ScoredItem> PredictionService::Predict(uint64_t uid, const Item& item) {
   StageTimer timer(stages_);
   VELOX_ASSIGN_OR_RETURN(std::shared_ptr<const ModelVersion> version,
@@ -782,11 +788,11 @@ size_t PredictionService::PlannedScanShards(const ItemFactorPlane& plane,
                   std::max<size_t>(1, eligible / min_shard_rows));
 }
 
-TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
-                                        int32_t model_version,
-                                        const DenseVector& weights, size_t k,
-                                        const ItemFilter& filter,
-                                        bool parallel) const {
+Result<TopKResult> PredictionService::ScanPlane(const ItemFactorPlane& plane,
+                                                int32_t model_version,
+                                                const DenseVector& weights,
+                                                size_t k, const ItemFilter& filter,
+                                                bool parallel) const {
   const size_t n = plane.num_items();
   const size_t shards = PlannedScanShards(plane, filter, parallel);
 
@@ -798,7 +804,8 @@ TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
 
   std::vector<TopKEntry> best;
   if (options_.topk_mixed_precision && plane.float_ok()) {
-    best = MixedPrecisionScan(plane, weights, k, filter, shards, scan_pool_);
+    VELOX_ASSIGN_OR_RETURN(
+        best, MixedPrecisionScan(plane, weights, k, filter, shards, scan_pool_));
   } else if (shards <= 1) {
     BoundedTopK top(k);
     ScanPlaneRange(plane, wpad.data(), 0, n, filter, &top);
@@ -810,13 +817,13 @@ TopKResult PredictionService::ScanPlane(const ItemFactorPlane& plane,
     // uses, so the parallel result is bit-identical to serial.
     std::vector<BoundedTopK> tops(shards, BoundedTopK(k));
     size_t per = (n + shards - 1) / shards;
-    ParallelFor(scan_pool_, shards, [&](size_t s) {
+    VELOX_RETURN_NOT_OK(ParallelFor(scan_pool_, shards, [&](size_t s) {
       size_t begin = s * per;
       size_t end = std::min(n, begin + per);
       if (begin < end) {
         ScanPlaneRange(plane, wpad.data(), begin, end, filter, &tops[s]);
       }
-    });
+    }));
     for (BoundedTopK& top : tops) {
       for (const TopKEntry& e : top.entries()) best.push_back(e);
     }

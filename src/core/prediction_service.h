@@ -280,6 +280,14 @@ class PredictionService {
     return score_count_ == 0 ? 0.0 : score_sum_ / static_cast<double>(score_count_);
   }
 
+  // Load-shed answer for (uid, item): the exact degradation ladder the
+  // fault path uses (stale-score board, else bootstrap mean), so a
+  // request shed by admission control gets a response bit-identical to
+  // one degraded by a storage fault. Bumps the same rung counters and
+  // records the same kDegradedServe stage; cheap by construction (two
+  // map probes, no storage I/O).
+  ScoredItem ShedAnswer(uint64_t uid, uint64_t item_id);
+
   // Miss-coalescer counters. Every feature resolution (single or
   // batched) flows through the coalescer, so keys = items asked,
   // hits = feature-cache hits, merged = duplicate items folded into one
@@ -353,9 +361,9 @@ class PredictionService {
 
   // Scans `plane` for one user's weights; shared by TopKAll and
   // TopKAllBatch. `parallel` shards across scan_pool_ when profitable.
-  TopKResult ScanPlane(const ItemFactorPlane& plane, int32_t model_version,
-                       const DenseVector& weights, size_t k, const ItemFilter& filter,
-                       bool parallel) const;
+  Result<TopKResult> ScanPlane(const ItemFactorPlane& plane, int32_t model_version,
+                               const DenseVector& weights, size_t k,
+                               const ItemFilter& filter, bool parallel) const;
 
   // Estimated rows of `plane` passing `filter` (plane size when filter
   // is null), from a bounded evenly-spaced sample — cheap enough to run

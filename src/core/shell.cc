@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "core/model_snapshot.h"
+#include "server/acceptor.h"
 
 namespace velox {
 
@@ -42,6 +43,7 @@ std::string VeloxShell::HelpText() {
       "  rollback <version>          switch to an older model version\n"
       "  versions                    model version history\n"
       "  report                      quality + cache/network statistics\n"
+      "  server                      server-plane admission/queue/shed state\n"
       "  stages                      per-stage latency breakdown\n"
       "  fail <node>                 crash a node (ring remaps to survivors)\n"
       "  save <path>                 write a model snapshot\n"
@@ -77,6 +79,14 @@ Result<std::string> VeloxShell::Execute(const std::string& line) {
   if (cmd == "rollback") return CmdRollback(args);
   if (cmd == "versions") return CmdVersions();
   if (cmd == "report") return CmdReport();
+  if (cmd == "server") {
+    if (acceptor_ == nullptr) {
+      return std::string("no server plane attached (requests run synchronously)");
+    }
+    std::string report = acceptor_->Report();
+    if (!report.empty() && report.back() == '\n') report.pop_back();
+    return report;
+  }
   if (cmd == "stages") {
     std::string report = server_->StageReport();
     if (!report.empty() && report.back() == '\n') report.pop_back();

@@ -14,6 +14,7 @@
 //   rollback <version>            switch back to an older version
 //   versions                      version history
 //   report                        quality report + cache/network stats
+//   server                        server-plane admission/queue/shed state
 //   save <path> | load <path>     model snapshot to/from disk
 //   help                          command list
 #ifndef VELOX_CORE_SHELL_H_
@@ -28,10 +29,16 @@
 
 namespace velox {
 
+class RequestAcceptor;
+
 class VeloxShell {
  public:
   // `server` is borrowed; `dataset` is the ratings pool `train` uses.
   VeloxShell(VeloxServer* server, std::vector<Observation> dataset);
+
+  // Wires a server plane (borrowed, may be null to detach) so the
+  // `server` command can report admission/queue/shed state.
+  void AttachServingPlane(RequestAcceptor* acceptor) { acceptor_ = acceptor; }
 
   // Executes one command line; returns the text to print, or an error
   // Status for malformed/failed commands. Unknown commands are
@@ -54,6 +61,7 @@ class VeloxShell {
   Result<std::string> CmdLoad(const std::vector<std::string>& args);
 
   VeloxServer* server_;
+  RequestAcceptor* acceptor_ = nullptr;
   std::vector<Observation> dataset_;
 };
 

@@ -35,5 +35,9 @@
 #include "data/workload.h"
 #include "ml/als.h"
 #include "ml/feature_function.h"
+#include "server/acceptor.h"
+#include "server/admission.h"
+#include "server/dispatcher.h"
+#include "server/rate_limiter.h"
 
 #endif  // VELOX_CORE_VELOX_H_

@@ -184,6 +184,40 @@ Result<TopKResult> VeloxServer::TopK(uint64_t uid, const std::vector<Item>& cand
       uid, candidates, k, bandit_.get(), rng);
 }
 
+Result<ScoredItem> VeloxServer::DegradedPredict(uint64_t uid, uint64_t item_id) {
+  // Home-node routing without ServingNode: a shed request never enters
+  // the serving pipeline, so no proxy traffic is charged.
+  VELOX_ASSIGN_OR_RETURN(NodeId node, HomeNode(uid));
+  return per_node_[static_cast<size_t>(node)]->prediction_service->ShedAnswer(uid,
+                                                                              item_id);
+}
+
+Result<TopKResult> VeloxServer::DegradedTopK(uint64_t uid,
+                                             const std::vector<uint64_t>& item_ids,
+                                             size_t k) {
+  VELOX_ASSIGN_OR_RETURN(NodeId node, HomeNode(uid));
+  PredictionService* service =
+      per_node_[static_cast<size_t>(node)]->prediction_service.get();
+  TopKResult result;
+  result.model_version = registry_->current_version();
+  result.degraded = true;
+  // Bounded shed work: examine at most 4k candidates so a degraded
+  // answer stays O(k) no matter how large the request's candidate set
+  // is (see the header note).
+  const size_t examined = std::min(item_ids.size(), 4 * std::max<size_t>(k, 1));
+  result.items.reserve(examined);
+  for (size_t i = 0; i < examined; ++i) {
+    result.items.push_back(service->ShedAnswer(uid, item_ids[i]));
+  }
+  std::sort(result.items.begin(), result.items.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.item_id < b.item_id;
+            });
+  if (result.items.size() > k) result.items.resize(k);
+  return result;
+}
+
 Result<TopKResult> VeloxServer::TopKAll(uint64_t uid, size_t k,
                                         const PredictionService::ItemFilter& filter,
                                         PredictionService::TopKAllMode mode) {

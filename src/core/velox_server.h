@@ -156,6 +156,22 @@ class VeloxServer {
                                                    filter = nullptr,
                                                PredictionService::TopKAllMode mode =
                                                    PredictionService::TopKAllMode::kAuto);
+  // ---- load-shed fast path (server plane) ----
+  // Degraded answers through the home node's degradation ladder — the
+  // exact code path a transient storage fault takes (stale-score board,
+  // else bootstrap mean; see PredictionService::ShedAnswer). No storage
+  // I/O, no scoring. The admission layer answers shed requests here so
+  // overload responses are bit-identical to fault-degraded ones.
+  Result<ScoredItem> DegradedPredict(uint64_t uid, uint64_t item_id);
+  // Ladder scores for `item_ids` ranked under the same (score desc,
+  // item_id asc) total order the exact paths use, truncated to k. Only
+  // a bounded prefix (4k candidates) is examined: a shed answer must
+  // cost O(k), not O(candidate set), or shedding a large topK would be
+  // more expensive than serving it and overload protection would feed
+  // the overload.
+  Result<TopKResult> DegradedTopK(uint64_t uid, const std::vector<uint64_t>& item_ids,
+                                  size_t k);
+
   Status Observe(uint64_t uid, const Item& item, double label);
   // Observe with provenance from a previous TopK (exploration-sourced
   // observations feed the bandit validation pool).

@@ -46,7 +46,7 @@ namespace {
 // its factor against the `fixed` opposite-side factors. Groups are
 // (entity_id, its ratings); `other_is_item` says which id of each
 // rating indexes the fixed side.
-void SolveSide(BatchExecutor* executor,
+Status SolveSide(BatchExecutor* executor,
                const Dataset<std::pair<uint64_t, std::vector<Observation>>>& groups,
                const FactorMap& fixed, size_t rank, double lambda,
                bool weighted_regularization, double init_stddev, uint64_t seed,
@@ -88,8 +88,8 @@ void SolveSide(BatchExecutor* executor,
       for (auto& [k, v] : local) (*out)[k] = std::move(v);
     });
   }
-  executor->RunStage(other_is_item ? "als-solve-users" : "als-solve-items",
-                     std::move(tasks));
+  return executor->RunStage(other_is_item ? "als-solve-users" : "als-solve-items",
+                            std::move(tasks));
 }
 
 }  // namespace
@@ -137,15 +137,19 @@ Result<MfModel> AlsTrainer::TrainWarmStart(BatchExecutor* executor,
 
   for (int iter = 0; iter < config_.iterations; ++iter) {
     FactorMap new_users;
-    SolveSide(executor, by_user, model.item_factors, config_.rank, config_.lambda,
-              config_.weighted_regularization, config_.init_stddev, config_.seed,
-              /*other_is_item=*/true, &new_users);
+    VELOX_RETURN_NOT_OK(SolveSide(executor, by_user, model.item_factors,
+                                  config_.rank, config_.lambda,
+                                  config_.weighted_regularization,
+                                  config_.init_stddev, config_.seed,
+                                  /*other_is_item=*/true, &new_users));
     model.user_factors = std::move(new_users);
 
     FactorMap new_items;
-    SolveSide(executor, by_item, model.user_factors, config_.rank, config_.lambda,
-              config_.weighted_regularization, config_.init_stddev, config_.seed,
-              /*other_is_item=*/false, &new_items);
+    VELOX_RETURN_NOT_OK(SolveSide(executor, by_item, model.user_factors,
+                                  config_.rank, config_.lambda,
+                                  config_.weighted_regularization,
+                                  config_.init_stddev, config_.seed,
+                                  /*other_is_item=*/false, &new_items));
     model.item_factors = std::move(new_items);
   }
   return model;

@@ -1,0 +1,206 @@
+#include "server/acceptor.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace velox {
+
+RequestAcceptor::RequestAcceptor(AcceptorOptions options, VeloxFrontend* frontend,
+                                 Clock* clock)
+    : options_(options),
+      frontend_(frontend),
+      clock_(clock != nullptr ? clock : SteadyClock::Default()),
+      admission_(options_.admission, clock_),
+      dispatcher_(
+          options_.dispatcher,
+          [frontend](const Request& request) { return frontend->Handle(request); },
+          &plane_stages_) {
+  VELOX_CHECK(frontend_ != nullptr);
+}
+
+RequestAcceptor::~RequestAcceptor() { Stop(); }
+
+void RequestAcceptor::Submit(Request request,
+                             std::function<void(FrontendResponse)> done) {
+  SubmitAt(std::move(request), SteadyClock::Default()->NowNanos(),
+           std::move(done));
+}
+
+void RequestAcceptor::SubmitAt(Request request, int64_t arrival_nanos,
+                               std::function<void(FrontendResponse)> done) {
+  {
+    StageTimer timer(&plane_stages_);
+    StageTimer::Scope span(timer, Stage::kAdmission);
+    if (!admission_.Admit(request.uid)) {
+      span.Stop();
+      ShedAnswer(request, arrival_nanos, done);
+      return;
+    }
+  }
+
+  ServerTask task;
+  task.request = std::move(request);
+  task.arrival_nanos = arrival_nanos;
+  // `done` stays a copy (not moved into the wrapper) so the rejection
+  // path below can still answer with the *unwrapped* callback — a shed
+  // response must not land in the served-latency histogram.
+  task.done = [this, arrival_nanos, done](FrontendResponse response) {
+    response.latency_micros = static_cast<double>(SteadyClock::Default()->NowNanos() -
+                                                  arrival_nanos) /
+                              1e3;
+    served_latency_.Record(response.latency_micros);
+    if (done) done(std::move(response));
+  };
+  if (!dispatcher_.Submit(std::move(task))) {
+    // Lane full (shed) or dispatcher stopped (reject): either way the
+    // task was not consumed, so its request is still intact.
+    admission_.NoteQueueFull();
+    ShedAnswer(task.request, arrival_nanos, done);
+    return;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestAcceptor::ShedAnswer(const Request& request, int64_t arrival_nanos,
+                                 const std::function<void(FrontendResponse)>& done) {
+  StageTimer timer(&plane_stages_);
+  StageTimer::Scope span(timer, Stage::kShed);
+  FrontendResponse response;
+  response.shed = true;
+  VeloxServer* server = frontend_->server();
+  switch (request.type) {
+    case RequestType::kPredict: {
+      if (request.items.empty()) {
+        response.status = Status::InvalidArgument("predict requires an item");
+        break;
+      }
+      auto r = server->DegradedPredict(request.uid, request.items[0]);
+      response.status = r.status();
+      if (r.ok()) response.items.push_back(r.value());
+      break;
+    }
+    case RequestType::kTopK: {
+      auto r = server->DegradedTopK(request.uid, request.items,
+                                    frontend_->options().topk_k);
+      response.status = r.status();
+      if (r.ok()) response.items = r.value().items;
+      break;
+    }
+    case RequestType::kObserve:
+      // Acknowledged but dropped: under overload the feedback loop goes
+      // lossy before the serving path goes slow. The `shed` flag tells
+      // the client its update was not applied.
+      response.status = Status::OK();
+      break;
+  }
+  span.Stop();
+  response.latency_micros =
+      static_cast<double>(SteadyClock::Default()->NowNanos() - arrival_nanos) / 1e3;
+  shed_latency_.Record(response.latency_micros);
+  if (done) done(std::move(response));
+}
+
+void RequestAcceptor::Drain() { dispatcher_.Drain(); }
+
+void RequestAcceptor::Stop() { dispatcher_.Stop(); }
+
+HistogramData RequestAcceptor::StageData(Stage stage) const {
+  HistogramData merged = frontend_->server()->StageData(stage);
+  merged.Merge(plane_stages_.Data(stage));
+  return merged;
+}
+
+std::string RequestAcceptor::StageBreakdownJson() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int s = 0; s < kNumStages; ++s) {
+    Stage stage = static_cast<Stage>(s);
+    HistogramSnapshot snap = StageData(stage).Summarize();
+    if (snap.count == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << StageName(stage) << "\": {\"count\": " << snap.count
+       << ", \"mean_us\": " << snap.mean << ", \"p50_us\": " << snap.p50
+       << ", \"p95_us\": " << snap.p95 << ", \"p99_us\": " << snap.p99
+       << ", \"max_us\": " << snap.max << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string RequestAcceptor::MetricsReport(MetricsRegistry* registry) const {
+  MetricsRegistry scratch;
+  MetricsRegistry* target = registry != nullptr ? registry : &scratch;
+
+  target->GetGauge("server.queue_depth.read")
+      ->Set(static_cast<double>(dispatcher_.read_depth()));
+  target->GetGauge("server.queue_depth.write")
+      ->Set(static_cast<double>(dispatcher_.write_depth()));
+  target->GetGauge("server.queue_depth.read_peak")
+      ->Set(static_cast<double>(dispatcher_.read_peak_depth()));
+  target->GetGauge("server.queue_depth.write_peak")
+      ->Set(static_cast<double>(dispatcher_.write_peak_depth()));
+  target->GetGauge("server.accepted")->Set(static_cast<double>(accepted()));
+  target->GetGauge("server.shed_total")->Set(static_cast<double>(shed_total()));
+  target->GetGauge("server.shed_rate_limited")
+      ->Set(static_cast<double>(admission_.shed_rate_limited()));
+  target->GetGauge("server.shed_queue_full")
+      ->Set(static_cast<double>(admission_.shed_queue_full()));
+
+  const std::pair<const char*, const Histogram*> kinds[] = {
+      {"served", &served_latency_},
+      {"shed", &shed_latency_},
+  };
+  for (const auto& [name, histogram] : kinds) {
+    HistogramSnapshot snap = histogram->Snapshot();
+    if (snap.count == 0) continue;
+    std::string prefix = std::string("server.") + name + ".";
+    target->GetGauge(prefix + "count")->Set(static_cast<double>(snap.count));
+    target->GetGauge(prefix + "mean_us")->Set(snap.mean);
+    target->GetGauge(prefix + "p50_us")->Set(snap.p50);
+    target->GetGauge(prefix + "p95_us")->Set(snap.p95);
+    target->GetGauge(prefix + "p99_us")->Set(snap.p99);
+  }
+
+  // The frontend call chains to the server, so one call exports the
+  // whole stack: plane, frontend, node pipelines, caches, storage.
+  return frontend_->MetricsReport(target);
+}
+
+std::string RequestAcceptor::Report() const {
+  std::ostringstream os;
+  os << "server plane\n";
+  os << "  admission: " << (admission_.enabled() ? "on" : "off")
+     << "  accepted=" << accepted() << " shed=" << shed_total()
+     << " (rate_limited=" << admission_.shed_rate_limited()
+     << " queue_full=" << admission_.shed_queue_full() << ")\n";
+  os << "  queues: read " << dispatcher_.read_depth() << "/"
+     << (dispatcher_.options().read_queue_capacity == 0
+             ? std::string("inf")
+             : std::to_string(dispatcher_.options().read_queue_capacity))
+     << " (peak " << dispatcher_.read_peak_depth() << "), write "
+     << dispatcher_.write_depth() << "/"
+     << (dispatcher_.options().write_queue_capacity == 0
+             ? std::string("inf")
+             : std::to_string(dispatcher_.options().write_queue_capacity))
+     << " (peak " << dispatcher_.write_peak_depth() << ")\n";
+  HistogramSnapshot served = served_latency_.Snapshot();
+  if (served.count > 0) {
+    os << "  served: " << served.ToString() << "\n";
+  }
+  HistogramSnapshot shed = shed_latency_.Snapshot();
+  if (shed.count > 0) {
+    os << "  shed:   " << shed.ToString() << "\n";
+  }
+  for (Stage stage : {Stage::kAdmission, Stage::kQueueWait, Stage::kShed}) {
+    HistogramSnapshot snap = plane_stages_.Snapshot(stage);
+    if (snap.count == 0) continue;
+    os << "  stage " << StageName(stage) << " " << snap.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace velox

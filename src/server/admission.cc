@@ -1,0 +1,21 @@
+#include "server/admission.h"
+
+namespace velox {
+
+AdmissionController::AdmissionController(AdmissionOptions options, Clock* clock)
+    : options_(options), limiter_(options.rate_limit, clock) {}
+
+bool AdmissionController::Admit(uint64_t tenant) {
+  if (!options_.enabled) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (!limiter_.Admit(tenant)) {
+    shed_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace velox

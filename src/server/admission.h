@@ -1,0 +1,77 @@
+// AdmissionController: the server plane's front door. Decides, before
+// a request touches a queue, whether it proceeds into the pipeline or
+// is shed to the degraded fast path. Two independent gates:
+//
+//  1. per-tenant token buckets (rate_limiter.h) — a hot tenant is
+//     clipped to its own budget;
+//  2. bounded dispatch queues — the *caller* reports a refused push via
+//     NoteQueueFull(), so all shed accounting lives here regardless of
+//     which gate fired.
+//
+// Shedding is load-bearing, not an error: a shed request still gets an
+// answer (the PR-3 degradation ladder — stale score, else bootstrap
+// mean, flagged `degraded`), so availability stays 100% while latency
+// of *served* requests stays bounded. That trade is the paper's
+// low-latency contract under overload.
+#ifndef VELOX_SERVER_ADMISSION_H_
+#define VELOX_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "server/rate_limiter.h"
+
+namespace velox {
+
+struct AdmissionOptions {
+  // Master switch: false admits everything (queues may still refuse
+  // pushes when bounded; with unbounded queues this is the open-loop
+  // baseline that melts down past saturation).
+  bool enabled = true;
+  TenantRateLimiterOptions rate_limit;
+};
+
+class AdmissionController {
+ public:
+  // `clock` is borrowed, may be null (steady clock), and feeds the
+  // token buckets — tests pass a SimulatedClock.
+  explicit AdmissionController(AdmissionOptions options, Clock* clock = nullptr);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Gate 1. False = shed (rate-limited); accounting is internal.
+  bool Admit(uint64_t tenant);
+
+  // Gate 2 fired at the caller: a bounded queue refused the push.
+  void NoteQueueFull() {
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void SetTenantLimit(uint64_t tenant, double rate_per_sec, double burst) {
+    limiter_.SetLimit(tenant, rate_per_sec, burst);
+  }
+
+  bool enabled() const { return options_.enabled; }
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_rate_limited() const {
+    return shed_rate_limited_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_queue_full() const {
+    return shed_queue_full_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed_total() const { return shed_rate_limited() + shed_queue_full(); }
+
+ private:
+  AdmissionOptions options_;
+  TenantRateLimiter limiter_;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_rate_limited_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+};
+
+}  // namespace velox
+
+#endif  // VELOX_SERVER_ADMISSION_H_

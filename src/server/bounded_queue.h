@@ -1,0 +1,107 @@
+// BoundedQueue<T>: the per-stage admission boundary of the server
+// plane. Producers TryPush (non-blocking, refused when full — the
+// caller sheds instead of queueing unboundedly); consumers Pop
+// (blocking until work or close). Capacity 0 disables the bound — the
+// "no admission control" baseline the serving_load bench compares
+// against.
+//
+// A popped item is tracked as in flight *inside the queue*, under the
+// same lock acquisition as the pop, so WaitDrained() cannot observe an
+// empty queue while a worker still holds an item (the same
+// pop-to-active discipline ThreadPool::WaitIdle uses).
+#ifndef VELOX_SERVER_BOUNDED_QUEUE_H_
+#define VELOX_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace velox {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // capacity 0 = unbounded.
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues unless the queue is full or closed. Never blocks: a full
+  // queue is a shed signal, not a wait. On refusal `item` is untouched
+  // (the rvalue reference binds without moving), so the caller can
+  // still answer the request it carries.
+  bool TryPush(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (capacity_ != 0 && queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(item));
+    if (queue_.size() > peak_depth_) peak_depth_ = queue_.size();
+    work_available_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available (true) or the queue is closed and
+  // empty (false). The popped item counts as in flight until the caller
+  // invokes MarkDone().
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_available_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    return true;
+  }
+
+  // Consumer finished processing a popped item.
+  void MarkDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+  }
+
+  // Blocks until the queue is empty and no popped item is still being
+  // processed.
+  void WaitDrained() {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+  // Rejects future pushes and wakes blocked poppers once the backlog is
+  // consumed. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    work_available_.notify_all();
+    if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  // Deepest backlog ever observed — the bench's bounded-vs-unbounded
+  // growth evidence.
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable drained_;
+  std::deque<T> queue_;
+  size_t in_flight_ = 0;
+  size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_SERVER_BOUNDED_QUEUE_H_

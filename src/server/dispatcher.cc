@@ -1,0 +1,101 @@
+#include "server/dispatcher.h"
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace velox {
+
+RequestDispatcher::RequestDispatcher(DispatcherOptions options, Handler handler,
+                                     StageRegistry* stages)
+    : options_(options),
+      handler_(std::move(handler)),
+      stages_(stages),
+      read_queue_(options_.read_queue_capacity),
+      write_queue_(options_.write_queue_capacity) {
+  VELOX_CHECK(handler_ != nullptr);
+  VELOX_CHECK_GT(options_.read_workers, 0u);
+  VELOX_CHECK_GT(options_.write_workers, 0u);
+  pool_ = std::make_unique<ThreadPool>(options_.read_workers +
+                                       options_.write_workers);
+  // Long-running worker loops, one per pool thread: each parks on its
+  // lane's queue until Stop() closes it. The pool is private and sized
+  // exactly, so no loop ever waits behind another's submission.
+  for (size_t i = 0; i < options_.read_workers; ++i) {
+    bool ok = pool_->Submit([this] { WorkerLoop(&read_queue_); });
+    VELOX_CHECK(ok);
+  }
+  for (size_t i = 0; i < options_.write_workers; ++i) {
+    bool ok = pool_->Submit([this] { WorkerLoop(&write_queue_); });
+    VELOX_CHECK(ok);
+  }
+}
+
+RequestDispatcher::~RequestDispatcher() { Stop(); }
+
+bool RequestDispatcher::Submit(ServerTask&& task) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  task.enqueue_nanos = SteadyClock::Default()->NowNanos();
+  BoundedQueue<ServerTask>* lane =
+      task.request.type == RequestType::kObserve ? &write_queue_ : &read_queue_;
+  return lane->TryPush(std::move(task));
+}
+
+void RequestDispatcher::WorkerLoop(BoundedQueue<ServerTask>* lane) {
+  ServerTask task;
+  while (lane->Pop(&task)) {
+    {
+      // Queue residency, charged per request like every other stage.
+      StageTimer timer(stages_);
+      if (timer.enabled()) {
+        const int64_t waited =
+            SteadyClock::Default()->NowNanos() - task.enqueue_nanos;
+        timer.Add(Stage::kQueueWait, static_cast<double>(waited) / 1e3);
+      }
+      // A throwing handler or callback must not unwind into the pool:
+      // that would end this (long-running) loop task and strand the
+      // popped request without a MarkDone, hanging Drain(). Answer with
+      // an Internal status instead.
+      try {
+        FrontendResponse response = handler_(task.request);
+        if (task.done) task.done(std::move(response));
+      } catch (const std::exception& e) {
+        VELOX_LOG(WARNING) << "server task threw: " << e.what();
+        FrontendResponse response;
+        response.status = Status::Internal(e.what());
+        if (task.done) {
+          try {
+            task.done(std::move(response));
+          } catch (...) {
+          }
+        }
+      } catch (...) {
+        VELOX_LOG(WARNING) << "server task threw a non-exception";
+      }
+      dispatched_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Release the task's closures before the queue stops counting it as
+    // in flight, then mark done (WaitDrained must not return while the
+    // callback is still running).
+    task = ServerTask();
+    lane->MarkDone();
+  }
+}
+
+void RequestDispatcher::Drain() {
+  read_queue_.WaitDrained();
+  write_queue_.WaitDrained();
+}
+
+void RequestDispatcher::Stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    // A prior Stop already closed the lanes and joined the pool.
+    return;
+  }
+  read_queue_.Close();
+  write_queue_.Close();
+  pool_->Shutdown();
+}
+
+}  // namespace velox

@@ -1,0 +1,98 @@
+// RequestDispatcher: the queued middle of the server plane. Admitted
+// requests land in one of two bounded lanes — reads (predict/topK) and
+// writes (observe) — and long-running workers on a dedicated ThreadPool
+// pop, time the queue residency (Stage::kQueueWait), run the handler,
+// and complete the callback.
+//
+// Two lanes because the paper's read and write paths have different
+// cost and different overload behavior: a burst of observes (online
+// solves + WAL appends) must not queue ahead of cheap cache-hit
+// predicts. Each lane's depth is capped; a full lane refuses the push
+// and the acceptor sheds — queueing delay is bounded by construction,
+// not by hope.
+#ifndef VELOX_SERVER_DISPATCHER_H_
+#define VELOX_SERVER_DISPATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/stage_trace.h"
+#include "common/thread_pool.h"
+#include "core/frontend.h"
+#include "server/bounded_queue.h"
+
+namespace velox {
+
+// One admitted request in flight through the plane.
+struct ServerTask {
+  Request request;
+  std::function<void(FrontendResponse)> done;
+  // When the request logically arrived (open-loop schedule time; the
+  // coordinated-omission-correct latency origin).
+  int64_t arrival_nanos = 0;
+  // When it entered the dispatch queue; queue_wait = pop - enqueue.
+  int64_t enqueue_nanos = 0;
+};
+
+struct DispatcherOptions {
+  // Lane depths; 0 = unbounded (the no-admission baseline).
+  size_t read_queue_capacity = 256;
+  size_t write_queue_capacity = 256;
+  size_t read_workers = 4;
+  size_t write_workers = 2;
+};
+
+class RequestDispatcher {
+ public:
+  using Handler = std::function<FrontendResponse(const Request&)>;
+
+  // `stages` (borrowed, may be null) receives per-request kQueueWait
+  // samples. Workers start immediately.
+  RequestDispatcher(DispatcherOptions options, Handler handler,
+                    StageRegistry* stages);
+  ~RequestDispatcher();
+
+  RequestDispatcher(const RequestDispatcher&) = delete;
+  RequestDispatcher& operator=(const RequestDispatcher&) = delete;
+
+  // Routes by request type into the matching lane. False = lane full or
+  // dispatcher stopped; `task` is left intact so the caller can still
+  // answer it (shed path).
+  [[nodiscard]] bool Submit(ServerTask&& task);
+
+  // Blocks until both lanes are empty and no popped task is still
+  // executing. Callers stop offering load first.
+  void Drain();
+
+  // Closes both lanes, lets workers finish the backlog, joins them.
+  // Idempotent; Submit returns false afterwards.
+  void Stop();
+
+  size_t read_depth() const { return read_queue_.depth(); }
+  size_t write_depth() const { return write_queue_.depth(); }
+  size_t read_peak_depth() const { return read_queue_.peak_depth(); }
+  size_t write_peak_depth() const { return write_queue_.peak_depth(); }
+  uint64_t dispatched() const {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+  const DispatcherOptions& options() const { return options_; }
+
+ private:
+  void WorkerLoop(BoundedQueue<ServerTask>* lane);
+
+  DispatcherOptions options_;
+  Handler handler_;
+  StageRegistry* stages_;
+  BoundedQueue<ServerTask> read_queue_;
+  BoundedQueue<ServerTask> write_queue_;
+  std::atomic<uint64_t> dispatched_{0};
+  std::atomic<bool> stopped_{false};
+  // Declared last: workers touch every member above, so the pool must
+  // die first.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_SERVER_DISPATCHER_H_

@@ -1,0 +1,67 @@
+#include "server/rate_limiter.h"
+
+#include <algorithm>
+
+namespace velox {
+
+TenantRateLimiter::TenantRateLimiter(TenantRateLimiterOptions options, Clock* clock)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SteadyClock::Default()) {}
+
+void TenantRateLimiter::SetLimit(uint64_t tenant, double rate_per_sec, double burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[tenant];
+  b.rate_per_sec = rate_per_sec;
+  b.burst = burst;
+  b.tokens = burst;
+  b.last_refill_nanos = clock_->NowNanos();
+}
+
+bool TenantRateLimiter::Admit(uint64_t tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    if (options_.default_rate_per_sec <= 0.0) {
+      // Unlimited default: don't even materialize a bucket.
+      ++admitted_;
+      return true;
+    }
+    Bucket b;
+    b.rate_per_sec = options_.default_rate_per_sec;
+    b.burst = options_.default_burst;
+    b.tokens = b.burst;
+    b.last_refill_nanos = clock_->NowNanos();
+    it = buckets_.emplace(tenant, b).first;
+  }
+  Bucket& b = it->second;
+  if (b.rate_per_sec <= 0.0) {
+    ++admitted_;
+    return true;
+  }
+  const int64_t now = clock_->NowNanos();
+  const double elapsed_sec =
+      static_cast<double>(now - b.last_refill_nanos) / 1e9;
+  if (elapsed_sec > 0.0) {
+    b.tokens = std::min(b.burst, b.tokens + elapsed_sec * b.rate_per_sec);
+    b.last_refill_nanos = now;
+  }
+  if (b.tokens < 1.0) {
+    ++rejected_;
+    return false;
+  }
+  b.tokens -= 1.0;
+  ++admitted_;
+  return true;
+}
+
+uint64_t TenantRateLimiter::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t TenantRateLimiter::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace velox

@@ -1,0 +1,69 @@
+// Per-tenant token-bucket rate limiting for the server plane's
+// admission controller. Each tenant (we key tenants by uid — the unit
+// the paper routes and stores by) owns a bucket refilled continuously
+// at `rate_per_sec` up to `burst`; a request spends one token or is
+// shed. A hot tenant drains only its own bucket, so well-behaved
+// tenants keep their throughput (see server_plane_test's isolation
+// test).
+//
+// Time comes from an injected Clock so tests drive refill
+// deterministically with SimulatedClock.
+#ifndef VELOX_SERVER_RATE_LIMITER_H_
+#define VELOX_SERVER_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/clock.h"
+
+namespace velox {
+
+struct TenantRateLimiterOptions {
+  // Steady-state tokens per second granted to a tenant with no
+  // override. <= 0 disables rate limiting entirely (every Admit
+  // succeeds) — the bench's no-admission baseline.
+  double default_rate_per_sec = 0.0;
+  // Bucket capacity: how far a tenant can burst above steady state.
+  double default_burst = 100.0;
+};
+
+class TenantRateLimiter {
+ public:
+  // `clock` is borrowed and may be null (uses the process steady clock).
+  explicit TenantRateLimiter(TenantRateLimiterOptions options,
+                             Clock* clock = nullptr);
+
+  TenantRateLimiter(const TenantRateLimiter&) = delete;
+  TenantRateLimiter& operator=(const TenantRateLimiter&) = delete;
+
+  // Per-tenant override (e.g. a capped free tier or an uncapped
+  // internal tenant). rate_per_sec <= 0 makes the tenant unlimited.
+  void SetLimit(uint64_t tenant, double rate_per_sec, double burst);
+
+  // Spends one token from the tenant's bucket; false = shed. A tenant's
+  // first request finds a full bucket.
+  bool Admit(uint64_t tenant);
+
+  uint64_t admitted() const;
+  uint64_t rejected() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double rate_per_sec = 0.0;
+    double burst = 0.0;
+    int64_t last_refill_nanos = 0;
+  };
+
+  TenantRateLimiterOptions options_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Bucket> buckets_;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace velox
+
+#endif  // VELOX_SERVER_RATE_LIMITER_H_

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 namespace velox {
@@ -14,7 +15,7 @@ TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
   }
   pool.WaitIdle();
   EXPECT_EQ(count.load(), 100);
@@ -26,7 +27,7 @@ TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::atomic<bool> ran{false};
-  pool.Submit([&ran] { ran = true; });
+  ASSERT_TRUE(pool.Submit([&ran] { ran = true; }));
   pool.WaitIdle();
   EXPECT_TRUE(ran.load());
 }
@@ -41,10 +42,10 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
   {
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
-      pool.Submit([&count] {
+      ASSERT_TRUE(pool.Submit([&count] {
         std::this_thread::sleep_for(std::chrono::microseconds(10));
         count.fetch_add(1);
-      });
+      }));
     }
     pool.Shutdown();
   }
@@ -61,9 +62,9 @@ TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
   ThreadPool pool(2);
   std::thread::id main_id = std::this_thread::get_id();
   std::atomic<bool> same{false};
-  pool.Submit([&] {
+  ASSERT_TRUE(pool.Submit([&] {
     if (std::this_thread::get_id() == main_id) same = true;
-  });
+  }));
   pool.WaitIdle();
   EXPECT_FALSE(same.load());
 }
@@ -75,7 +76,7 @@ TEST(ThreadPoolTest, ConcurrentSubmitters) {
   for (int t = 0; t < 4; ++t) {
     submitters.emplace_back([&pool, &count] {
       for (int i = 0; i < 1000; ++i) {
-        pool.Submit([&count] { count.fetch_add(1); });
+        ASSERT_TRUE(pool.Submit([&count] { count.fetch_add(1); }));
       }
     });
   }
@@ -84,25 +85,162 @@ TEST(ThreadPoolTest, ConcurrentSubmitters) {
   EXPECT_EQ(count.load(), 4000);
 }
 
+// ---- crash-safety sweep: Submit vs Shutdown ----
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFalse) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(pool.Submit([&ran] { ran = true; }));
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(pool.tasks_submitted(), 0u);
+}
+
+// The original bug: a thread submitting while another thread shuts the
+// pool down hit VELOX_CHECK(!shutting_down_) and aborted the process.
+// Now every racing Submit either lands (and runs, Shutdown drains the
+// queue) or reports false — accepted counts and executed counts must
+// agree exactly. Run under TSan in CI.
+TEST(ThreadPoolTest, SubmitVsShutdownRaceDoesNotCrash) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 200; ++i) {
+          if (pool.Submit([&executed] {
+                executed.fetch_add(1, std::memory_order_relaxed);
+              })) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    std::thread closer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      pool.Shutdown();
+    });
+    go.store(true, std::memory_order_release);
+    for (auto& s : submitters) s.join();
+    closer.join();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+    EXPECT_EQ(pool.tasks_completed(), static_cast<uint64_t>(accepted.load()));
+  }
+}
+
+// ---- crash-safety sweep: exceptions in tasks ----
+
+TEST(ThreadPoolTest, TaskExceptionIsContained) {
+  ThreadPool pool(2);
+  std::atomic<int> ran_after{0};
+  ASSERT_TRUE(pool.Submit([] { throw std::runtime_error("task boom"); }));
+  // The pool must survive and keep executing later tasks.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran_after] { ran_after.fetch_add(1); }));
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran_after.load(), 10);
+  EXPECT_EQ(pool.task_failures(), 1u);
+  // Failed tasks still count as completed (the latch contract).
+  EXPECT_EQ(pool.tasks_completed(), 11u);
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsContained) {
+  ThreadPool pool(1);
+  ASSERT_TRUE(pool.Submit([] { throw 42; }));
+  pool.WaitIdle();
+  EXPECT_EQ(pool.task_failures(), 1u);
+}
+
+// ---- WaitIdle pop-to-active audit ----
+
+// Stress the window between a task being popped and the pool observing
+// it as active: WaitIdle returning early (queue empty, worker holding a
+// popped-but-uncounted task) would let `sum` be read before every
+// add completed. The pop and the active-count increment happen under
+// one lock acquisition, so this must never fire.
+TEST(ThreadPoolTest, WaitIdleSeesPoppedTasksStress) {
+  for (int round = 0; round < 200; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> sum{0};
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(pool.Submit([&sum] { sum.fetch_add(1); }));
+    }
+    pool.WaitIdle();
+    ASSERT_EQ(sum.load(), n) << "WaitIdle returned with work in flight";
+  }
+}
+
+// ---- ParallelFor ----
+
 TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
   ThreadPool pool(3);
   const size_t n = 500;
   std::vector<std::atomic<int>> hits(n);
-  ParallelFor(&pool, n, [&hits](size_t i) { hits[i].fetch_add(1); });
+  ASSERT_TRUE(ParallelFor(&pool, n, [&hits](size_t i) { hits[i].fetch_add(1); }).ok());
   for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
 TEST(ParallelForTest, NullPoolRunsInline) {
   std::vector<int> order;
-  ParallelFor(nullptr, 5, [&order](size_t i) { order.push_back(static_cast<int>(i)); });
+  ASSERT_TRUE(ParallelFor(nullptr, 5, [&order](size_t i) {
+                order.push_back(static_cast<int>(i));
+              }).ok());
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 TEST(ParallelForTest, ZeroIterations) {
   ThreadPool pool(2);
   bool called = false;
-  ParallelFor(&pool, 0, [&called](size_t) { called = true; });
+  ASSERT_TRUE(ParallelFor(&pool, 0, [&called](size_t) { called = true; }).ok());
   EXPECT_FALSE(called);
+}
+
+// A throwing body used to reach std::terminate through the completion
+// latch; now the first error comes back as a Status and the other
+// ranges still complete.
+TEST(ParallelForTest, TaskExceptionBecomesStatus) {
+  ThreadPool pool(3);
+  const size_t n = 64;
+  std::vector<std::atomic<int>> hits(n);
+  Status status = ParallelFor(&pool, n, [&hits](size_t i) {
+    if (i == 17) throw std::runtime_error("index 17 boom");
+    hits[i].fetch_add(1);
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(std::string(status.message()).find("boom"), std::string::npos);
+  // Every index outside the throwing task's range still ran.
+  size_t ran = 0;
+  for (size_t i = 0; i < n; ++i) ran += static_cast<size_t>(hits[i].load());
+  EXPECT_GE(ran, n - (n / pool.num_threads()) - 1);
+}
+
+TEST(ParallelForTest, InlineExceptionBecomesStatus) {
+  Status status =
+      ParallelFor(nullptr, 3, [](size_t i) { if (i == 1) throw 7; });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+// A pool mid-shutdown rejects new ranges; ParallelFor must fall back to
+// inline execution (never deadlock on the latch) and still cover every
+// index exactly once.
+TEST(ParallelForTest, RunsInlineWhenPoolRejects) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  const size_t n = 100;
+  std::vector<std::atomic<int>> hits(n);
+  ASSERT_TRUE(ParallelFor(&pool, n, [&hits](size_t i) { hits[i].fetch_add(1); }).ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
 }  // namespace
