@@ -1,0 +1,294 @@
+// Ablation A14 — durable user-weight state: recovery time vs WAL
+// length (with and without snapshots) and the observe-path cost of the
+// journal's sync policies.
+//
+// The paper's serving state is rebuilt from the storage tier; our
+// per-node user-weight journal (DESIGN.md §13) instead recovers it
+// locally: load the newest snapshot, replay the WAL suffix. Two
+// questions this harness answers:
+//   recovery   how does restart time scale with journal length? Full
+//              genesis replay must grow linearly with the record
+//              count; snapshot+suffix replay should stay ~flat (the
+//              suffix is bounded by the snapshot cadence).
+//   overhead   what does each WalSyncPolicy add to Observe()? off
+//              (no journal) vs buffered (kNone) vs flush (kFlush) vs
+//              strict fsync (kFsync N=1) vs group commit (kFsync N=8).
+// Journal files live under TMPDIR (often tmpfs), so absolute fsync
+// costs understate a real disk; the *relative* ordering holds.
+//
+// Emits BENCH_recovery.json.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+
+namespace velox {
+namespace {
+
+constexpr size_t kDim = 8;
+constexpr uint64_t kUsers = 256;
+
+std::string BenchDir() {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/velox_bench_recovery";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+UserWeightJournalOptions JournalOptions(const std::string& stem, uint64_t snapshot_every) {
+  UserWeightJournalOptions jopts;
+  std::string base = BenchDir() + "/" + stem;
+  jopts.wal_path = base + ".wal";
+  jopts.snapshot_path = base + ".snap";
+  jopts.snapshot_every = snapshot_every;
+  std::remove(jopts.wal_path.c_str());
+  std::remove(jopts.snapshot_path.c_str());
+  return jopts;
+}
+
+UserWeightStoreOptions StoreOptions() {
+  UserWeightStoreOptions sopts;
+  sopts.dim = kDim;
+  return sopts;
+}
+
+DenseVector FeatureOf(int i) {
+  std::vector<double> v(kDim);
+  for (size_t d = 0; d < kDim; ++d) {
+    v[d] = 0.25 + 0.01 * static_cast<double>((i + static_cast<int>(d) * 7) % 13);
+  }
+  return DenseVector(std::move(v));
+}
+
+// Streams `updates` journaled mutations (seeds + online updates with
+// the observe-path snapshot cadence hook), then closes the journal —
+// the state a restart must rebuild.
+void BuildJournaledState(const UserWeightJournalOptions& jopts, int updates) {
+  auto journal = UserWeightJournal::Open(jopts);
+  VELOX_CHECK_OK(journal.status());
+  Bootstrapper boot(kDim);
+  UserWeightStore store(StoreOptions(), &boot);
+  store.AttachJournal(journal->get());
+  for (uint64_t u = 0; u < kUsers; ++u) {
+    store.SeedUser(u, FeatureOf(static_cast<int>(u)), 1);
+  }
+  for (int i = 0; i < updates; ++i) {
+    VELOX_CHECK_OK(
+        store.ApplyObservation(static_cast<uint64_t>(i) % kUsers, FeatureOf(i),
+                               3.0 + 0.01 * (i % 100))
+            .status());
+    VELOX_CHECK_OK(store.MaybeSnapshot());
+  }
+}
+
+struct RecoveryRun {
+  double millis = 0.0;
+  uint64_t replayed = 0;
+  uint64_t snapshot_covered = 0;
+  size_t users = 0;
+};
+
+// Restart: open the journal, restore the snapshot (if any), replay the
+// suffix. Wall time is the serving-state unavailability window.
+RecoveryRun MeasureRecoveryOnce(const UserWeightJournalOptions& jopts) {
+  auto start = std::chrono::steady_clock::now();
+  auto journal = UserWeightJournal::Open(jopts);
+  VELOX_CHECK_OK(journal.status());
+  auto recovery = (*journal)->TakeRecovered();
+  Bootstrapper boot(kDim);
+  UserWeightStore store(StoreOptions(), &boot);
+  if (recovery.snapshot_loaded) {
+    VELOX_CHECK_OK(store.RestoreState(recovery.snapshot_state));
+  }
+  for (const auto& record : recovery.suffix) {
+    VELOX_CHECK_OK(store.ApplyWalRecord(record));
+  }
+  auto end = std::chrono::steady_clock::now();
+  RecoveryRun run;
+  run.millis = std::chrono::duration<double, std::milli>(end - start).count();
+  run.replayed = recovery.suffix.size();
+  run.snapshot_covered = recovery.snapshot_covers;
+  run.users = store.num_users();
+  return run;
+}
+
+// Recovery leaves the journal files untouched, so it can be repeated;
+// best-of-3 screens out cold-cache noise on the first open.
+RecoveryRun MeasureRecovery(const UserWeightJournalOptions& jopts) {
+  RecoveryRun best = MeasureRecoveryOnce(jopts);
+  for (int i = 0; i < 2; ++i) {
+    RecoveryRun run = MeasureRecoveryOnce(jopts);
+    if (run.millis < best.millis) best = run;
+  }
+  return best;
+}
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+RetrainOutput ServingOutput() {
+  auto table = std::make_shared<MaterializedFeatureFunction::FactorTable>();
+  for (uint64_t i = 0; i < 64; ++i) {
+    std::vector<double> v(kDim);
+    for (size_t d = 0; d < kDim; ++d) v[d] = 0.5 + 0.02 * ((i + d) % 9);
+    (*table)[i] = DenseVector(std::move(v));
+  }
+  RetrainOutput output;
+  output.features = std::make_shared<MaterializedFeatureFunction>(
+      std::shared_ptr<const MaterializedFeatureFunction::FactorTable>(table), kDim);
+  for (uint64_t u = 0; u < kUsers; ++u) output.user_weights[u] = FeatureOf(static_cast<int>(u));
+  output.training_rmse = 0.5;
+  return output;
+}
+
+struct OverheadRun {
+  double mean_us = 0.0;
+  double ops_per_sec = 0.0;
+  uint64_t wal_appends = 0;
+};
+
+// Observe-path cost under one durability configuration. `policy` empty
+// means the journal is disabled entirely.
+OverheadRun MeasureObserveOverhead(const std::string& label, bool journaled,
+                                   WalSyncPolicy policy, int64_t fsync_every_n,
+                                   int observes) {
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = kDim;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1LL << 40;
+  if (journaled) {
+    std::string dir = BenchDir() + "/observe_" + label;
+    ::mkdir(dir.c_str(), 0755);
+    std::remove((dir + "/user_weights_node0.wal").c_str());
+    std::remove((dir + "/user_weights_node0.snap").c_str());
+    config.durability.dir = dir;
+    config.durability.wal.sync = policy;
+    config.durability.wal.fsync_every_n = fsync_every_n;
+    config.durability.snapshot_every = 0;  // isolate the append cost
+  }
+  AlsConfig als;
+  als.rank = kDim;
+  VeloxServer server(config, std::make_unique<MatrixFactorizationModel>("songs", als));
+  VELOX_CHECK_OK(server.InstallVersion(ServingOutput()).status());
+  // Warm-up outside the timed window.
+  for (int i = 0; i < observes / 10 + 1; ++i) {
+    VELOX_CHECK_OK(server.Observe(static_cast<uint64_t>(i) % kUsers,
+                                  MakeItem(static_cast<uint64_t>(i) % 64), 3.5));
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < observes; ++i) {
+    VELOX_CHECK_OK(server.Observe(static_cast<uint64_t>(i) % kUsers,
+                                  MakeItem(static_cast<uint64_t>(i) % 64), 3.5));
+  }
+  auto end = std::chrono::steady_clock::now();
+  double total_us = std::chrono::duration<double, std::micro>(end - start).count();
+  OverheadRun run;
+  run.mean_us = total_us / observes;
+  run.ops_per_sec = observes / (total_us / 1e6);
+  UserWeightJournal* journal = server.user_weight_journal(0);
+  run.wal_appends = journal != nullptr ? journal->appends() : 0;
+  return run;
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  using velox::bench::Fmt;
+  using velox::bench::FmtInt;
+  using velox::bench::JsonRows;
+
+  velox::bench::Banner(
+      "Ablation A14: user-weight durability — recovery and logging cost",
+      "DESIGN.md §13 (the paper assumes a fault-tolerant storage tier)",
+      "snapshot+suffix recovery should stay flat as the WAL grows; full\n"
+      "replay grows linearly. Sync policies: off < none < flush < "
+      "fsync(N) < fsync(1).");
+
+  JsonRows json("recovery", "BENCH_recovery.json");
+
+  // ---- recovery time vs WAL length, with and without snapshots ----
+  std::vector<int> lengths;
+  if (velox::bench::SmokeMode()) {
+    lengths = {100, 300};
+  } else {
+    lengths = {2000, 8000, 32000, 64000};
+  }
+  const uint64_t snapshot_every =
+      static_cast<uint64_t>(velox::bench::SmokeScaled(4096, 64));
+
+  std::printf("\nRecovery time vs WAL length (users=%llu, dim=%zu)\n",
+              static_cast<unsigned long long>(velox::kUsers), velox::kDim);
+  velox::bench::Table recovery_table(
+      {"mode", "wal_records", "replayed", "covered", "recover_ms"});
+  for (int updates : lengths) {
+    for (bool with_snapshot : {false, true}) {
+      auto jopts = velox::JournalOptions(
+          with_snapshot ? "rec_snap" : "rec_full",
+          with_snapshot ? snapshot_every : 0);
+      velox::BuildJournaledState(jopts, updates);
+      auto run = velox::MeasureRecovery(jopts);
+      uint64_t wal_records = run.snapshot_covered + run.replayed;
+      const char* mode = with_snapshot ? "snapshot+suffix" : "full_replay";
+      recovery_table.Row({mode, FmtInt(static_cast<long long>(wal_records)),
+                          FmtInt(static_cast<long long>(run.replayed)),
+                          FmtInt(static_cast<long long>(run.snapshot_covered)),
+                          Fmt("%.2f", run.millis)});
+      json.Row({{"section", JsonRows::Str("recovery")},
+                {"mode", JsonRows::Str(mode)},
+                {"wal_records", JsonRows::Num(static_cast<long long>(wal_records))},
+                {"snapshot_every",
+                 JsonRows::Num(static_cast<long long>(with_snapshot ? snapshot_every : 0))},
+                {"replayed", JsonRows::Num(static_cast<long long>(run.replayed))},
+                {"snapshot_covered",
+                 JsonRows::Num(static_cast<long long>(run.snapshot_covered))},
+                {"recovered_users", JsonRows::Num(static_cast<long long>(run.users))},
+                {"recover_ms", JsonRows::Num(run.millis)}});
+    }
+  }
+
+  // ---- observe-path overhead per sync policy ----
+  const int observes = velox::bench::SmokeScaled(20000, 200);
+  std::printf("\nObserve() cost per durability policy (%d observes)\n", observes);
+  velox::bench::Table overhead_table({"policy", "mean_us", "ops_per_sec", "wal_appends"});
+  struct Policy {
+    const char* label;
+    bool journaled;
+    velox::WalSyncPolicy sync;
+    int64_t every_n;
+  };
+  const Policy policies[] = {
+      {"off", false, velox::WalSyncPolicy::kNone, 1},
+      {"none", true, velox::WalSyncPolicy::kNone, 1},
+      {"flush", true, velox::WalSyncPolicy::kFlush, 1},
+      {"fsync_group8", true, velox::WalSyncPolicy::kFsync, 8},
+      {"fsync_every1", true, velox::WalSyncPolicy::kFsync, 1},
+  };
+  for (const Policy& p : policies) {
+    auto run = velox::MeasureObserveOverhead(p.label, p.journaled, p.sync, p.every_n,
+                                             observes);
+    overhead_table.Row({p.label, Fmt("%.2f", run.mean_us), Fmt("%.0f", run.ops_per_sec),
+                        FmtInt(static_cast<long long>(run.wal_appends))});
+    json.Row({{"section", JsonRows::Str("observe_overhead")},
+              {"policy", JsonRows::Str(p.label)},
+              {"observes", JsonRows::Num(static_cast<long long>(observes))},
+              {"mean_us", JsonRows::Num(run.mean_us)},
+              {"ops_per_sec", JsonRows::Num(run.ops_per_sec)},
+              {"wal_appends", JsonRows::Num(static_cast<long long>(run.wal_appends))}});
+  }
+
+  json.Write();
+  return 0;
+}

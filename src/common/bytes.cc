@@ -26,6 +26,11 @@ void ByteWriter::PutDoubleVector(const std::vector<double>& v) {
   for (double d : v) PutDouble(d);
 }
 
+void ByteWriter::PutBytes(const std::vector<uint8_t>& b) {
+  PutU64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
 Status ByteReader::Need(size_t n) const {
   if (pos_ + n > size_) {
     return Status::OutOfRange("byte buffer underflow");
@@ -85,6 +90,16 @@ Result<std::vector<double>> ByteReader::GetDoubleVector() {
     v.push_back(d);
   }
   return v;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes() {
+  VELOX_ASSIGN_OR_RETURN(uint64_t len, GetU64());
+  if (len > remaining()) {
+    return Status::OutOfRange("byte buffer underflow");
+  }
+  std::vector<uint8_t> b(data_ + pos_, data_ + pos_ + len);
+  pos_ += static_cast<size_t>(len);
+  return b;
 }
 
 uint32_t Crc32(const uint8_t* data, size_t size) {

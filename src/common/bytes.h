@@ -27,6 +27,7 @@ class ByteWriter {
   void PutDouble(double v);
   void PutString(std::string_view s);           // length-prefixed
   void PutDoubleVector(const std::vector<double>& v);
+  void PutBytes(const std::vector<uint8_t>& b);  // u64-length-prefixed
 
   const std::vector<uint8_t>& data() const { return buf_; }
   std::vector<uint8_t> Release() { return std::move(buf_); }
@@ -50,6 +51,7 @@ class ByteReader {
   Result<double> GetDouble();
   Result<std::string> GetString();
   Result<std::vector<double>> GetDoubleVector();
+  Result<std::vector<uint8_t>> GetBytes();
 
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }

@@ -34,6 +34,8 @@ const char* StageName(Stage stage) {
       return "admission";
     case Stage::kShed:
       return "shed";
+    case Stage::kRecoveryReplay:
+      return "recovery_replay";
   }
   return "unknown";
 }

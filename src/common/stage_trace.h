@@ -37,9 +37,10 @@ enum class Stage : int {
   kQueueWait,              // dispatch-queue residency before a worker ran it
   kAdmission,              // rate-limit + queue admission decision
   kShed,                   // degraded fast-path answer for a shed request
+  kRecoveryReplay,         // snapshot restore + WAL replay at (re)start
 };
 
-inline constexpr int kNumStages = 15;
+inline constexpr int kNumStages = 16;
 
 // Short stable identifier used in metrics names and JSON keys.
 const char* StageName(Stage stage);

@@ -1,5 +1,7 @@
 #include "core/bootstrap.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace velox {
@@ -37,6 +39,18 @@ DenseVector Bootstrapper::MeanWeights() const {
 int64_t Bootstrapper::num_users() const {
   std::lock_guard<std::mutex> lock(mu_);
   return count_;
+}
+
+DenseVector Bootstrapper::SumWeights() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+void Bootstrapper::RestoreState(DenseVector sum, int64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VELOX_CHECK_EQ(sum.dim(), sum_.dim());
+  sum_ = std::move(sum);
+  count_ = count;
 }
 
 }  // namespace velox

@@ -32,6 +32,12 @@ class Bootstrapper {
   DenseVector MeanWeights() const;
   int64_t num_users() const;
 
+  // Raw running sum — exported into user-weight snapshots so a restored
+  // node's cold-start mean is bit-identical to the original's.
+  DenseVector SumWeights() const;
+  // Overwrites the running state from a snapshot.
+  void RestoreState(DenseVector sum, int64_t count);
+
  private:
   mutable std::mutex mu_;
   DenseVector sum_;

@@ -58,6 +58,15 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
   VELOX_ASSIGN_OR_RETURN(UserWeightStore::UpdateResult update,
                          weights_->ApplyObservation(uid, features, label));
   solve.Stop();
+  // Snapshot cadence rides the observe path (the only high-rate
+  // mutation source); a due snapshot serializes the table and writes
+  // it out, a non-due call is two atomic loads.
+  Status snapshot = weights_->MaybeSnapshot();
+  if (!snapshot.ok()) {
+    // Snapshot failure degrades recovery speed (longer WAL replay),
+    // never correctness; don't fail the observation.
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   ObserveResult result;
   result.prediction_before = update.prediction_before;

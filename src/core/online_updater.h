@@ -12,7 +12,12 @@
 //     equations or Sherman–Morrison),
 //  5. append the observation to the node-local shard of the
 //     observation log for offline retraining (§4.1) and persist the
-//     updated w_u to storage (a node-local write, §5).
+//     updated w_u to storage (a node-local write, §5). The weight
+//     update itself was already journaled to the node's user-weight
+//     WAL inside ApplyObservation (storage/snapshot.h), so serving
+//     state survives restarts independently of the storage tier.
+//  6. if the journal's snapshot interval elapsed, take a consistent
+//     snapshot of the weight table (bounds WAL replay at recovery).
 //
 // Observations flagged as exploration-sourced (the topK pick was not
 // the greedy argmax) additionally enter the Evaluator's bandit

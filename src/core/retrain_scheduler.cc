@@ -172,6 +172,31 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
     VELOX_RETURN_NOT_OK(flush());
   }
 
+  // 3b. Publish the new W into the replicated user-weights table the
+  //     failover recovery path reads. Same chunked-MultiPut shape as
+  //     the feature table: without this write, a user who never saw an
+  //     online update after the swap has no persisted weights, and a
+  //     node crash would lose their retrained vector.
+  if (options_.persist_user_weights && !options_.user_weights_table.empty() &&
+      !output.user_weights.empty()) {
+    StorageClient driver(storage_, 0);
+    std::vector<std::pair<Key, Value>> chunk;
+    chunk.reserve(kDistributeChunk);
+    auto flush_weights = [&]() -> Status {
+      if (chunk.empty()) return Status::OK();
+      std::vector<Status> statuses =
+          driver.MultiPut(options_.user_weights_table, std::move(chunk));
+      chunk.clear();
+      for (const Status& s : statuses) VELOX_RETURN_NOT_OK(s);
+      return Status::OK();
+    };
+    for (const auto& [uid, w] : output.user_weights) {
+      chunk.emplace_back(uid, EncodeFactor(w));
+      if (chunk.size() >= kDistributeChunk) VELOX_RETURN_NOT_OK(flush_weights());
+    }
+    VELOX_RETURN_NOT_OK(flush_weights());
+  }
+
   // 4. Swap-time invalidation: the offline phase "invalidates both
   //    prediction and feature caches" (§4.2).
   for (const NodeComponents& node : nodes_) {

@@ -67,6 +67,12 @@ struct RetrainSchedulerOptions {
   // concept drift — old, contradicted observations age out of the
   // window instead of being averaged in forever. 0 = use the full log.
   int64_t max_observations = 0;
+  // Publish the new W into the replicated `user_weights_table` at
+  // install (chunked MultiPuts, like the feature table). This is what
+  // the PR-3 failover path lazily reads when a crashed node's users
+  // remap — without it only online-updated users are recoverable.
+  bool persist_user_weights = true;
+  std::string user_weights_table = "user_weights";
 };
 
 struct RetrainReport {

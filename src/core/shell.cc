@@ -46,6 +46,9 @@ std::string VeloxShell::HelpText() {
       "  server                      server-plane admission/queue/shed state\n"
       "  stages                      per-stage latency breakdown\n"
       "  fail <node>                 crash a node (ring remaps to survivors)\n"
+      "  recover                     replay user-weight journals (run after train\n"
+      "                              when the server was started with durability\n"
+      "                              and recover-on-start off)\n"
       "  save <path>                 write a model snapshot\n"
       "  load <path>                 install a model snapshot\n"
       "  help                        this text";
@@ -95,6 +98,17 @@ Result<std::string> VeloxShell::Execute(const std::string& line) {
   if (cmd == "save") return CmdSave(args);
   if (cmd == "load") return CmdLoad(args);
   if (cmd == "fail") return CmdFail(args);
+  if (cmd == "recover") {
+    VELOX_ASSIGN_OR_RETURN(VeloxServer::DurabilityRecoveryReport report,
+                           server_->RecoverDurability());
+    return StrFormat(
+        "recovered: snapshot_nodes=%llu covered=%llu replayed=%llu skipped=%llu%s",
+        static_cast<unsigned long long>(report.snapshot_restored_nodes),
+        static_cast<unsigned long long>(report.snapshot_covered_records),
+        static_cast<unsigned long long>(report.replayed_records),
+        static_cast<unsigned long long>(report.skipped_records),
+        report.clean ? "" : " TORN_TAIL");
+  }
   return Status::InvalidArgument("unknown command '" + cmd + "' (try `help`)");
 }
 
@@ -213,6 +227,27 @@ Result<std::string> VeloxShell::CmdReport() {
               static_cast<unsigned long long>(sc.deadline_misses),
               static_cast<unsigned long long>(sc.partial_writes),
               static_cast<unsigned long long>(degraded));
+  }
+  if (!server_->config().durability.dir.empty()) {
+    uint64_t wal_records = 0, snapshots = 0;
+    for (int32_t n = 0; n < server_->config().num_nodes; ++n) {
+      if (auto* journal = server_->user_weight_journal(n); journal != nullptr) {
+        wal_records += journal->records();
+        snapshots += journal->snapshots_written();
+      }
+    }
+    const auto& recovery = server_->durability_recovery();
+    os << "\n"
+       << StrFormat(
+              "durability: policy=%s wal_records=%llu snapshots=%llu "
+              "recovered(snapshot=%llu replayed=%llu skipped=%llu%s)",
+              WalSyncPolicyName(server_->config().durability.wal.sync),
+              static_cast<unsigned long long>(wal_records),
+              static_cast<unsigned long long>(snapshots),
+              static_cast<unsigned long long>(recovery.snapshot_covered_records),
+              static_cast<unsigned long long>(recovery.replayed_records),
+              static_cast<unsigned long long>(recovery.skipped_records),
+              recovery.clean ? "" : " TORN_TAIL");
   }
   return os.str();
 }

@@ -1,11 +1,52 @@
 #include "core/user_weights.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "cluster/router.h"
+#include "common/bytes.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace velox {
+
+namespace {
+
+// Snapshot state blob framing (wrapped in the CRC'd snapshot file —
+// see storage/snapshot.cc — so this codec only needs structure, not
+// integrity).
+constexpr uint32_t kStateMagic = 0x56555753;  // "VUWS"
+constexpr uint32_t kStateFormat = 1;
+
+enum SolverKind : uint8_t { kSolverNone = 0, kSolverAcc = 1, kSolverSm = 2 };
+
+void PutMatrix(ByteWriter* w, const DenseMatrix& m) {
+  w->PutU32(static_cast<uint32_t>(m.rows()));
+  w->PutU32(static_cast<uint32_t>(m.cols()));
+  for (size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.RowPtr(r);
+    for (size_t c = 0; c < m.cols(); ++c) w->PutDouble(row[c]);
+  }
+}
+
+Result<DenseMatrix> GetMatrix(ByteReader* r) {
+  VELOX_ASSIGN_OR_RETURN(uint32_t rows, r->GetU32());
+  VELOX_ASSIGN_OR_RETURN(uint32_t cols, r->GetU32());
+  // 8 bytes per element; reject corrupt dims before allocating.
+  if (static_cast<uint64_t>(rows) * cols * 8 > r->remaining()) {
+    return Status::OutOfRange("implausible matrix dimensions");
+  }
+  DenseMatrix m(rows, cols);
+  for (uint32_t i = 0; i < rows; ++i) {
+    for (uint32_t j = 0; j < cols; ++j) {
+      VELOX_ASSIGN_OR_RETURN(m.At(i, j), r->GetDouble());
+    }
+  }
+  return m;
+}
+
+}  // namespace
 
 const char* UpdateStrategyName(UpdateStrategy strategy) {
   switch (strategy) {
@@ -63,6 +104,13 @@ std::optional<DenseVector> UserWeightStore::TryRecover(uint64_t uid) const {
   return recovered;
 }
 
+void UserWeightStore::JournalAppend(const UserWeightWalRecord& record) {
+  if (journal_ == nullptr) return;
+  // An append failure must not take down serving (same policy as the
+  // observe path's degraded mode); the journal simply under-covers.
+  (void)journal_->Append(record);
+}
+
 DenseVector UserWeightStore::GetOrBootstrapWeights(uint64_t uid,
                                                    const DenseVector& bootstrap_weights) {
   Stripe& stripe = StripeFor(uid);
@@ -71,15 +119,24 @@ DenseVector UserWeightStore::GetOrBootstrapWeights(uint64_t uid,
   if (it != stripe.users.end()) return it->second.weights;
   // Prefer the persisted snapshot (node-failure recovery) over the
   // cold-start mean.
+  DenseVector initial;
   if (auto recovered = TryRecover(uid); recovered.has_value()) {
-    stripe.users[uid] = MakeState(*recovered, 0);
-    if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(*recovered);
-    return *recovered;
+    initial = std::move(*recovered);
+  } else {
+    VELOX_CHECK_EQ(bootstrap_weights.dim(), options_.dim);
+    initial = bootstrap_weights;
   }
-  VELOX_CHECK_EQ(bootstrap_weights.dim(), options_.dim);
-  stripe.users[uid] = MakeState(bootstrap_weights, 0);
-  if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(bootstrap_weights);
-  return bootstrap_weights;
+  // Journal the creation with the exact vector chosen, so replay never
+  // re-consults the recovery fallback or the bootstrap mean.
+  UserWeightWalRecord record;
+  record.kind = UserWeightWalRecord::Kind::kSeed;
+  record.uid = uid;
+  record.model_version = 0;
+  record.weights = initial;
+  JournalAppend(record);
+  stripe.users[uid] = MakeState(initial, 0);
+  if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(initial);
+  return initial;
 }
 
 bool UserWeightStore::HasUser(uint64_t uid) const {
@@ -91,8 +148,24 @@ bool UserWeightStore::HasUser(uint64_t uid) const {
 void UserWeightStore::SeedUser(uint64_t uid, const DenseVector& weights,
                                int32_t model_version) {
   VELOX_CHECK_EQ(weights.dim(), options_.dim);
+  (void)SeedUserInternal(uid, weights, model_version, /*journal=*/true);
+}
+
+Status UserWeightStore::SeedUserInternal(uint64_t uid, const DenseVector& weights,
+                                         int32_t model_version, bool journal) {
+  if (weights.dim() != options_.dim) {
+    return Status::InvalidArgument("seed weight dimension mismatch");
+  }
   Stripe& stripe = StripeFor(uid);
   std::lock_guard<std::mutex> lock(stripe.mu);
+  if (journal) {
+    UserWeightWalRecord record;
+    record.kind = UserWeightWalRecord::Kind::kSeed;
+    record.uid = uid;
+    record.model_version = model_version;
+    record.weights = weights;
+    JournalAppend(record);
+  }
   auto it = stripe.users.find(uid);
   if (it != stripe.users.end()) {
     if (bootstrapper_ != nullptr) {
@@ -105,10 +178,18 @@ void UserWeightStore::SeedUser(uint64_t uid, const DenseVector& weights,
     stripe.users[uid] = MakeState(weights, model_version);
     if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(weights);
   }
+  return Status::OK();
 }
 
 Result<UserWeightStore::UpdateResult> UserWeightStore::ApplyObservation(
     uint64_t uid, const DenseVector& features, double label) {
+  return ApplyObservationInternal(uid, features, label, /*journal=*/true,
+                                  /*allow_recovery=*/true);
+}
+
+Result<UserWeightStore::UpdateResult> UserWeightStore::ApplyObservationInternal(
+    uint64_t uid, const DenseVector& features, double label, bool journal,
+    bool allow_recovery) {
   if (features.dim() != options_.dim) {
     return Status::InvalidArgument("feature dimension mismatch");
   }
@@ -120,15 +201,36 @@ Result<UserWeightStore::UpdateResult> UserWeightStore::ApplyObservation(
     // (GetOrBootstrapWeights): persisted snapshot first, then the
     // bootstrap mean. Seeding from zero here would give observe-first
     // users a different prior — and a meaningless prediction_before —
-    // than predict-first users.
+    // than predict-first users. On replay (allow_recovery false) this
+    // branch only fires for corrupt logs: every creation is preceded by
+    // an explicit kSeed record.
     DenseVector initial(options_.dim);
-    if (auto recovered = TryRecover(uid); recovered.has_value()) {
+    std::optional<DenseVector> recovered;
+    if (allow_recovery) recovered = TryRecover(uid);
+    if (recovered.has_value()) {
       initial = *recovered;
     } else if (bootstrapper_ != nullptr) {
       initial = bootstrapper_->MeanWeights();
     }
+    if (journal) {
+      UserWeightWalRecord seed;
+      seed.kind = UserWeightWalRecord::Kind::kSeed;
+      seed.uid = uid;
+      seed.model_version = 0;
+      seed.weights = initial;
+      JournalAppend(seed);
+    }
     it = stripe.users.emplace(uid, MakeState(initial, 0)).first;
     if (bootstrapper_ != nullptr) bootstrapper_->OnUserAdded(it->second.weights);
+  }
+  if (journal) {
+    UserWeightWalRecord record;
+    record.kind = UserWeightWalRecord::Kind::kObservationUpdate;
+    record.uid = uid;
+    record.model_version = it->second.model_version;
+    record.features = features;
+    record.label = label;
+    JournalAppend(record);
   }
   UserState& state = it->second;
 
@@ -199,9 +301,18 @@ int64_t UserWeightStore::NumObservations(uint64_t uid) const {
 
 void UserWeightStore::ResetForNewVersion(const FactorMap& trained_weights,
                                          int32_t model_version) {
-  for (auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
-    stripe->users.clear();
+  {
+    // All stripes locked while the reset record is journaled: the wipe
+    // occupies one exact position in the log relative to every other
+    // (stripe-locked) mutation, so replay wipes at the same point.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (auto& stripe : stripes_) locks.emplace_back(stripe->mu);
+    UserWeightWalRecord record;
+    record.kind = UserWeightWalRecord::Kind::kVersionReset;
+    record.model_version = model_version;
+    JournalAppend(record);
+    for (auto& stripe : stripes_) stripe->users.clear();
   }
   if (bootstrapper_ != nullptr) bootstrapper_->Reset();
   for (const auto& [uid, w] : trained_weights) {
@@ -228,6 +339,226 @@ size_t UserWeightStore::num_users() const {
     n += stripe->users.size();
   }
   return n;
+}
+
+std::vector<uint8_t> UserWeightStore::SerializeStateLocked() const {
+  ByteWriter w;
+  w.PutU32(kStateMagic);
+  w.PutU32(kStateFormat);
+  w.PutU32(static_cast<uint32_t>(options_.dim));
+  w.PutU8(static_cast<uint8_t>(options_.strategy));
+
+  // Sorted by uid: identical state serializes to identical bytes no
+  // matter how the hash maps happen to iterate (the crash-recovery
+  // tests compare blobs for bit-equality).
+  std::vector<std::pair<uint64_t, const UserState*>> users;
+  for (const auto& stripe : stripes_) {
+    for (const auto& [uid, state] : stripe->users) {
+      users.emplace_back(uid, &state);
+    }
+  }
+  std::sort(users.begin(), users.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  w.PutU64(users.size());
+  for (const auto& [uid, state] : users) {
+    w.PutU64(uid);
+    w.PutU32(static_cast<uint32_t>(state->model_version));
+    w.PutU64(state->epoch);
+    w.PutI64(state->num_observations);
+    w.PutDoubleVector(state->weights.values());
+    w.PutDoubleVector(state->prior.values());
+    if (state->acc != nullptr) {
+      w.PutU8(kSolverAcc);
+      PutMatrix(&w, state->acc->ftf());
+      w.PutDoubleVector(state->acc->fty().values());
+      w.PutI64(state->acc->num_examples());
+    } else if (state->sm != nullptr) {
+      w.PutU8(kSolverSm);
+      PutMatrix(&w, state->sm->a_inverse());
+      w.PutDoubleVector(state->sm->b().values());
+      w.PutI64(state->sm->num_examples());
+    } else {
+      w.PutU8(kSolverNone);
+    }
+  }
+
+  if (bootstrapper_ != nullptr) {
+    w.PutU8(1);
+    w.PutDoubleVector(bootstrapper_->SumWeights().values());
+    w.PutI64(bootstrapper_->num_users());
+  } else {
+    w.PutU8(0);
+  }
+  return w.Release();
+}
+
+std::vector<uint8_t> UserWeightStore::SerializeState() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const auto& stripe : stripes_) locks.emplace_back(stripe->mu);
+  return SerializeStateLocked();
+}
+
+Status UserWeightStore::RestoreState(const std::vector<uint8_t>& state) {
+  ByteReader r(state);
+  VELOX_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kStateMagic) {
+    return Status::InvalidArgument("not a user-weight state blob (bad magic)");
+  }
+  VELOX_ASSIGN_OR_RETURN(uint32_t format, r.GetU32());
+  if (format != kStateFormat) {
+    return Status::Unimplemented(
+        StrFormat("unsupported user-weight state format %u", format));
+  }
+  VELOX_ASSIGN_OR_RETURN(uint32_t dim, r.GetU32());
+  if (dim != options_.dim) {
+    return Status::InvalidArgument(
+        StrFormat("state dim %u != store dim %zu", dim, options_.dim));
+  }
+  VELOX_ASSIGN_OR_RETURN(uint8_t strategy, r.GetU8());
+  if (strategy != static_cast<uint8_t>(options_.strategy)) {
+    return Status::InvalidArgument("state strategy != store strategy");
+  }
+
+  VELOX_ASSIGN_OR_RETURN(uint64_t count, r.GetU64());
+  // Each user consumes well over 32 bytes; reject corrupt counts.
+  if (count > r.remaining() / 32) {
+    return Status::OutOfRange("implausible user count in state blob");
+  }
+
+  // Decode fully before touching live state: a corrupt blob must not
+  // leave the store half-restored.
+  std::vector<std::pair<uint64_t, UserState>> users;
+  users.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t uid;
+    VELOX_ASSIGN_OR_RETURN(uid, r.GetU64());
+    UserState state;
+    VELOX_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+    state.model_version = static_cast<int32_t>(version);
+    VELOX_ASSIGN_OR_RETURN(state.epoch, r.GetU64());
+    VELOX_ASSIGN_OR_RETURN(state.num_observations, r.GetI64());
+    std::vector<double> values;
+    VELOX_ASSIGN_OR_RETURN(values, r.GetDoubleVector());
+    state.weights = DenseVector(std::move(values));
+    VELOX_ASSIGN_OR_RETURN(values, r.GetDoubleVector());
+    state.prior = DenseVector(std::move(values));
+    if (state.weights.dim() != options_.dim || state.prior.dim() != options_.dim) {
+      return Status::InvalidArgument("state vector dimension mismatch");
+    }
+    VELOX_ASSIGN_OR_RETURN(uint8_t solver_kind, r.GetU8());
+    switch (solver_kind) {
+      case kSolverNone:
+        break;
+      case kSolverAcc: {
+        DenseMatrix ftf;
+        VELOX_ASSIGN_OR_RETURN(ftf, GetMatrix(&r));
+        VELOX_ASSIGN_OR_RETURN(values, r.GetDoubleVector());
+        int64_t n;
+        VELOX_ASSIGN_OR_RETURN(n, r.GetI64());
+        if (ftf.rows() != options_.dim || ftf.cols() != options_.dim ||
+            values.size() != options_.dim) {
+          return Status::InvalidArgument("accumulator dimension mismatch");
+        }
+        state.acc = std::make_unique<RidgeAccumulator>(RidgeAccumulator::FromState(
+            std::move(ftf), DenseVector(std::move(values)), n));
+        break;
+      }
+      case kSolverSm: {
+        DenseMatrix a_inv;
+        VELOX_ASSIGN_OR_RETURN(a_inv, GetMatrix(&r));
+        VELOX_ASSIGN_OR_RETURN(values, r.GetDoubleVector());
+        int64_t n;
+        VELOX_ASSIGN_OR_RETURN(n, r.GetI64());
+        if (a_inv.rows() != options_.dim || a_inv.cols() != options_.dim ||
+            values.size() != options_.dim) {
+          return Status::InvalidArgument("solver dimension mismatch");
+        }
+        state.sm = std::make_unique<ShermanMorrisonSolver>(
+            ShermanMorrisonSolver::FromState(options_.lambda, std::move(a_inv),
+                                             DenseVector(std::move(values)), n));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("unknown solver kind in state blob");
+    }
+    users.emplace_back(uid, std::move(state));
+  }
+
+  VELOX_ASSIGN_OR_RETURN(uint8_t has_bootstrapper, r.GetU8());
+  DenseVector boot_sum;
+  int64_t boot_count = 0;
+  if (has_bootstrapper != 0) {
+    std::vector<double> values;
+    VELOX_ASSIGN_OR_RETURN(values, r.GetDoubleVector());
+    boot_sum = DenseVector(std::move(values));
+    VELOX_ASSIGN_OR_RETURN(boot_count, r.GetI64());
+    if (boot_sum.dim() != options_.dim) {
+      return Status::InvalidArgument("bootstrapper sum dimension mismatch");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after user-weight state");
+  }
+
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->users.clear();
+  }
+  for (auto& [uid, state] : users) {
+    Stripe& stripe = StripeFor(uid);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.users[uid] = std::move(state);
+  }
+  // Restore the bootstrapper's running sum directly (no per-user
+  // OnUserAdded replay: the serialized sum is the bit-exact original).
+  if (bootstrapper_ != nullptr && has_bootstrapper != 0) {
+    bootstrapper_->RestoreState(std::move(boot_sum), boot_count);
+  }
+  return Status::OK();
+}
+
+Status UserWeightStore::ApplyWalRecord(const UserWeightWalRecord& record) {
+  switch (record.kind) {
+    case UserWeightWalRecord::Kind::kSeed:
+      return SeedUserInternal(record.uid, record.weights, record.model_version,
+                              /*journal=*/false);
+    case UserWeightWalRecord::Kind::kObservationUpdate: {
+      auto result = ApplyObservationInternal(record.uid, record.features, record.label,
+                                             /*journal=*/false,
+                                             /*allow_recovery=*/false);
+      return result.ok() ? Status::OK() : result.status();
+    }
+    case UserWeightWalRecord::Kind::kVersionReset:
+      for (auto& stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe->mu);
+        stripe->users.clear();
+      }
+      if (bootstrapper_ != nullptr) bootstrapper_->Reset();
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown wal record kind");
+}
+
+Status UserWeightStore::MaybeSnapshot() {
+  if (journal_ == nullptr || !journal_->SnapshotDue()) return Status::OK();
+  std::vector<uint8_t> state;
+  uint64_t cut = 0;
+  uint64_t cut_bytes = 0;
+  {
+    // Exact cut: journal appends happen under stripe locks, so with
+    // every stripe held the record count equals the mutations the
+    // in-memory image reflects. Only the serialization runs under the
+    // locks; the file write below proceeds with mutators running.
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(stripes_.size());
+    for (const auto& stripe : stripes_) locks.emplace_back(stripe->mu);
+    cut = journal_->records();
+    cut_bytes = journal_->bytes();
+    state = SerializeStateLocked();
+  }
+  return journal_->WriteSnapshot(state, cut, cut_bytes);
 }
 
 }  // namespace velox

@@ -32,6 +32,7 @@
 #include "linalg/vector.h"
 #include "ml/als.h"
 #include "ml/eval_metrics.h"
+#include "storage/snapshot.h"
 
 namespace velox {
 
@@ -46,7 +47,11 @@ struct UserWeightStoreOptions {
   size_t dim = 10;
   double lambda = 0.1;
   UpdateStrategy strategy = UpdateStrategy::kShermanMorrison;
-  size_t num_stripes = 64;
+  // Lock stripes for per-user mutual exclusion. Keep <= 63: the
+  // snapshot consistency cut and version reset hold every stripe plus
+  // the journal's WAL mutex at once, and TSan's deadlock detector
+  // tracks at most 64 simultaneously-held locks per thread.
+  size_t num_stripes = 32;
 };
 
 class UserWeightStore {
@@ -65,6 +70,16 @@ class UserWeightStore {
   // unknown user. Not thread-safe against concurrent requests: wire it
   // during server construction.
   void SetRecoveryFunction(RecoveryFn fn) { recovery_ = std::move(fn); }
+
+  // Attaches the durability journal (non-owning; must outlive the
+  // store). Once attached, every mutation — seeds, online updates,
+  // cold-start creations, version resets — appends one
+  // UserWeightWalRecord under the mutated user's stripe lock, so
+  // replaying the journal through ApplyWalRecord reproduces this
+  // store's state exactly. Wire during server construction, before any
+  // mutation.
+  void AttachJournal(UserWeightJournal* journal) { journal_ = journal; }
+  UserWeightJournal* journal() const { return journal_; }
 
   // Result of absorbing one observation.
   struct UpdateResult {
@@ -112,6 +127,32 @@ class UserWeightStore {
   // Copy of all current weights (input to warm-started retraining).
   FactorMap ExportWeights() const;
 
+  // --- Durability (storage/snapshot.h) ---
+
+  // Serializes the complete table — weights, priors, epochs,
+  // observation counts, strategy sufficient statistics, and the
+  // bootstrapper's running mean — into an opaque snapshot blob. Users
+  // are emitted sorted by uid, so two stores with identical state
+  // produce identical bytes regardless of hash-map iteration order.
+  std::vector<uint8_t> SerializeState() const;
+
+  // Replaces the table (and bootstrapper state) with a snapshot blob.
+  // Never journals; callers replay the WAL suffix afterwards.
+  Status RestoreState(const std::vector<uint8_t>& state);
+
+  // Applies one journal record without re-journaling it: kSeed and
+  // kObservationUpdate run the same state machine as SeedUser /
+  // ApplyObservation (so sufficient statistics evolve bit-identically),
+  // kVersionReset wipes the table. Replay never consults the recovery
+  // fallback or storage — records are self-contained.
+  Status ApplyWalRecord(const UserWeightWalRecord& record);
+
+  // If a journal is attached and its snapshot interval elapsed, takes a
+  // consistent cut (all stripe locks held while the in-memory image is
+  // serialized; the file write proceeds with mutators running) and
+  // persists it. Cheap no-op otherwise; call from the observe path.
+  Status MaybeSnapshot();
+
   size_t num_users() const;
   const UserWeightStoreOptions& options() const { return options_; }
 
@@ -140,10 +181,26 @@ class UserWeightStore {
   UserState MakeState(const DenseVector& weights, int32_t model_version) const;
   // Recovery attempt for an absent user; empty optional if none.
   std::optional<DenseVector> TryRecover(uint64_t uid) const;
+  // SeedUser body; `journal` false on the WAL replay path.
+  Status SeedUserInternal(uint64_t uid, const DenseVector& weights,
+                          int32_t model_version, bool journal);
+  // ApplyObservation body; `journal` false on the WAL replay path and
+  // `allow_recovery` false there too (records are self-contained).
+  Result<UpdateResult> ApplyObservationInternal(uint64_t uid,
+                                                const DenseVector& features,
+                                                double label, bool journal,
+                                                bool allow_recovery);
+  // Appends to the attached journal if any; mutation proceeds even if
+  // the append fails (serving availability over durability), matching
+  // the observe path's degraded-mode policy.
+  void JournalAppend(const UserWeightWalRecord& record);
+  // SerializeState body; caller holds every stripe lock.
+  std::vector<uint8_t> SerializeStateLocked() const;
 
   UserWeightStoreOptions options_;
   Bootstrapper* bootstrapper_;
   RecoveryFn recovery_;
+  UserWeightJournal* journal_ = nullptr;
   std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 

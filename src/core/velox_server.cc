@@ -1,5 +1,7 @@
 #include "core/velox_server.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <sstream>
 
@@ -38,12 +40,30 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
         << "unknown bandit policy spec: " << config_.bandit_policy;
   }
 
+  // Create the journal directory if it does not exist yet; a genuinely
+  // unusable path still fails below when the journal files open.
+  if (!config_.durability.dir.empty()) {
+    ::mkdir(config_.durability.dir.c_str(), 0755);
+  }
+
   std::vector<NodeComponents> scheduler_nodes;
   for (int32_t n = 0; n < config_.num_nodes; ++n) {
     auto node = std::make_unique<PerNode>();
     node->client =
         std::make_unique<StorageClient>(storage_.get(), n, config_.storage_client);
     node->bootstrapper = std::make_unique<Bootstrapper>(config_.dim);
+    if (!config_.durability.dir.empty()) {
+      UserWeightJournalOptions jopts;
+      jopts.wal_path = StrFormat("%s/user_weights_node%d.wal",
+                                 config_.durability.dir.c_str(), n);
+      jopts.snapshot_path = StrFormat("%s/user_weights_node%d.snap",
+                                      config_.durability.dir.c_str(), n);
+      jopts.wal = config_.durability.wal;
+      jopts.snapshot_every = config_.durability.snapshot_every;
+      auto journal = UserWeightJournal::Open(std::move(jopts));
+      VELOX_CHECK_OK(journal.status());
+      node->journal = std::move(journal).value();
+    }
     UserWeightStoreOptions wopts;
     wopts.dim = config_.dim;
     wopts.lambda = config_.lambda;
@@ -111,9 +131,16 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
 
   RetrainSchedulerOptions ropts = config_.retrain;
   ropts.distribute_item_features = config_.distribute_item_features;
+  // The scheduler persists the retrained W into the same table the
+  // updater writes and the failover recovery function reads.
+  ropts.user_weights_table = config_.updater.weights_table;
   scheduler_ = std::make_unique<RetrainScheduler>(
       ropts, model_.get(), registry_.get(), evaluator_.get(), driver_.get(),
       storage_.get(), std::move(scheduler_nodes));
+
+  if (!config_.durability.dir.empty() && config_.durability.recover_on_start) {
+    VELOX_CHECK_OK(RecoverDurability().status());
+  }
 }
 
 VeloxServer::~VeloxServer() = default;
@@ -274,6 +301,54 @@ Status VeloxServer::ObserveWithProvenance(uint64_t uid, const Item& item, double
   return Status::OK();
 }
 
+Result<VeloxServer::DurabilityRecoveryReport> VeloxServer::RecoverDurability() {
+  if (config_.durability.dir.empty()) {
+    return Status::FailedPrecondition("durability is not configured");
+  }
+  if (durability_recovered_) {
+    return Status::FailedPrecondition("durability already recovered");
+  }
+  durability_recovered_ = true;
+
+  DurabilityRecoveryReport report;
+  for (auto& node : per_node_) {
+    if (node->journal == nullptr) continue;
+    StageTimer timer(node->stages.get());
+    StageTimer::Scope span(timer, Stage::kRecoveryReplay);
+
+    UserWeightRecovery recovered = node->journal->TakeRecovered();
+    if (!recovered.wal_clean) report.clean = false;
+    if (recovered.snapshot_loaded) {
+      Status restored = node->weights->RestoreState(recovered.snapshot_state);
+      if (!restored.ok()) {
+        // A CRC-valid snapshot that the store rejects means the server
+        // was reconfigured (dim/strategy) against old journal files —
+        // surface it instead of silently serving a partial state.
+        return restored;
+      }
+      ++report.snapshot_restored_nodes;
+      report.snapshot_covered_records += recovered.snapshot_covers;
+    }
+    for (const UserWeightWalRecord& record : recovered.suffix) {
+      Status applied = node->weights->ApplyWalRecord(record);
+      if (applied.ok()) {
+        ++report.replayed_records;
+      } else {
+        // Incompatible record (e.g. dimension change between runs):
+        // skip it rather than abort recovery; the count is surfaced.
+        ++report.skipped_records;
+      }
+    }
+    report.skipped_records += recovered.undecodable;
+
+    // Attach only after replay: the replayed records are already in the
+    // log and must not be re-journaled.
+    node->weights->AttachJournal(node->journal.get());
+  }
+  last_recovery_ = report;
+  return report;
+}
+
 Status VeloxServer::FailNode(NodeId node) {
   if (node < 0 || node >= config_.num_nodes) {
     return Status::InvalidArgument("no such node");
@@ -349,6 +424,26 @@ std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
   target->GetGauge(prefix + "storage.backoff_nanos")
       ->Set(static_cast<double>(sc.backoff_nanos));
   set_counter("storage.degraded", DegradedCount());
+
+  // User-weight durability: journal volume and what the last recovery
+  // actually did (snapshot restore vs. WAL replay).
+  if (!config_.durability.dir.empty()) {
+    uint64_t appends = 0, records = 0, snapshots = 0;
+    for (const auto& node : per_node_) {
+      if (node->journal == nullptr) continue;
+      appends += node->journal->appends();
+      records += node->journal->records();
+      snapshots += node->journal->snapshots_written();
+    }
+    set_counter("wal.appends", appends);
+    set_counter("wal.records", records);
+    set_counter("wal.snapshots", snapshots);
+    set_counter("recovery.replayed_records", last_recovery_.replayed_records);
+    set_counter("recovery.snapshot_covered", last_recovery_.snapshot_covered_records);
+    set_counter("recovery.skipped_records", last_recovery_.skipped_records);
+    target->GetGauge(prefix + "recovery.clean")
+        ->Set(last_recovery_.clean ? 1.0 : 0.0);
+  }
 
   // ANN candidate path: live candidate-set sizes and whether kAuto
   // currently routes full-catalog topK through the index.

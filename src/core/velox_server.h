@@ -37,6 +37,7 @@
 #include "core/prediction_service.h"
 #include "core/retrain_scheduler.h"
 #include "core/user_weights.h"
+#include "storage/snapshot.h"
 #include "storage/storage_client.h"
 #include "storage/storage_cluster.h"
 
@@ -93,6 +94,27 @@ struct VeloxServerConfig {
   // Serve bounded degraded answers (stale score / bootstrap mean) when
   // feature resolution fails transiently, instead of erroring requests.
   bool degrade_on_unavailable = true;
+
+  // ---- durability: per-node user-weight journals (storage/snapshot.h) ----
+  struct DurabilityOptions {
+    // Directory for per-node journal files
+    // (<dir>/user_weights_node<N>.wal / .snap). Empty = disabled: the
+    // node's serving state lives only in memory, as before.
+    std::string dir;
+    // Sync policy for every journal append (see storage/wal.h for the
+    // precise guarantee each policy gives).
+    WalOptions wal;
+    // Snapshot a node's weight table every N journal records so
+    // recovery replays a bounded suffix; 0 = replay from genesis.
+    uint64_t snapshot_every = 4096;
+    // Replay the journals during construction (fresh files make this a
+    // no-op). Set false to install a model version first and then call
+    // RecoverDurability() explicitly — mutations made before that call
+    // are NOT journaled, and the replay overwrites them with the
+    // journal's state (the pre-crash truth).
+    bool recover_on_start = true;
+  };
+  DurabilityOptions durability;
 
   OnlineUpdaterOptions updater;
   EvaluatorOptions evaluator;
@@ -185,7 +207,39 @@ class VeloxServer {
   // `user_weights` storage table on next access (online sufficient
   // statistics restart from the recovered prior). Requires
   // storage.replication_factor > 1 for lossless weight recovery.
+  // Lazily-recovered users are journaled on their new node like any
+  // other mutation, so a later restart of that node keeps them too.
   Status FailNode(NodeId node);
+
+  // ---- durability recovery ----
+  struct DurabilityRecoveryReport {
+    // Nodes whose weight table was restored from a snapshot file.
+    uint64_t snapshot_restored_nodes = 0;
+    // Journal records the snapshots covered (not replayed).
+    uint64_t snapshot_covered_records = 0;
+    // WAL records replayed through the store's state machine.
+    uint64_t replayed_records = 0;
+    // Records dropped: torn/undecodable tails or incompatible entries.
+    uint64_t skipped_records = 0;
+    // False when any node's WAL had a torn tail (bounded loss under
+    // kFlush; impossible for acknowledged records under strict kFsync).
+    bool clean = true;
+  };
+
+  // Restores each node's user-weight state from its journal: load the
+  // newest valid snapshot, replay the WAL suffix, then attach the
+  // journal so future mutations are logged. Runs automatically at
+  // construction when durability.recover_on_start is set; call
+  // explicitly (once) otherwise. Time lands in Stage::kRecoveryReplay.
+  Result<DurabilityRecoveryReport> RecoverDurability();
+  // Report of the recovery this server ran at/after construction.
+  const DurabilityRecoveryReport& durability_recovery() const {
+    return last_recovery_;
+  }
+  // A node's journal; null when durability is disabled.
+  UserWeightJournal* user_weight_journal(NodeId node) {
+    return per_node_[static_cast<size_t>(node)]->journal.get();
+  }
 
   // ---- lifecycle management ----
   Result<bool> MaybeRetrain();
@@ -264,6 +318,9 @@ class VeloxServer {
   struct PerNode {
     std::unique_ptr<StorageClient> client;
     std::unique_ptr<Bootstrapper> bootstrapper;
+    // User-weight durability journal (null when disabled). Declared
+    // before `weights` so it outlives the store that borrows it.
+    std::unique_ptr<UserWeightJournal> journal;
     std::unique_ptr<UserWeightStore> weights;
     std::unique_ptr<FeatureCache> feature_cache;
     std::unique_ptr<PredictionCache> prediction_cache;
@@ -297,6 +354,8 @@ class VeloxServer {
   std::vector<std::unique_ptr<std::mutex>> rng_mus_;
   std::atomic<uint64_t> request_counter_{0};
   std::atomic<uint64_t> observe_counter_{0};
+  bool durability_recovered_ = false;
+  DurabilityRecoveryReport last_recovery_;
 };
 
 }  // namespace velox

@@ -1,5 +1,7 @@
 #include "linalg/ridge.h"
 
+#include <utility>
+
 #include "common/logging.h"
 #include "linalg/cholesky.h"
 
@@ -18,6 +20,17 @@ void RidgeAccumulator::RemoveExample(const DenseVector& features, double label) 
   ftf_.Ger(-1.0, features, features);
   fty_.Axpy(-label, features);
   --num_examples_;
+}
+
+RidgeAccumulator RidgeAccumulator::FromState(DenseMatrix ftf, DenseVector fty,
+                                             int64_t num_examples) {
+  VELOX_CHECK_EQ(ftf.rows(), fty.dim());
+  VELOX_CHECK_EQ(ftf.cols(), fty.dim());
+  RidgeAccumulator acc;
+  acc.ftf_ = std::move(ftf);
+  acc.fty_ = std::move(fty);
+  acc.num_examples_ = num_examples;
+  return acc;
 }
 
 Result<DenseVector> RidgeAccumulator::Solve(double lambda) const {

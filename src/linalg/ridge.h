@@ -48,6 +48,12 @@ class RidgeAccumulator {
   const DenseMatrix& ftf() const { return ftf_; }
   const DenseVector& fty() const { return fty_; }
 
+  // Rebuilds an accumulator from previously exported state (ftf(),
+  // fty(), num_examples()) — bit-exact continuation for user-weight
+  // snapshots (storage/snapshot.h).
+  static RidgeAccumulator FromState(DenseMatrix ftf, DenseVector fty,
+                                    int64_t num_examples);
+
  private:
   DenseMatrix ftf_;
   DenseVector fty_;

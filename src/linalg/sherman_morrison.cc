@@ -1,6 +1,7 @@
 #include "linalg/sherman_morrison.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -10,6 +11,22 @@ ShermanMorrisonSolver::ShermanMorrisonSolver(size_t dim, double lambda)
     : a_inv_(dim, dim), b_(dim), lambda_(lambda), scratch_(dim) {
   VELOX_CHECK_GT(lambda, 0.0);
   for (size_t i = 0; i < dim; ++i) a_inv_.At(i, i) = 1.0 / lambda;
+}
+
+ShermanMorrisonSolver ShermanMorrisonSolver::FromState(double lambda,
+                                                       DenseMatrix a_inv,
+                                                       DenseVector b,
+                                                       int64_t num_examples) {
+  VELOX_CHECK_GT(lambda, 0.0);
+  VELOX_CHECK_EQ(a_inv.rows(), b.dim());
+  VELOX_CHECK_EQ(a_inv.cols(), b.dim());
+  ShermanMorrisonSolver solver;
+  solver.lambda_ = lambda;
+  solver.a_inv_ = std::move(a_inv);
+  solver.b_ = std::move(b);
+  solver.num_examples_ = num_examples;
+  solver.scratch_ = DenseVector(solver.b_.dim());
+  return solver;
 }
 
 void ShermanMorrisonSolver::SetPriorMean(const DenseVector& prior_mean) {

@@ -52,6 +52,13 @@ class ShermanMorrisonSolver {
   const DenseMatrix& a_inverse() const { return a_inv_; }
   const DenseVector& b() const { return b_; }
 
+  // Rebuilds a solver from previously exported state (a_inverse(),
+  // b(), lambda(), num_examples()) — bit-exact: a restored solver
+  // applies future AddExample calls identically to the original.
+  // Used by user-weight snapshots (storage/snapshot.h).
+  static ShermanMorrisonSolver FromState(double lambda, DenseMatrix a_inv,
+                                         DenseVector b, int64_t num_examples);
+
  private:
   DenseMatrix a_inv_;
   DenseVector b_;

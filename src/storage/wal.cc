@@ -1,5 +1,10 @@
 #include "storage/wal.h"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <sys/stat.h>
 
 #include "common/bytes.h"
@@ -7,24 +12,93 @@
 
 namespace velox {
 
-WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file)
-    : path_(std::move(path)), file_(file) {}
+const char* WalSyncPolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kNone:
+      return "none";
+    case WalSyncPolicy::kFlush:
+      return "flush";
+    case WalSyncPolicy::kFsync:
+      return "fsync";
+  }
+  return "unknown";
+}
+
+WriteAheadLog::WriteAheadLog(std::string path, std::FILE* file, WalOptions options)
+    : path_(std::move(path)), options_(options), file_(file) {}
 
 WriteAheadLog::~WriteAheadLog() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ != nullptr) std::fclose(file_);
+  if (file_ != nullptr) {
+    // Clean shutdown keeps the policy's promise: under kFsync the last
+    // group-commit window must not ride on fclose's flush alone.
+    if (options_.sync == WalSyncPolicy::kFsync && unsynced_ > 0) {
+      (void)SyncLocked();
+    }
+    std::fclose(file_);
+  }
 }
 
-Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& path) {
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(const std::string& path,
+                                                           WalOptions options) {
+  RawRecoveryResult recovery;
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno != ENOENT) {
+      // EACCES/EIO/ENOTDIR may hide an existing log; opening "ab" here
+      // could silently shadow (or append past) history we cannot see.
+      return Status::IoError(StrFormat("cannot stat wal %s: %s", path.c_str(),
+                                       std::strerror(errno)));
+    }
+    // ENOENT: genuinely fresh log. With a resume offset this means the
+    // snapshot outlived the WAL; the index space still continues past
+    // the records the snapshot covers.
+    if (options.resume_offset_bytes > 0) recovery.clean = false;
+  } else if (options.resume_offset_bytes > static_cast<uint64_t>(st.st_size)) {
+    // WAL torn below the snapshot's cover point. The snapshot
+    // (fsync'd before rename) is the more durable artifact; drop the
+    // unverifiable remainder so appends never land after bytes
+    // recovery cannot vouch for.
+    if (::truncate(path.c_str(), 0) != 0) {
+      return Status::IoError("cannot truncate wal below resume point: " + path);
+    }
+    recovery.clean = false;
+  } else {
+    VELOX_ASSIGN_OR_RETURN(recovery, RecoverRaw(path, options.resume_offset_bytes));
+    // Truncate a torn tail so new appends start at a valid boundary —
+    // appending after garbage would make every later record
+    // unrecoverable (recovery stops at the first invalid record).
+    if (!recovery.clean) {
+      if (::truncate(path.c_str(), static_cast<off_t>(recovery.valid_bytes)) != 0) {
+        return Status::IoError("cannot truncate torn wal tail: " + path);
+      }
+    }
+  }
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::IoError("cannot open wal for append: " + path);
   }
-  return std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file));
+  auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog(path, file, options));
+  wal->recovered_records_ = recovery.payloads.size();
+  wal->base_records_ = options.resume_offset_records;
+  wal->total_bytes_ = recovery.valid_bytes;
+  wal->recovered_clean_ = recovery.clean;
+  wal->recovered_payloads_ = std::move(recovery.payloads);
+  return wal;
 }
 
-Status WriteAheadLog::Append(const Observation& obs) {
-  std::vector<uint8_t> payload = obs.Serialize();
+Status WriteAheadLog::SyncLocked() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("wal flush failed: " + path_);
+  }
+  if (::fdatasync(::fileno(file_)) != 0) {
+    return Status::IoError("wal fdatasync failed: " + path_);
+  }
+  unsynced_ = 0;
+  return Status::OK();
+}
+
+Status WriteAheadLog::AppendPayload(const std::vector<uint8_t>& payload) {
   ByteWriter header;
   header.PutU32(static_cast<uint32_t>(payload.size()));
   header.PutU32(Crc32(payload));
@@ -35,11 +109,37 @@ Status WriteAheadLog::Append(const Observation& obs) {
       std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
     return Status::IoError("wal append failed: " + path_);
   }
-  if (std::fflush(file_) != 0) {
-    return Status::IoError("wal flush failed: " + path_);
+  switch (options_.sync) {
+    case WalSyncPolicy::kNone:
+      break;
+    case WalSyncPolicy::kFlush:
+      if (std::fflush(file_) != 0) {
+        return Status::IoError("wal flush failed: " + path_);
+      }
+      break;
+    case WalSyncPolicy::kFsync:
+      if (++unsynced_ >= std::max<int64_t>(1, options_.fsync_every_n)) {
+        VELOX_RETURN_NOT_OK(SyncLocked());
+      } else if (std::fflush(file_) != 0) {
+        // Between group commits the record still reaches the OS, so a
+        // process crash inside the window loses nothing.
+        return Status::IoError("wal flush failed: " + path_);
+      }
+      break;
   }
   ++records_;
+  total_bytes_ += header.size() + payload.size();
   return Status::OK();
+}
+
+Status WriteAheadLog::Append(const Observation& obs) {
+  return AppendPayload(obs.Serialize());
+}
+
+Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
+  return SyncLocked();
 }
 
 uint64_t WriteAheadLog::records_appended() const {
@@ -47,12 +147,34 @@ uint64_t WriteAheadLog::records_appended() const {
   return records_;
 }
 
-Result<WriteAheadLog::RecoveryResult> WriteAheadLog::Recover(const std::string& path) {
+uint64_t WriteAheadLog::total_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_records_ + recovered_records_ + records_;
+}
+
+uint64_t WriteAheadLog::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+std::vector<std::vector<uint8_t>> WriteAheadLog::TakeRecoveredPayloads() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::move(recovered_payloads_);
+}
+
+Result<WriteAheadLog::RawRecoveryResult> WriteAheadLog::RecoverRaw(
+    const std::string& path, uint64_t start_offset) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return Status::IoError("cannot open wal: " + path);
 
-  RecoveryResult result;
-  uint64_t offset = 0;
+  RawRecoveryResult result;
+  uint64_t offset = start_offset;
+  result.valid_bytes = start_offset;
+  if (start_offset > 0 &&
+      std::fseek(file, static_cast<long>(start_offset), SEEK_SET) != 0) {
+    std::fclose(file);
+    return Status::IoError("cannot seek wal to resume offset: " + path);
+  }
   while (true) {
     uint8_t header[8];
     size_t got = std::fread(header, 1, sizeof(header), file);
@@ -65,7 +187,7 @@ Result<WriteAheadLog::RecoveryResult> WriteAheadLog::Recover(const std::string& 
     uint32_t len = hr.GetU32().value();
     uint32_t crc = hr.GetU32().value();
     // Reject absurd lengths (corrupt header) without huge allocation:
-    // an observation record is a few dozen bytes.
+    // a serving-state record is at most a few KB.
     if (len > (1u << 20)) {
       result.clean = false;
       break;
@@ -79,16 +201,29 @@ Result<WriteAheadLog::RecoveryResult> WriteAheadLog::Recover(const std::string& 
       result.clean = false;  // corrupt record
       break;
     }
+    result.payloads.push_back(std::move(payload));
+    offset += sizeof(header) + len;
+    result.valid_bytes = offset;
+  }
+  std::fclose(file);
+  return result;
+}
+
+Result<WriteAheadLog::RecoveryResult> WriteAheadLog::Recover(const std::string& path) {
+  VELOX_ASSIGN_OR_RETURN(RawRecoveryResult raw, RecoverRaw(path));
+  RecoveryResult result;
+  result.clean = raw.clean;
+  uint64_t offset = 0;
+  for (const std::vector<uint8_t>& payload : raw.payloads) {
     auto obs = Observation::Deserialize(payload);
     if (!obs.ok()) {
       result.clean = false;
       break;
     }
     result.records.push_back(std::move(obs).value());
-    offset += sizeof(header) + len;
+    offset += 8 + payload.size();
     result.valid_bytes = offset;
   }
-  std::fclose(file);
   return result;
 }
 
@@ -99,21 +234,20 @@ DurableObservationLog::DurableObservationLog(std::unique_ptr<WriteAheadLog> wal,
 }
 
 Result<std::unique_ptr<DurableObservationLog>> DurableObservationLog::Open(
-    const std::string& path) {
+    const std::string& path, WalOptions options) {
+  // Open() recovers and truncates the torn tail itself; only ENOENT is
+  // "fresh" — any other stat failure surfaces as IoError instead of
+  // silently discarding history.
+  VELOX_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                         WriteAheadLog::Open(path, options));
   std::vector<Observation> recovered;
-  struct stat st;
-  if (::stat(path.c_str(), &st) == 0) {
-    VELOX_ASSIGN_OR_RETURN(WriteAheadLog::RecoveryResult recovery,
-                           WriteAheadLog::Recover(path));
-    // Truncate a torn tail so new appends start at a valid boundary.
-    if (!recovery.clean) {
-      if (::truncate(path.c_str(), static_cast<off_t>(recovery.valid_bytes)) != 0) {
-        return Status::IoError("cannot truncate torn wal tail: " + path);
-      }
-    }
-    recovered = std::move(recovery.records);
+  for (const std::vector<uint8_t>& payload : wal->TakeRecoveredPayloads()) {
+    auto obs = Observation::Deserialize(payload);
+    // A CRC-valid payload that is not an Observation means the file
+    // holds something else; stop at the prefix like typed Recover().
+    if (!obs.ok()) break;
+    recovered.push_back(std::move(obs).value());
   }
-  VELOX_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal, WriteAheadLog::Open(path));
   return std::unique_ptr<DurableObservationLog>(
       new DurableObservationLog(std::move(wal), std::move(recovered)));
 }

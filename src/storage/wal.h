@@ -1,16 +1,33 @@
-// Write-ahead log for the observation stream.
+// Write-ahead log for durable serving state.
 //
 // The paper's storage tier (Tachyon) is "fault-tolerant"; in this
-// implementation the in-memory observation-log shard on a crashed node
-// is lost (tests/core/failover_test.cc documents it). The WAL closes
-// that gap for deployments that want durable feedback: every
-// observation is appended to an append-only file as
+// implementation the in-memory state on a crashed node is lost
+// (tests/core/failover_test.cc documents it). The WAL closes that gap:
+// records (arbitrary byte payloads — observations, user-weight
+// mutations) are appended to an append-only file as
 //
 //   [u32 payload_len][u32 crc32(payload)][payload]
 //
-// and recovered on restart. Recovery tolerates a torn tail (a crash
-// mid-append) by truncating at the first invalid record; everything
-// before it is returned.
+// and recovered on restart. Open() itself recovers the file and
+// truncates a torn tail (a crash mid-append) before appending, so a
+// directly-opened WAL can never append after garbage; everything
+// before the tear is returned to the caller.
+//
+// Durability is governed by WalSyncPolicy. Be precise about what each
+// setting survives:
+//
+//   kNone   Appends sit in the process's stdio buffer. Survives
+//           nothing: a crash of this process loses buffered records.
+//   kFlush  (default) Every append is fflush()ed to the kernel page
+//           cache. Survives a *process* crash (the OS still holds the
+//           data) but NOT a machine/kernel crash or power loss before
+//           the kernel writes back.
+//   kFsync  Every fsync_every_n-th append additionally fdatasync()s
+//           the file. With fsync_every_n == 1 every acknowledged
+//           record survives machine crash / power loss; with N > 1
+//           (group commit) at most the last N-1 acknowledged records
+//           can be lost to a machine crash — a process crash still
+//           loses nothing beyond kFlush semantics.
 #ifndef VELOX_STORAGE_WAL_H_
 #define VELOX_STORAGE_WAL_H_
 
@@ -26,48 +43,135 @@
 
 namespace velox {
 
+enum class WalSyncPolicy {
+  kNone,   // buffered in-process only
+  kFlush,  // fflush to the OS on every append (default)
+  kFsync,  // fdatasync every fsync_every_n appends (group commit)
+};
+
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
+struct WalOptions {
+  WalSyncPolicy sync = WalSyncPolicy::kFlush;
+  // Under kFsync: fdatasync once per this many appends. 1 = every
+  // append (strict); larger values trade bounded machine-crash loss
+  // for amortized sync cost (group commit).
+  int64_t fsync_every_n = 1;
+  // Resume point from a snapshot that already covers the log's prefix:
+  // Open() seeks to `resume_offset_bytes` (a record boundary the
+  // snapshot recorded) and scans only the suffix, so recovery cost is
+  // O(suffix), not O(log). `resume_offset_records` is the number of
+  // records before that boundary; it keeps total_records() — the index
+  // space snapshots cut against — monotonic across restarts. If the
+  // file is shorter than the resume offset (WAL torn below the
+  // snapshot's cover point), the unverifiable remainder is discarded
+  // (truncate to zero, recovered_clean() == false) — the snapshot is
+  // the more durable artifact and appends must never land after bytes
+  // recovery cannot vouch for. Both default to 0: scan everything.
+  uint64_t resume_offset_bytes = 0;
+  uint64_t resume_offset_records = 0;
+};
+
 class WriteAheadLog {
  public:
-  // Opens for appending, creating the file if needed.
-  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path);
+  // Opens for appending, creating the file if needed. An existing file
+  // is recovered first: its valid records are retained (readable via
+  // TakeRecoveredPayloads()) and a torn tail is truncated so appends
+  // always start at a valid record boundary. A stat() failure other
+  // than ENOENT (EACCES, EIO, ENOTDIR, ...) is an IoError — it may
+  // hide an existing log and must never be treated as "fresh file".
+  static Result<std::unique_ptr<WriteAheadLog>> Open(const std::string& path,
+                                                     WalOptions options = {});
 
   ~WriteAheadLog();
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
 
-  // Appends one record and flushes it to the OS.
+  // Appends one raw record under the configured sync policy.
+  Status AppendPayload(const std::vector<uint8_t>& payload);
+
+  // Convenience: appends a serialized Observation.
   Status Append(const Observation& obs);
 
-  uint64_t records_appended() const;
-  const std::string& path() const { return path_; }
+  // Forces buffered appends to disk (fflush + fdatasync) regardless of
+  // policy — e.g. before a snapshot declares the log covered.
+  Status Sync();
 
-  struct RecoveryResult {
-    std::vector<Observation> records;
+  // Records appended through this handle (excludes recovered ones).
+  uint64_t records_appended() const;
+  // Valid records scanned from the file at Open() (past any resume
+  // offset).
+  uint64_t recovered_records() const { return recovered_records_; }
+  // resume_offset_records + recovered_records() + records_appended():
+  // the absolute record index the next append receives.
+  uint64_t total_records() const;
+  // Bytes of valid log: the scanned end at Open() plus every append's
+  // framing+payload. With total_records(), this is the cut a snapshot
+  // stamps so the next Open() can seek straight past the covered
+  // prefix.
+  uint64_t total_bytes() const;
+  // False when Open() truncated a torn tail.
+  bool recovered_clean() const { return recovered_clean_; }
+  // Payloads recovered at Open(), in log order. Destructive: the
+  // internal copy is released to the caller.
+  std::vector<std::vector<uint8_t>> TakeRecoveredPayloads();
+
+  const std::string& path() const { return path_; }
+  const WalOptions& options() const { return options_; }
+
+  struct RawRecoveryResult {
+    std::vector<std::vector<uint8_t>> payloads;
     // False when recovery stopped at a torn/corrupt record before the
-    // end of the file (records up to that point are still returned).
+    // end of the file (payloads up to that point are still returned).
     bool clean = true;
     // Bytes of valid log; a writer reopening the file should truncate
-    // to this offset before appending.
+    // to this offset before appending (Open() does this itself).
     uint64_t valid_bytes = 0;
   };
 
-  // Reads every valid record from `path`. Missing file -> IoError.
+  struct RecoveryResult {
+    std::vector<Observation> records;
+    bool clean = true;
+    uint64_t valid_bytes = 0;
+  };
+
+  // Reads every CRC-valid record from `path`, starting at byte
+  // `start_offset` (must be a record boundary; valid_bytes in the
+  // result stays absolute). Missing file -> IoError.
+  static Result<RawRecoveryResult> RecoverRaw(const std::string& path,
+                                              uint64_t start_offset = 0);
+  // Typed recovery: raw records decoded as Observations. A CRC-valid
+  // payload that fails to decode stops recovery (clean = false), like
+  // a torn record.
   static Result<RecoveryResult> Recover(const std::string& path);
 
  private:
-  WriteAheadLog(std::string path, std::FILE* file);
+  WriteAheadLog(std::string path, std::FILE* file, WalOptions options);
+
+  Status SyncLocked();
 
   std::string path_;
+  WalOptions options_;
   mutable std::mutex mu_;
   std::FILE* file_;
   uint64_t records_ = 0;
+  uint64_t recovered_records_ = 0;
+  // Record index space consumed before the resume point (see
+  // WalOptions::resume_offset_records).
+  uint64_t base_records_ = 0;
+  // Valid log length in bytes (absolute), advanced by every append.
+  uint64_t total_bytes_ = 0;
+  bool recovered_clean_ = true;
+  int64_t unsynced_ = 0;
+  std::vector<std::vector<uint8_t>> recovered_payloads_;
 };
 
 // An ObservationLog mirrored to a WriteAheadLog: appends go to memory
-// and disk; ReplayInto loads a WAL back into a fresh in-memory log.
+// and disk; Open loads the WAL back into a fresh in-memory log.
 class DurableObservationLog {
  public:
-  static Result<std::unique_ptr<DurableObservationLog>> Open(const std::string& path);
+  static Result<std::unique_ptr<DurableObservationLog>> Open(const std::string& path,
+                                                             WalOptions options = {});
 
   // Appends durably; returns the in-memory sequence number.
   Result<uint64_t> Append(const Observation& obs);

@@ -1,0 +1,345 @@
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace velox {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+UserWeightWalRecord SeedRecord(uint64_t uid) {
+  UserWeightWalRecord r;
+  r.kind = UserWeightWalRecord::Kind::kSeed;
+  r.uid = uid;
+  r.model_version = 3;
+  r.weights = DenseVector({0.5, -1.25, static_cast<double>(uid)});
+  return r;
+}
+
+UserWeightWalRecord UpdateRecord(uint64_t uid, double label) {
+  UserWeightWalRecord r;
+  r.kind = UserWeightWalRecord::Kind::kObservationUpdate;
+  r.uid = uid;
+  r.model_version = 3;
+  r.features = DenseVector({1.0, 0.0, -2.5});
+  r.label = label;
+  return r;
+}
+
+TEST(UserWeightWalRecordTest, SeedRoundTrip) {
+  auto record = SeedRecord(42);
+  auto decoded = UserWeightWalRecord::Deserialize(record.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, UserWeightWalRecord::Kind::kSeed);
+  EXPECT_EQ(decoded->uid, 42u);
+  EXPECT_EQ(decoded->model_version, 3);
+  EXPECT_EQ(decoded->weights, record.weights);
+}
+
+TEST(UserWeightWalRecordTest, ObservationUpdateRoundTrip) {
+  auto record = UpdateRecord(7, 4.5);
+  auto decoded = UserWeightWalRecord::Deserialize(record.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, UserWeightWalRecord::Kind::kObservationUpdate);
+  EXPECT_EQ(decoded->uid, 7u);
+  EXPECT_EQ(decoded->features, record.features);
+  EXPECT_EQ(decoded->label, 4.5);
+}
+
+TEST(UserWeightWalRecordTest, VersionResetRoundTrip) {
+  UserWeightWalRecord record;
+  record.kind = UserWeightWalRecord::Kind::kVersionReset;
+  record.model_version = 9;
+  auto decoded = UserWeightWalRecord::Deserialize(record.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, UserWeightWalRecord::Kind::kVersionReset);
+  EXPECT_EQ(decoded->model_version, 9);
+}
+
+TEST(UserWeightWalRecordTest, RejectsForeignAndMalformedPayloads) {
+  // Wrong leading magic (e.g. an observation-log payload).
+  EXPECT_TRUE(UserWeightWalRecord::Deserialize({0x00, 0x01, 0x02}).status().IsInvalidArgument());
+  // Empty (reader underflow, not a magic mismatch).
+  EXPECT_FALSE(UserWeightWalRecord::Deserialize({}).ok());
+  // Unknown kind byte.
+  auto bytes = SeedRecord(1).Serialize();
+  bytes[1] = 0x7f;
+  EXPECT_TRUE(UserWeightWalRecord::Deserialize(bytes).status().IsInvalidArgument());
+  // Trailing garbage after a valid record.
+  bytes = SeedRecord(1).Serialize();
+  bytes.push_back(0xee);
+  EXPECT_TRUE(UserWeightWalRecord::Deserialize(bytes).status().IsInvalidArgument());
+  // Truncated body.
+  bytes = SeedRecord(1).Serialize();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(UserWeightWalRecord::Deserialize(bytes).ok());
+}
+
+TEST(SnapshotFileTest, SaveLoadRoundTrip) {
+  std::string path = TempPath("uw.snap");
+  std::vector<uint8_t> state = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ASSERT_TRUE(SaveUserWeightSnapshotFile(path, state, 1234, 99000).ok());
+  auto loaded = LoadUserWeightSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->state, state);
+  EXPECT_EQ(loaded->wal_records_covered, 1234u);
+  EXPECT_EQ(loaded->wal_bytes_covered, 99000u);
+  // Overwrite is atomic and picks up the new cover point.
+  ASSERT_TRUE(SaveUserWeightSnapshotFile(path, state, 5678, 123456).ok());
+  loaded = LoadUserWeightSnapshotFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->wal_records_covered, 5678u);
+  EXPECT_EQ(loaded->wal_bytes_covered, 123456u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, CorruptStateFailsCrc) {
+  std::string path = TempPath("uw_corrupt.snap");
+  std::vector<uint8_t> state(64, 0x5a);
+  ASSERT_TRUE(SaveUserWeightSnapshotFile(path, state, 10, 0).ok());
+  {
+    // Flip one byte of the state payload (past the 28-byte header and
+    // the 8-byte length prefix).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(40);
+    byte ^= 0x01;
+    f.write(&byte, 1);
+  }
+  auto loaded = LoadUserWeightSnapshotFile(path);
+  EXPECT_TRUE(loaded.status().IsIoError()) << loaded.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileIsError) {
+  EXPECT_FALSE(LoadUserWeightSnapshotFile(TempPath("no_such.snap")).ok());
+}
+
+TEST(SnapshotFileTest, ForeignFileRejected) {
+  std::string path = TempPath("uw_foreign.snap");
+  { std::ofstream(path) << "definitely not a snapshot"; }
+  EXPECT_FALSE(LoadUserWeightSnapshotFile(path).ok());
+  std::remove(path.c_str());
+}
+
+UserWeightJournalOptions JournalOptions(const std::string& stem) {
+  UserWeightJournalOptions options;
+  options.wal_path = TempPath(stem + ".wal");
+  options.snapshot_path = TempPath(stem + ".snap");
+  return options;
+}
+
+void Cleanup(const UserWeightJournalOptions& options) {
+  std::remove(options.wal_path.c_str());
+  std::remove(options.snapshot_path.c_str());
+}
+
+TEST(UserWeightJournalTest, FreshOpenRecoversNothing) {
+  auto options = JournalOptions("uwj_fresh");
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  EXPECT_FALSE(recovery.snapshot_loaded);
+  EXPECT_TRUE(recovery.suffix.empty());
+  EXPECT_EQ(recovery.wal_records, 0u);
+  EXPECT_TRUE(recovery.wal_clean);
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, WalOnlyRecoveryReplaysFromGenesis) {
+  auto options = JournalOptions("uwj_walonly");
+  {
+    auto journal = UserWeightJournal::Open(options);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 2.0)).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 3.0)).ok());
+    EXPECT_EQ((*journal)->records(), 3u);
+    EXPECT_EQ((*journal)->appends(), 3u);
+  }
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  EXPECT_FALSE(recovery.snapshot_loaded);
+  EXPECT_EQ(recovery.snapshot_covers, 0u);
+  ASSERT_EQ(recovery.suffix.size(), 3u);
+  EXPECT_EQ(recovery.suffix[0].kind, UserWeightWalRecord::Kind::kSeed);
+  EXPECT_EQ(recovery.suffix[2].label, 3.0);
+  EXPECT_EQ(recovery.wal_records, 3u);
+  // Recovered records count toward the journal total (cut offset).
+  EXPECT_EQ((*journal)->records(), 3u);
+  EXPECT_EQ((*journal)->appends(), 0u);
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, SnapshotPlusSuffixRecovery) {
+  auto options = JournalOptions("uwj_snap");
+  std::vector<uint8_t> state = {9, 9, 9};
+  {
+    auto journal = UserWeightJournal::Open(options);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 2.0)).ok());
+    ASSERT_TRUE(
+        (*journal)->WriteSnapshot(state, (*journal)->records(), (*journal)->bytes()).ok());
+    EXPECT_EQ((*journal)->snapshots_written(), 1u);
+    // Two records past the snapshot.
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 3.0)).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 4.0)).ok());
+  }
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  EXPECT_TRUE(recovery.snapshot_loaded);
+  EXPECT_EQ(recovery.snapshot_state, state);
+  EXPECT_EQ(recovery.snapshot_covers, 2u);
+  ASSERT_EQ(recovery.suffix.size(), 2u);
+  EXPECT_EQ(recovery.suffix[0].label, 3.0);
+  EXPECT_EQ(recovery.suffix[1].label, 4.0);
+  EXPECT_EQ(recovery.wal_records, 4u);
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, CoveredWalPrefixIsNeverRead) {
+  // Byte-offset resume means the snapshot-covered prefix is not even
+  // scanned at Open(): corrupting it must not disturb recovery.
+  auto options = JournalOptions("uwj_prefix");
+  std::vector<uint8_t> state = {7, 7};
+  {
+    auto journal = UserWeightJournal::Open(options);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 1.0)).ok());
+    ASSERT_TRUE(
+        (*journal)->WriteSnapshot(state, (*journal)->records(), (*journal)->bytes()).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 9.0)).ok());
+  }
+  {
+    // Smash the first record's header — genesis replay would now fail.
+    std::fstream f(options.wal_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    const char garbage[4] = {'\xff', '\xff', '\xff', '\xff'};
+    f.write(garbage, 4);
+  }
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  EXPECT_TRUE(recovery.snapshot_loaded);
+  EXPECT_EQ(recovery.snapshot_state, state);
+  EXPECT_EQ(recovery.snapshot_covers, 2u);
+  ASSERT_EQ(recovery.suffix.size(), 1u);
+  EXPECT_EQ(recovery.suffix[0].label, 9.0);
+  EXPECT_TRUE(recovery.wal_clean);
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, SnapshotAheadOfTornWalWinsOutright) {
+  auto options = JournalOptions("uwj_ahead");
+  std::vector<uint8_t> state = {1, 2, 3};
+  {
+    auto journal = UserWeightJournal::Open(options);
+    ASSERT_TRUE(journal.ok());
+    for (int i = 0; i < 4; ++i) ASSERT_TRUE((*journal)->Append(UpdateRecord(1, i)).ok());
+    ASSERT_TRUE(
+        (*journal)->WriteSnapshot(state, (*journal)->records(), (*journal)->bytes()).ok());
+  }
+  // Lose the whole WAL (more extreme than any torn tail).
+  std::remove(options.wal_path.c_str());
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  EXPECT_TRUE(recovery.snapshot_loaded);
+  EXPECT_EQ(recovery.snapshot_state, state);
+  // The snapshot alone is served: its cover point still stands (the
+  // index space stays monotonic), the suffix is empty, and the loss is
+  // flagged via wal_clean.
+  EXPECT_EQ(recovery.snapshot_covers, 4u);
+  EXPECT_TRUE(recovery.suffix.empty());
+  EXPECT_FALSE(recovery.wal_clean);
+  EXPECT_EQ((*journal)->records(), 4u);
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, CorruptSnapshotDegradesToGenesisReplay) {
+  auto options = JournalOptions("uwj_degrade");
+  {
+    auto journal = UserWeightJournal::Open(options);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+    ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 2.0)).ok());
+    ASSERT_TRUE(
+        (*journal)->WriteSnapshot({5, 5}, (*journal)->records(), (*journal)->bytes()).ok());
+  }
+  { std::ofstream(options.snapshot_path) << "garbage"; }
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  EXPECT_FALSE(recovery.snapshot_loaded);
+  ASSERT_EQ(recovery.suffix.size(), 2u);  // full replay from genesis
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, UndecodablePayloadStopsSuffixAtPrefix) {
+  auto options = JournalOptions("uwj_undecodable");
+  {
+    auto journal = UserWeightJournal::Open(options);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+  }
+  {
+    // Append a CRC-valid payload that is not a user-weight record.
+    auto wal = WriteAheadLog::Open(options.wal_path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPayload({0x01, 0x02, 0x03}).ok());
+  }
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  auto recovery = (*journal)->TakeRecovered();
+  ASSERT_EQ(recovery.suffix.size(), 1u);
+  EXPECT_EQ(recovery.undecodable, 1u);
+  EXPECT_FALSE(recovery.wal_clean);
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, SnapshotDueFollowsCadence) {
+  auto options = JournalOptions("uwj_cadence");
+  options.snapshot_every = 3;
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_FALSE((*journal)->SnapshotDue());
+  ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+  ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 1.0)).ok());
+  EXPECT_FALSE((*journal)->SnapshotDue());
+  ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 2.0)).ok());
+  EXPECT_TRUE((*journal)->SnapshotDue());
+  ASSERT_TRUE(
+      (*journal)->WriteSnapshot({1}, (*journal)->records(), (*journal)->bytes()).ok());
+  EXPECT_FALSE((*journal)->SnapshotDue());  // counter rearmed
+  ASSERT_TRUE((*journal)->Append(UpdateRecord(1, 3.0)).ok());
+  EXPECT_FALSE((*journal)->SnapshotDue());
+  Cleanup(options);
+}
+
+TEST(UserWeightJournalTest, NoSnapshotPathDisablesSnapshots) {
+  UserWeightJournalOptions options;
+  options.wal_path = TempPath("uwj_nosnap.wal");
+  options.snapshot_every = 1;
+  auto journal = UserWeightJournal::Open(options);
+  ASSERT_TRUE(journal.ok());
+  ASSERT_TRUE((*journal)->Append(SeedRecord(1)).ok());
+  EXPECT_FALSE((*journal)->SnapshotDue());
+  EXPECT_TRUE((*journal)->WriteSnapshot({1}, 1, 0).IsFailedPrecondition());
+  std::remove(options.wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace velox

@@ -132,6 +132,152 @@ TEST(WalTest, AbsurdLengthHeaderRejected) {
   std::remove(path.c_str());
 }
 
+TEST(WalTest, OpenRecoversAndTruncatesTornTailItself) {
+  // Regression: Open() used to fopen("ab") blindly, so a writer that
+  // reopened a torn log appended *after* the garbage tail — making its
+  // own records unrecoverable (recovery stops at the first bad record).
+  std::string path = TempPath("wal_open_torn.wal");
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    for (uint64_t i = 0; i < 10; ++i) ASSERT_TRUE((*wal)->Append(Obs(i, 1.0)).ok());
+  }
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    auto size = in.tellg();
+    in.close();
+    ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(size) - 5), 0);
+  }
+  // Direct Open (not DurableObservationLog): must surface the 9 valid
+  // records and place new appends at a valid boundary.
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->recovered_records(), 9u);
+    EXPECT_FALSE((*wal)->recovered_clean());
+    EXPECT_EQ((*wal)->total_records(), 9u);
+    ASSERT_TRUE((*wal)->Append(Obs(100, 7.0)).ok());
+    EXPECT_EQ((*wal)->total_records(), 10u);
+  }
+  auto recovery = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->clean);  // torn tail gone, new record valid
+  ASSERT_EQ(recovery->records.size(), 10u);
+  EXPECT_EQ(recovery->records[9], Obs(100, 7.0));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, StatFailureOtherThanEnoentIsIoError) {
+  // Regression: Open() treated *any* stat() failure as "fresh log". A
+  // path whose parent is a regular file fails with ENOTDIR — such an
+  // error may hide an existing log and must never silently start a new
+  // one. (EACCES is untestable here: tests run as root.)
+  std::string parent = TempPath("wal_not_a_dir");
+  { std::ofstream touch(parent); }
+  std::string path = parent + "/child.wal";
+  auto wal = WriteAheadLog::Open(path);
+  EXPECT_TRUE(wal.status().IsIoError()) << wal.status().ToString();
+  // The observation-log wrapper must propagate the same error instead
+  // of opening a fresh empty log.
+  auto log = DurableObservationLog::Open(path);
+  EXPECT_TRUE(log.status().IsIoError()) << log.status().ToString();
+  std::remove(parent.c_str());
+}
+
+TEST(WalTest, MissingFileIsFreshLog) {
+  std::string path = TempPath("wal_fresh.wal");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ((*wal)->recovered_records(), 0u);
+  EXPECT_TRUE((*wal)->recovered_clean());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, SyncPolicyNoneBuffersInProcess) {
+  std::string path = TempPath("wal_none.wal");
+  WalOptions options;
+  options.sync = WalSyncPolicy::kNone;
+  {
+    auto wal = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Obs(1, 1.0)).ok());
+    // Not flushed: the record sits in the stdio buffer, invisible to a
+    // reader — exactly what "survives nothing" means.
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    EXPECT_EQ(in.tellg(), std::streampos(0));
+  }
+  // Clean close flushed it.
+  auto recovery = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_EQ(recovery->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, SyncPolicyFlushReachesOsImmediately) {
+  std::string path = TempPath("wal_flush.wal");
+  {
+    auto wal = WriteAheadLog::Open(path);  // default kFlush
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Obs(1, 1.0)).ok());
+    // Visible to other readers before close: a process crash here
+    // would lose nothing.
+    auto recovery = WriteAheadLog::Recover(path);
+    ASSERT_TRUE(recovery.ok());
+    EXPECT_EQ(recovery->records.size(), 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, SyncPolicyFsyncGroupCommit) {
+  std::string path = TempPath("wal_fsync.wal");
+  WalOptions options;
+  options.sync = WalSyncPolicy::kFsync;
+  options.fsync_every_n = 3;
+  {
+    auto wal = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(wal.ok());
+    // 5 appends: syncs after #3, leaves a 2-record group-commit window
+    // that the destructor must sync on clean shutdown.
+    for (uint64_t i = 0; i < 5; ++i) ASSERT_TRUE((*wal)->Append(Obs(i, 1.0)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());  // explicit sync also permitted
+  }
+  auto recovery = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->clean);
+  EXPECT_EQ(recovery->records.size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, RawPayloadRoundTrip) {
+  std::string path = TempPath("wal_raw.wal");
+  std::vector<uint8_t> a = {1, 2, 3};
+  std::vector<uint8_t> b = {};  // empty payloads are legal
+  std::vector<uint8_t> c(300, 0xab);
+  {
+    auto wal = WriteAheadLog::Open(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPayload(a).ok());
+    ASSERT_TRUE((*wal)->AppendPayload(b).ok());
+    ASSERT_TRUE((*wal)->AppendPayload(c).ok());
+  }
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  auto payloads = (*wal)->TakeRecoveredPayloads();
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], a);
+  EXPECT_EQ(payloads[1], b);
+  EXPECT_EQ(payloads[2], c);
+  // Destructive read: a second take is empty.
+  EXPECT_TRUE((*wal)->TakeRecoveredPayloads().empty());
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, SyncPolicyNames) {
+  EXPECT_STREQ(WalSyncPolicyName(WalSyncPolicy::kNone), "none");
+  EXPECT_STREQ(WalSyncPolicyName(WalSyncPolicy::kFlush), "flush");
+  EXPECT_STREQ(WalSyncPolicyName(WalSyncPolicy::kFsync), "fsync");
+}
+
 TEST(DurableLogTest, SurvivesRestart) {
   std::string path = TempPath("durable_log.wal");
   {

@@ -3,6 +3,8 @@
 //   velox_shell [--users N] [--items N] [--rank R] [--nodes N]
 //               [--ratings path.dat] [--csv path.csv] [--seed S]
 //               [--ann-min-items N] [--ann-nprobe N]
+//               [--durability-dir path] [--wal-sync none|flush|fsync]
+//               [--fsync-every N] [--snapshot-every N]
 //
 // Reads commands from stdin (one per line; see `help`). With real
 // MovieLens data pass --ratings (ml-1m/10m ::-format) or --csv
@@ -10,6 +12,19 @@
 // generated. Example session:
 //
 //   $ echo -e "train\npredict 1 42\ntopk 1 5\nreport" | build/tools/velox_shell
+//
+// --durability-dir journals every user-weight mutation (DESIGN.md
+// §13). Recovery is deliberately NOT run at construction — the shell
+// installs its model via `train`, which would otherwise overwrite the
+// replayed state — so every session is `train` then `recover`: the
+// recover replays the journal (a no-op on fresh files) and attaches
+// it, after which mutations are logged. On a restart the pre-crash
+// weights win:
+//
+//   $ echo -e "train\nrecover\nobserve 1 42 5\nquit" |
+//       build/tools/velox_shell --durability-dir /tmp/dur
+//   $ echo -e "train\nrecover\npredict 1 42\nreport" |
+//       build/tools/velox_shell --durability-dir /tmp/dur
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -97,6 +112,27 @@ int main(int argc, char** argv) {
                 std::to_string(config.topk_auto_ann_min_rows))));
   config.ann_nprobe = static_cast<size_t>(
       std::stoll(FlagValue(argc, argv, "--ann-nprobe", "0")));
+  config.durability.dir = FlagValue(argc, argv, "--durability-dir", "");
+  if (!config.durability.dir.empty()) {
+    std::string sync = FlagValue(argc, argv, "--wal-sync", "flush");
+    if (sync == "none") {
+      config.durability.wal.sync = WalSyncPolicy::kNone;
+    } else if (sync == "flush") {
+      config.durability.wal.sync = WalSyncPolicy::kFlush;
+    } else if (sync == "fsync") {
+      config.durability.wal.sync = WalSyncPolicy::kFsync;
+    } else {
+      std::fprintf(stderr, "error: unknown --wal-sync '%s'\n", sync.c_str());
+      return 1;
+    }
+    config.durability.wal.fsync_every_n =
+        std::stoll(FlagValue(argc, argv, "--fsync-every", "1"));
+    config.durability.snapshot_every = static_cast<uint64_t>(
+        std::stoll(FlagValue(argc, argv, "--snapshot-every", "4096")));
+    // The shell installs its model through `train` after construction;
+    // replaying first would be overwritten. `recover` runs it on demand.
+    config.durability.recover_on_start = false;
+  }
   VeloxServer server(config,
                      std::make_unique<MatrixFactorizationModel>("shell", als));
   VeloxShell shell(&server, std::move(dataset));
