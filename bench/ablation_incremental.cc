@@ -1,0 +1,393 @@
+// Ablation A15 — nearline incremental retraining (the Lambda-Learner
+// extension, core/incremental_trainer.h).
+//
+// The paper's lifecycle leaves item factors θ frozen between full batch
+// retrains; only the per-user weights absorb new observations (Eq. 2).
+// This harness quantifies what a restricted nearline refresh buys on a
+// MovieLens-shaped workload with *localized* concept drift (a few items
+// change meaning; the rest of the catalog is untouched):
+//
+//   time_to_incorporate — after an identical drifted stream, compare a
+//     full offline retrain against an incremental refresh of only the
+//     drift-crossed items: wall time, items refreshed, post-install
+//     accuracy on the drifted subset and on the undrifted remainder.
+//     Claim under test: incremental is >= 5x faster at equal accuracy.
+//
+//   cadence — replay the same stream with an incremental refresh every
+//     N observations. Prequential (predict-then-observe) RMSE on the
+//     drifted items measures how quickly an observation's information
+//     reaches the served model: tighter cadence -> fresher θ -> lower
+//     running error, at a retrain cost a full pass could never afford.
+//
+//   bit_identity — the contract test at bench scale: a refresh that
+//     selects every item must produce factors byte-identical to the
+//     full path given the same seed (incremental is the same solver,
+//     restricted — not an approximation).
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/velox.h"
+#include "ml/feature_function.h"
+
+namespace velox {
+namespace {
+
+constexpr int64_t kUsers = 800;
+constexpr int64_t kItems = 1200;
+constexpr size_t kRank = 8;
+constexpr size_t kDriftedItems = 24;  // 2% of the catalog
+
+Item MakeItem(uint64_t id) {
+  Item item;
+  item.id = id;
+  return item;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Evenly spread drifted item ids across the items the history actually
+// rated (an unrated item has no θ to drift).
+std::vector<uint64_t> DriftedItems(const SyntheticDataset& data) {
+  std::vector<uint64_t> rated;
+  {
+    std::vector<bool> seen(static_cast<size_t>(kItems), false);
+    for (const Observation& obs : data.ratings) seen[obs.item_id] = true;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i]) rated.push_back(static_cast<uint64_t>(i));
+    }
+  }
+  std::vector<uint64_t> items;
+  size_t count = std::min(kDriftedItems, rated.size());
+  for (size_t i = 0; i < count; ++i) {
+    items.push_back(rated[i * rated.size() / count]);
+  }
+  return items;
+}
+
+// The drifted world: these items' meaning flipped to a strong bimodal
+// trend, independent of the old per-user tastes.
+double DriftedTruth(uint64_t item) { return item % 2 == 0 ? 4.8 : 0.7; }
+
+std::unique_ptr<VeloxServer> MakeServer(const SyntheticDataset& data) {
+  VeloxServerConfig config;
+  config.num_nodes = 1;
+  config.dim = kRank;
+  config.lambda = 0.1;
+  config.bandit_policy = "";
+  config.batch_workers = 2;
+  config.evaluator.min_observations = 1'000'000;  // manual lifecycle only
+  AlsConfig als;
+  als.rank = kRank;
+  als.lambda = 0.1;
+  als.iterations = 15;
+  auto server = std::make_unique<VeloxServer>(
+      config, std::make_unique<MatrixFactorizationModel>("songs", als));
+  VELOX_CHECK_OK(server->Bootstrap(data.ratings));
+  return server;
+}
+
+SyntheticDataset History() {
+  SyntheticMovieLensConfig config;
+  config.num_users = kUsers;
+  config.num_items = kItems;
+  config.latent_rank = kRank;
+  config.min_ratings_per_user = bench::SmokeMode() ? 4 : 25;
+  config.max_ratings_per_user = bench::SmokeMode() ? 8 : 50;
+  config.seed = 515;
+  auto data = GenerateSyntheticMovieLens(config);
+  VELOX_CHECK_OK(data.status());
+  return std::move(data).value();
+}
+
+struct StreamOutcome {
+  double prequential_drifted_rmse = 0.0;
+  double retrain_ms_total = 0.0;
+  int refreshes = 0;
+};
+
+// The identical drifted stream for every deployment: random users rate
+// random drifted items at the new truth. cadence > 0 refreshes the
+// drift-crossed items every `cadence` observations (a refresh finding
+// nothing qualified is a no-op).
+StreamOutcome DriveDriftStream(VeloxServer* server, const SyntheticDataset& data,
+                               int stream, int cadence) {
+  StreamOutcome outcome;
+  auto drifted = DriftedItems(data);
+  Rng rng(99);
+  double sq = 0.0;
+  for (int i = 0; i < stream; ++i) {
+    uint64_t item = drifted[rng.UniformU64(drifted.size())];
+    uint64_t uid = rng.UniformU64(static_cast<uint64_t>(kUsers));
+    double label = DriftedTruth(item);
+    auto pred = server->Predict(uid, MakeItem(item));
+    VELOX_CHECK_OK(pred.status());
+    double e = pred->score - label;
+    sq += e * e;
+    VELOX_CHECK_OK(server->Observe(uid, MakeItem(item), label));
+    if (cadence > 0 && (i + 1) % cadence == 0) {
+      auto start = std::chrono::steady_clock::now();
+      auto report = server->RetrainIncremental();
+      if (report.ok()) {
+        ++outcome.refreshes;
+        outcome.retrain_ms_total += MillisSince(start);
+      } else {
+        VELOX_CHECK(report.status().IsFailedPrecondition());
+      }
+    }
+  }
+  outcome.prequential_drifted_rmse =
+      stream == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(stream));
+  return outcome;
+}
+
+// Post-install accuracy: RMSE against the new truth on the drifted
+// subset, and against the original labels on an undrifted sample.
+struct Accuracy {
+  double drifted_rmse = 0.0;
+  double overall_rmse = 0.0;
+};
+
+Accuracy Measure(VeloxServer* server, const SyntheticDataset& data) {
+  Accuracy acc;
+  auto drifted = DriftedItems(data);
+  double sq = 0.0;
+  size_t n = 0;
+  for (uint64_t u = 0; u < static_cast<uint64_t>(kUsers); u += 5) {
+    for (uint64_t item : drifted) {
+      auto pred = server->Predict(u, MakeItem(item));
+      if (!pred.ok()) continue;
+      double e = pred->score - DriftedTruth(item);
+      sq += e * e;
+      ++n;
+    }
+  }
+  acc.drifted_rmse = n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+  std::vector<bool> is_drifted(static_cast<size_t>(kItems), false);
+  for (uint64_t item : drifted) is_drifted[item] = true;
+  sq = 0.0;
+  n = 0;
+  for (size_t i = 0; i < data.ratings.size(); i += 7) {
+    const Observation& obs = data.ratings[i];
+    if (is_drifted[obs.item_id]) continue;
+    auto pred = server->Predict(obs.uid, MakeItem(obs.item_id));
+    if (!pred.ok()) continue;
+    double e = pred->score - obs.label;
+    sq += e * e;
+    ++n;
+  }
+  acc.overall_rmse = n == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(n));
+  return acc;
+}
+
+// Select-all refresh vs full retrain on a small identically-driven pair:
+// every factor byte-identical.
+bool BitIdentityCheck(size_t* items_compared) {
+  SyntheticMovieLensConfig data_config;
+  data_config.num_users = 60;
+  data_config.num_items = 80;
+  data_config.latent_rank = 4;
+  data_config.seed = 11;
+  auto data = GenerateSyntheticMovieLens(data_config);
+  VELOX_CHECK_OK(data.status());
+  auto make = [&]() {
+    VeloxServerConfig config;
+    config.num_nodes = 1;
+    config.dim = 4;
+    config.bandit_policy = "";
+    config.batch_workers = 2;
+    config.evaluator.min_observations = 1'000'000;
+    AlsConfig als;
+    als.rank = 4;
+    als.lambda = 0.1;
+    als.iterations = 8;
+    auto server = std::make_unique<VeloxServer>(
+        config, std::make_unique<MatrixFactorizationModel>("songs", als));
+    VELOX_CHECK_OK(server->Bootstrap(data->ratings));
+    for (int i = 0; i < 90; ++i) {
+      VELOX_CHECK_OK(server->Observe(static_cast<uint64_t>(i % 60),
+                                     MakeItem(static_cast<uint64_t>((i * 7) % 80)),
+                                     1.0 + (i % 9) * 0.5));
+    }
+    return server;
+  };
+  auto full = make();
+  auto incr = make();
+  VELOX_CHECK_OK(full->RetrainNow().status());
+  VELOX_CHECK_OK(incr->RetrainIncremental(/*refresh_all=*/true).status());
+  auto fv = full->registry()->Current();
+  auto iv = incr->registry()->Current();
+  VELOX_CHECK_OK(fv.status());
+  VELOX_CHECK_OK(iv.status());
+  const auto* ft =
+      dynamic_cast<const MaterializedFeatureFunction*>((*fv)->features.get());
+  const auto* it =
+      dynamic_cast<const MaterializedFeatureFunction*>((*iv)->features.get());
+  VELOX_CHECK(ft != nullptr && it != nullptr);
+  *items_compared = ft->table().size();
+  if (ft->table().size() != it->table().size()) return false;
+  for (const auto& [item, factor] : ft->table()) {
+    auto found = it->table().find(item);
+    if (found == it->table().end() || found->second.dim() != factor.dim() ||
+        std::memcmp(found->second.data(), factor.data(),
+                    factor.dim() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return (*fv)->training_rmse == (*iv)->training_rmse;
+}
+
+void Run() {
+  bench::Banner(
+      "ablation_incremental: nearline incremental retraining (Lambda Learner)",
+      "Velox (CIDR'15) Section 4 lifecycle + nearline extension (PAPERS.md)",
+      "Localized concept drift: 24 of 1200 items (2%) flip to a new truth; the\n"
+      "rest of the catalog is untouched. Every deployment sees the identical\n"
+      "drifted stream. incorporate = one (re)train after the stream;\n"
+      "cadence = incremental refresh every N observations, prequential RMSE\n"
+      "on drifted items measures time-to-incorporate-an-observation.");
+
+  auto data = History();
+  const int stream = bench::SmokeScaled(600, 48);
+  bench::JsonRows json("ablation_incremental", "BENCH_incremental.json");
+
+  // --- time to incorporate: frozen vs full vs incremental ---
+  bench::Table table({"mode", "wall_ms", "refreshed", "drifted_rmse", "overall_rmse"});
+
+  auto frozen = MakeServer(data);
+  DriveDriftStream(frozen.get(), data, stream, /*cadence=*/0);
+  auto frozen_acc = Measure(frozen.get(), data);
+  table.Row({"frozen", "0.0", "0", bench::Fmt("%.3f", frozen_acc.drifted_rmse),
+             bench::Fmt("%.3f", frozen_acc.overall_rmse)});
+  json.Row({{"section", bench::JsonRows::Str("incorporate")},
+            {"mode", bench::JsonRows::Str("frozen")},
+            {"wall_ms", bench::JsonRows::Num(0.0)},
+            {"items_refreshed", bench::JsonRows::Num(0LL)},
+            {"drifted_rmse", bench::JsonRows::Num(frozen_acc.drifted_rmse)},
+            {"overall_rmse", bench::JsonRows::Num(frozen_acc.overall_rmse)}});
+
+  auto full = MakeServer(data);
+  DriveDriftStream(full.get(), data, stream, /*cadence=*/0);
+  auto full_start = std::chrono::steady_clock::now();
+  auto full_report = full->RetrainNow();
+  double full_ms = MillisSince(full_start);
+  VELOX_CHECK_OK(full_report.status());
+  auto full_acc = Measure(full.get(), data);
+  table.Row({"full", bench::Fmt("%.1f", full_ms),
+             bench::FmtInt(static_cast<long long>(full_report->observations_used)),
+             bench::Fmt("%.3f", full_acc.drifted_rmse),
+             bench::Fmt("%.3f", full_acc.overall_rmse)});
+  json.Row({{"section", bench::JsonRows::Str("incorporate")},
+            {"mode", bench::JsonRows::Str("full")},
+            {"wall_ms", bench::JsonRows::Num(full_ms)},
+            {"items_refreshed", bench::JsonRows::Num(0LL)},
+            {"drifted_rmse", bench::JsonRows::Num(full_acc.drifted_rmse)},
+            {"overall_rmse", bench::JsonRows::Num(full_acc.overall_rmse)}});
+
+  auto incr = MakeServer(data);
+  DriveDriftStream(incr.get(), data, stream, /*cadence=*/0);
+  auto incr_start = std::chrono::steady_clock::now();
+  auto incr_report = incr->RetrainIncremental();
+  double incr_ms = MillisSince(incr_start);
+  double speedup = 0.0;
+  Accuracy incr_acc;
+  if (incr_report.ok()) {
+    speedup = incr_ms > 0.0 ? full_ms / incr_ms : 0.0;
+    incr_acc = Measure(incr.get(), data);
+    table.Row(
+        {"incremental", bench::Fmt("%.1f", incr_ms),
+         bench::FmtInt(static_cast<long long>(incr_report->items_refreshed)),
+         bench::Fmt("%.3f", incr_acc.drifted_rmse),
+         bench::Fmt("%.3f", incr_acc.overall_rmse)});
+    json.Row(
+        {{"section", bench::JsonRows::Str("incorporate")},
+         {"mode", bench::JsonRows::Str("incremental")},
+         {"wall_ms", bench::JsonRows::Num(incr_ms)},
+         {"items_refreshed",
+          bench::JsonRows::Num(static_cast<long long>(incr_report->items_refreshed))},
+         {"drifted_rmse", bench::JsonRows::Num(incr_acc.drifted_rmse)},
+         {"overall_rmse", bench::JsonRows::Num(incr_acc.overall_rmse)},
+         {"speedup_vs_full", bench::JsonRows::Num(speedup)}});
+  } else {
+    // Smoke-sized streams may not cross the drift trigger; record the
+    // no-op so the JSON shape stays stable.
+    std::printf("incremental refresh: %s\n",
+                incr_report.status().ToString().c_str());
+    json.Row({{"section", bench::JsonRows::Str("incorporate")},
+              {"mode", bench::JsonRows::Str("incremental")},
+              {"wall_ms", bench::JsonRows::Num(0.0)},
+              {"items_refreshed", bench::JsonRows::Num(0LL)},
+              {"drifted_rmse", bench::JsonRows::Num(0.0)},
+              {"overall_rmse", bench::JsonRows::Num(0.0)},
+              {"speedup_vs_full", bench::JsonRows::Num(0.0)}});
+  }
+
+  // --- accuracy vs cadence ---
+  std::printf("\ncadence sweep (refresh every N observations over the same stream):\n");
+  bench::Table cadence_table(
+      {"cadence", "refreshes", "preq_rmse", "retrain_ms", "ms/refresh"});
+  for (int cadence : {0, stream / 2, stream / 6}) {
+    auto server = MakeServer(data);
+    auto outcome = DriveDriftStream(server.get(), data, stream, cadence);
+    std::string label = cadence == 0 ? "never" : bench::FmtInt(cadence);
+    cadence_table.Row(
+        {label, bench::FmtInt(outcome.refreshes),
+         bench::Fmt("%.3f", outcome.prequential_drifted_rmse),
+         bench::Fmt("%.1f", outcome.retrain_ms_total),
+         bench::Fmt("%.1f", outcome.refreshes > 0
+                                ? outcome.retrain_ms_total / outcome.refreshes
+                                : 0.0)});
+    json.Row(
+        {{"section", bench::JsonRows::Str("cadence")},
+         {"cadence", bench::JsonRows::Num(static_cast<long long>(cadence))},
+         {"refreshes", bench::JsonRows::Num(static_cast<long long>(outcome.refreshes))},
+         {"prequential_drifted_rmse",
+          bench::JsonRows::Num(outcome.prequential_drifted_rmse)},
+         {"retrain_ms_total", bench::JsonRows::Num(outcome.retrain_ms_total)}});
+  }
+
+  // --- bit identity ---
+  size_t items_compared = 0;
+  bool identical = BitIdentityCheck(&items_compared);
+  std::printf("\nbit identity (select-all refresh vs full retrain over %zu items): %s\n",
+              items_compared, identical ? "PASS" : "FAIL");
+  json.Row({{"section", bench::JsonRows::Str("bit_identity")},
+            {"identical", bench::JsonRows::Num(identical ? 1LL : 0LL)},
+            {"items", bench::JsonRows::Num(static_cast<long long>(items_compared))}});
+
+  json.Write();
+
+  std::printf(
+      "\nShape check: the incremental refresh re-solves only the drift-crossed\n"
+      "items and should run >= 5x faster than the full retrain while matching\n"
+      "its accuracy on the drifted subset (both see the same sub-log for those\n"
+      "items) and leaving the undrifted catalog untouched; the frozen deployment\n"
+      "stays inaccurate on the drifted items (θ still encodes the old world);\n"
+      "tighter refresh cadence lowers prequential error; select-all == full,\n"
+      "byte for byte.\n");
+  if (incr_report.ok() && !bench::SmokeMode()) {
+    std::printf("measured: %.1fx speedup, drifted_rmse full=%.3f incremental=%.3f -> %s\n",
+                speedup, full_acc.drifted_rmse, incr_acc.drifted_rmse,
+                speedup >= 5.0 &&
+                        std::fabs(full_acc.drifted_rmse - incr_acc.drifted_rmse) < 0.25
+                    ? "PASS"
+                    : "FAIL");
+  }
+}
+
+}  // namespace
+}  // namespace velox
+
+int main() {
+  velox::Run();
+  return 0;
+}

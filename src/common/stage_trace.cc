@@ -36,6 +36,10 @@ const char* StageName(Stage stage) {
       return "shed";
     case Stage::kRecoveryReplay:
       return "recovery_replay";
+    case Stage::kDriftCheck:
+      return "drift_check";
+    case Stage::kIncrementalSolve:
+      return "incremental_solve";
   }
   return "unknown";
 }

@@ -38,9 +38,11 @@ enum class Stage : int {
   kAdmission,              // rate-limit + queue admission decision
   kShed,                   // degraded fast-path answer for a shed request
   kRecoveryReplay,         // snapshot restore + WAL replay at (re)start
+  kDriftCheck,             // per-item drift merge + refresh-set selection
+  kIncrementalSolve,       // frozen-basis re-solve of drifted item factors
 };
 
-inline constexpr int kNumStages = 16;
+inline constexpr int kNumStages = 18;
 
 // Short stable identifier used in metrics names and JSON keys.
 const char* StageName(Stage stage);

@@ -1,6 +1,7 @@
 #include "core/online_updater.h"
 
 #include "common/logging.h"
+#include "core/incremental_trainer.h"
 
 namespace velox {
 
@@ -72,6 +73,15 @@ Result<ObserveResult> OnlineUpdater::Observe(uint64_t uid, const Item& item,
   result.prediction_before = update.prediction_before;
   result.loss = model_->Loss(label, update.prediction_before, item, uid);
   result.user_observations = update.num_observations;
+
+  // Drift stats feed the nearline refresh selection: raw squared error
+  // (not the halved Loss) so IncrementalPolicy thresholds read in label
+  // units. Volatile by design — never journaled (see
+  // core/incremental_trainer.h).
+  if (drift_ != nullptr) {
+    double e = label - update.prediction_before;
+    drift_->Record(item.id, e * e);
+  }
 
   evaluator_->RecordOnlineLoss(uid, result.loss);
   int64_t n = observation_counter_.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -39,6 +39,8 @@
 
 namespace velox {
 
+class ItemDriftTracker;
+
 struct OnlineUpdaterOptions {
   // Every k-th observation's prequential loss feeds the held-out
   // stream; 0 disables cross-validation.
@@ -85,6 +87,13 @@ class OnlineUpdater {
   // Per-node stage-latency sink (borrowed; may be null => untimed).
   void SetStageRegistry(StageRegistry* stages) { stages_ = stages; }
 
+  // Per-node drift accumulator for nearline incremental retraining
+  // (borrowed; may be null => no drift tracking). Each successful
+  // observation records its squared prequential error against the item
+  // (core/incremental_trainer.h). Degraded observations — features
+  // unresolvable, no prediction made — contribute nothing.
+  void SetDriftTracker(ItemDriftTracker* drift) { drift_ = drift; }
+
   // Observations that took a degraded path (skipped update or
   // non-durable persist).
   uint64_t degraded_count() const {
@@ -100,6 +109,7 @@ class OnlineUpdater {
   Evaluator* evaluator_;
   StorageClient* client_;
   StageRegistry* stages_ = nullptr;
+  ItemDriftTracker* drift_ = nullptr;
   std::atomic<int64_t> observation_counter_{0};
   std::atomic<uint64_t> degraded_{0};
 };

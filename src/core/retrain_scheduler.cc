@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "ml/feature_function.h"
 #include "storage/storage_client.h"
 
 namespace velox {
@@ -44,7 +45,55 @@ class RetrainJob final : public BatchJob {
   RetrainOutput output_;
 };
 
+// The nearline counterpart: the restricted solve + merge runs on the
+// same batch substrate (and the same executor type) as the full job,
+// which is what makes the select-all refresh bit-identical to it.
+class IncrementalJob final : public BatchJob {
+ public:
+  IncrementalJob(const VeloxModel* model, const std::vector<Observation>* observations,
+                 const FactorMap* warm_weights, const ModelVersion* previous,
+                 const std::vector<uint64_t>* refresh_items)
+      : model_(model),
+        observations_(observations),
+        warm_weights_(warm_weights),
+        previous_(previous),
+        refresh_items_(refresh_items) {}
+
+  std::string name() const override { return "incremental:" + model_->name(); }
+
+  Status Run(BatchExecutor* executor) override {
+    IncrementalTrainer trainer(model_);
+    auto result = trainer.Refresh(executor, *observations_, *warm_weights_,
+                                  *previous_, *refresh_items_);
+    VELOX_RETURN_NOT_OK(result.status());
+    output_ = std::move(result).value();
+    return Status::OK();
+  }
+
+  RetrainOutput& output() { return output_; }
+
+ private:
+  const VeloxModel* model_;
+  const std::vector<Observation>* observations_;
+  const FactorMap* warm_weights_;
+  const ModelVersion* previous_;
+  const std::vector<uint64_t>* refresh_items_;
+  RetrainOutput output_;
+};
+
 }  // namespace
+
+const char* RetrainModeName(RetrainMode mode) {
+  switch (mode) {
+    case RetrainMode::kFull:
+      return "full";
+    case RetrainMode::kIncremental:
+      return "incremental";
+    case RetrainMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
 
 RetrainScheduler::RetrainScheduler(RetrainSchedulerOptions options,
                                    const VeloxModel* model, ModelRegistry* registry,
@@ -68,14 +117,33 @@ RetrainScheduler::RetrainScheduler(RetrainSchedulerOptions options,
 
 Result<bool> RetrainScheduler::MaybeRetrain() {
   if (!evaluator_->IsStale()) return false;
-  VELOX_RETURN_NOT_OK(RetrainNow().status());
+  VELOX_RETURN_NOT_OK(Retrain(options_.mode).status());
   return true;
 }
 
 Result<RetrainReport> RetrainScheduler::RetrainNow() {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stopwatch watch;
+  return Retrain(RetrainMode::kFull);
+}
 
+Result<RetrainReport> RetrainScheduler::Retrain(RetrainMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (mode) {
+    case RetrainMode::kFull:
+      return RunFullLocked();
+    case RetrainMode::kIncremental:
+      return RunIncrementalLocked(/*refresh_all=*/false, /*via_auto=*/false);
+    case RetrainMode::kAuto:
+      return RunIncrementalLocked(/*refresh_all=*/false, /*via_auto=*/true);
+  }
+  return Status::InvalidArgument("unknown retrain mode");
+}
+
+Result<RetrainReport> RetrainScheduler::RetrainIncremental(bool refresh_all) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RunIncrementalLocked(refresh_all, /*via_auto=*/false);
+}
+
+Result<std::vector<Observation>> RetrainScheduler::SnapshotLog() const {
   std::vector<Observation> observations = storage_->AllObservations();
   if (observations.empty()) {
     return Status::FailedPrecondition("no observations to retrain on");
@@ -91,7 +159,10 @@ Result<RetrainReport> RetrainScheduler::RetrainNow() {
     observations.erase(observations.begin(),
                        observations.end() - options_.max_observations);
   }
+  return observations;
+}
 
+FactorMap RetrainScheduler::ExportWarmWeights() const {
   // Warm-start from the live, online-updated weights across all nodes
   // (§4.2: retraining "depends on the current user weights").
   FactorMap current_weights;
@@ -99,6 +170,13 @@ Result<RetrainReport> RetrainScheduler::RetrainNow() {
     FactorMap shard = node.weights->ExportWeights();
     for (auto& [uid, w] : shard) current_weights[uid] = std::move(w);
   }
+  return current_weights;
+}
+
+Result<RetrainReport> RetrainScheduler::RunFullLocked() {
+  Stopwatch watch;
+  VELOX_ASSIGN_OR_RETURN(std::vector<Observation> observations, SnapshotLog());
+  FactorMap current_weights = ExportWarmWeights();
 
   RetrainJob job(model_, &observations, &current_weights);
   VELOX_RETURN_NOT_OK(driver_->Submit(&job));
@@ -107,13 +185,123 @@ Result<RetrainReport> RetrainScheduler::RetrainNow() {
                          InstallOutput(job.output(), observations.size(),
                                        &observations));
   report.wall_millis = watch.ElapsedMillis();
+  report.mode_used = RetrainMode::kFull;
   ++retrains_completed_;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.full_retrains;
+  }
+  return report;
+}
+
+DriftSelection RetrainScheduler::CheckDriftLocked() const {
+  std::vector<const ItemDriftTracker*> trackers;
+  trackers.reserve(nodes_.size());
+  for (const NodeComponents& node : nodes_) trackers.push_back(node.drift);
+  std::vector<ItemDriftStat> merged = MergeDriftSnapshots(trackers);
+
+  size_t catalog_items = 0;
+  if (auto current = registry_->Current(); current.ok()) {
+    const auto* materialized = dynamic_cast<const MaterializedFeatureFunction*>(
+        current.value()->features.get());
+    if (materialized != nullptr) catalog_items = materialized->table().size();
+  }
+  return SelectDriftedItems(merged, options_.incremental, catalog_items);
+}
+
+Result<RetrainReport> RetrainScheduler::RunIncrementalLocked(bool refresh_all,
+                                                             bool via_auto) {
+  Stopwatch watch;
+  auto current = registry_->Current();
+  if (!current.ok()) {
+    // Nothing to merge into yet. kAuto bootstraps with a full retrain;
+    // an explicit incremental request is a caller error.
+    if (via_auto) {
+      VELOX_ASSIGN_OR_RETURN(RetrainReport report, RunFullLocked());
+      report.escalated = true;
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.auto_escalations;
+      return report;
+    }
+    return Status::FailedPrecondition(
+        "incremental retrain requires an installed model version");
+  }
+  VELOX_ASSIGN_OR_RETURN(std::vector<Observation> observations, SnapshotLog());
+
+  StageTimer timer(stages_);
+  StageTimer::Scope drift_span(timer, Stage::kDriftCheck);
+  DriftSelection selection;
+  if (refresh_all) {
+    // Bit-identity path: select every item θ or the log mentions, so
+    // the restricted solve degenerates to the full computation.
+    std::set<uint64_t> all_items;
+    if (const auto* materialized = dynamic_cast<const MaterializedFeatureFunction*>(
+            current.value()->features.get())) {
+      for (const auto& [item_id, factor] : materialized->table()) {
+        all_items.insert(item_id);
+      }
+      selection.catalog_items = materialized->table().size();
+    }
+    for (const Observation& obs : observations) all_items.insert(obs.item_id);
+    selection.items.assign(all_items.begin(), all_items.end());
+    selection.candidates = selection.items.size();
+    selection.drift_fraction = 1.0;
+  } else {
+    selection = CheckDriftLocked();
+  }
+  drift_span.Stop();
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    stats_.last_drift_candidates = selection.candidates;
+    stats_.last_drift_fraction = selection.drift_fraction;
+  }
+
+  // Drift-mass staleness: when most of the catalog needs re-solving
+  // (or nothing qualifies but a retrain was demanded anyway), the
+  // restricted path stops paying for itself — run the batch job.
+  if (via_auto &&
+      (selection.items.empty() ||
+       selection.drift_fraction >= options_.incremental.auto_full_fraction)) {
+    VELOX_ASSIGN_OR_RETURN(RetrainReport report, RunFullLocked());
+    report.escalated = true;
+    report.drift_candidates = selection.candidates;
+    report.drift_fraction = selection.drift_fraction;
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.auto_escalations;
+    return report;
+  }
+  if (selection.items.empty()) {
+    return Status::FailedPrecondition("no items crossed the drift threshold");
+  }
+
+  FactorMap current_weights = ExportWarmWeights();
+  StageTimer::Scope solve_span(timer, Stage::kIncrementalSolve);
+  IncrementalJob job(model_, &observations, &current_weights,
+                     current.value().get(), &selection.items);
+  VELOX_RETURN_NOT_OK(driver_->Submit(&job));
+  solve_span.Stop();
+
+  VELOX_ASSIGN_OR_RETURN(RetrainReport report,
+                         InstallOutput(job.output(), observations.size(),
+                                       &observations, &selection.items));
+  report.wall_millis = watch.ElapsedMillis();
+  report.mode_used = RetrainMode::kIncremental;
+  report.items_refreshed = selection.items.size();
+  report.drift_candidates = selection.candidates;
+  report.drift_fraction = selection.drift_fraction;
+  ++retrains_completed_;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.incremental_retrains;
+    stats_.items_refreshed += selection.items.size();
+  }
   return report;
 }
 
 Result<RetrainReport> RetrainScheduler::InstallOutput(
     const RetrainOutput& output, size_t observations_used,
-    const std::vector<Observation>* observations) {
+    const std::vector<Observation>* observations,
+    const std::vector<uint64_t>* refreshed_items) {
   if (output.features == nullptr) {
     return Status::InvalidArgument("retrain produced no feature function");
   }
@@ -202,6 +390,20 @@ Result<RetrainReport> RetrainScheduler::InstallOutput(
   for (const NodeComponents& node : nodes_) {
     node.feature_cache->Clear();
     node.prediction_cache->Clear();
+  }
+
+  // 4b. Drift-stat epoch: refreshed items restart accumulation at zero.
+  //     A full retrain (or direct install) re-solved everything, so the
+  //     whole tracker resets; an incremental refresh forgets only the
+  //     items it actually re-solved — near-threshold drift on the rest
+  //     keeps accumulating toward the next refresh.
+  for (const NodeComponents& node : nodes_) {
+    if (node.drift == nullptr) continue;
+    if (refreshed_items != nullptr) {
+      node.drift->ResetItems(*refreshed_items);
+    } else {
+      node.drift->Clear();
+    }
   }
 
   // 5. Re-seed user weights from the new W, placing each user on its
@@ -293,6 +495,8 @@ Status RetrainScheduler::Rollback(int32_t version) {
   for (const NodeComponents& node : nodes_) {
     node.feature_cache->Clear();
     node.prediction_cache->Clear();
+    // Drift accumulated against the rolled-away θ is meaningless now.
+    if (node.drift != nullptr) node.drift->Clear();
   }
   if (nodes_.size() == 1) {
     nodes_[0].weights->ResetForNewVersion(*current->trained_user_weights, version);
@@ -313,6 +517,11 @@ Status RetrainScheduler::Rollback(int32_t version) {
 uint64_t RetrainScheduler::retrains_completed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return retrains_completed_;
+}
+
+RetrainSchedulerStats RetrainScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace velox

@@ -38,7 +38,11 @@ std::string VeloxShell::HelpText() {
       "  predict <uid> <item>        point prediction\n"
       "  topk <uid> <k> [items...]   ranked items (no items = whole catalog)\n"
       "  observe <uid> <item> <y>    feedback + online update\n"
-      "  retrain                     force offline retraining\n"
+      "  retrain [mode]              force retraining; mode = full (default),\n"
+      "                              incremental (drifted items only),\n"
+      "                              incremental-all (select every item; bit-\n"
+      "                              identical to full), or auto (drift mass\n"
+      "                              decides incremental vs full)\n"
       "  maybe-retrain               retrain iff the model is stale\n"
       "  rollback <version>          switch to an older model version\n"
       "  versions                    model version history\n"
@@ -69,12 +73,7 @@ Result<std::string> VeloxShell::Execute(const std::string& line) {
   if (cmd == "predict") return CmdPredict(args);
   if (cmd == "topk") return CmdTopK(args);
   if (cmd == "observe") return CmdObserve(args);
-  if (cmd == "retrain") {
-    VELOX_ASSIGN_OR_RETURN(RetrainReport report, server_->RetrainNow());
-    return StrFormat("retrained: version %d over %zu observations (rmse %.4f)",
-                     report.new_version, report.observations_used,
-                     report.training_rmse);
-  }
+  if (cmd == "retrain") return CmdRetrain(args);
   if (cmd == "maybe-retrain") {
     VELOX_ASSIGN_OR_RETURN(bool did, server_->MaybeRetrain());
     return std::string(did ? "stale -> retrained" : "model healthy, no retrain");
@@ -168,6 +167,39 @@ Result<std::string> VeloxShell::CmdObserve(const std::vector<std::string>& args)
                    static_cast<unsigned long long>(item), label);
 }
 
+Result<std::string> VeloxShell::CmdRetrain(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    return Status::InvalidArgument(
+        "usage: retrain [full|incremental|incremental-all|auto]");
+  }
+  const std::string mode = args.empty() ? "full" : args[0];
+  RetrainReport report;
+  if (mode == "full") {
+    VELOX_ASSIGN_OR_RETURN(report, server_->RetrainNow());
+  } else if (mode == "incremental") {
+    VELOX_ASSIGN_OR_RETURN(report, server_->RetrainIncremental());
+  } else if (mode == "incremental-all") {
+    VELOX_ASSIGN_OR_RETURN(report, server_->RetrainIncremental(/*refresh_all=*/true));
+  } else if (mode == "auto") {
+    VELOX_ASSIGN_OR_RETURN(report, server_->Retrain(RetrainMode::kAuto));
+  } else {
+    return Status::InvalidArgument(
+        "usage: retrain [full|incremental|incremental-all|auto]");
+  }
+  if (report.mode_used == RetrainMode::kIncremental) {
+    return StrFormat(
+        "retrained (incremental): version %d refreshed %zu item(s) "
+        "(%zu drift candidates, %.1f%% of catalog) over %zu observations "
+        "(rmse %.4f)",
+        report.new_version, report.items_refreshed, report.drift_candidates,
+        100.0 * report.drift_fraction, report.observations_used,
+        report.training_rmse);
+  }
+  return StrFormat("retrained (%s): version %d over %zu observations (rmse %.4f)",
+                   report.escalated ? "auto->full" : "full", report.new_version,
+                   report.observations_used, report.training_rmse);
+}
+
 Result<std::string> VeloxShell::CmdRollback(const std::vector<std::string>& args) {
   if (args.size() != 1) return Status::InvalidArgument("usage: rollback <version>");
   VELOX_ASSIGN_OR_RETURN(uint64_t version, ParseId(args[0], "version"));
@@ -227,6 +259,19 @@ Result<std::string> VeloxShell::CmdReport() {
               static_cast<unsigned long long>(sc.deadline_misses),
               static_cast<unsigned long long>(sc.partial_writes),
               static_cast<unsigned long long>(degraded));
+  }
+  auto rs = server_->RetrainStats();
+  if (rs.full_retrains + rs.incremental_retrains > 0) {
+    os << "\n"
+       << StrFormat(
+              "retrain: full=%llu incremental=%llu auto_escalations=%llu "
+              "items_refreshed=%llu last_drift=%zu(%.1f%%)",
+              static_cast<unsigned long long>(rs.full_retrains),
+              static_cast<unsigned long long>(rs.incremental_retrains),
+              static_cast<unsigned long long>(rs.auto_escalations),
+              static_cast<unsigned long long>(rs.items_refreshed),
+              static_cast<size_t>(rs.last_drift_candidates),
+              100.0 * rs.last_drift_fraction);
   }
   if (!server_->config().durability.dir.empty()) {
     uint64_t wal_records = 0, snapshots = 0;

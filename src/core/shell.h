@@ -53,6 +53,7 @@ class VeloxShell {
   Result<std::string> CmdPredict(const std::vector<std::string>& args);
   Result<std::string> CmdTopK(const std::vector<std::string>& args);
   Result<std::string> CmdObserve(const std::vector<std::string>& args);
+  Result<std::string> CmdRetrain(const std::vector<std::string>& args);
   Result<std::string> CmdRollback(const std::vector<std::string>& args);
   Result<std::string> CmdVersions();
   Result<std::string> CmdReport();

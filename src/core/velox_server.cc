@@ -100,6 +100,12 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
     node->prediction_service->SetStageRegistry(node->stages.get());
     node->updater->SetStageRegistry(node->stages.get());
 
+    // Nearline drift tracking: every successful observe records its
+    // squared prequential error here; the scheduler's drift check
+    // merges the per-node snapshots.
+    node->drift = std::make_unique<ItemDriftTracker>();
+    node->updater->SetDriftTracker(node->drift.get());
+
     // Node-failure recovery: when a remapped user is absent from this
     // node's memory, fetch their last persisted weights from the
     // (replicated) storage tier.
@@ -121,6 +127,7 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
     sn.prediction_cache = node->prediction_cache.get();
     sn.prediction_service = node->prediction_service.get();
     sn.client = node->client.get();
+    sn.drift = node->drift.get();
     scheduler_nodes.push_back(sn);
 
     per_node_.push_back(std::move(node));
@@ -137,6 +144,9 @@ VeloxServer::VeloxServer(VeloxServerConfig config, std::unique_ptr<VeloxModel> m
   scheduler_ = std::make_unique<RetrainScheduler>(
       ropts, model_.get(), registry_.get(), evaluator_.get(), driver_.get(),
       storage_.get(), std::move(scheduler_nodes));
+  // Retrain control-plane spans (drift_check/incremental_solve) land in
+  // node 0's registry — the driver node, where batch jobs are charged.
+  scheduler_->SetStageRegistry(per_node_[0]->stages.get());
 
   if (!config_.durability.dir.empty() && config_.durability.recover_on_start) {
     VELOX_CHECK_OK(RecoverDurability().status());
@@ -360,6 +370,18 @@ Result<bool> VeloxServer::MaybeRetrain() { return scheduler_->MaybeRetrain(); }
 
 Result<RetrainReport> VeloxServer::RetrainNow() { return scheduler_->RetrainNow(); }
 
+Result<RetrainReport> VeloxServer::Retrain(RetrainMode mode) {
+  return scheduler_->Retrain(mode);
+}
+
+Result<RetrainReport> VeloxServer::RetrainIncremental(bool refresh_all) {
+  return scheduler_->RetrainIncremental(refresh_all);
+}
+
+RetrainSchedulerStats VeloxServer::RetrainStats() const {
+  return scheduler_->stats();
+}
+
 Status VeloxServer::Rollback(int32_t version) { return scheduler_->Rollback(version); }
 
 std::vector<ModelVersionInfo> VeloxServer::VersionHistory() const {
@@ -461,6 +483,23 @@ std::string VeloxServer::MetricsReport(MetricsRegistry* registry) const {
                       : 0.0;
   }
   target->GetGauge(prefix + "ann.recall_mode")->Set(recall_mode);
+
+  // Retrain plane: how the model versions are being produced (batch vs
+  // nearline incremental) and the live pending drift mass.
+  RetrainSchedulerStats rs = scheduler_->stats();
+  set_counter("retrain.full_runs", rs.full_retrains);
+  set_counter("retrain.incremental_runs", rs.incremental_retrains);
+  set_counter("retrain.auto_escalations", rs.auto_escalations);
+  set_counter("retrain.items_refreshed", rs.items_refreshed);
+  target->GetGauge(prefix + "retrain.drift_candidates")
+      ->Set(static_cast<double>(rs.last_drift_candidates));
+  target->GetGauge(prefix + "retrain.drift_fraction")->Set(rs.last_drift_fraction);
+  int64_t pending_drift = 0;
+  for (const auto& node : per_node_) {
+    if (node->drift != nullptr) pending_drift += node->drift->total_observations();
+  }
+  target->GetGauge(prefix + "retrain.pending_drift_observations")
+      ->Set(static_cast<double>(pending_drift));
 
   EvaluatorReport quality = evaluator_->Report();
   target->GetGauge(prefix + "quality.mean_online_loss")->Set(quality.mean_online_loss);

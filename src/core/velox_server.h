@@ -244,6 +244,13 @@ class VeloxServer {
   // ---- lifecycle management ----
   Result<bool> MaybeRetrain();
   Result<RetrainReport> RetrainNow();
+  // Retrain under an explicit mode (kAuto = drift check decides).
+  Result<RetrainReport> Retrain(RetrainMode mode);
+  // Nearline incremental refresh of the drifted items only;
+  // `refresh_all` forces the select-everything bit-identity path.
+  Result<RetrainReport> RetrainIncremental(bool refresh_all = false);
+  // Cumulative retrain counters (the `retrain.*` metric source).
+  RetrainSchedulerStats RetrainStats() const;
   Status Rollback(int32_t version);
   std::vector<ModelVersionInfo> VersionHistory() const;
   EvaluatorReport QualityReport() const;
@@ -313,6 +320,11 @@ class VeloxServer {
   UserWeightStore* user_weights(NodeId node) {
     return per_node_[static_cast<size_t>(node)]->weights.get();
   }
+  // A node's drift accumulator (tests/benches). Volatile across
+  // restarts by contract — see core/incremental_trainer.h.
+  ItemDriftTracker* drift_tracker(NodeId node) {
+    return per_node_[static_cast<size_t>(node)]->drift.get();
+  }
 
  private:
   struct PerNode {
@@ -329,6 +341,9 @@ class VeloxServer {
     // Per-node stage-latency sink shared by the predict and observe
     // paths above (both run on this node's threads).
     std::unique_ptr<StageRegistry> stages;
+    // Per-item drift accumulation feeding incremental retraining
+    // (core/incremental_trainer.h); in-memory only, reset on restart.
+    std::unique_ptr<ItemDriftTracker> drift;
   };
 
   // Home node of a user (ring placement).

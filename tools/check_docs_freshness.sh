@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Docs-freshness check: greps the operator-facing docs for references
+# that no longer match the tree — bench targets, BENCH_*.json sidecars,
+# file paths, identifiers, and pipeline stage names. Pure text checks,
+# no build required; run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "docs-freshness: $*" >&2
+  fail=1
+}
+
+DOCS="README.md docs/architecture.md docs/operations.md docs/benchmarks.md"
+
+# --- 1. bench targets <-> docs/benchmarks.md, both directions --------------
+benches=$(sed -n 's/^velox_bench(\([a-z0-9_]*\)).*/\1/p' bench/CMakeLists.txt)
+[ -n "$benches" ] || err "no velox_bench targets parsed from bench/CMakeLists.txt"
+for b in $benches; do
+  grep -q "\`$b\`" docs/benchmarks.md ||
+    err "bench target '$b' is not documented in docs/benchmarks.md"
+done
+for b in $(sed -n 's/^| `\([a-z0-9_]*\)` |.*/\1/p' docs/benchmarks.md); do
+  echo "$benches" | grep -qx "$b" ||
+    err "docs/benchmarks.md documents '$b' but bench/CMakeLists.txt has no such target"
+done
+
+# --- 2. every BENCH_*.json a doc mentions is written by some bench source --
+for j in $(grep -rhoE 'BENCH_[A-Za-z0-9_]+\.json' $DOCS DESIGN.md EXPERIMENTS.md | sort -u); do
+  grep -rq "$j" bench/ ||
+    err "docs mention $j but nothing under bench/ writes it"
+done
+
+# --- 3. backticked repo paths exist --------------------------------------
+# Tokens like `src/core/model.h` or `core/model.h` (headers/sources are
+# also resolved under src/); skip templated tokens (<N>, {h,cc}, globs).
+for p in $(grep -rhoE '`[A-Za-z0-9_./-]+\.(h|cc|cpp|md|sh|yml|json)`' $DOCS |
+           tr -d '\`' | sort -u); do
+  case "$p" in BENCH_*.json) continue ;; esac  # build artifacts, checked above
+  [ -e "$p" ] || [ -e "src/$p" ] ||
+    err "docs reference path '$p' which does not exist (nor under src/)"
+done
+
+# --- 4. backticked identifiers exist in the tree -------------------------
+# CamelCase / UPPER_SNAKE tokens (ItemDriftTracker, VELOX_BENCH_SMOKE, a
+# leading Namespace::Member keeps its first component).
+for sym in $(grep -rhoE '`[A-Za-z_][A-Za-z0-9_:]*`' $DOCS | tr -d '\`' |
+             sed 's/::.*//' | grep -E '^[A-Za-z_]*[A-Z][A-Za-z0-9_]*$' |
+             grep -vE '^(N|E|F|S|R|I|II|III|IV|V)$' | sort -u); do
+  grep -rq --include='*.h' --include='*.cc' --include='*.cpp' -- "$sym" \
+      src tests bench tools examples ||
+    err "docs reference identifier '$sym' not found in src/tests/bench/tools/examples"
+done
+
+# --- 5. every pipeline stage the code defines is documented ---------------
+for s in $(grep -oE '"[a-z_]+"' src/common/stage_trace.cc | tr -d '"' | sort -u); do
+  [ "$s" = "unknown" ] && continue
+  grep -q "\`$s\`" docs/operations.md ||
+    err "stage '$s' (stage_trace.cc) is not documented in docs/operations.md"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-freshness: FAILED" >&2
+  exit 1
+fi
+echo "docs-freshness: OK"

@@ -5,6 +5,8 @@
 //               [--ann-min-items N] [--ann-nprobe N]
 //               [--durability-dir path] [--wal-sync none|flush|fsync]
 //               [--fsync-every N] [--snapshot-every N]
+//               [--retrain-mode full|incremental|auto] [--drift-min-obs N]
+//               [--drift-error E] [--auto-full-fraction F]
 //
 // Reads commands from stdin (one per line; see `help`). With real
 // MovieLens data pass --ratings (ml-1m/10m ::-format) or --csv
@@ -112,6 +114,30 @@ int main(int argc, char** argv) {
                 std::to_string(config.topk_auto_ann_min_rows))));
   config.ann_nprobe = static_cast<size_t>(
       std::stoll(FlagValue(argc, argv, "--ann-nprobe", "0")));
+  // Nearline retraining (DESIGN.md §14): --retrain-mode steers what
+  // `maybe-retrain` / the auto-retrain hook run; the explicit `retrain
+  // <mode>` shell command overrides per invocation.
+  std::string retrain_mode = FlagValue(argc, argv, "--retrain-mode", "full");
+  if (retrain_mode == "full") {
+    config.retrain.mode = RetrainMode::kFull;
+  } else if (retrain_mode == "incremental") {
+    config.retrain.mode = RetrainMode::kIncremental;
+  } else if (retrain_mode == "auto") {
+    config.retrain.mode = RetrainMode::kAuto;
+  } else {
+    std::fprintf(stderr, "error: unknown --retrain-mode '%s'\n",
+                 retrain_mode.c_str());
+    return 1;
+  }
+  config.retrain.incremental.min_observations = std::stoll(FlagValue(
+      argc, argv, "--drift-min-obs",
+      std::to_string(config.retrain.incremental.min_observations)));
+  config.retrain.incremental.error_threshold = std::stod(FlagValue(
+      argc, argv, "--drift-error",
+      std::to_string(config.retrain.incremental.error_threshold)));
+  config.retrain.incremental.auto_full_fraction = std::stod(FlagValue(
+      argc, argv, "--auto-full-fraction",
+      std::to_string(config.retrain.incremental.auto_full_fraction)));
   config.durability.dir = FlagValue(argc, argv, "--durability-dir", "");
   if (!config.durability.dir.empty()) {
     std::string sync = FlagValue(argc, argv, "--wal-sync", "flush");
