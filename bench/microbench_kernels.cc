@@ -18,6 +18,7 @@
 #include "linalg/scoring_kernels.h"
 #include "linalg/sherman_morrison.h"
 #include "ml/feature_function.h"
+#include "server/dispatcher.h"
 
 namespace velox {
 namespace {
@@ -186,6 +187,47 @@ void BM_FactorCodecRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FactorCodecRoundTrip)->Arg(10)->Arg(100)->Arg(1000);
+
+// Server-plane dispatch overhead per request, singleton vs batched
+// (DESIGN.md §15): queue push/pop, batch formation, and callback
+// completion isolated from handler work by a no-op handler. Arg = the
+// dispatcher's batch_max; 1 is singleton dispatch. The plane's own
+// overhead is nanoseconds and stays flat across batch sizes — the row
+// pins that batching costs nothing at the queue layer; the wall-clock
+// win comes from what one batched *handler* call amortizes (WAL group
+// commit, coalesced feature MultiGet), measured end-to-end by
+// serving_load's batch-singleton / batch-batched sweep.
+void BM_DispatchBatched(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  DispatcherOptions options;
+  options.read_queue_capacity = 0;
+  options.write_queue_capacity = 0;
+  options.read_workers = 1;
+  options.write_workers = 1;
+  options.batch_max = batch;
+  options.batch_delay_micros = 0;  // take only what is already queued
+  RequestDispatcher::Handler handler = [](const Request&) {
+    return FrontendResponse();
+  };
+  RequestDispatcher::BatchHandler batch_handler =
+      [](const std::vector<const Request*>& requests) {
+        return std::vector<FrontendResponse>(requests.size());
+      };
+  RequestDispatcher dispatcher(options, handler, batch_handler, nullptr);
+  const size_t kWave = 512;
+  for (auto _ : state) {
+    for (size_t i = 0; i < kWave; ++i) {
+      ServerTask task;
+      task.request.type = RequestType::kPredict;
+      task.request.uid = i;
+      bool ok = dispatcher.Submit(std::move(task));
+      benchmark::DoNotOptimize(ok);
+    }
+    dispatcher.Drain();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kWave));
+}
+BENCHMARK(BM_DispatchBatched)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_ZipfSample(benchmark::State& state) {
   ZipfDistribution zipf(1'000'000, 1.0);

@@ -40,6 +40,10 @@ const char* StageName(Stage stage) {
       return "drift_check";
     case Stage::kIncrementalSolve:
       return "incremental_solve";
+    case Stage::kBatchForm:
+      return "batch_form";
+    case Stage::kBatchExecute:
+      return "batch_execute";
   }
   return "unknown";
 }

@@ -40,9 +40,11 @@ enum class Stage : int {
   kRecoveryReplay,         // snapshot restore + WAL replay at (re)start
   kDriftCheck,             // per-item drift merge + refresh-set selection
   kIncrementalSolve,       // frozen-basis re-solve of drifted item factors
+  kBatchForm,              // cross-request batch formation (drain + linger)
+  kBatchExecute,           // grouped batch execution through the frontend
 };
 
-inline constexpr int kNumStages = 18;
+inline constexpr int kNumStages = 20;
 
 // Short stable identifier used in metrics names and JSON keys.
 const char* StageName(Stage stage);

@@ -59,10 +59,15 @@ FrontendResponse VeloxFrontend::Handle(const Request& request) {
     }
   }
   response.latency_micros = watch.ElapsedMicros();
+  RecordOutcome(request.type, response);
+  return response;
+}
 
+void VeloxFrontend::RecordOutcome(RequestType type,
+                                  const FrontendResponse& response) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (!response.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
-  switch (request.type) {
+  switch (type) {
     case RequestType::kPredict:
       predict_latency_.Record(response.latency_micros);
       break;
@@ -73,7 +78,117 @@ FrontendResponse VeloxFrontend::Handle(const Request& request) {
       observe_latency_.Record(response.latency_micros);
       break;
   }
-  return response;
+}
+
+std::vector<FrontendResponse> VeloxFrontend::HandleBatch(
+    const std::vector<const Request*>& batch) {
+  std::vector<FrontendResponse> out(batch.size());
+  if (batch.empty()) return out;
+
+  // Phase 1: one coalesced feature resolve for the union of items the
+  // batch's reads will touch. Purely a warm — failures degrade
+  // per-request exactly as they would singleton.
+  std::vector<std::pair<uint64_t, Item>> reads;
+  std::vector<size_t> observes;
+  // Predict requests grouped by uid, in batch order, for PredictBatch
+  // fusion below.
+  std::vector<std::pair<uint64_t, std::vector<size_t>>> predict_groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = *batch[i];
+    switch (r.type) {
+      case RequestType::kPredict:
+        if (!r.items.empty()) {
+          reads.emplace_back(r.uid, BuildItem(r.items[0]));
+          auto it = std::find_if(predict_groups.begin(), predict_groups.end(),
+                                 [&](const auto& g) { return g.first == r.uid; });
+          if (it == predict_groups.end()) {
+            predict_groups.push_back({r.uid, {i}});
+          } else {
+            it->second.push_back(i);
+          }
+        } else {
+          out[i].status = Status::InvalidArgument("predict requires an item");
+          out[i].latency_micros = 0.0;
+          RecordOutcome(r.type, out[i]);
+        }
+        break;
+      case RequestType::kTopK:
+        for (uint64_t id : r.items) reads.emplace_back(r.uid, BuildItem(id));
+        break;
+      case RequestType::kObserve:
+        observes.push_back(i);
+        break;
+    }
+  }
+  if (reads.size() > 1) server_->WarmReadFeatures(reads);
+
+  // Phase 2: reads. Same-uid predicts fuse through PredictBatch (pinned
+  // bit-identical to per-item Predict); everything else runs the
+  // ordinary per-request path against the warmed caches.
+  for (const auto& [uid, slots] : predict_groups) {
+    if (slots.size() < 2) {
+      out[slots[0]] = Handle(*batch[slots[0]]);
+      continue;
+    }
+    Stopwatch watch;
+    std::vector<Item> items;
+    items.reserve(slots.size());
+    for (size_t slot : slots) items.push_back(BuildItem(batch[slot]->items[0]));
+    auto fused = server_->PredictBatch(uid, items);
+    if (!fused.ok()) {
+      // Whole-batch error (e.g. one item's definitive NotFound): fall
+      // back to per-request execution so one request's failure cannot
+      // leak into its batchmates' responses.
+      for (size_t slot : slots) out[slot] = Handle(*batch[slot]);
+      continue;
+    }
+    const double share =
+        watch.ElapsedMicros() / static_cast<double>(slots.size());
+    for (size_t j = 0; j < slots.size(); ++j) {
+      out[slots[j]].status = Status::OK();
+      out[slots[j]].items.push_back(fused.value()[j]);
+      out[slots[j]].latency_micros = share;
+      RecordOutcome(RequestType::kPredict, out[slots[j]]);
+    }
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->type == RequestType::kTopK) out[i] = Handle(*batch[i]);
+  }
+
+  // Phase 3: writes, in batch order, inside one WAL group-commit window
+  // per node — acks (the returned statuses) only after the sync.
+  if (!observes.empty()) {
+    Stopwatch watch;
+    std::vector<VeloxServer::ObserveOp> ops;
+    std::vector<size_t> op_slots;
+    ops.reserve(observes.size());
+    for (size_t i : observes) {
+      const Request& r = *batch[i];
+      if (r.items.empty()) {
+        out[i].status = Status::InvalidArgument("observe requires an item");
+        out[i].latency_micros = 0.0;
+        RecordOutcome(r.type, out[i]);
+        continue;
+      }
+      VeloxServer::ObserveOp op;
+      op.uid = r.uid;
+      op.item = BuildItem(r.items[0]);
+      op.label = r.label;
+      ops.push_back(std::move(op));
+      op_slots.push_back(i);
+    }
+    std::vector<Status> statuses = server_->ObserveBatch(ops);
+    const double share =
+        op_slots.empty()
+            ? 0.0
+            : watch.ElapsedMicros() / static_cast<double>(op_slots.size());
+    for (size_t j = 0; j < op_slots.size(); ++j) {
+      out[op_slots[j]].status = statuses[j];
+      out[op_slots[j]].latency_micros = share;
+      RecordOutcome(RequestType::kObserve, out[op_slots[j]]);
+    }
+  }
+  return out;
 }
 
 Result<std::vector<TopKResult>> VeloxFrontend::HandleTopKAllBatch(

@@ -51,6 +51,26 @@ class VeloxFrontend {
   // Executes one request synchronously on the calling thread.
   FrontendResponse Handle(const Request& request);
 
+  // Executes a cross-request batch (formed by the server plane's
+  // dispatcher) in one call, returning one response per request in
+  // input order. Responses are bit-identical (status / items / flags)
+  // to calling Handle per request; the amortization is invisible to
+  // clients:
+  //   * the union of items every read touches pre-resolves through one
+  //     coalesced batch fetch per node (VeloxServer::WarmReadFeatures),
+  //   * predicts from the same uid fuse into one PredictBatch call
+  //     (pinned bit-identical to per-item Predict; falls back to
+  //     per-request Handle on a whole-batch error so per-request error
+  //     isolation survives fusion),
+  //   * observes apply in order inside one WAL group-commit window per
+  //     node (VeloxServer::ObserveBatch) — one sync per batch, acks
+  //     only after it.
+  // Fused requests record their amortized latency share (the same
+  // convention HandleTopKAllBatch uses); all counters advance exactly
+  // as in singleton dispatch.
+  std::vector<FrontendResponse> HandleBatch(
+      const std::vector<const Request*>& batch);
+
   // Full-catalog top-K for a batch of users in one call (options_.
   // topk_k items each): the server resolves the model version and
   // scoring plane once and reuses them across the whole batch. Counts
@@ -83,6 +103,11 @@ class VeloxFrontend {
 
  private:
   Item BuildItem(uint64_t item_id) const;
+
+  // Request accounting shared by Handle and the fused batch paths:
+  // bumps requests_/errors_ and records `latency_micros` (already set
+  // on the response) into the type's latency histogram.
+  void RecordOutcome(RequestType type, const FrontendResponse& response);
 
   FrontendOptions options_;
   VeloxServer* server_;

@@ -464,6 +464,12 @@ size_t PredictionService::WarmFeatures(const ModelVersion& version,
   if (item_ids.empty()) return 0;
   std::vector<Item> items(item_ids.size());
   for (size_t i = 0; i < item_ids.size(); ++i) items[i].id = item_ids[i];
+  return WarmFeatures(version, items);
+}
+
+size_t PredictionService::WarmFeatures(const ModelVersion& version,
+                                       const std::vector<Item>& items) {
+  if (items.empty()) return 0;
   StageTimer untimed(nullptr);
   std::vector<Result<FeaturePtr>> resolved =
       BatchResolveFeatures(version, items, untimed);

@@ -255,6 +255,11 @@ class PredictionService {
   // on this.
   size_t WarmFeatures(const ModelVersion& version,
                       const std::vector<uint64_t>& item_ids);
+  // As above for fully-built Items (attributes included), so a warm
+  // issued on behalf of real requests resolves exactly the features
+  // those requests will read. The server plane's cross-request batcher
+  // pre-resolves each batch's item union through this.
+  size_t WarmFeatures(const ModelVersion& version, const std::vector<Item>& items);
 
   const PredictionServiceOptions& options() const { return options_; }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -309,6 +310,63 @@ Status VeloxServer::ObserveWithProvenance(uint64_t uid, const Item& item, double
     }
   }
   return Status::OK();
+}
+
+void VeloxServer::WarmReadFeatures(
+    const std::vector<std::pair<uint64_t, Item>>& reads) {
+  if (reads.size() < 2) return;  // nothing cross-request to coalesce
+  auto version = registry_->Current();
+  if (!version.ok()) return;  // no model installed: per-request paths error
+  // Group the union of items by the uid's home node (the node whose
+  // feature cache the serving path will read: under uid routing the
+  // serving node IS the home node, and HomeNode charges no proxy
+  // traffic, so warming never perturbs the network accounting).
+  std::vector<std::vector<Item>> node_items(per_node_.size());
+  std::vector<std::unordered_set<uint64_t>> node_seen(per_node_.size());
+  for (const auto& [uid, item] : reads) {
+    auto home = HomeNode(uid);
+    if (!home.ok()) continue;
+    auto n = static_cast<size_t>(home.value());
+    if (node_seen[n].insert(item.id).second) node_items[n].push_back(item);
+  }
+  for (size_t n = 0; n < per_node_.size(); ++n) {
+    if (node_items[n].size() < 2) continue;  // a single item warms itself
+    per_node_[n]->prediction_service->WarmFeatures(*version.value(),
+                                                   node_items[n]);
+  }
+}
+
+std::vector<Status> VeloxServer::ObserveBatch(const std::vector<ObserveOp>& ops) {
+  std::vector<Status> out(ops.size(), Status::OK());
+  // Open one group-commit window per involved node journal before any
+  // update lands, so every op's WAL append defers its sync.
+  std::vector<NodeId> op_node(ops.size(), NodeId(-1));
+  std::vector<bool> open(per_node_.size(), false);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    auto home = HomeNode(ops[i].uid);
+    if (!home.ok()) continue;
+    op_node[i] = home.value();
+    auto n = static_cast<size_t>(home.value());
+    if (!open[n] && per_node_[n]->journal != nullptr) {
+      per_node_[n]->journal->BeginGroupCommit();
+      open[n] = true;
+    }
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out[i] = ObserveWithProvenance(ops[i].uid, ops[i].item, ops[i].label,
+                                   ops[i].exploration_sourced);
+  }
+  for (size_t n = 0; n < per_node_.size(); ++n) {
+    if (!open[n]) continue;
+    Status sync = per_node_[n]->journal->EndGroupCommit();
+    if (sync.ok()) continue;
+    // The window's sync failed: ops acknowledged inside it were never
+    // made durable, so their OK statuses are a lie — downgrade them.
+    for (size_t i = 0; i < ops.size(); ++i) {
+      if (op_node[i] == static_cast<NodeId>(n) && out[i].ok()) out[i] = sync;
+    }
+  }
+  return out;
 }
 
 Result<VeloxServer::DurabilityRecoveryReport> VeloxServer::RecoverDurability() {

@@ -200,6 +200,34 @@ class VeloxServer {
   Status ObserveWithProvenance(uint64_t uid, const Item& item, double label,
                                bool exploration_sourced);
 
+  // ---- cross-request batching (server plane, DESIGN.md §15) ----
+  // Pre-resolves the feature factors a set of cross-request reads will
+  // need: (uid, item) pairs are grouped by the uid's home node and each
+  // node's union of items resolves through the coalesced batch path —
+  // one chunked MultiGet per node in distributed mode, single-flight
+  // shared with concurrent requests. Purely a cache warm: failures are
+  // ignored (the per-request path re-resolves and degrades as usual),
+  // responses stay bit-identical to cold execution.
+  void WarmReadFeatures(const std::vector<std::pair<uint64_t, Item>>& reads);
+
+  // One observation in a cross-request write batch.
+  struct ObserveOp {
+    uint64_t uid = 0;
+    Item item;
+    double label = 0.0;
+    bool exploration_sourced = false;
+  };
+  // Applies `ops` in order with one WAL group-commit window per
+  // involved node journal: every observation's journal append defers
+  // its sync and the window's close pays a single policy-appropriate
+  // sync (one fdatasync under kFsync) for the whole batch. Statuses are
+  // order-aligned with `ops` and identical to calling
+  // ObserveWithProvenance per op — except that a failed group sync
+  // downgrades that node's acknowledged ops to the sync error, since
+  // their durability was never established. Callers must not
+  // acknowledge an op before this returns.
+  std::vector<Status> ObserveBatch(const std::vector<ObserveOp>& ops);
+
   // ---- fault tolerance ----
   // Simulates the crash of one serving/storage node. Ownership of its
   // users and item shards remaps to the survivors (consistent-hash

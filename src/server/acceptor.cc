@@ -16,6 +16,9 @@ RequestAcceptor::RequestAcceptor(AcceptorOptions options, VeloxFrontend* fronten
       dispatcher_(
           options_.dispatcher,
           [frontend](const Request& request) { return frontend->Handle(request); },
+          [frontend](const std::vector<const Request*>& batch) {
+            return frontend->HandleBatch(batch);
+          },
           &plane_stages_) {
   VELOX_CHECK(frontend_ != nullptr);
 }
@@ -150,6 +153,20 @@ std::string RequestAcceptor::MetricsReport(MetricsRegistry* registry) const {
   target->GetGauge("server.shed_queue_full")
       ->Set(static_cast<double>(admission_.shed_queue_full()));
 
+  // Cross-request batching (DESIGN.md §15): achieved batch size, how
+  // often batches actually formed vs degenerated to singletons, and how
+  // often the AIMD search hit the lane SLO and backed off.
+  target->GetGauge("server.batch.size")->Set(dispatcher_.mean_batch_size());
+  target->GetGauge("server.batch.formed")
+      ->Set(static_cast<double>(dispatcher_.batches_formed()));
+  target->GetGauge("server.batch.singleton")
+      ->Set(static_cast<double>(dispatcher_.batch_singletons()));
+  target->GetGauge("server.batch.aimd_backoffs")
+      ->Set(static_cast<double>(dispatcher_.aimd_backoffs()));
+  target->GetGauge("server.batch.limit.read")->Set(dispatcher_.read_batch_limit());
+  target->GetGauge("server.batch.limit.write")
+      ->Set(dispatcher_.write_batch_limit());
+
   const std::pair<const char*, const Histogram*> kinds[] = {
       {"served", &served_latency_},
       {"shed", &shed_latency_},
@@ -187,6 +204,20 @@ std::string RequestAcceptor::Report() const {
              ? std::string("inf")
              : std::to_string(dispatcher_.options().write_queue_capacity))
      << " (peak " << dispatcher_.write_peak_depth() << ")\n";
+  const DispatcherOptions& dopts = dispatcher_.options();
+  if (dopts.batch_max > 1) {
+    os << "  batching: on  max=" << dopts.batch_max
+       << " delay_us=" << dopts.batch_delay_micros
+       << " slo_us=" << dopts.batch_slo_micros
+       << "  formed=" << dispatcher_.batches_formed()
+       << " singleton=" << dispatcher_.batch_singletons()
+       << " mean_size=" << dispatcher_.mean_batch_size()
+       << " backoffs=" << dispatcher_.aimd_backoffs()
+       << " limit read=" << dispatcher_.read_batch_limit() << " write="
+       << dispatcher_.write_batch_limit() << "\n";
+  } else {
+    os << "  batching: off (batch_max=1)\n";
+  }
   HistogramSnapshot served = served_latency_.Snapshot();
   if (served.count > 0) {
     os << "  served: " << served.ToString() << "\n";
@@ -195,7 +226,8 @@ std::string RequestAcceptor::Report() const {
   if (shed.count > 0) {
     os << "  shed:   " << shed.ToString() << "\n";
   }
-  for (Stage stage : {Stage::kAdmission, Stage::kQueueWait, Stage::kShed}) {
+  for (Stage stage : {Stage::kAdmission, Stage::kQueueWait, Stage::kShed,
+                      Stage::kBatchForm, Stage::kBatchExecute}) {
     HistogramSnapshot snap = plane_stages_.Snapshot(stage);
     if (snap.count == 0) continue;
     os << "  stage " << StageName(stage) << " " << snap.ToString() << "\n";

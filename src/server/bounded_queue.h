@@ -12,11 +12,14 @@
 #ifndef VELOX_SERVER_BOUNDED_QUEUE_H_
 #define VELOX_SERVER_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace velox {
 
@@ -54,6 +57,58 @@ class BoundedQueue {
     queue_.pop_front();
     ++in_flight_;
     return true;
+  }
+
+  // Non-blocking batch pop: drains up to `max` items in one lock
+  // acquisition, appending to `*out`. Every popped item counts as in
+  // flight until the caller invokes MarkDone() once per item. Returns
+  // the number of items popped (0 when the queue is empty or max is 0).
+  size_t TryPopMany(std::vector<T>* out, size_t max) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t popped = 0;
+    while (popped < max && !queue_.empty()) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      ++in_flight_;
+      ++popped;
+    }
+    return popped;
+  }
+
+  // Batch-formation drain: pops up to `max` items, waiting at most
+  // `linger_nanos` (total) for stragglers to arrive while fewer than
+  // `max` are in hand. Unlike Pop this never blocks indefinitely — a
+  // worker that already holds a batch's first task calls this to gather
+  // the rest, and the linger bound guarantees a lone request is never
+  // held hostage to batch formation. linger_nanos <= 0 takes only what
+  // is queued right now. Popped items count as in flight until
+  // MarkDone() is called once per item. Returns the number popped.
+  size_t PopManyFor(std::vector<T>* out, size_t max, int64_t linger_nanos) {
+    if (max == 0) return 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t popped = 0;
+    auto drain = [&] {
+      while (popped < max && !queue_.empty()) {
+        out->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        ++in_flight_;
+        ++popped;
+      }
+    };
+    drain();
+    if (linger_nanos > 0 && popped < max && !closed_) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::nanoseconds(linger_nanos);
+      while (popped < max && !closed_) {
+        if (!work_available_.wait_until(lock, deadline, [this] {
+              return closed_ || !queue_.empty();
+            })) {
+          break;  // linger expired
+        }
+        drain();
+      }
+    }
+    return popped;
   }
 
   // Consumer finished processing a popped item.

@@ -1,5 +1,7 @@
 #include "server/dispatcher.h"
 
+#include <algorithm>
+
 #include "common/clock.h"
 #include "common/logging.h"
 
@@ -7,25 +9,32 @@ namespace velox {
 
 RequestDispatcher::RequestDispatcher(DispatcherOptions options, Handler handler,
                                      StageRegistry* stages)
+    : RequestDispatcher(options, std::move(handler), nullptr, stages) {}
+
+RequestDispatcher::RequestDispatcher(DispatcherOptions options, Handler handler,
+                                     BatchHandler batch_handler,
+                                     StageRegistry* stages)
     : options_(options),
       handler_(std::move(handler)),
+      batch_handler_(std::move(batch_handler)),
       stages_(stages),
-      read_queue_(options_.read_queue_capacity),
-      write_queue_(options_.write_queue_capacity) {
+      read_lane_(options_.read_queue_capacity),
+      write_lane_(options_.write_queue_capacity) {
   VELOX_CHECK(handler_ != nullptr);
   VELOX_CHECK_GT(options_.read_workers, 0u);
   VELOX_CHECK_GT(options_.write_workers, 0u);
+  if (options_.batch_max == 0) options_.batch_max = 1;
   pool_ = std::make_unique<ThreadPool>(options_.read_workers +
                                        options_.write_workers);
   // Long-running worker loops, one per pool thread: each parks on its
   // lane's queue until Stop() closes it. The pool is private and sized
   // exactly, so no loop ever waits behind another's submission.
   for (size_t i = 0; i < options_.read_workers; ++i) {
-    bool ok = pool_->Submit([this] { WorkerLoop(&read_queue_); });
+    bool ok = pool_->Submit([this] { WorkerLoop(&read_lane_); });
     VELOX_CHECK(ok);
   }
   for (size_t i = 0; i < options_.write_workers; ++i) {
-    bool ok = pool_->Submit([this] { WorkerLoop(&write_queue_); });
+    bool ok = pool_->Submit([this] { WorkerLoop(&write_lane_); });
     VELOX_CHECK(ok);
   }
 }
@@ -34,56 +43,170 @@ RequestDispatcher::~RequestDispatcher() { Stop(); }
 
 bool RequestDispatcher::Submit(ServerTask&& task) {
   if (stopped_.load(std::memory_order_acquire)) return false;
+  Lane* lane =
+      task.request.type == RequestType::kObserve ? &write_lane_ : &read_lane_;
   task.enqueue_nanos = SteadyClock::Default()->NowNanos();
-  BoundedQueue<ServerTask>* lane =
-      task.request.type == RequestType::kObserve ? &write_queue_ : &read_queue_;
-  return lane->TryPush(std::move(task));
+  if (lane->queue.TryPush(std::move(task))) return true;
+  // Refused: the rvalue reference bound without moving, so the task is
+  // intact for the caller's shed path — un-stamp it so a later retry's
+  // queue_wait is measured from its own push, not this failed one.
+  task.enqueue_nanos = 0;
+  return false;
 }
 
-void RequestDispatcher::WorkerLoop(BoundedQueue<ServerTask>* lane) {
-  ServerTask task;
-  while (lane->Pop(&task)) {
-    {
-      // Queue residency, charged per request like every other stage.
+double RequestDispatcher::CurrentBatchLimit(const Lane& lane) const {
+  if (options_.batch_max <= 1) return 1.0;
+  if (options_.batch_slo_micros <= 0) {
+    return static_cast<double>(options_.batch_max);
+  }
+  return lane.aimd_limit.load(std::memory_order_relaxed);
+}
+
+FrontendResponse RequestDispatcher::RunSingleton(const Request& request) {
+  // A throwing handler must not unwind into the pool: that would end
+  // this (long-running) loop task and strand popped requests without a
+  // MarkDone, hanging Drain(). Answer with an Internal status instead.
+  try {
+    return handler_(request);
+  } catch (const std::exception& e) {
+    VELOX_LOG(WARNING) << "server task threw: " << e.what();
+    FrontendResponse response;
+    response.status = Status::Internal(e.what());
+    return response;
+  } catch (...) {
+    VELOX_LOG(WARNING) << "server task threw a non-exception";
+    FrontendResponse response;
+    response.status = Status::Internal("server task threw a non-exception");
+    return response;
+  }
+}
+
+void RequestDispatcher::WorkerLoop(Lane* lane) {
+  std::vector<ServerTask> batch;
+  ServerTask first;
+  while (lane->queue.Pop(&first)) {
+    batch.clear();
+    batch.push_back(std::move(first));
+    first = ServerTask();
+    const size_t limit = static_cast<size_t>(std::max(
+        1.0, std::min(static_cast<double>(options_.batch_max),
+                      CurrentBatchLimit(*lane) + 0.5)));
+    if (limit > 1) {
+      // Batch formation: drain what is queued and linger briefly for
+      // stragglers. Charged to kBatchForm (idle waiting for the first
+      // task is not — that is the worker parking, not batching cost).
       StageTimer timer(stages_);
-      if (timer.enabled()) {
-        const int64_t waited =
-            SteadyClock::Default()->NowNanos() - task.enqueue_nanos;
-        timer.Add(Stage::kQueueWait, static_cast<double>(waited) / 1e3);
+      StageTimer::Scope span(timer, Stage::kBatchForm);
+      lane->queue.PopManyFor(&batch, limit - 1,
+                             options_.batch_delay_micros * 1000);
+    }
+    ExecuteBatch(lane, &batch);
+  }
+}
+
+void RequestDispatcher::ExecuteBatch(Lane* lane, std::vector<ServerTask>* batch) {
+  const size_t n = batch->size();
+  if (stages_ != nullptr) {
+    // Queue residency, charged per request like every other stage.
+    const int64_t now = SteadyClock::Default()->NowNanos();
+    for (const ServerTask& task : *batch) {
+      stages_->Record(Stage::kQueueWait,
+                      static_cast<double>(now - task.enqueue_nanos) / 1e3);
+    }
+  }
+
+  const bool adapt = options_.batch_max > 1 && options_.batch_slo_micros > 0;
+  const int64_t exec_start =
+      (adapt || stages_ != nullptr) ? SteadyClock::Default()->NowNanos() : 0;
+
+  std::vector<FrontendResponse> responses;
+  if (n > 1 && batch_handler_) {
+    // Grouped execution. A throwing batch handler may have partially
+    // applied writes, so the batch is NOT re-run per task — every
+    // request is answered with an Internal status instead (the same
+    // containment contract as the singleton path).
+    std::vector<const Request*> requests;
+    requests.reserve(n);
+    for (const ServerTask& task : *batch) requests.push_back(&task.request);
+    std::string error;
+    try {
+      responses = batch_handler_(requests);
+      if (responses.size() != n) {
+        error = "batch handler returned a mismatched response count";
+        responses.clear();
       }
-      // A throwing handler or callback must not unwind into the pool:
-      // that would end this (long-running) loop task and strand the
-      // popped request without a MarkDone, hanging Drain(). Answer with
-      // an Internal status instead.
+    } catch (const std::exception& e) {
+      VELOX_LOG(WARNING) << "server batch threw: " << e.what();
+      error = e.what();
+      responses.clear();
+    } catch (...) {
+      VELOX_LOG(WARNING) << "server batch threw a non-exception";
+      error = "server batch threw a non-exception";
+      responses.clear();
+    }
+    if (responses.empty()) {
+      responses.resize(n);
+      for (FrontendResponse& r : responses) r.status = Status::Internal(error);
+    }
+  } else {
+    responses.reserve(n);
+    for (const ServerTask& task : *batch) {
+      responses.push_back(RunSingleton(task.request));
+    }
+  }
+
+  double exec_micros = 0.0;
+  if (exec_start != 0) {
+    exec_micros =
+        static_cast<double>(SteadyClock::Default()->NowNanos() - exec_start) /
+        1e3;
+    if (stages_ != nullptr) stages_->Record(Stage::kBatchExecute, exec_micros);
+  }
+
+  // AIMD search (Clipper §4.3-style): grow additively while execution
+  // meets the lane SLO, back off multiplicatively on a violation. Plain
+  // load/store — concurrent workers may lose an adaptation step, never
+  // correctness.
+  if (adapt) {
+    double limit = lane->aimd_limit.load(std::memory_order_relaxed);
+    if (exec_micros > static_cast<double>(options_.batch_slo_micros)) {
+      limit = std::max(1.0, limit * 0.5);
+      lane->aimd_backoffs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      limit = std::min(static_cast<double>(options_.batch_max), limit + 1.0);
+    }
+    lane->aimd_limit.store(limit, std::memory_order_relaxed);
+  }
+  if (n > 1) {
+    lane->batches_formed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    lane->singletons.fetch_add(1, std::memory_order_relaxed);
+  }
+  dispatched_.fetch_add(n, std::memory_order_relaxed);
+
+  for (size_t i = 0; i < n; ++i) {
+    ServerTask& task = (*batch)[i];
+    if (task.done) {
       try {
-        FrontendResponse response = handler_(task.request);
-        if (task.done) task.done(std::move(response));
+        task.done(std::move(responses[i]));
       } catch (const std::exception& e) {
-        VELOX_LOG(WARNING) << "server task threw: " << e.what();
-        FrontendResponse response;
-        response.status = Status::Internal(e.what());
-        if (task.done) {
-          try {
-            task.done(std::move(response));
-          } catch (...) {
-          }
-        }
+        VELOX_LOG(WARNING) << "server task callback threw: " << e.what();
       } catch (...) {
-        VELOX_LOG(WARNING) << "server task threw a non-exception";
+        VELOX_LOG(WARNING) << "server task callback threw a non-exception";
       }
-      dispatched_.fetch_add(1, std::memory_order_relaxed);
     }
     // Release the task's closures before the queue stops counting it as
     // in flight, then mark done (WaitDrained must not return while the
     // callback is still running).
     task = ServerTask();
-    lane->MarkDone();
+    lane->queue.MarkDone();
   }
+  batch->clear();
 }
 
 void RequestDispatcher::Drain() {
-  read_queue_.WaitDrained();
-  write_queue_.WaitDrained();
+  read_lane_.queue.WaitDrained();
+  write_lane_.queue.WaitDrained();
 }
 
 void RequestDispatcher::Stop() {
@@ -93,8 +216,8 @@ void RequestDispatcher::Stop() {
     // A prior Stop already closed the lanes and joined the pool.
     return;
   }
-  read_queue_.Close();
-  write_queue_.Close();
+  read_lane_.queue.Close();
+  write_lane_.queue.Close();
   pool_->Shutdown();
 }
 

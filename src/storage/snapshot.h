@@ -120,6 +120,16 @@ class UserWeightJournal {
   // mutations commute).
   Status Append(const UserWeightWalRecord& record);
 
+  // Group-commit window forwarded to the underlying WAL (see
+  // WriteAheadLog::BeginGroup): appends between the calls defer their
+  // per-record sync; EndGroupCommit performs one policy-appropriate
+  // sync for the whole window. A batch of observations acknowledged
+  // after EndGroupCommit has exactly the per-record durability of the
+  // configured WalSyncPolicy at a single sync's cost.
+  void BeginGroupCommit() { wal_->BeginGroup(); }
+  Status EndGroupCommit() { return wal_->EndGroup(); }
+  uint64_t group_commits() const { return wal_->group_commits(); }
+
   // True when snapshot_every > 0 and that many records accumulated
   // past the last snapshot.
   bool SnapshotDue() const;

@@ -32,7 +32,8 @@ WriteAheadLog::~WriteAheadLog() {
   if (file_ != nullptr) {
     // Clean shutdown keeps the policy's promise: under kFsync the last
     // group-commit window must not ride on fclose's flush alone.
-    if (options_.sync == WalSyncPolicy::kFsync && unsynced_ > 0) {
+    if (options_.sync == WalSyncPolicy::kFsync &&
+        (unsynced_ > 0 || group_pending_ > 0)) {
       (void)SyncLocked();
     }
     std::fclose(file_);
@@ -109,23 +110,28 @@ Status WriteAheadLog::AppendPayload(const std::vector<uint8_t>& payload) {
       std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
     return Status::IoError("wal append failed: " + path_);
   }
-  switch (options_.sync) {
-    case WalSyncPolicy::kNone:
-      break;
-    case WalSyncPolicy::kFlush:
-      if (std::fflush(file_) != 0) {
-        return Status::IoError("wal flush failed: " + path_);
-      }
-      break;
-    case WalSyncPolicy::kFsync:
-      if (++unsynced_ >= std::max<int64_t>(1, options_.fsync_every_n)) {
-        VELOX_RETURN_NOT_OK(SyncLocked());
-      } else if (std::fflush(file_) != 0) {
-        // Between group commits the record still reaches the OS, so a
-        // process crash inside the window loses nothing.
-        return Status::IoError("wal flush failed: " + path_);
-      }
-      break;
+  if (group_depth_ > 0) {
+    // Inside a group-commit window: defer every sync to EndGroup().
+    ++group_pending_;
+  } else {
+    switch (options_.sync) {
+      case WalSyncPolicy::kNone:
+        break;
+      case WalSyncPolicy::kFlush:
+        if (std::fflush(file_) != 0) {
+          return Status::IoError("wal flush failed: " + path_);
+        }
+        break;
+      case WalSyncPolicy::kFsync:
+        if (++unsynced_ >= std::max<int64_t>(1, options_.fsync_every_n)) {
+          VELOX_RETURN_NOT_OK(SyncLocked());
+        } else if (std::fflush(file_) != 0) {
+          // Between group commits the record still reaches the OS, so a
+          // process crash inside the window loses nothing.
+          return Status::IoError("wal flush failed: " + path_);
+        }
+        break;
+    }
   }
   ++records_;
   total_bytes_ += header.size() + payload.size();
@@ -140,6 +146,42 @@ Status WriteAheadLog::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::FailedPrecondition("wal closed");
   return SyncLocked();
+}
+
+void WriteAheadLog::BeginGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++group_depth_;
+}
+
+Status WriteAheadLog::EndGroup() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (group_depth_ == 0) return Status::OK();
+  if (--group_depth_ > 0) return Status::OK();
+  const int64_t pending = group_pending_;
+  group_pending_ = 0;
+  if (pending == 0 || file_ == nullptr) return Status::OK();
+  switch (options_.sync) {
+    case WalSyncPolicy::kNone:
+      break;
+    case WalSyncPolicy::kFlush:
+      if (std::fflush(file_) != 0) {
+        return Status::IoError("wal flush failed: " + path_);
+      }
+      ++group_commits_;
+      break;
+    case WalSyncPolicy::kFsync:
+      // One durable point for the whole window; resets the
+      // fsync_every_n countdown too (SyncLocked zeroes unsynced_).
+      VELOX_RETURN_NOT_OK(SyncLocked());
+      ++group_commits_;
+      break;
+  }
+  return Status::OK();
+}
+
+uint64_t WriteAheadLog::group_commits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return group_commits_;
 }
 
 uint64_t WriteAheadLog::records_appended() const {

@@ -97,6 +97,23 @@ class WriteAheadLog {
   // policy — e.g. before a snapshot declares the log covered.
   Status Sync();
 
+  // Group commit window: between BeginGroup() and the matching
+  // EndGroup(), AppendPayload defers its per-append sync entirely (the
+  // record still lands in the stdio buffer); the outermost EndGroup()
+  // performs one policy-appropriate sync for the whole window — a
+  // single fflush under kFlush, a single fflush+fdatasync under kFsync
+  // (regardless of fsync_every_n: the window IS the commit group),
+  // nothing under kNone. Callers must not acknowledge a grouped append
+  // until EndGroup() returns OK: inside the window a record is only as
+  // durable as kNone. Windows nest (refcounted); EndGroup without a
+  // matching BeginGroup is a no-op returning OK.
+  void BeginGroup();
+  Status EndGroup();
+
+  // Completed group-commit windows that synced at least one deferred
+  // append (observability for the batching plane).
+  uint64_t group_commits() const;
+
   // Records appended through this handle (excludes recovered ones).
   uint64_t records_appended() const;
   // Valid records scanned from the file at Open() (past any resume
@@ -163,6 +180,12 @@ class WriteAheadLog {
   uint64_t total_bytes_ = 0;
   bool recovered_clean_ = true;
   int64_t unsynced_ = 0;
+  // Nesting depth of open group-commit windows; > 0 defers all
+  // per-append syncing to the outermost EndGroup().
+  int64_t group_depth_ = 0;
+  // Appends landed inside the current window (pending its sync).
+  int64_t group_pending_ = 0;
+  uint64_t group_commits_ = 0;
   std::vector<std::vector<uint8_t>> recovered_payloads_;
 };
 

@@ -55,6 +55,88 @@ TEST(WalTest, AppendAndRecoverRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ---- group commit (the write-batching amortization, DESIGN.md §15) ----
+
+TEST(WalGroupCommitTest, WindowDefersSyncToOneEndGroupAndRecordsSurvive) {
+  std::string path = TempPath("wal_group.wal");
+  WalOptions options;
+  options.sync = WalSyncPolicy::kFsync;
+  options.fsync_every_n = 1;  // strict per-append sync outside a window
+  {
+    auto wal = WriteAheadLog::Open(path, options);
+    ASSERT_TRUE(wal.ok());
+    (*wal)->BeginGroup();
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*wal)->Append(Obs(i, 1.0)).ok());
+    }
+    // Inside the window nothing has committed yet.
+    EXPECT_EQ((*wal)->group_commits(), 0u);
+    ASSERT_TRUE((*wal)->EndGroup().ok());
+    EXPECT_EQ((*wal)->group_commits(), 1u);
+  }
+  auto recovery = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery->clean);
+  EXPECT_EQ(recovery->records.size(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(WalGroupCommitTest, WindowsNestAndOnlyTheOutermostEndSyncs) {
+  std::string path = TempPath("wal_group_nest.wal");
+  WalOptions options;
+  options.sync = WalSyncPolicy::kFsync;
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  (*wal)->BeginGroup();
+  (*wal)->BeginGroup();
+  ASSERT_TRUE((*wal)->Append(Obs(1, 2.0)).ok());
+  ASSERT_TRUE((*wal)->EndGroup().ok());  // inner: still inside the window
+  EXPECT_EQ((*wal)->group_commits(), 0u);
+  ASSERT_TRUE((*wal)->EndGroup().ok());  // outermost: the one sync
+  EXPECT_EQ((*wal)->group_commits(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WalGroupCommitTest, EndWithoutBeginIsANoOp) {
+  std::string path = TempPath("wal_group_noop.wal");
+  auto wal = WriteAheadLog::Open(path);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE((*wal)->EndGroup().ok());
+  EXPECT_EQ((*wal)->group_commits(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalGroupCommitTest, EmptyWindowCommitsNothing) {
+  std::string path = TempPath("wal_group_empty.wal");
+  WalOptions options;
+  options.sync = WalSyncPolicy::kFsync;
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  (*wal)->BeginGroup();
+  ASSERT_TRUE((*wal)->EndGroup().ok());
+  // No deferred appends, so no group commit is counted.
+  EXPECT_EQ((*wal)->group_commits(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalGroupCommitTest, AppendsAfterTheWindowSyncPerPolicyAgain) {
+  std::string path = TempPath("wal_group_after.wal");
+  WalOptions options;
+  options.sync = WalSyncPolicy::kFsync;
+  options.fsync_every_n = 1;
+  auto wal = WriteAheadLog::Open(path, options);
+  ASSERT_TRUE(wal.ok());
+  (*wal)->BeginGroup();
+  ASSERT_TRUE((*wal)->Append(Obs(1, 1.0)).ok());
+  ASSERT_TRUE((*wal)->EndGroup().ok());
+  // Post-window appends are back on the strict per-append policy; they
+  // must not leak into a (closed) group.
+  ASSERT_TRUE((*wal)->Append(Obs(2, 2.0)).ok());
+  EXPECT_EQ((*wal)->group_commits(), 1u);
+  EXPECT_EQ((*wal)->records_appended(), 2u);
+  std::remove(path.c_str());
+}
+
 TEST(WalTest, RecoverMissingFileIsIoError) {
   EXPECT_TRUE(WriteAheadLog::Recover("/no/such/file.wal").status().IsIoError());
 }

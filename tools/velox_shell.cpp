@@ -7,6 +7,7 @@
 //               [--fsync-every N] [--snapshot-every N]
 //               [--retrain-mode full|incremental|auto] [--drift-min-obs N]
 //               [--drift-error E] [--auto-full-fraction F]
+//               [--batch-max N] [--batch-delay-us U] [--batch-slo-us U]
 //
 // Reads commands from stdin (one per line; see `help`). With real
 // MovieLens data pass --ratings (ml-1m/10m ::-format) or --csv
@@ -33,6 +34,7 @@
 
 #include "core/shell.h"
 #include "core/velox.h"
+#include "server/acceptor.h"
 
 namespace {
 
@@ -162,6 +164,23 @@ int main(int argc, char** argv) {
   VeloxServer server(config,
                      std::make_unique<MatrixFactorizationModel>("shell", als));
   VeloxShell shell(&server, std::move(dataset));
+
+  // Server plane with cross-request batching (DESIGN.md §15): the
+  // `server` shell command reports admission/queue/batching state.
+  // --batch-max > 1 turns adaptive batching on; --batch-slo-us > 0
+  // enables the AIMD batch-size search against that SLO.
+  FrontendOptions fopts;
+  fopts.num_threads = 2;
+  VeloxFrontend frontend(fopts, &server);
+  AcceptorOptions aopts;
+  aopts.dispatcher.batch_max = static_cast<size_t>(
+      std::stoll(FlagValue(argc, argv, "--batch-max", "1")));
+  aopts.dispatcher.batch_delay_micros =
+      std::stoll(FlagValue(argc, argv, "--batch-delay-us", "200"));
+  aopts.dispatcher.batch_slo_micros =
+      std::stoll(FlagValue(argc, argv, "--batch-slo-us", "0"));
+  RequestAcceptor acceptor(aopts, &frontend);
+  shell.AttachServingPlane(&acceptor);
 
   std::fprintf(stderr, "velox shell ready — type `help` for commands\n");
   std::string line;
